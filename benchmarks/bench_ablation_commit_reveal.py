@@ -1,0 +1,71 @@
+"""Ablation A3 — what the commit-reveal defence costs.
+
+The two-subphase submission (commit, then reveal) is the crux that
+defeats the rushing adversary and the copy-paste free-rider.  This bench
+quantifies its price: the extra commit transaction per worker, compared
+to a hypothetical single-shot submission that sends the ciphertexts
+directly (which would be insecure: mempool observers could copy them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_gas, render_table
+from repro.chain.gas import PAPER_PRICING, TX_BASE, calldata_cost
+from repro.core.protocol import run_hit
+from repro.core.task import make_imagenet_task
+
+from bench_helpers import emit, imagenet_answer_sets
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    task = make_imagenet_task()
+    answers = imagenet_answer_sets(task, [0.98, 0.97, 0.96, 0.95])
+    return run_hit(task, answers)
+
+
+def test_commit_reveal_overhead_report(benchmark, outcome):
+    gas = outcome.gas
+    label = outcome.workers[0].label
+    commit_gas = gas.commits[label]
+    reveal_gas = gas.reveals[label]
+    submit_gas = commit_gas + reveal_gas
+
+    # Hypothetical insecure single-shot submission: same calldata and
+    # storage as the reveal, but no separate commit transaction and no
+    # commitment-opening hash.
+    single_shot = reveal_gas - TX_BASE // 100  # same tx, same work
+    overhead = submit_gas - single_shot
+    overhead_fraction = overhead / submit_gas
+
+    rows = [
+        ["Commit transaction", format_gas(commit_gas),
+         "$%.3f" % PAPER_PRICING.to_usd(commit_gas)],
+        ["Reveal transaction", format_gas(reveal_gas),
+         "$%.3f" % PAPER_PRICING.to_usd(reveal_gas)],
+        ["Two-phase total (secure)", format_gas(submit_gas),
+         "$%.3f" % PAPER_PRICING.to_usd(submit_gas)],
+        ["Single-shot (INSECURE baseline)", format_gas(single_shot),
+         "$%.3f" % PAPER_PRICING.to_usd(single_shot)],
+        ["Security overhead", format_gas(overhead),
+         "%.1f%% of submit" % (100 * overhead_fraction)],
+    ]
+    text = render_table(
+        ["Submission path", "Gas", "Cost"],
+        rows,
+        title="Ablation A3 - the price of the commit-reveal defence "
+        "(per worker, ImageNet task)",
+    )
+    emit("ablation_commit_reveal", text)
+
+    # The defence is cheap: commit is a small fraction of the submission.
+    assert overhead_fraction < 0.10
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_commit_transaction_cost(benchmark):
+    """Standalone cost of one commit (32-byte digest) transaction."""
+    digest = b"\x5a" * 32
+    benchmark(lambda: TX_BASE + calldata_cost(digest))

@@ -1,0 +1,78 @@
+"""Ablation A4 — Groth16 cost scaling in circuit size.
+
+The anchor measurements behind the Table I generic-row extrapolation:
+setup/prove cost vs constraint count for our pure-Python Groth16, and
+the constant-time (4-pairing) verification that makes SNARKs attractive
+on-chain despite the brutal proving cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.tables import format_seconds, render_table
+from repro.baseline.circuits import multiplication_chain_circuit
+from repro.baseline.groth16 import prove, setup, verify
+from repro.baseline.qap import QAP
+
+from bench_helpers import emit
+
+SIZES = [8, 16, 32, 64]
+
+
+@pytest.mark.parametrize("size", [8, 32])
+def test_groth16_prove_scaling(benchmark, size):
+    system = multiplication_chain_circuit(size)
+    qap = QAP.from_r1cs(system)
+    proving_key, _ = setup(qap)
+    assignment = system.full_assignment()
+    benchmark.pedantic(
+        prove, args=(proving_key, qap, assignment), rounds=1, iterations=1
+    )
+
+
+def test_groth16_scaling_report(benchmark):
+    rows = []
+    prove_times = {}
+    verify_times = {}
+    for size in SIZES:
+        system = multiplication_chain_circuit(size)
+        qap = QAP.from_r1cs(system)
+
+        t0 = time.perf_counter()
+        proving_key, verifying_key = setup(qap)
+        setup_time = time.perf_counter() - t0
+
+        assignment = system.full_assignment()
+        t0 = time.perf_counter()
+        proof = prove(proving_key, qap, assignment)
+        prove_times[size] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        ok = verify(verifying_key, system.public_values(), proof)
+        verify_times[size] = time.perf_counter() - t0
+        assert ok
+
+        rows.append(
+            [
+                system.num_constraints,
+                format_seconds(setup_time),
+                format_seconds(prove_times[size]),
+                format_seconds(verify_times[size]),
+            ]
+        )
+    text = render_table(
+        ["Constraints", "Setup", "Prove", "Verify"],
+        rows,
+        title="Ablation A4 - Groth16 cost vs circuit size "
+        "(pure-Python BN-128; verification is constant: 4 pairings)",
+    )
+    emit("ablation_groth16", text)
+
+    # Proving grows with the circuit; verification stays flat.
+    assert prove_times[64] > prove_times[8]
+    spread = max(verify_times.values()) / max(min(verify_times.values()), 1e-9)
+    assert spread < 3.0  # constant up to noise
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Ablation A2 — PoQoEA cost vs gold count |G| and option-range size.
+
+The paper's special zero-knowledge holds because |G| and |range| are
+small constants; this sweep quantifies how proving/verification cost
+(and the on-chain gas of a rejection) grow with both knobs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_gas, format_seconds, render_table
+from repro.chain.gas import ECADD, ECMUL, keccak_cost
+from repro.crypto.elgamal import keygen
+from repro.crypto.poqoea import prove_quality, verify_quality
+from repro.utils.timing import best_of
+
+from bench_helpers import emit
+
+NUM_QUESTIONS = 106
+
+
+def _statement(num_golds: int, range_size: int):
+    """An all-mismatch statement with the given gold count and range."""
+    pk, sk = keygen(secret=0xA2 + num_golds * 16 + range_size)
+    answer_range = list(range(range_size))
+    gold_indexes = list(range(num_golds))
+    gold_answers = [0] * num_golds
+    answers = [1] * NUM_QUESTIONS  # every gold mismatches (gold answer 0)
+    ciphertexts = pk.encrypt_vector(answers)
+    return pk, sk, ciphertexts, gold_indexes, gold_answers, answer_range
+
+
+@pytest.mark.parametrize("num_golds", [2, 6, 16])
+def test_poqoea_prove_vs_golds(benchmark, num_golds):
+    pk, sk, cts, gold_idx, gold_ans, rng = _statement(num_golds, 2)
+    benchmark(prove_quality, sk, cts, gold_idx, gold_ans, rng)
+
+
+@pytest.mark.parametrize("range_size", [2, 8])
+def test_poqoea_prove_vs_range(benchmark, range_size):
+    pk, sk, cts, gold_idx, gold_ans, rng = _statement(6, range_size)
+    benchmark(prove_quality, sk, cts, gold_idx, gold_ans, rng)
+
+
+def test_poqoea_ablation_report(benchmark):
+    vpke_gas = 6 * ECMUL + 3 * ECADD + keccak_cost(452)
+    rows = []
+    prove_times = {}
+    for num_golds in (2, 4, 6, 8, 16, 32):
+        pk, sk, cts, gold_idx, gold_ans, rng = _statement(num_golds, 2)
+        prove_time, (quality, proof) = best_of(
+            lambda: prove_quality(sk, cts, gold_idx, gold_ans, rng), repeats=3
+        )
+        verify_time, ok = best_of(
+            lambda: verify_quality(pk, cts, quality, proof, gold_idx, gold_ans),
+            repeats=3,
+        )
+        assert ok and quality == 0 and len(proof) == num_golds
+        prove_times[num_golds] = prove_time
+        rows.append(
+            [
+                num_golds,
+                format_seconds(prove_time),
+                format_seconds(verify_time),
+                format_gas(num_golds * vpke_gas),
+            ]
+        )
+    text = render_table(
+        ["|G|", "Prove", "Verify", "Rejection gas (all golds missed)"],
+        rows,
+        title="Ablation A2a - PoQoEA cost vs gold-standard count "
+        "(binary range, all-mismatch worst case)",
+    )
+
+    range_rows = []
+    for range_size in (2, 4, 8, 16):
+        pk, sk, cts, gold_idx, gold_ans, rng = _statement(6, range_size)
+        prove_time, (quality, proof) = best_of(
+            lambda: prove_quality(sk, cts, gold_idx, gold_ans, rng), repeats=3
+        )
+        range_rows.append([range_size, format_seconds(prove_time), len(proof)])
+    text += "\n\n" + render_table(
+        ["|range|", "Prove", "Mismatch entries"],
+        range_rows,
+        title="Ablation A2b - PoQoEA proving vs option-range size (|G| = 6)",
+    )
+    emit("ablation_poqoea", text)
+
+    # Cost grows with |G| (one VPKE per mismatch): 32 golds should cost
+    # clearly more than 2 (noise-tolerant factor).
+    assert prove_times[32] > 4 * prove_times[2]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

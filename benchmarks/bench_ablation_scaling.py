@@ -1,0 +1,87 @@
+"""Ablation A1 — gas scaling in the task size N (questions per task).
+
+The paper fixes N = 106; this sweep shows how each Table III row scales
+with the number of questions, exposing the linear cost drivers (reveal
+calldata and per-question hash storage).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_gas, render_table
+from repro.chain.gas import PAPER_PRICING
+from repro.core.protocol import run_hit
+from repro.core.task import HITTask, TaskParameters
+
+from bench_helpers import emit
+
+SIZES = [10, 25, 50, 106, 200]
+
+
+def _task_of_size(num_questions: int) -> HITTask:
+    parameters = TaskParameters(
+        num_questions=num_questions,
+        budget=400,
+        num_workers=4,
+        answer_range=(0, 1),
+        quality_threshold=4,
+        num_golds=6,
+    )
+    gold_indexes = list(range(6))
+    gold_answers = [0] * 6
+    ground_truth = [0] * num_questions
+    return HITTask(
+        parameters,
+        ["q%d" % i for i in range(num_questions)],
+        gold_indexes,
+        gold_answers,
+        ground_truth,
+    )
+
+
+def _run(num_questions: int):
+    task = _task_of_size(num_questions)
+    answers = [[0] * num_questions for _ in range(4)]
+    return run_hit(task, answers)
+
+
+@pytest.mark.parametrize("num_questions", [10, 106])
+def test_scaling_single_run(benchmark, num_questions):
+    benchmark.pedantic(_run, args=(num_questions,), rounds=1, iterations=1)
+
+
+def test_scaling_report(benchmark):
+    rows = []
+    submits = {}
+    for size in SIZES:
+        outcome = _run(size)
+        gas = outcome.gas
+        submit = gas.submit_cost("worker-0")
+        submits[size] = submit
+        rows.append(
+            [
+                size,
+                format_gas(gas.publish),
+                format_gas(submit),
+                format_gas(gas.total),
+                "$%.2f" % PAPER_PRICING.to_usd(gas.total),
+            ]
+        )
+    text = render_table(
+        ["N (questions)", "Publish", "Submit (per worker)", "Overall", "USD"],
+        rows,
+        title="Ablation A1 - gas scaling vs task size "
+        "(4 workers, 6 golds, no rejections)",
+    )
+    emit("ablation_scaling", text)
+
+    # Submit cost must scale ~linearly in N (per-question hash storage).
+    per_question = (submits[200] - submits[10]) / 190.0
+    assert 15_000 < per_question < 30_000  # ~= sstore + keccak + calldata
+    # Publish is N-independent (questions live in Swarm, only the digest
+    # goes on-chain) — the paper's off-chain storage optimization.
+    first = _run(SIZES[0]).gas.publish
+    last = _run(SIZES[-1]).gas.publish
+    assert abs(first - last) < 2_000
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints its reproduction table to stdout (run pytest with
+``-s`` to see it live) and writes a copy under ``benchmarks/results/``
+so EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/results/<name>.txt."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def imagenet_answer_sets(task, accuracies: Sequence[float]) -> List[List[int]]:
+    """One synthetic answer sheet per worker at the given accuracies."""
+    from repro.core.task import sample_worker_answers
+
+    return [
+        sample_worker_answers(task, accuracy, seed=index + 1)
+        for index, accuracy in enumerate(accuracies)
+    ]
+
+
+def all_rejected_answers(task) -> List[List[int]]:
+    """Answer sheets rejected at the paper's threshold (worst case).
+
+    The ImageNet policy rejects a submission failing 3 of the 6 golds;
+    the paper's worst-case column prices each rejection at the matching
+    3-mismatch PoQoEA proof, so each sheet here misses exactly enough
+    golds to fall just below Θ.
+    """
+    answers = []
+    options = task.parameters.answer_range
+    to_flip = task.parameters.num_golds - task.parameters.quality_threshold + 1
+    for _ in range(task.parameters.num_workers):
+        sheet = list(task.ground_truth)
+        for index, truth in zip(
+            task.gold_indexes[:to_flip], task.gold_answers[:to_flip]
+        ):
+            sheet[index] = next(o for o in options if o != truth)
+        answers.append(sheet)
+    return answers

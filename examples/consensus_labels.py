@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""From paid submissions to a labeled dataset, under encryption.
+
+After a Dragoon task finishes, the requester holds encrypted answer
+vectors from the qualified workers.  Because exponential ElGamal is
+additively homomorphic, she can tally the binary votes per question
+*without decrypting individual submissions side by side*: sum the
+ciphertexts across workers and decrypt only the per-question counts.
+This script runs an annotation task with five noisy workers, builds the
+consensus labels homomorphically, and shows the consensus beating every
+individual annotator — the ImageNet aggregation story end to end.
+
+Run:  python examples/consensus_labels.py
+"""
+
+from repro import run_hit, sample_worker_answers
+from repro.core.aggregation import (
+    accuracy_against_truth,
+    binary_consensus_from_tally,
+    homomorphic_tally,
+    pairwise_agreement,
+)
+from repro.core.task import HITTask, TaskParameters
+
+
+def build_task() -> HITTask:
+    import random
+
+    rng = random.Random(99)
+    num_questions = 60
+    ground_truth = [rng.randint(0, 1) for _ in range(num_questions)]
+    gold_indexes = sorted(rng.sample(range(num_questions), 6))
+    parameters = TaskParameters(
+        num_questions=num_questions,
+        budget=500,
+        num_workers=5,
+        answer_range=(0, 1),
+        quality_threshold=4,
+        num_golds=6,
+    )
+    return HITTask(
+        parameters,
+        ["Does image %d show a striped animal? (0/1)" % i
+         for i in range(num_questions)],
+        gold_indexes,
+        [ground_truth[i] for i in gold_indexes],
+        ground_truth,
+    )
+
+
+def main() -> None:
+    task = build_task()
+    accuracies = [0.92, 0.88, 0.85, 0.82, 0.30]  # four annotators + one bot
+    answers = [
+        sample_worker_answers(task, accuracy, seed=i)
+        for i, accuracy in enumerate(accuracies)
+    ]
+    outcome = run_hit(task, answers)
+
+    print("--- task settlement ---")
+    qualified_vectors = []
+    qualified_answers = []
+    submissions = outcome.requester.collect_submissions()
+    for index, worker in enumerate(outcome.workers):
+        paid = outcome.payment_of(worker)
+        print(
+            "%-9s accuracy %.0f%%  quality %d/6  paid %d"
+            % (worker.label, accuracies[index] * 100,
+               task.quality_of(answers[index]), paid)
+        )
+        if paid:
+            ciphertexts, plaintexts = outcome.requester.decrypt_submission(
+                submissions[worker.address]
+            )
+            qualified_vectors.append(ciphertexts)
+            qualified_answers.append([int(p) for p in plaintexts])
+
+    print("\n--- homomorphic aggregation over %d qualified submissions ---"
+          % len(qualified_vectors))
+    tallies = homomorphic_tally(outcome.requester.secret_key, qualified_vectors)
+    consensus = binary_consensus_from_tally(tallies, len(qualified_vectors))
+
+    truth = task.ground_truth
+    print("consensus accuracy vs ground truth: %.1f%%"
+          % (100 * accuracy_against_truth(list(consensus.labels), truth)))
+    for index, worker_answers in enumerate(qualified_answers):
+        print("  qualified worker %d alone:          %.1f%%"
+              % (index, 100 * accuracy_against_truth(worker_answers, truth)))
+    print("mean inter-worker agreement: %.1f%%"
+          % (100 * pairwise_agreement(qualified_answers)))
+    print("mean consensus support: %.2f of %d workers"
+          % (sum(consensus.support) / len(consensus.support),
+             consensus.num_workers))
+
+    best_individual = max(
+        accuracy_against_truth(a, truth) for a in qualified_answers
+    )
+    consensus_accuracy = accuracy_against_truth(list(consensus.labels), truth)
+    print("\nconsensus beats the best individual: %s (%.1f%% vs %.1f%%)"
+          % (consensus_accuracy >= best_individual,
+             100 * consensus_accuracy, 100 * best_individual))
+
+
+if __name__ == "__main__":
+    main()

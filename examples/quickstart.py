@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: run one private decentralized HIT end to end.
+
+A requester publishes a 10-question binary task with 3 secret gold
+standards; two workers submit encrypted answers through the
+commit-reveal flow; the requester proves the low-quality submission
+wrong with a PoQoEA proof; the contract pays accordingly.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import make_imagenet_task, run_hit
+from repro.core.task import HITTask, TaskParameters
+
+
+def build_task() -> HITTask:
+    """A small task: 10 binary questions, golds at positions 0-2."""
+    parameters = TaskParameters(
+        num_questions=10,
+        budget=100,  # 50 coins per worker
+        num_workers=2,
+        answer_range=(0, 1),
+        quality_threshold=2,  # must match 2 of the 3 golds
+        num_golds=3,
+    )
+    questions = ["Is image %d a cat? (0=no, 1=yes)" % i for i in range(10)]
+    gold_indexes = [0, 1, 2]
+    gold_answers = [1, 0, 1]
+    ground_truth = [1, 0, 1, 0, 1, 0, 1, 0, 1, 0]
+    return HITTask(parameters, questions, gold_indexes, gold_answers, ground_truth)
+
+
+def main() -> None:
+    task = build_task()
+
+    diligent = [1, 0, 1, 0, 1, 0, 1, 0, 1, 0]  # all three golds right
+    careless = [0, 1, 0, 1, 0, 1, 0, 1, 0, 1]  # all three golds wrong
+    print("diligent worker quality: %d / 3" % task.quality_of(diligent))
+    print("careless worker quality: %d / 3" % task.quality_of(careless))
+
+    outcome = run_hit(task, [diligent, careless])
+
+    print("\n--- outcome ---")
+    for worker in outcome.workers:
+        print(
+            "%-10s paid=%-3d verdict=%s"
+            % (
+                worker.label,
+                outcome.payment_of(worker),
+                outcome.contract.verdict_of(worker.address),
+            )
+        )
+    print(
+        "requester refund: %d coins"
+        % outcome.chain.ledger.balance_of(outcome.requester.address)
+    )
+
+    gas = outcome.gas
+    print("\n--- on-chain gas ---")
+    print("publish : %7dk" % (gas.publish // 1000))
+    for worker in outcome.workers:
+        print("submit  : %7dk  (%s)" % (gas.submit_cost(worker.label) // 1000,
+                                        worker.label))
+    print("golden  : %7dk" % (gas.golden // 1000))
+    for label, cost in gas.rejections.items():
+        print("reject  : %7dk  (%s, via PoQoEA)" % (cost // 1000, label))
+    print("finalize: %7dk" % (gas.finalize // 1000))
+    print("total   : %7dk" % (gas.total // 1000))
+
+    assert outcome.payment_of(outcome.workers[0]) == 50
+    assert outcome.payment_of(outcome.workers[1]) == 0
+    print("\nfairness holds: qualified worker paid, free-rider rejected.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""A worker browsing the on-chain task marketplace.
+
+Several requesters have published tasks on one chain; some have clean
+audit records and some are known mass-rejecters.  A worker with a given
+self-assessed accuracy asks the marketplace for recommendations: open
+tasks, reputable requesters, positive expected utility.
+
+Run:  python examples/task_marketplace.py
+"""
+
+from repro.core.marketplace import TaskMarketplace
+from repro.core.task import HITTask, TaskParameters
+from repro.dragoon import Dragoon
+
+
+def tiny_task(budget: int = 100, workers: int = 2) -> HITTask:
+    parameters = TaskParameters(
+        num_questions=10,
+        budget=budget,
+        num_workers=workers,
+        answer_range=(0, 1),
+        quality_threshold=2,
+        num_golds=3,
+    )
+    return HITTask(
+        parameters,
+        ["q%d" % i for i in range(10)],
+        [0, 1, 2],
+        [0, 0, 0],
+        [0] * 10,
+    )
+
+
+def main() -> None:
+    system = Dragoon()
+    system.fund("label-lab", 500)
+    system.fund("data-mill", 500)
+
+    # History: label-lab settles fairly; data-mill rejects everyone.
+    system.run_task("label-lab", tiny_task(), [[0] * 10, [0] * 10],
+                    worker_labels=["h0", "h1"])
+    system.run_task("data-mill", tiny_task(), [[1] * 10, [1] * 10],
+                    worker_labels=["h2", "h3"])
+
+    # Today's open tasks.
+    system.publish_task("label-lab", tiny_task(budget=200))
+    system.publish_task("label-lab", tiny_task(budget=120))
+    system.publish_task("data-mill", tiny_task(budget=300))
+
+    market = TaskMarketplace(system.chain)
+
+    print("--- open tasks ---")
+    for listing in market.listings():
+        reputation = listing.requester_reputation
+        flags = "; ".join(reputation.flags) if reputation and reputation.flags else "clean"
+        print(
+            "%-28s reward %3d coins  slots %d/%d  requester %-11s [%s]"
+            % (
+                listing.contract_name,
+                listing.reward_per_worker,
+                listing.slots_remaining,
+                listing.parameters.num_workers,
+                listing.requester.label,
+                flags,
+            )
+        )
+
+    print("\n--- recommendations for a 95%-accurate worker ---")
+    for listing in market.recommend(worker_accuracy=0.95):
+        utility = market.expected_utility(listing, worker_accuracy=0.95)
+        print("%-28s expected utility $%+.2f" % (listing.contract_name, utility))
+    print("(data-mill's richer task is skipped: flagged as a mass-rejecter)")
+
+    print("\n--- and for a 10%-accurate worker ---")
+    recommendations = market.recommend(worker_accuracy=0.10)
+    print("recommended tasks: %d (honest effort would lose money)"
+          % len(recommendations))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""repro - a full reproduction of Dragoon: Private Decentralized HITs
+Made Practical (Lu, Tang, Wang; IEEE ICDCS 2020).
+
+The package is layered bottom-up:
+
+* :mod:`repro.crypto` - keccak-256, BN-128 (G1/G2/pairing), exponential
+  ElGamal, Schnorr sigma protocols, VPKE verifiable decryption, and
+  PoQoEA (the paper's core contribution), all from scratch.
+* :mod:`repro.ledger` - the cryptocurrency ledger functionality L.
+* :mod:`repro.chain` - a gas-metered Ethereum-style contract simulator
+  with a synchronous clock and a rushing/reordering network adversary.
+* :mod:`repro.storage` - the Swarm-like content-addressed store.
+* :mod:`repro.core` - the HIT task model, the C_hit contract (Fig. 4),
+  requester/worker clients (Fig. 5), the protocol driver, the ideal
+  functionality F_hit (Fig. 2), and attack strategies.
+* :mod:`repro.baseline` - the generic-ZKP comparator: R1CS, QAP, and a
+  complete Groth16 over the from-scratch pairing, plus the full-scale
+  cost model.
+* :mod:`repro.analysis` - gas-to-USD conversion and table rendering.
+
+Quick start::
+
+    from repro import make_imagenet_task, sample_worker_answers, run_hit
+
+    task = make_imagenet_task()
+    answers = [sample_worker_answers(task, 0.9, seed=i) for i in range(4)]
+    outcome = run_hit(task, answers)
+    print(outcome.payments())
+"""
+
+from repro.core import (
+    HITTask,
+    TaskParameters,
+    make_imagenet_task,
+    make_street_parking_task,
+    sample_worker_answers,
+    run_hit,
+    ProtocolOutcome,
+    GasReport,
+    RequesterClient,
+    WorkerClient,
+    compare_worlds,
+    run_ideal_mirror,
+)
+from repro.crypto import (
+    keygen,
+    prove_decryption,
+    verify_decryption,
+    prove_quality,
+    verify_quality,
+    compute_quality,
+)
+from repro.chain import Chain, PAPER_PRICING, GasPricing
+from repro.ledger import Ledger, Address
+from repro.storage import SwarmStore
+from repro.analysis import build_handling_fee_table, mturk_handling_fee
+from repro.dragoon import Dragoon
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HITTask",
+    "TaskParameters",
+    "make_imagenet_task",
+    "make_street_parking_task",
+    "sample_worker_answers",
+    "run_hit",
+    "ProtocolOutcome",
+    "GasReport",
+    "RequesterClient",
+    "WorkerClient",
+    "compare_worlds",
+    "run_ideal_mirror",
+    "keygen",
+    "prove_decryption",
+    "verify_decryption",
+    "prove_quality",
+    "verify_quality",
+    "compute_quality",
+    "Chain",
+    "PAPER_PRICING",
+    "GasPricing",
+    "Ledger",
+    "Address",
+    "SwarmStore",
+    "build_handling_fee_table",
+    "mturk_handling_fee",
+    "Dragoon",
+    "__version__",
+]

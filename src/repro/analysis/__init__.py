@@ -1,0 +1,45 @@
+"""Cost analysis and table rendering for the benchmark harness."""
+
+from repro.analysis.costs import (
+    HandlingFeeRow,
+    HandlingFeeTable,
+    build_handling_fee_table,
+    mturk_handling_fee,
+    gas_summary,
+)
+from repro.analysis.tables import (
+    render_table,
+    format_seconds,
+    format_bytes,
+    format_gas,
+)
+from repro.analysis.incentives import (
+    IncentiveParameters,
+    StrategyOutcome,
+    strategy_profile,
+    honest_effort,
+    random_guessing,
+    copy_paste,
+    honest_dominates,
+    minimum_viable_reward,
+)
+
+__all__ = [
+    "HandlingFeeRow",
+    "HandlingFeeTable",
+    "build_handling_fee_table",
+    "mturk_handling_fee",
+    "gas_summary",
+    "render_table",
+    "format_seconds",
+    "format_bytes",
+    "format_gas",
+    "IncentiveParameters",
+    "StrategyOutcome",
+    "strategy_profile",
+    "honest_effort",
+    "random_guessing",
+    "copy_paste",
+    "honest_dominates",
+    "minimum_viable_reward",
+]

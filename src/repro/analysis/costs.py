@@ -1,0 +1,113 @@
+"""Fee analysis: gas → USD and the MTurk comparison (paper Table III).
+
+The paper's headline economic claim: Dragoon's on-chain handling cost
+(~$2.09–2.22 for the whole ImageNet task, at 1.5 gwei and $115/ETH) is
+*below* MTurk's handling fee for the same task (≥$4).  This module turns
+a :class:`~repro.core.protocol.GasReport` into that table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.chain.gas import GasPricing, PAPER_PRICING
+from repro.core.protocol import GasReport
+
+
+@dataclass(frozen=True)
+class HandlingFeeRow:
+    """One row of the Table III reproduction."""
+
+    operation: str
+    gas: int
+    usd: float
+
+
+@dataclass(frozen=True)
+class HandlingFeeTable:
+    """The assembled Table III: per-operation and overall fees."""
+
+    rows: List[HandlingFeeRow]
+    pricing: GasPricing
+
+    def row(self, operation: str) -> HandlingFeeRow:
+        for row in self.rows:
+            if row.operation == operation:
+                return row
+        raise KeyError(operation)
+
+    def total_usd(self) -> float:
+        return sum(row.usd for row in self.rows)
+
+
+def mturk_handling_fee(
+    total_reward_usd: float, assignments: int, large_batch: bool = False
+) -> float:
+    """MTurk's fee model at the time of the paper [18].
+
+    20% of the reward paid to workers (40% for batches of 10+
+    assignments), with a $0.01-per-assignment floor.  The paper's
+    ImageNet comparison point is "at least $4" for the task.
+    """
+    rate = 0.40 if large_batch or assignments >= 10 else 0.20
+    return max(rate * total_reward_usd, 0.01 * assignments)
+
+
+def build_handling_fee_table(
+    gas_best: GasReport,
+    gas_worst: Optional[GasReport] = None,
+    pricing: GasPricing = PAPER_PRICING,
+) -> HandlingFeeTable:
+    """Assemble the Table III rows from one (or two) protocol runs.
+
+    ``gas_best`` should come from a run where no submission is rejected;
+    ``gas_worst`` (optional) from a run where every submission is
+    rejected.  Per-worker numbers are averaged across workers.
+    """
+    rows: List[HandlingFeeRow] = []
+
+    def add(operation: str, gas: int) -> None:
+        rows.append(HandlingFeeRow(operation, gas, pricing.to_usd(gas)))
+
+    add("Publish task (by requester)", gas_best.publish)
+
+    submit_costs = [
+        gas_best.submit_cost(label) for label in gas_best.commits
+    ]
+    average_submit = sum(submit_costs) // max(1, len(submit_costs))
+    add("Submit answers (by worker)", average_submit)
+
+    source = gas_worst if gas_worst is not None else gas_best
+    rejection_costs = list(source.rejections.values())
+    if rejection_costs:
+        add(
+            "Verify PoQoEA to reject an answer",
+            sum(rejection_costs) // len(rejection_costs),
+        )
+    else:
+        add("Verify PoQoEA to reject an answer", 0)
+
+    add("Overall (best-case: reject no submission)", gas_best.total)
+    if gas_worst is not None:
+        add("Overall (worst-case: reject all submissions)", gas_worst.total)
+    return HandlingFeeTable(rows, pricing)
+
+
+def gas_summary(gas: GasReport, pricing: GasPricing = PAPER_PRICING) -> Dict[str, str]:
+    """A printable summary of one run's gas ledger."""
+    return {
+        "publish": "%dk gas ($%.2f)" % (gas.publish // 1000, pricing.to_usd(gas.publish)),
+        "submits": ", ".join(
+            "%s: %dk" % (label, gas.submit_cost(label) // 1000)
+            for label in sorted(gas.commits)
+        ),
+        "golden": "%dk" % (gas.golden // 1000),
+        "rejections": ", ".join(
+            "%s: %dk" % (label, cost // 1000)
+            for label, cost in sorted(gas.rejections.items())
+        )
+        or "none",
+        "finalize": "%dk" % (gas.finalize // 1000),
+        "total": "%dk gas ($%.2f)" % (gas.total // 1000, pricing.to_usd(gas.total)),
+    }

@@ -1,0 +1,170 @@
+"""Incentive analysis: why rational workers play honestly under Dragoon.
+
+The paper's conclusion poses incentive compatibility as an open problem
+("why rational workers would not deviate"), while its design already
+removes the profitable deviations.  This module makes the argument
+quantitative: it computes the expected utility of each worker strategy
+under the protocol's actual rules so benches and tests can show that
+honest effort dominates once the copy-paste channel is closed.
+
+Model (one task, one worker slot):
+
+* answering a question costs ``effort_cost`` per question at the
+  worker's native accuracy; guessing costs nothing and hits a gold with
+  probability ``1/|range|``;
+* the submission is paid ``reward`` iff at least ``Θ`` of the ``|G|``
+  golds are answered correctly (the requester is honest: PoQoEA's
+  upper-bound soundness means she *cannot* underpay);
+* every on-chain submission costs ``submit_fee`` (the Table III gas
+  converted to the reward's currency);
+* copying is the strategy the blockchain made *possible* and Dragoon
+  makes *worthless*: with commit-reveal plus encryption its success
+  probability is 0, yet it still burns the submission fee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Dict, List, Sequence
+
+
+def binomial_at_least(trials: int, successes: int, probability: float) -> float:
+    """P[X >= successes] for X ~ Binomial(trials, probability)."""
+    if successes <= 0:
+        return 1.0
+    if successes > trials:
+        return 0.0
+    total = 0.0
+    for k in range(successes, trials + 1):
+        total += (
+            comb(trials, k)
+            * probability**k
+            * (1.0 - probability) ** (trials - k)
+        )
+    return min(1.0, max(0.0, total))
+
+
+@dataclass(frozen=True)
+class IncentiveParameters:
+    """Everything the expected-utility computation needs."""
+
+    num_questions: int = 106
+    num_golds: int = 6
+    quality_threshold: int = 4
+    range_size: int = 2
+    reward: float = 5.0  # per-assignment reward in USD
+    effort_cost_per_question: float = 0.02
+    submit_fee: float = 0.48  # Table III per-worker handling cost
+    worker_accuracy: float = 0.95  # accuracy under honest effort
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """Expected utility of one strategy."""
+
+    name: str
+    pay_probability: float
+    expected_reward: float
+    cost: float
+
+    @property
+    def expected_utility(self) -> float:
+        return self.expected_reward - self.cost
+
+
+def honest_effort(params: IncentiveParameters) -> StrategyOutcome:
+    """Answer every question at native accuracy."""
+    pay_probability = binomial_at_least(
+        params.num_golds, params.quality_threshold, params.worker_accuracy
+    )
+    return StrategyOutcome(
+        name="honest effort",
+        pay_probability=pay_probability,
+        expected_reward=pay_probability * params.reward,
+        cost=params.effort_cost_per_question * params.num_questions
+        + params.submit_fee,
+    )
+
+
+def random_guessing(params: IncentiveParameters) -> StrategyOutcome:
+    """Answer uniformly at random (the bot strategy of [8, 13])."""
+    pay_probability = binomial_at_least(
+        params.num_golds, params.quality_threshold, 1.0 / params.range_size
+    )
+    return StrategyOutcome(
+        name="random guessing",
+        pay_probability=pay_probability,
+        expected_reward=pay_probability * params.reward,
+        cost=params.submit_fee,
+    )
+
+
+def copy_paste(
+    params: IncentiveParameters, copy_success_probability: float = 0.0
+) -> StrategyOutcome:
+    """Attempt to copy another submission.
+
+    Under Dragoon the success probability is 0 (commitments hide the
+    ciphertexts; reveals are encrypted to the requester).  On a naive
+    transparent chain pass ``copy_success_probability`` close to 1 to
+    model the attack the paper's §I describes.
+    """
+    victim_quality = binomial_at_least(
+        params.num_golds, params.quality_threshold, params.worker_accuracy
+    )
+    pay_probability = copy_success_probability * victim_quality
+    return StrategyOutcome(
+        name="copy-paste",
+        pay_probability=pay_probability,
+        expected_reward=pay_probability * params.reward,
+        cost=params.submit_fee,
+    )
+
+
+def strategy_profile(
+    params: IncentiveParameters, naive_chain: bool = False
+) -> List[StrategyOutcome]:
+    """All strategies' expected utilities under Dragoon (or a naive chain)."""
+    return [
+        honest_effort(params),
+        random_guessing(params),
+        copy_paste(params, copy_success_probability=1.0 if naive_chain else 0.0),
+    ]
+
+
+def honest_dominates(params: IncentiveParameters) -> bool:
+    """Whether honest effort is the strictly best response under Dragoon."""
+    outcomes = strategy_profile(params, naive_chain=False)
+    honest = outcomes[0]
+    return all(
+        honest.expected_utility > other.expected_utility
+        for other in outcomes[1:]
+    )
+
+
+def minimum_viable_reward(params: IncentiveParameters) -> float:
+    """The smallest reward making honest effort profitable and dominant.
+
+    Below this, rational workers stay away — the knob a requester tunes
+    when a task attracts no submissions.
+    """
+    low, high = 0.0, max(1.0, params.reward * 100)
+    for _ in range(60):
+        mid = (low + high) / 2.0
+        candidate = IncentiveParameters(
+            num_questions=params.num_questions,
+            num_golds=params.num_golds,
+            quality_threshold=params.quality_threshold,
+            range_size=params.range_size,
+            reward=mid,
+            effort_cost_per_question=params.effort_cost_per_question,
+            submit_fee=params.submit_fee,
+            worker_accuracy=params.worker_accuracy,
+        )
+        honest = honest_effort(candidate)
+        if honest.expected_utility > 0 and honest_dominates(candidate):
+            high = mid
+        else:
+            low = mid
+    return high

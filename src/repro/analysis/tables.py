@@ -1,0 +1,62 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench prints the same rows the paper's tables report, in a
+fixed-width layout that survives log files and CI output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table with auto-sized columns."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        ) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(format_row(list(headers)))
+    lines.append(separator)
+    for row in materialized:
+        lines.append(format_row(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale time formatting (ms below 1 s, otherwise seconds)."""
+    if seconds < 1.0:
+        return "%.1f ms" % (seconds * 1000.0)
+    if seconds < 120.0:
+        return "%.1f s" % seconds
+    return "%.1f min" % (seconds / 60.0)
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-scale memory formatting."""
+    if num_bytes < 1024.0**2:
+        return "%.0f KiB" % (num_bytes / 1024.0)
+    if num_bytes < 1024.0**3:
+        return "%.1f MiB" % (num_bytes / 1024.0**2)
+    return "%.2f GiB" % (num_bytes / 1024.0**3)
+
+
+def format_gas(gas: int) -> str:
+    """Gas in the paper's '~NNNk' style."""
+    return "~%dk" % round(gas / 1000.0)

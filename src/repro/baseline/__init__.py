@@ -1,0 +1,58 @@
+"""The generic-ZKP (zk-SNARK) baseline: R1CS, QAP, Groth16, cost model."""
+
+from repro.baseline.r1cs import ConstraintSystem, LinearCombination, LC, Constraint
+from repro.baseline.qap import QAP, Poly, lagrange_interpolate
+from repro.baseline.groth16 import (
+    setup,
+    prove,
+    verify,
+    prove_system,
+    Proof,
+    ProvingKey,
+    VerifyingKey,
+)
+from repro.baseline.circuits import (
+    multiplication_chain_circuit,
+    quality_statement_circuit,
+    range_membership_circuit,
+    generic_vpke_statement,
+    generic_poqoea_statement,
+    rsa_oaep_decryption_constraints,
+    exponential_elgamal_decryption_constraints,
+    StatementSize,
+)
+from repro.baseline.costmodel import (
+    SnarkCostModel,
+    CostEstimate,
+    paper_calibrated_model,
+    measure_local_model,
+)
+
+__all__ = [
+    "ConstraintSystem",
+    "LinearCombination",
+    "LC",
+    "Constraint",
+    "QAP",
+    "Poly",
+    "lagrange_interpolate",
+    "setup",
+    "prove",
+    "verify",
+    "prove_system",
+    "Proof",
+    "ProvingKey",
+    "VerifyingKey",
+    "multiplication_chain_circuit",
+    "quality_statement_circuit",
+    "range_membership_circuit",
+    "generic_vpke_statement",
+    "generic_poqoea_statement",
+    "rsa_oaep_decryption_constraints",
+    "exponential_elgamal_decryption_constraints",
+    "StatementSize",
+    "SnarkCostModel",
+    "CostEstimate",
+    "paper_calibrated_model",
+    "measure_local_model",
+]

@@ -1,0 +1,246 @@
+"""Groth16 over BN-128 — the generic zk-SNARK the paper benchmarks against.
+
+A complete implementation: trusted setup, proving, and pairing-based
+verification, all on the from-scratch BN-128 of :mod:`repro.crypto`.
+Proofs are 3 group elements; verification is 4 pairings plus one
+multi-scalar multiplication over the public inputs — exactly the cost
+profile that makes SNARK verification expensive on-chain (the paper's
+"12 pairings already spend ~500k gas" remark; EIP-1108 prices a
+4-pairing check at 45k + 4·34k = 181k gas *before* the rest of the
+verifier).
+
+The prover follows the real algorithm: it interpolates the witness
+polynomials, divides by the vanishing polynomial, and evaluates in the
+exponent against the CRS powers — no trapdoor shortcuts.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.baseline.qap import QAP, Poly
+from repro.baseline.r1cs import ConstraintSystem
+from repro.crypto.curve import G1Point
+from repro.crypto.field import CURVE_ORDER
+from repro.crypto.g2 import G2_GENERATOR, Point as G2PointT, point_add, point_mul
+from repro.crypto.pairing import pairing
+from repro.crypto.tower import FQ12
+from repro.errors import SetupError
+
+_R = CURVE_ORDER
+_G1 = G1Point.generator()
+
+
+def _random_nonzero() -> int:
+    while True:
+        value = secrets.randbelow(_R)
+        if value:
+            return value
+
+
+def _g2_add(p: G2PointT, q: G2PointT) -> G2PointT:
+    return point_add(p, q)
+
+
+def _g2_mul(p: G2PointT, scalar: int) -> G2PointT:
+    return point_mul(p, scalar % _R)
+
+
+@dataclass
+class ProvingKey:
+    """The prover's CRS (powers of tau and per-variable terms)."""
+
+    alpha_g1: G1Point
+    beta_g1: G1Point
+    beta_g2: G2PointT
+    delta_g1: G1Point
+    delta_g2: G2PointT
+    tau_powers_g1: List[G1Point]  # [tau^i]_1, i = 0..deg
+    tau_powers_g2: List[G2PointT]  # [tau^i]_2
+    l_terms: List[G1Point]  # [(beta*A_i + alpha*B_i + C_i)(tau) / delta]_1
+    h_terms: List[G1Point]  # [tau^i * Z(tau) / delta]_1
+
+
+@dataclass
+class VerifyingKey:
+    """The verifier's CRS."""
+
+    alpha_g1: G1Point
+    beta_g2: G2PointT
+    gamma_g2: G2PointT
+    delta_g2: G2PointT
+    ic: List[G1Point]  # [(beta*A_i + alpha*B_i + C_i)(tau) / gamma]_1, public vars
+
+
+@dataclass(frozen=True)
+class Proof:
+    """A Groth16 proof: (A, B, C) with A, C in G1 and B in G2."""
+
+    a: G1Point
+    b: G2PointT
+    c: G1Point
+
+    def size_bytes(self) -> int:
+        """Serialized size: 64 (A) + 128 (B over Fp2) + 64 (C)."""
+        return 64 + 128 + 64
+
+
+def setup(qap: QAP) -> Tuple[ProvingKey, VerifyingKey]:
+    """Run the trusted setup for a QAP; toxic waste is discarded."""
+    alpha = _random_nonzero()
+    beta = _random_nonzero()
+    gamma = _random_nonzero()
+    delta = _random_nonzero()
+    tau = _random_nonzero()
+    if qap.target.evaluate(tau) % _R == 0:
+        raise SetupError("tau hit the constraint domain; re-run setup")
+
+    gamma_inv = pow(gamma, -1, _R)
+    delta_inv = pow(delta, -1, _R)
+    z_tau = qap.target.evaluate(tau)
+    degree = qap.degree
+
+    tau_powers = [pow(tau, i, _R) for i in range(degree + 1)]
+    tau_powers_g1 = [_G1 * p for p in tau_powers]
+    tau_powers_g2 = [_g2_mul(G2_GENERATOR, p) for p in tau_powers]
+
+    def combined_term(index: int) -> int:
+        return (
+            beta * qap.a_polys[index].evaluate(tau)
+            + alpha * qap.b_polys[index].evaluate(tau)
+            + qap.c_polys[index].evaluate(tau)
+        ) % _R
+
+    num_public = qap.num_public
+    ic = [
+        _G1 * (combined_term(i) * gamma_inv % _R) for i in range(num_public + 1)
+    ]
+    l_terms = [
+        _G1 * (combined_term(i) * delta_inv % _R)
+        for i in range(num_public + 1, qap.num_variables)
+    ]
+    h_terms = [
+        _G1 * (tau_powers[i] * z_tau % _R * delta_inv % _R)
+        for i in range(max(1, degree - 1))
+    ]
+
+    proving_key = ProvingKey(
+        alpha_g1=_G1 * alpha,
+        beta_g1=_G1 * beta,
+        beta_g2=_g2_mul(G2_GENERATOR, beta),
+        delta_g1=_G1 * delta,
+        delta_g2=_g2_mul(G2_GENERATOR, delta),
+        tau_powers_g1=tau_powers_g1,
+        tau_powers_g2=tau_powers_g2,
+        l_terms=l_terms,
+        h_terms=h_terms,
+    )
+    verifying_key = VerifyingKey(
+        alpha_g1=_G1 * alpha,
+        beta_g2=proving_key.beta_g2,
+        gamma_g2=_g2_mul(G2_GENERATOR, gamma),
+        delta_g2=proving_key.delta_g2,
+        ic=ic,
+    )
+    return proving_key, verifying_key
+
+
+def _msm_g1(points: Sequence[G1Point], scalars: Sequence[int]) -> G1Point:
+    total = G1Point.infinity()
+    for point, scalar in zip(points, scalars):
+        if scalar % _R:
+            total = total + point * (scalar % _R)
+    return total
+
+
+def _evaluate_in_exponent_g1(poly: Poly, powers: Sequence[G1Point]) -> G1Point:
+    return _msm_g1(powers[: len(poly.coeffs)], poly.coeffs)
+
+
+def _evaluate_in_exponent_g2(poly: Poly, powers: Sequence[G2PointT]) -> G2PointT:
+    total: G2PointT = None
+    for coeff, power in zip(poly.coeffs, powers):
+        if coeff % _R:
+            total = _g2_add(total, _g2_mul(power, coeff))
+    return total
+
+
+def prove(
+    proving_key: ProvingKey, qap: QAP, assignment: Sequence[int]
+) -> Proof:
+    """Produce a Groth16 proof for a full satisfying witness."""
+    a_poly, b_poly, _ = qap.witness_polynomials(assignment)
+    h_poly = qap.quotient(assignment)
+
+    r = secrets.randbelow(_R)
+    s = secrets.randbelow(_R)
+
+    # A = alpha + A(tau) + r*delta  (in G1)
+    a_g1 = (
+        proving_key.alpha_g1
+        + _evaluate_in_exponent_g1(a_poly, proving_key.tau_powers_g1)
+        + proving_key.delta_g1 * r
+    )
+    # B in G2 (and its G1 shadow for assembling C).
+    b_g2 = _g2_add(
+        _g2_add(
+            proving_key.beta_g2,
+            _evaluate_in_exponent_g2(b_poly, proving_key.tau_powers_g2),
+        ),
+        _g2_mul(proving_key.delta_g2, s),
+    )
+    b_g1 = (
+        proving_key.beta_g1
+        + _evaluate_in_exponent_g1(b_poly, proving_key.tau_powers_g1)
+        + proving_key.delta_g1 * s
+    )
+
+    # C = sum_w a_w * L_w + H(tau)Z(tau)/delta + s*A + r*B - r*s*delta.
+    witness_values = list(assignment[qap.num_public + 1 :])
+    c_g1 = (
+        _msm_g1(proving_key.l_terms, witness_values)
+        + _evaluate_in_exponent_g1(h_poly, proving_key.h_terms)
+        + a_g1 * s
+        + b_g1 * r
+        - proving_key.delta_g1 * (r * s % _R)
+    )
+    return Proof(a_g1, b_g2, c_g1)
+
+
+def verify(
+    verifying_key: VerifyingKey, public_inputs: Sequence[int], proof: Proof
+) -> bool:
+    """The 4-pairing Groth16 verification equation.
+
+    ``e(A, B) == e(alpha, beta) · e(IC(x), gamma) · e(C, delta)``
+    """
+    if len(public_inputs) != len(verifying_key.ic) - 1:
+        return False
+    ic_accumulator = verifying_key.ic[0]
+    for value, point in zip(public_inputs, verifying_key.ic[1:]):
+        if value % _R:
+            ic_accumulator = ic_accumulator + point * (value % _R)
+
+    lhs = pairing(proof.b, proof.a)
+    rhs = (
+        pairing(verifying_key.beta_g2, verifying_key.alpha_g1)
+        * pairing(verifying_key.gamma_g2, ic_accumulator)
+        * pairing(verifying_key.delta_g2, proof.c)
+    )
+    return lhs == rhs
+
+
+def prove_system(
+    system: ConstraintSystem,
+    proving_key: Optional[ProvingKey] = None,
+    verifying_key: Optional[VerifyingKey] = None,
+) -> Tuple[Proof, List[int], VerifyingKey]:
+    """Convenience: QAP-ify, set up (if needed), and prove a built circuit."""
+    qap = QAP.from_r1cs(system)
+    if proving_key is None or verifying_key is None:
+        proving_key, verifying_key = setup(qap)
+    assignment = system.full_assignment()
+    proof = prove(proving_key, qap, assignment)
+    return proof, system.public_values(assignment), verifying_key

@@ -1,0 +1,211 @@
+"""R1CS → QAP reduction: polynomials over the BN-128 scalar field.
+
+Groth16 proves satisfiability of a *quadratic arithmetic program*: each
+R1CS column becomes a polynomial interpolated over the constraint
+domain, and the witness satisfies the system iff ``A(x)·B(x) - C(x)`` is
+divisible by the domain's vanishing polynomial ``Z(x)``.
+
+Interpolation is plain Lagrange over the points ``1..m`` (circuits in
+this repository are small; no FFT needed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baseline.r1cs import ConstraintSystem
+from repro.crypto.field import CURVE_ORDER
+from repro.errors import ConstraintError
+
+_R = CURVE_ORDER
+
+
+class Poly:
+    """A dense polynomial over the scalar field (little-endian coeffs)."""
+
+    __slots__ = ("coeffs",)
+
+    def __init__(self, coeffs: Sequence[int]) -> None:
+        trimmed = [c % _R for c in coeffs]
+        while len(trimmed) > 1 and trimmed[-1] == 0:
+            trimmed.pop()
+        self.coeffs = trimmed or [0]
+
+    @classmethod
+    def zero(cls) -> "Poly":
+        return cls([0])
+
+    @classmethod
+    def one(cls) -> "Poly":
+        return cls([1])
+
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        return self.coeffs == [0]
+
+    def __add__(self, other: "Poly") -> "Poly":
+        size = max(len(self.coeffs), len(other.coeffs))
+        return Poly(
+            [
+                (self.coeffs[i] if i < len(self.coeffs) else 0)
+                + (other.coeffs[i] if i < len(other.coeffs) else 0)
+                for i in range(size)
+            ]
+        )
+
+    def __sub__(self, other: "Poly") -> "Poly":
+        size = max(len(self.coeffs), len(other.coeffs))
+        return Poly(
+            [
+                (self.coeffs[i] if i < len(self.coeffs) else 0)
+                - (other.coeffs[i] if i < len(other.coeffs) else 0)
+                for i in range(size)
+            ]
+        )
+
+    def __mul__(self, other: "Poly") -> "Poly":
+        if self.is_zero() or other.is_zero():
+            return Poly.zero()
+        product = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                product[i + j] += a * b
+        return Poly(product)
+
+    def scale(self, factor: int) -> "Poly":
+        return Poly([c * factor for c in self.coeffs])
+
+    def evaluate(self, x: int) -> int:
+        result = 0
+        for coeff in reversed(self.coeffs):
+            result = (result * x + coeff) % _R
+        return result
+
+    def divmod(self, divisor: "Poly") -> Tuple["Poly", "Poly"]:
+        """Polynomial long division; returns (quotient, remainder)."""
+        if divisor.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        remainder = list(self.coeffs)
+        quotient = [0] * max(1, len(remainder) - len(divisor.coeffs) + 1)
+        inv_lead = pow(divisor.coeffs[-1], -1, _R)
+        for shift in range(len(remainder) - len(divisor.coeffs), -1, -1):
+            factor = remainder[shift + len(divisor.coeffs) - 1] * inv_lead % _R
+            if factor:
+                quotient[shift] = factor
+                for i, d in enumerate(divisor.coeffs):
+                    remainder[shift + i] = (remainder[shift + i] - factor * d) % _R
+        return Poly(quotient), Poly(remainder)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Poly):
+            return NotImplemented
+        return self.coeffs == other.coeffs
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.coeffs))
+
+    def __repr__(self) -> str:
+        return "Poly(deg=%d)" % self.degree
+
+
+def lagrange_interpolate(points: Sequence[Tuple[int, int]]) -> Poly:
+    """The unique polynomial through the given (x, y) points."""
+    result = Poly.zero()
+    for i, (xi, yi) in enumerate(points):
+        if yi % _R == 0:
+            continue
+        numerator = Poly.one()
+        denominator = 1
+        for j, (xj, _) in enumerate(points):
+            if i == j:
+                continue
+            numerator = numerator * Poly([-xj, 1])
+            denominator = denominator * (xi - xj) % _R
+        result = result + numerator.scale(yi * pow(denominator, -1, _R))
+    return result
+
+
+class QAP:
+    """A quadratic arithmetic program derived from an R1CS."""
+
+    def __init__(
+        self,
+        a_polys: List[Poly],
+        b_polys: List[Poly],
+        c_polys: List[Poly],
+        target: Poly,
+        num_public: int,
+    ) -> None:
+        self.a_polys = a_polys
+        self.b_polys = b_polys
+        self.c_polys = c_polys
+        self.target = target
+        self.num_public = num_public
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.a_polys)
+
+    @property
+    def degree(self) -> int:
+        return self.target.degree
+
+    @classmethod
+    def from_r1cs(cls, system: ConstraintSystem) -> "QAP":
+        """Interpolate each R1CS column over the domain ``1..m``."""
+        num_vars = system.num_variables
+        domain = list(range(1, system.num_constraints + 1))
+
+        columns_a: List[Dict[int, int]] = [dict() for _ in range(num_vars)]
+        columns_b: List[Dict[int, int]] = [dict() for _ in range(num_vars)]
+        columns_c: List[Dict[int, int]] = [dict() for _ in range(num_vars)]
+        for row, constraint in enumerate(system.constraints):
+            for var, coeff in constraint.a.terms.items():
+                columns_a[var][domain[row]] = coeff
+            for var, coeff in constraint.b.terms.items():
+                columns_b[var][domain[row]] = coeff
+            for var, coeff in constraint.c.terms.items():
+                columns_c[var][domain[row]] = coeff
+
+        def interpolate_column(column: Dict[int, int]) -> Poly:
+            points = [(x, column.get(x, 0)) for x in domain]
+            return lagrange_interpolate(points)
+
+        a_polys = [interpolate_column(col) for col in columns_a]
+        b_polys = [interpolate_column(col) for col in columns_b]
+        c_polys = [interpolate_column(col) for col in columns_c]
+
+        target = Poly.one()
+        for x in domain:
+            target = target * Poly([-x, 1])
+        return cls(a_polys, b_polys, c_polys, target, system.num_public)
+
+    def witness_polynomials(
+        self, assignment: Sequence[int]
+    ) -> Tuple[Poly, Poly, Poly]:
+        """The combined A(x), B(x), C(x) for a full witness."""
+        if len(assignment) != self.num_variables:
+            raise ConstraintError("assignment length mismatch")
+
+        def combine(polys: List[Poly]) -> Poly:
+            total = Poly.zero()
+            for value, poly in zip(assignment, polys):
+                if value % _R:
+                    total = total + poly.scale(value)
+            return total
+
+        return combine(self.a_polys), combine(self.b_polys), combine(self.c_polys)
+
+    def quotient(self, assignment: Sequence[int]) -> Poly:
+        """H(x) = (A·B - C) / Z; raises if the witness is invalid."""
+        a, b, c = self.witness_polynomials(assignment)
+        numerator = a * b - c
+        quotient, remainder = numerator.divmod(self.target)
+        if not remainder.is_zero():
+            raise ConstraintError("witness does not satisfy the QAP")
+        return quotient

@@ -1,0 +1,246 @@
+"""Rank-1 constraint systems over the BN-128 scalar field.
+
+The generic-ZKP baseline the paper compares against (zk-SNARK) consumes
+statements compiled to R1CS: a list of constraints ``<A,w> * <B,w> =
+<C,w>`` over a witness vector ``w`` whose first entry is the constant 1,
+followed by the public inputs and the private witness.
+
+:class:`ConstraintSystem` is a small circuit builder with the gadgets the
+statement circuits need: multiplication, booleanity, equality tests, bit
+decomposition, and linear combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.field import CURVE_ORDER
+from repro.errors import ConstraintError
+
+_R = CURVE_ORDER
+
+ONE = 0  # index of the constant-one variable
+
+
+class LinearCombination:
+    """A sparse linear combination of witness variables."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Optional[Dict[int, int]] = None) -> None:
+        self.terms: Dict[int, int] = {}
+        if terms:
+            for var, coeff in terms.items():
+                coeff %= _R
+                if coeff:
+                    self.terms[var] = coeff
+
+    @classmethod
+    def of(cls, var: int, coeff: int = 1) -> "LinearCombination":
+        return cls({var: coeff})
+
+    @classmethod
+    def constant(cls, value: int) -> "LinearCombination":
+        return cls({ONE: value})
+
+    def __add__(self, other: "LinearCombination") -> "LinearCombination":
+        combined = dict(self.terms)
+        for var, coeff in other.terms.items():
+            combined[var] = (combined.get(var, 0) + coeff) % _R
+        return LinearCombination(combined)
+
+    def __sub__(self, other: "LinearCombination") -> "LinearCombination":
+        return self + other.scale(_R - 1)
+
+    def scale(self, factor: int) -> "LinearCombination":
+        return LinearCombination(
+            {var: coeff * factor for var, coeff in self.terms.items()}
+        )
+
+    def evaluate(self, assignment: Sequence[int]) -> int:
+        total = 0
+        for var, coeff in self.terms.items():
+            total += coeff * assignment[var]
+        return total % _R
+
+    def __repr__(self) -> str:
+        return "LC(%s)" % self.terms
+
+
+LC = LinearCombination
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One rank-1 constraint ``<A,w> * <B,w> = <C,w>``."""
+
+    a: LinearCombination
+    b: LinearCombination
+    c: LinearCombination
+    annotation: str = ""
+
+    def is_satisfied(self, assignment: Sequence[int]) -> bool:
+        return (
+            self.a.evaluate(assignment) * self.b.evaluate(assignment)
+        ) % _R == self.c.evaluate(assignment)
+
+
+class ConstraintSystem:
+    """An R1CS under construction, with witness synthesis.
+
+    Variable layout: index 0 is the constant 1, indexes ``1..n_pub`` are
+    public inputs, the rest are private witness variables.  Public
+    variables must be allocated before private ones.
+    """
+
+    def __init__(self) -> None:
+        self.names: List[str] = ["~one"]
+        self.num_public = 0
+        self.constraints: List[Constraint] = []
+        self._assignment: List[Optional[int]] = [1]
+        self._private_started = False
+
+    # -- allocation -----------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.names)
+
+    def public_input(self, name: str, value: Optional[int] = None) -> int:
+        if self._private_started:
+            raise ConstraintError("allocate public inputs before private ones")
+        index = len(self.names)
+        self.names.append(name)
+        self.num_public += 1
+        self._assignment.append(None if value is None else value % _R)
+        return index
+
+    def private_witness(self, name: str, value: Optional[int] = None) -> int:
+        self._private_started = True
+        index = len(self.names)
+        self.names.append(name)
+        self._assignment.append(None if value is None else value % _R)
+        return index
+
+    def assign(self, var: int, value: int) -> None:
+        self._assignment[var] = value % _R
+
+    def value_of(self, var: int) -> int:
+        value = self._assignment[var]
+        if value is None:
+            raise ConstraintError("variable %s unassigned" % self.names[var])
+        return value
+
+    # -- constraint emission -----------------------------------------------------
+
+    def enforce(
+        self,
+        a: LinearCombination,
+        b: LinearCombination,
+        c: LinearCombination,
+        annotation: str = "",
+    ) -> None:
+        self.constraints.append(Constraint(a, b, c, annotation))
+
+    def enforce_equal(self, left: LinearCombination, right: LinearCombination,
+                      annotation: str = "") -> None:
+        """left == right, via (left - right) * 1 = 0."""
+        self.enforce(left - right, LC.constant(1), LC.constant(0), annotation)
+
+    # -- gadgets ---------------------------------------------------------------------
+
+    def mul(self, x: int, y: int, name: str = "product") -> int:
+        """Allocate z with constraint x * y = z."""
+        x_val = self._assignment[x]
+        y_val = self._assignment[y]
+        value = None if x_val is None or y_val is None else x_val * y_val % _R
+        z = self.private_witness(name, value)
+        self.enforce(LC.of(x), LC.of(y), LC.of(z), "%s = %s * %s" % (name, x, y))
+        return z
+
+    def enforce_boolean(self, x: int) -> None:
+        """x * (x - 1) = 0."""
+        self.enforce(
+            LC.of(x),
+            LC.of(x) - LC.constant(1),
+            LC.constant(0),
+            "booleanity of %s" % self.names[x],
+        )
+
+    def is_zero(self, x: int, name: str = "is_zero") -> int:
+        """Allocate b = [x == 0] with the standard inverse gadget.
+
+        Constraints: x * inv = 1 - b  and  x * b = 0.
+        """
+        x_val = self._assignment[x]
+        if x_val is None:
+            b_val = inv_val = None
+        else:
+            b_val = 1 if x_val % _R == 0 else 0
+            inv_val = 0 if x_val % _R == 0 else pow(x_val, -1, _R)
+        b = self.private_witness(name, b_val)
+        inv = self.private_witness(name + "~inv", inv_val)
+        self.enforce(
+            LC.of(x), LC.of(inv), LC.constant(1) - LC.of(b), "inv gadget"
+        )
+        self.enforce(LC.of(x), LC.of(b), LC.constant(0), "zero gadget")
+        return b
+
+    def is_equal(self, x: int, y: int, name: str = "eq") -> int:
+        """Allocate b = [x == y]."""
+        x_val, y_val = self._assignment[x], self._assignment[y]
+        diff_val = (
+            None if x_val is None or y_val is None else (x_val - y_val) % _R
+        )
+        diff = self.private_witness(name + "~diff", diff_val)
+        self.enforce_equal(
+            LC.of(x) - LC.of(y), LC.of(diff), "difference for %s" % name
+        )
+        return self.is_zero(diff, name)
+
+    def decompose_bits(self, x: int, width: int, name: str = "bit") -> List[int]:
+        """Allocate a ``width``-bit big-endian-free decomposition of x."""
+        x_val = self._assignment[x]
+        bits: List[int] = []
+        recombined = LC.constant(0)
+        for position in range(width):
+            bit_val = None if x_val is None else (x_val >> position) & 1
+            bit = self.private_witness("%s[%d]" % (name, position), bit_val)
+            self.enforce_boolean(bit)
+            recombined = recombined + LC.of(bit, 1 << position)
+            bits.append(bit)
+        self.enforce_equal(LC.of(x), recombined, "bit recomposition")
+        return bits
+
+    # -- evaluation -----------------------------------------------------------------------
+
+    def full_assignment(self) -> List[int]:
+        """The complete witness vector; raises on unassigned variables."""
+        values: List[int] = []
+        for index, value in enumerate(self._assignment):
+            if value is None:
+                raise ConstraintError(
+                    "variable %s is unassigned" % self.names[index]
+                )
+            values.append(value)
+        return values
+
+    def is_satisfied(self, assignment: Optional[Sequence[int]] = None) -> bool:
+        witness = list(assignment) if assignment is not None else self.full_assignment()
+        return all(constraint.is_satisfied(witness) for constraint in self.constraints)
+
+    def first_unsatisfied(self) -> Optional[Constraint]:
+        witness = self.full_assignment()
+        for constraint in self.constraints:
+            if not constraint.is_satisfied(witness):
+                return constraint
+        return None
+
+    def public_values(self, assignment: Optional[Sequence[int]] = None) -> List[int]:
+        witness = list(assignment) if assignment is not None else self.full_assignment()
+        return witness[1 : 1 + self.num_public]
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)

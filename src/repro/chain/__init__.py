@@ -1,0 +1,69 @@
+"""The blockchain substrate: gas-metered contracts on a simulated chain.
+
+Faithful to what Dragoon needs from Ethereum: the Istanbul gas schedule
+(EIP-2028 calldata, EIP-1108 BN-128 precompiles), transparent contract
+storage, event logs, revert semantics, a synchronous clock, and a
+reordering ("rushing") network adversary.
+"""
+
+from repro.chain.gas import (
+    GasMeter,
+    GasPricing,
+    PAPER_PRICING,
+    calldata_cost,
+    keccak_cost,
+    log_cost,
+    pairing_cost,
+    deployment_cost,
+    TX_BASE,
+    ECADD,
+    ECMUL,
+    SSTORE_SET,
+    SSTORE_RESET,
+    SLOAD,
+    HIT_CONTRACT_CODE_BYTES,
+)
+from repro.chain.transactions import Transaction, Receipt, Event
+from repro.chain.blocks import Block, GENESIS_HASH
+from repro.chain.clock import Clock
+from repro.chain.contract import Contract, CallContext
+from repro.chain.network import (
+    Mempool,
+    Scheduler,
+    FifoScheduler,
+    ReverseScheduler,
+    RushingScheduler,
+)
+from repro.chain.chain import Chain
+
+__all__ = [
+    "GasMeter",
+    "GasPricing",
+    "PAPER_PRICING",
+    "calldata_cost",
+    "keccak_cost",
+    "log_cost",
+    "pairing_cost",
+    "deployment_cost",
+    "TX_BASE",
+    "ECADD",
+    "ECMUL",
+    "SSTORE_SET",
+    "SSTORE_RESET",
+    "SLOAD",
+    "HIT_CONTRACT_CODE_BYTES",
+    "Transaction",
+    "Receipt",
+    "Event",
+    "Block",
+    "GENESIS_HASH",
+    "Clock",
+    "Contract",
+    "CallContext",
+    "Mempool",
+    "Scheduler",
+    "FifoScheduler",
+    "ReverseScheduler",
+    "RushingScheduler",
+    "Chain",
+]

@@ -1,0 +1,253 @@
+"""The blockchain simulator: blocks, contract execution, gas accounting.
+
+:class:`Chain` ties the substrate together.  One :meth:`mine_block` call
+models one clock period of the paper's synchronous network: the mempool
+is drained in adversary-chosen order, each transaction executes against
+contract storage and the ledger with full gas metering, and failures roll
+back cleanly (EVM revert semantics).
+
+Gas is accounted per sender and per receipt but is *not* debited from
+ledger coin balances: the paper keeps handling fees (gas, paid in ether)
+conceptually separate from task rewards (the frozen budget B), and so do
+we — the analysis layer converts gas to USD for Table III.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.blocks import Block, GENESIS_HASH
+from repro.chain.clock import Clock
+from repro.chain.contract import CallContext, Contract
+from repro.chain.gas import GasMeter, calldata_cost, TX_BASE
+from repro.chain.network import Mempool, Scheduler
+from repro.chain.transactions import Event, Receipt, Transaction
+from repro.errors import ChainError, ContractError, OutOfGas
+from repro.ledger.accounts import Address, Registry
+from repro.ledger.ledger import Ledger
+
+
+class Chain:
+    """An in-process blockchain with gas metering and revert semantics."""
+
+    def __init__(
+        self,
+        ledger: Optional[Ledger] = None,
+        scheduler: Optional[Scheduler] = None,
+        registry: Optional[Registry] = None,
+    ) -> None:
+        self.ledger = ledger if ledger is not None else Ledger()
+        self.registry = registry if registry is not None else Registry()
+        self.clock = Clock()
+        self.mempool = Mempool()
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.blocks: List[Block] = []
+        self.events: List[Event] = []
+        self.gas_by_sender: Dict[Address, int] = {}
+        self._contracts: Dict[str, Contract] = {}
+
+    # -- accounts ---------------------------------------------------------------
+
+    def register_account(self, label: str, balance: int = 0) -> Address:
+        """Grant an identity with the registry and open its ledger account."""
+        address = self.registry.grant(label)
+        if not self.ledger.has_account(address):
+            self.ledger.open_account(address, balance)
+        return address
+
+    # -- contracts ----------------------------------------------------------------
+
+    def deploy(
+        self,
+        contract: Contract,
+        deployer: Address,
+        args: Tuple[Any, ...] = (),
+        payload: bytes = b"",
+        value: int = 0,
+    ) -> Receipt:
+        """Deploy a contract: executes its constructor in its own block.
+
+        Deployment is modelled as an immediate single-transaction block
+        (ordering games on a deployment are uninteresting: nothing else
+        can reference the contract before it exists).
+        """
+        if contract.name in self._contracts:
+            raise ChainError("contract name already taken: %s" % contract.name)
+        self._contracts[contract.name] = contract
+
+        transaction = Transaction(
+            sender=deployer,
+            contract=contract.name,
+            method="__deploy__",
+            payload=payload,
+            args=args,
+            value=value,
+        )
+        meter = GasMeter(gas_limit=transaction.gas_limit)
+        ctx = CallContext(
+            sender=deployer,
+            args=args,
+            payload=payload,
+            value=value,
+            meter=meter,
+            period=self.clock.period,
+            ledger=self.ledger,
+        )
+        meter.charge_intrinsic(payload)
+        meter.charge_deployment(contract.code_size)
+
+        ledger_state = self.ledger.snapshot()
+        try:
+            contract.on_deploy(ctx)
+        except (ContractError, OutOfGas) as exc:
+            self.ledger.restore(ledger_state)
+            del self._contracts[contract.name]
+            receipt = Receipt(
+                transaction, False, meter.used, dict(meter.breakdown),
+                tuple(ctx.events), str(exc),
+            )
+            self._seal_block([transaction], [receipt])
+            return receipt
+
+        receipt = Receipt(
+            transaction, True, meter.used, dict(meter.breakdown), tuple(ctx.events)
+        )
+        self._record_gas(deployer, meter.used)
+        self._seal_block([transaction], [receipt])
+        self.events.extend(ctx.events)
+        return receipt
+
+    def contract(self, name: str) -> Contract:
+        try:
+            return self._contracts[name]
+        except KeyError:
+            raise ChainError("no contract named %s" % name) from None
+
+    # -- transaction submission -------------------------------------------------------
+
+    def send(
+        self,
+        sender: Address,
+        contract: str,
+        method: str,
+        args: Tuple[Any, ...] = (),
+        payload: bytes = b"",
+        value: int = 0,
+    ) -> Transaction:
+        """Build a transaction and place it in the mempool."""
+        if contract not in self._contracts:
+            raise ChainError("no contract named %s" % contract)
+        transaction = Transaction(
+            sender=sender,
+            contract=contract,
+            method=method,
+            payload=payload,
+            args=args,
+            value=value,
+        )
+        self.mempool.submit(transaction)
+        return transaction
+
+    # -- block production -----------------------------------------------------------
+
+    def mine_block(self) -> Block:
+        """Advance one clock period: deliver and execute pending messages."""
+        ordered = self.mempool.drain(self.scheduler)
+        receipts = [self._execute(transaction) for transaction in ordered]
+        block = self._seal_block(ordered, receipts)
+        self.clock.advance()
+        return block
+
+    def mine_until_idle(self, max_blocks: int = 64) -> List[Block]:
+        """Mine blocks until the mempool is empty (bounded)."""
+        mined: List[Block] = []
+        for _ in range(max_blocks):
+            if not len(self.mempool):
+                break
+            mined.append(self.mine_block())
+        return mined
+
+    def _execute(self, transaction: Transaction) -> Receipt:
+        contract = self._contracts.get(transaction.contract)
+        if contract is None:
+            return Receipt(
+                transaction, False, TX_BASE, {}, (), "unknown contract"
+            )
+
+        meter = GasMeter(gas_limit=transaction.gas_limit)
+        ctx = CallContext(
+            sender=transaction.sender,
+            args=transaction.args,
+            payload=transaction.payload,
+            value=transaction.value,
+            meter=meter,
+            period=self.clock.period,
+            ledger=self.ledger,
+        )
+        meter.charge_intrinsic(transaction.payload)
+
+        storage_state = dict(contract.storage)
+        ledger_state = self.ledger.snapshot()
+        try:
+            contract.dispatch(transaction.method, ctx)
+            status, reason = True, ""
+        except (ContractError, OutOfGas) as exc:
+            contract.storage = storage_state
+            self.ledger.restore(ledger_state)
+            ctx.events = []
+            status, reason = False, str(exc)
+        except Exception as exc:  # EVM semantics: any fault reverts
+            contract.storage = storage_state
+            self.ledger.restore(ledger_state)
+            ctx.events = []
+            status = False
+            reason = "invalid call: %s: %s" % (type(exc).__name__, exc)
+
+        receipt = Receipt(
+            transaction,
+            status,
+            meter.used,
+            dict(meter.breakdown),
+            tuple(ctx.events),
+            reason,
+            block_number=len(self.blocks),
+        )
+        self._record_gas(transaction.sender, meter.used)
+        if status:
+            self.events.extend(ctx.events)
+        return receipt
+
+    def _seal_block(
+        self, transactions: Sequence[Transaction], receipts: Sequence[Receipt]
+    ) -> Block:
+        parent = self.blocks[-1].block_hash() if self.blocks else GENESIS_HASH
+        block = Block(
+            number=len(self.blocks),
+            parent_hash=parent,
+            transactions=tuple(transactions),
+            receipts=tuple(receipts),
+        )
+        self.blocks.append(block)
+        return block
+
+    def _record_gas(self, sender: Address, gas: int) -> None:
+        self.gas_by_sender[sender] = self.gas_by_sender.get(sender, 0) + gas
+
+    # -- observation ---------------------------------------------------------------
+
+    def events_named(self, name: str, contract: Optional[str] = None) -> List[Event]:
+        """All successfully emitted events with the given name."""
+        address = self._contracts[contract].address if contract else None
+        return [
+            event
+            for event in self.events
+            if event.name == name and (address is None or event.contract == address)
+        ]
+
+    @property
+    def total_gas(self) -> int:
+        return sum(self.gas_by_sender.values())
+
+    @property
+    def height(self) -> int:
+        return len(self.blocks)

@@ -1,0 +1,35 @@
+"""The global clock of the synchronous blockchain model (paper §III–IV).
+
+The paper follows the standard synchrony abstraction [22, 48]: there is a
+global clock, messages sent to the blockchain are delivered by the start
+of the *next* clock period at the latest, and within a period the
+adversary chooses delivery order.  One clock period therefore corresponds
+to one block in the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+
+class Clock:
+    """A monotone period counter with tick observers."""
+
+    def __init__(self) -> None:
+        self._period = 0
+        self._observers: List[Callable[[int], None]] = []
+
+    @property
+    def period(self) -> int:
+        return self._period
+
+    def advance(self) -> int:
+        """Move to the next period, notifying observers; returns it."""
+        self._period += 1
+        for observer in list(self._observers):
+            observer(self._period)
+        return self._period
+
+    def subscribe(self, observer: Callable[[int], None]) -> None:
+        """Register a callback invoked with each new period number."""
+        self._observers.append(observer)

@@ -1,0 +1,147 @@
+"""A block explorer for the simulated chain.
+
+Operators of the real Dragoon instance pointed reviewers at
+etherscan.io to audit the deployed task; :class:`ChainExplorer` is the
+equivalent for the simulator: human-readable block/transaction/event
+listings and JSON export, built only from public chain data (the same
+view a worker or auditor has).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.tables import render_table
+from repro.chain.chain import Chain
+from repro.chain.transactions import Receipt
+from repro.ledger.accounts import Address
+
+
+class ChainExplorer:
+    """Read-only, public-data views over a :class:`Chain`."""
+
+    def __init__(self, chain: Chain) -> None:
+        self.chain = chain
+
+    # ------------------------------------------------------------------
+    # Text views
+    # ------------------------------------------------------------------
+
+    def block_summary(self) -> str:
+        """One row per block: height, tx count, gas, failures."""
+        rows = []
+        for block in self.chain.blocks:
+            failures = sum(1 for r in block.receipts if not r.succeeded)
+            rows.append(
+                [
+                    block.number,
+                    len(block.transactions),
+                    block.gas_used,
+                    failures,
+                    block.block_hash().hex()[:16],
+                ]
+            )
+        return render_table(
+            ["block", "txs", "gas", "failed", "hash[:16]"],
+            rows,
+            title="chain: %d blocks, %d total gas"
+            % (len(self.chain.blocks), self.chain.total_gas),
+        )
+
+    def transaction_log(self, contract: Optional[str] = None) -> str:
+        """One row per transaction, optionally filtered by contract."""
+        rows = []
+        for block in self.chain.blocks:
+            for receipt in block.receipts:
+                transaction = receipt.transaction
+                if contract is not None and transaction.contract != contract:
+                    continue
+                rows.append(
+                    [
+                        block.number,
+                        str(transaction.sender),
+                        "%s.%s" % (transaction.contract, transaction.method),
+                        receipt.gas_used,
+                        "ok" if receipt.succeeded else
+                        "REVERT: %s" % receipt.revert_reason[:40],
+                    ]
+                )
+        return render_table(
+            ["block", "sender", "call", "gas", "status"],
+            rows,
+            title="transactions" + (" of %s" % contract if contract else ""),
+        )
+
+    def event_log(self, name: Optional[str] = None) -> str:
+        """One row per emitted event."""
+        rows = []
+        for event in self.chain.events:
+            if name is not None and event.name != name:
+                continue
+            rows.append([event.name, str(event.contract), len(event.data)])
+        return render_table(
+            ["event", "contract", "data bytes"],
+            rows,
+            title="events" + (" named %s" % name if name else ""),
+        )
+
+    # ------------------------------------------------------------------
+    # JSON export
+    # ------------------------------------------------------------------
+
+    def _receipt_dict(self, receipt: Receipt) -> Dict[str, Any]:
+        transaction = receipt.transaction
+        return {
+            "sender": transaction.sender.hex(),
+            "contract": transaction.contract,
+            "method": transaction.method,
+            "payload_bytes": len(transaction.payload),
+            "gas_used": receipt.gas_used,
+            "gas_breakdown": dict(receipt.gas_breakdown),
+            "status": "success" if receipt.succeeded else "revert",
+            "revert_reason": receipt.revert_reason,
+            "events": [
+                {"name": e.name, "data_bytes": len(e.data)}
+                for e in receipt.events
+            ],
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The whole chain as a JSON-serializable structure."""
+        return {
+            "height": self.chain.height,
+            "total_gas": self.chain.total_gas,
+            "blocks": [
+                {
+                    "number": block.number,
+                    "hash": block.block_hash().hex(),
+                    "parent": block.parent_hash.hex(),
+                    "gas_used": block.gas_used,
+                    "receipts": [
+                        self._receipt_dict(receipt) for receipt in block.receipts
+                    ],
+                }
+                for block in self.chain.blocks
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def gas_spent_by(self, label: str) -> int:
+        """Total gas one identity has paid (by account label)."""
+        address = Address.from_label(label)
+        return self.chain.gas_by_sender.get(address, 0)
+
+    def failed_transactions(self) -> List[Receipt]:
+        return [
+            receipt
+            for block in self.chain.blocks
+            for receipt in block.receipts
+            if not receipt.succeeded
+        ]

@@ -1,0 +1,136 @@
+"""The network model: mempool plus an adversarial message scheduler.
+
+The paper's real-world adversary (§IV) has two network powers:
+
+1. *Bounded delay* — a message sent to the blockchain is delivered no
+   later than the beginning of the next clock period (synchrony).
+2. *Rushing / reordering* — within a period, the adversary chooses the
+   delivery order of the so-far-undelivered messages, after seeing them.
+
+:class:`Mempool` collects submitted transactions; when the chain mines a
+block it asks the installed :class:`Scheduler` for the delivery order.
+The scheduler sees the full pending list (the rushing power) and may
+reorder it but can neither drop nor forge transactions — dropping is
+modelled as delaying past the deadline, which :meth:`Mempool.delay`
+exposes within the synchrony bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.chain.transactions import Transaction
+from repro.errors import ChainError
+
+
+class Scheduler:
+    """Base scheduler: FIFO delivery (the honest network)."""
+
+    def schedule(self, pending: Sequence[Transaction]) -> List[Transaction]:
+        """Return the delivery order for this block's transactions."""
+        return list(pending)
+
+
+class FifoScheduler(Scheduler):
+    """Explicit alias of the honest first-in-first-out order."""
+
+
+class ReverseScheduler(Scheduler):
+    """Deliver pending messages in reverse submission order."""
+
+    def schedule(self, pending: Sequence[Transaction]) -> List[Transaction]:
+        return list(reversed(pending))
+
+
+class RushingScheduler(Scheduler):
+    """A fully adversarial scheduler driven by a strategy callback.
+
+    The strategy receives the pending transactions (after the adversary
+    has *seen* their contents — the rushing capability) and returns a
+    permutation of them.  A safety check rejects strategies that drop or
+    duplicate messages, enforcing the synchrony bound.
+    """
+
+    def __init__(
+        self, strategy: Callable[[Sequence[Transaction]], Sequence[Transaction]]
+    ) -> None:
+        self._strategy = strategy
+
+    def schedule(self, pending: Sequence[Transaction]) -> List[Transaction]:
+        ordered = list(self._strategy(pending))
+        if sorted(t.nonce for t in ordered) != sorted(t.nonce for t in pending):
+            raise ChainError(
+                "adversarial schedule must be a permutation of pending messages"
+            )
+        return ordered
+
+
+def _enforce_sender_nonce_order(
+    ordered: Sequence[Transaction],
+) -> List[Transaction]:
+    """Restore per-sender nonce order while keeping each sender's slots.
+
+    The adversary's permutation decides *where* each sender's
+    transactions go; within those slots the sender's own submission
+    order is restored (Ethereum nonce semantics).
+    """
+    queues: dict = {}
+    for transaction in sorted(ordered, key=lambda t: t.nonce):
+        queues.setdefault(transaction.sender, []).append(transaction)
+    result: List[Transaction] = []
+    consumed: dict = {}
+    for transaction in ordered:
+        index = consumed.get(transaction.sender, 0)
+        result.append(queues[transaction.sender][index])
+        consumed[transaction.sender] = index + 1
+    return result
+
+
+class Mempool:
+    """Submitted-but-undelivered transactions, with bounded delay."""
+
+    def __init__(self) -> None:
+        self._pending: List[Transaction] = []
+        self._delayed: List[Transaction] = []
+
+    def submit(self, transaction: Transaction) -> None:
+        """Queue a transaction for the next block."""
+        self._pending.append(transaction)
+
+    def delay(self, transaction: Transaction) -> None:
+        """Adversarially hold a pending transaction for one extra block.
+
+        Synchrony guarantees delivery by the next period; delaying twice
+        is therefore not possible through this interface.
+        """
+        try:
+            self._pending.remove(transaction)
+        except ValueError:
+            raise ChainError("cannot delay a transaction that is not pending")
+        self._delayed.append(transaction)
+
+    def drain(self, scheduler: Optional[Scheduler] = None) -> List[Transaction]:
+        """Take every deliverable transaction, in scheduler order.
+
+        Previously delayed messages re-enter ahead of the scheduler call,
+        so the synchrony bound (delivered by the *next* period) holds.
+
+        Per-sender nonce ordering is enforced *after* the adversarial
+        permutation, exactly as Ethereum does: the adversary chooses when
+        each sender's slots occur but cannot swap two transactions of the
+        same sender.  (Fig. 4's evaluate phase relies on this — the
+        requester's ``golden`` always lands before her ``evaluate``s.)
+        """
+        deliverable = self._delayed + self._pending
+        self._delayed = []
+        self._pending = []
+        chosen = (scheduler or FifoScheduler()).schedule(deliverable)
+        return _enforce_sender_nonce_order(chosen)
+
+    @property
+    def pending(self) -> List[Transaction]:
+        """A copy of the not-yet-delivered transactions (adversary's view)."""
+        return list(self._delayed + self._pending)
+
+    def __len__(self) -> int:
+        return len(self._pending) + len(self._delayed)

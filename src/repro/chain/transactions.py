@@ -1,0 +1,91 @@
+"""Transactions, receipts, and event logs for the chain simulator."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.crypto.keccak import keccak256
+from repro.ledger.accounts import Address
+
+_TX_COUNTER = itertools.count()
+
+
+@dataclass(frozen=True)
+class Event:
+    """An emitted contract event (the simulator's analogue of a LOG).
+
+    Per the paper's on-chain optimization, bulky payloads (answer
+    ciphertexts) are carried in event data rather than contract storage;
+    clients read them from receipts exactly as an Ethereum client would
+    read logs.
+    """
+
+    contract: Address
+    name: str
+    topics: Tuple[bytes, ...] = ()
+    data: bytes = b""
+    payload: Optional[Any] = None  # decoded convenience copy for clients
+
+    def __repr__(self) -> str:
+        return "Event(%s from %s, %d data bytes)" % (
+            self.name,
+            self.contract,
+            len(self.data),
+        )
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A signed message to a contract method.
+
+    ``payload`` is the ABI-style byte encoding (its size is what calldata
+    gas is charged on); ``args`` carries the decoded Python values so the
+    simulated contract does not need an ABI decoder.
+    """
+
+    sender: Address
+    contract: str  # contract instance name on the chain
+    method: str
+    payload: bytes = b""
+    args: Tuple[Any, ...] = ()
+    value: int = 0
+    gas_limit: int = 30_000_000
+    nonce: int = field(default_factory=lambda: next(_TX_COUNTER))
+
+    def tx_hash(self) -> bytes:
+        material = (
+            self.sender.value
+            + self.contract.encode()
+            + self.method.encode()
+            + self.payload
+            + self.value.to_bytes(16, "big")
+            + self.nonce.to_bytes(8, "big")
+        )
+        return keccak256(material)
+
+    def __repr__(self) -> str:
+        return "Transaction(%s -> %s.%s, %d bytes)" % (
+            self.sender,
+            self.contract,
+            self.method,
+            len(self.payload),
+        )
+
+
+@dataclass
+class Receipt:
+    """The result of executing a transaction in a block."""
+
+    transaction: Transaction
+    status: bool
+    gas_used: int
+    gas_breakdown: Dict[str, int] = field(default_factory=dict)
+    events: Tuple[Event, ...] = ()
+    revert_reason: str = ""
+    block_number: int = -1
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status

@@ -1,0 +1,78 @@
+"""Dragoon's protocol core: tasks, contract, clients, driver, ideal world."""
+
+from repro.core.task import (
+    TaskParameters,
+    HITTask,
+    make_imagenet_task,
+    make_street_parking_task,
+    sample_worker_answers,
+    parse_golden_blob,
+)
+from repro.core.hit_contract import (
+    HITContract,
+    PHASE_COMMIT,
+    PHASE_REVEAL,
+    PHASE_EVALUATE,
+    PHASE_DONE,
+    CIPHERTEXT_BYTES,
+)
+from repro.core.requester import RequesterClient, EvaluationAction
+from repro.core.worker import WorkerClient, DiscoveredTask
+from repro.core.protocol import run_hit, ProtocolOutcome, GasReport
+from repro.core.ideal import IdealHIT, IdealOutcome, Leak
+from repro.core.simulator import (
+    compare_worlds,
+    run_ideal_mirror,
+    WorldComparison,
+    leakage_is_plaintext_free,
+)
+from repro.core.aggregation import (
+    ConsensusResult,
+    homomorphic_tally,
+    binary_consensus_from_tally,
+    majority_vote,
+    pairwise_agreement,
+    accuracy_against_truth,
+)
+from repro.core.audit import GoldAuditLog, TaskAuditRecord, RequesterReputation
+from repro.core.marketplace import TaskMarketplace, TaskListing
+
+__all__ = [
+    "TaskParameters",
+    "HITTask",
+    "make_imagenet_task",
+    "make_street_parking_task",
+    "sample_worker_answers",
+    "parse_golden_blob",
+    "HITContract",
+    "PHASE_COMMIT",
+    "PHASE_REVEAL",
+    "PHASE_EVALUATE",
+    "PHASE_DONE",
+    "CIPHERTEXT_BYTES",
+    "RequesterClient",
+    "EvaluationAction",
+    "WorkerClient",
+    "DiscoveredTask",
+    "run_hit",
+    "ProtocolOutcome",
+    "GasReport",
+    "IdealHIT",
+    "IdealOutcome",
+    "Leak",
+    "compare_worlds",
+    "run_ideal_mirror",
+    "WorldComparison",
+    "leakage_is_plaintext_free",
+    "ConsensusResult",
+    "homomorphic_tally",
+    "binary_consensus_from_tally",
+    "majority_vote",
+    "pairwise_agreement",
+    "accuracy_against_truth",
+    "GoldAuditLog",
+    "TaskAuditRecord",
+    "RequesterReputation",
+    "TaskMarketplace",
+    "TaskListing",
+]

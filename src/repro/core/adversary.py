@@ -1,0 +1,197 @@
+"""Adversarial parties and network strategies (paper §I and §IV).
+
+Each class realizes one of the attacks the protocol is designed to
+defeat; the integration tests run them and assert the honest parties'
+guarantees hold:
+
+* :class:`CopyCatWorker` — the copy-paste free-rider: replays another
+  worker's commitment (optionally front-running it via the rushing
+  scheduler).  The contract's duplicate check plus the hiding commitment
+  make the copy worthless: the copier can never open it.
+* :class:`LateJoinerWorker` — waits for reveals hoping to copy visible
+  ciphertexts; the commit phase is already closed, and the ciphertexts
+  are useless without the requester's key anyway.
+* :class:`NoRevealWorker` — commits but never reveals (the ⊥ answer):
+  forfeits payment, harms nobody else.
+* :class:`FalseReportingRequester` — claims every worker has quality 0
+  with an empty/bogus proof; Fig. 4 makes the contract *pay the worker*
+  on an invalid rejection.
+* :class:`ReplayProofRequester` — pads a genuine PoQoEA proof by
+  duplicating one mismatch entry to inflate the rejection count; the
+  verifier's distinctness check catches it.
+* :func:`front_running_scheduler` — a rushing adversary that delivers a
+  chosen sender's transactions first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.chain.network import RushingScheduler
+from repro.chain.transactions import Transaction
+from repro.core.requester import RequesterClient
+from repro.core.worker import WorkerClient
+from repro.crypto.poqoea import MismatchEntry, QualityProof
+from repro.errors import ProtocolError
+from repro.ledger.accounts import Address
+
+
+class CopyCatWorker(WorkerClient):
+    """Replays the victim's commitment digest instead of computing one."""
+
+    def __init__(self, label, chain, swarm, victim: WorkerClient) -> None:
+        super().__init__(label, chain, swarm, answers=None)
+        self.victim = victim
+
+    def send_commit(self) -> Transaction:
+        victim_digest = self._steal_commit_digest()
+        if victim_digest is None:
+            raise ProtocolError("victim has not committed yet; nothing to copy")
+        # The copier never learns the ciphertexts or the blinding key, so
+        # it cannot reveal later even if the commit were accepted.
+        self.ciphertext_bytes = None
+        self.blinding_key = None
+        return self._send_commit_digest(victim_digest)
+
+    def _steal_commit_digest(self) -> Optional[bytes]:
+        """Rushing capability: read the victim's pending commit payload."""
+        for transaction in self.chain.mempool.pending:
+            if (
+                transaction.sender == self.victim.address
+                and transaction.method == "commit"
+            ):
+                return transaction.payload
+        # Fall back to an already-mined commitment (late copier).
+        assert self.discovered is not None
+        for event in self.chain.events_named(
+            "committed", self.discovered.contract_name
+        ):
+            if event.payload["worker"] == self.victim.address:
+                return event.payload["digest"]
+        return None
+
+    def send_reveal(self) -> Transaction:
+        raise ProtocolError("a copycat has nothing to reveal")
+
+
+class LateJoinerWorker(WorkerClient):
+    """Tries to commit after observing reveals (always too late)."""
+
+    def copy_revealed_ciphertexts(self) -> Optional[bytes]:
+        assert self.discovered is not None
+        events = self.chain.events_named("revealed", self.discovered.contract_name)
+        if not events:
+            return None
+        return events[0].payload["ciphertexts"]
+
+    def send_commit(self) -> Transaction:
+        stolen = self.copy_revealed_ciphertexts()
+        if stolen is None:
+            raise ProtocolError("nothing revealed yet")
+        from repro.crypto.commitment import commit as make_commitment
+
+        commitment, self.blinding_key = make_commitment(stolen)
+        self.ciphertext_bytes = stolen
+        return self._send_commit_digest(commitment.digest)
+
+
+class NoRevealWorker(WorkerClient):
+    """Commits honestly, then goes silent (the ⊥ submission)."""
+
+    def send_reveal(self) -> Transaction:
+        raise ProtocolError("this worker never reveals")
+
+
+class OutOfRangeWorker(WorkerClient):
+    """Encrypts an answer outside the permitted option range."""
+
+    def __init__(self, label, chain, swarm, answers, bad_position: int = 0,
+                 bad_value: int = 999) -> None:
+        super().__init__(label, chain, swarm, answers=answers)
+        self.bad_position = bad_position
+        self.bad_value = bad_value
+
+    def produce_answers(self) -> List[int]:
+        answers = list(self._fixed_answers or [])
+        if self.discovered is None:
+            raise ProtocolError("discover first")
+        answers[self.bad_position] = self.bad_value
+        return answers
+
+
+class FalseReportingRequester(RequesterClient):
+    """Claims quality 0 for everyone, with an empty proof."""
+
+    def make_quality_proof(self, ciphertexts):
+        return 0, QualityProof(())
+
+    def _evaluate_one(self, worker, ciphertext_bytes):
+        # Reject every submission unconditionally (data-reaping attempt).
+        ciphertexts, _ = self.decrypt_submission(ciphertext_bytes)
+        transaction = self._send_quality_rejection(
+            worker, ciphertexts, ciphertext_bytes
+        )
+        from repro.core.requester import EvaluationAction
+
+        return EvaluationAction(worker, "reject-quality", 0, transaction)
+
+
+class ReplayProofRequester(RequesterClient):
+    """Duplicates one genuine mismatch entry to inflate the count."""
+
+    def make_quality_proof(self, ciphertexts):
+        from repro.crypto.poqoea import prove_quality
+
+        quality, proof = prove_quality(
+            self.secret_key,
+            list(ciphertexts),
+            self.task.gold_indexes,
+            self.task.gold_answers,
+            list(self.task.parameters.answer_range),
+        )
+        if proof.entries:
+            padded = proof.entries + (proof.entries[0],) * (
+                len(self.task.gold_indexes) - len(proof.entries)
+            )
+            # Claim quality 0 and "prove" |G| mismatches via replays.
+            return 0, QualityProof(padded)
+        return quality, proof
+
+
+class WrongGoldenRequester(RequesterClient):
+    """Opens the gold commitment with a fabricated gold set."""
+
+    def send_golden(self) -> Transaction:
+        import json
+
+        assert self.contract_name is not None and self._golden_key is not None
+        fake = dict(
+            G=self.task.gold_indexes,
+            Gs=[
+                next(
+                    option
+                    for option in self.task.parameters.answer_range
+                    if option != answer
+                )
+                for answer in self.task.gold_answers
+            ],
+        )
+        blob = json.dumps(fake, sort_keys=True).encode("utf-8")
+        return self.chain.send(
+            self.address,
+            self.contract_name,
+            "golden",
+            args=(blob, self._golden_key),
+            payload=blob + self._golden_key,
+        )
+
+
+def front_running_scheduler(first_sender: Address) -> RushingScheduler:
+    """A rushing adversary that delivers ``first_sender``'s messages first."""
+
+    def strategy(pending: Sequence[Transaction]) -> List[Transaction]:
+        mine = [t for t in pending if t.sender == first_sender]
+        rest = [t for t in pending if t.sender != first_sender]
+        return mine + rest
+
+    return RushingScheduler(strategy)

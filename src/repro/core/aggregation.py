@@ -1,0 +1,147 @@
+"""Homomorphic answer aggregation: what the requester does with the data.
+
+Dragoon's output is a pile of per-worker encrypted answer vectors.  For
+the ImageNet-style use case the requester usually wants the *consensus*
+label per question.  Exponential ElGamal is additively homomorphic, so
+for binary questions the requester can sum the ciphertexts of all
+qualified workers per question *before* decrypting — one baby-step/
+giant-step decryption of a small count per question instead of one per
+worker-question pair, and the individual responses of workers never
+need to be materialized side by side.
+
+This module also hosts the plaintext-side utilities: majority voting
+with tie handling and inter-worker agreement statistics, which are how
+ImageNet-style pipelines assess collected annotations [2, 12].
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.elgamal import Ciphertext, ElGamalSecretKey
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class ConsensusResult:
+    """Per-question consensus over a set of submissions."""
+
+    labels: Tuple[int, ...]  # winning option per question
+    support: Tuple[int, ...]  # votes for the winner per question
+    num_workers: int
+
+    def agreement_rate(self) -> float:
+        """Mean fraction of workers agreeing with the consensus label."""
+        if not self.labels or self.num_workers == 0:
+            return 0.0
+        return sum(self.support) / (len(self.support) * self.num_workers)
+
+
+def homomorphic_tally(
+    secret_key: ElGamalSecretKey,
+    submissions: Sequence[Sequence[Ciphertext]],
+) -> List[int]:
+    """Per-question sums of *binary* answers, computed under encryption.
+
+    Adds the ciphertexts of all workers position-wise and decrypts each
+    aggregate with BSGS.  The result at position ``i`` is the number of
+    workers who answered 1 on question ``i``.
+    """
+    if not submissions:
+        return []
+    length = len(submissions[0])
+    if any(len(vector) != length for vector in submissions):
+        raise ProtocolError("all submissions must cover the same questions")
+    tallies: List[int] = []
+    for position in range(length):
+        aggregate: Optional[Ciphertext] = None
+        for vector in submissions:
+            aggregate = (
+                vector[position]
+                if aggregate is None
+                else aggregate + vector[position]
+            )
+        assert aggregate is not None
+        tallies.append(secret_key.decrypt_bsgs(aggregate, len(submissions)))
+    return tallies
+
+
+def binary_consensus_from_tally(
+    tallies: Sequence[int], num_workers: int, tie_break: int = 1
+) -> ConsensusResult:
+    """Majority labels for binary questions from a homomorphic tally."""
+    labels: List[int] = []
+    support: List[int] = []
+    for ones in tallies:
+        zeros = num_workers - ones
+        if ones > zeros:
+            labels.append(1)
+            support.append(ones)
+        elif zeros > ones:
+            labels.append(0)
+            support.append(zeros)
+        else:
+            labels.append(tie_break)
+            support.append(ones)
+    return ConsensusResult(tuple(labels), tuple(support), num_workers)
+
+
+def majority_vote(
+    answer_sets: Sequence[Sequence[int]], tie_break: Optional[int] = None
+) -> ConsensusResult:
+    """Plaintext majority vote over arbitrary option ranges.
+
+    Ties resolve to ``tie_break`` when given, else to the smallest tied
+    option (deterministic).
+    """
+    if not answer_sets:
+        raise ProtocolError("majority vote needs at least one submission")
+    length = len(answer_sets[0])
+    if any(len(a) != length for a in answer_sets):
+        raise ProtocolError("all submissions must cover the same questions")
+    labels: List[int] = []
+    support: List[int] = []
+    for position in range(length):
+        votes = Counter(answers[position] for answers in answer_sets)
+        top_count = max(votes.values())
+        tied = sorted(option for option, count in votes.items()
+                      if count == top_count)
+        if len(tied) > 1 and tie_break is not None and tie_break in tied:
+            winner = tie_break
+        else:
+            winner = tied[0]
+        labels.append(winner)
+        support.append(votes[winner])
+    return ConsensusResult(tuple(labels), tuple(support), len(answer_sets))
+
+
+def pairwise_agreement(answer_sets: Sequence[Sequence[int]]) -> float:
+    """Mean pairwise agreement between workers (a simple quality signal)."""
+    workers = len(answer_sets)
+    if workers < 2:
+        return 1.0
+    length = len(answer_sets[0])
+    total = 0
+    pairs = 0
+    for i in range(workers):
+        for j in range(i + 1, workers):
+            pairs += 1
+            total += sum(
+                1
+                for a, b in zip(answer_sets[i], answer_sets[j])
+                if a == b
+            ) / length
+    return total / pairs
+
+
+def accuracy_against_truth(
+    answers: Sequence[int], ground_truth: Sequence[int]
+) -> float:
+    """Fraction of positions matching a reference labeling."""
+    if len(answers) != len(ground_truth):
+        raise ProtocolError("length mismatch against ground truth")
+    if not answers:
+        return 1.0
+    return sum(1 for a, t in zip(answers, ground_truth) if a == t) / len(answers)

@@ -1,0 +1,125 @@
+"""Anonymous worker participation (the ZebraLancer extension).
+
+The base protocol identifies workers by their on-chain address.  With
+the LSAG substrate (:mod:`repro.crypto.ring`) workers can instead join
+a task as *anonymous members of a registered ring*:
+
+* The registration authority (the paper's implicit RA) publishes the
+  ring of eligible worker public keys for a task.
+* A worker's ``commit`` carries a ring signature over the commitment
+  digest, under the task id as linkability context.
+* The contract verifies ring membership and stores the linkability tag:
+  a second commit bearing the same tag (the same worker trying to take
+  two slots — the Sybil play) is rejected, but nothing reveals *which*
+  ring member committed.
+
+:class:`AnonymousHITContract` extends the base contract's commit phase;
+reveal/evaluate/finalize are inherited unchanged — payments go to the
+pseudonymous submitting address, which the worker may make fresh per
+task, so the persistent identity in the ring never touches the chain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.chain.contract import CallContext
+from repro.chain.gas import ECMUL, ECADD, keccak_cost
+from repro.core.hit_contract import HITContract, PHASE_COMMIT
+from repro.crypto.curve import G1Point
+from repro.crypto.ring import RingSignature, ring_sign, ring_verify
+from repro.errors import ProtocolError
+from repro.ledger.accounts import Address
+
+
+class AnonymousHITContract(HITContract):
+    """A HIT contract whose commit phase authenticates via ring signatures."""
+
+    def set_worker_ring(self, ring: Sequence[G1Point]) -> None:
+        """Install the RA-published ring (done at deployment time)."""
+        self.storage["worker_ring"] = [point.to_bytes() for point in ring]
+
+    def _worker_ring(self) -> List[G1Point]:
+        encoded = self._memory_read("worker_ring")
+        if encoded is None:
+            raise ProtocolError("no worker ring installed")
+        return [G1Point.from_bytes(data) for data in encoded]
+
+    def _charge_ring_verification(self, ctx: CallContext, ring_size: int) -> None:
+        """Gas for on-chain LSAG verification: 4 ecMul + 2 ecAdd and one
+        keccak per ring member."""
+        ctx.meter.charge_ecmul(4 * ring_size)
+        ctx.meter.charge_ecadd(2 * ring_size)
+        for _ in range(ring_size):
+            ctx.meter.charge_keccak(ring_size * 64 + 192)
+
+    def commit_anonymous(self, ctx: CallContext) -> None:
+        """Commit with a ring signature instead of a known identity.
+
+        Args: ``(digest, signature)``.  The signature must verify over
+        the digest against the installed ring with the contract name as
+        linkability context; its tag must be fresh for this task.
+        """
+        digest, signature = ctx.args
+        ctx.require(isinstance(digest, bytes) and len(digest) == 32,
+                    "commitments are 32-byte digests")
+        ctx.require(isinstance(signature, RingSignature),
+                    "missing ring signature")
+        self._require_phase(ctx, PHASE_COMMIT, "commit_anonymous")
+
+        ring = self._worker_ring()
+        self._charge_ring_verification(ctx, len(ring))
+        ctx.require(
+            ring_verify(digest, ring, signature, self.name.encode("utf-8")),
+            "ring signature invalid",
+        )
+
+        tag_key = "ringtag:" + signature.tag.to_bytes().hex()
+        ctx.require(self._sload(ctx, tag_key) is None,
+                    "linkability tag already used (double participation)")
+        self._sstore(ctx, tag_key, True)
+
+        # From here the flow matches the base commit: the *submitting
+        # address* becomes the payable pseudonym.
+        duplicate_owner = self._sload(ctx, "comm:" + digest.hex())
+        ctx.require(duplicate_owner is None, "duplicate commitment rejected")
+        existing = self._sload(ctx, "comm_of:" + ctx.sender.hex())
+        ctx.require(existing is None, "pseudonym already committed")
+
+        self._sstore(ctx, "comm:" + digest.hex(), ctx.sender)
+        self._sstore(ctx, "comm_of:" + ctx.sender.hex(), digest)
+        workers = list(self._memory_read("workers", []))
+        workers.append(ctx.sender)
+        self._sstore(ctx, "workers", workers)
+
+        self.emit(
+            ctx,
+            "committed",
+            data=digest,
+            topics=(signature.tag.to_bytes()[:32],),
+            payload={"worker": ctx.sender, "digest": digest,
+                     "count": len(workers), "tag": signature.tag},
+        )
+        parameters = self._parameters()
+        if len(workers) == parameters.num_workers:
+            self._sstore(ctx, "reveal_deadline", ctx.period + 1)
+            self.emit(ctx, "all_committed",
+                      payload={"workers": workers,
+                               "reveal_deadline": ctx.period + 1})
+
+
+class AnonymousWorkerIdentity:
+    """A worker's persistent ring identity plus a per-task pseudonym."""
+
+    def __init__(self, ring: Sequence[G1Point], secret: int, index: int) -> None:
+        if ring[index] != G1Point.generator() * secret:
+            raise ProtocolError("secret does not match the ring slot")
+        self.ring = list(ring)
+        self.secret = secret
+        self.index = index
+
+    def sign_commitment(self, digest: bytes, task_context: bytes) -> RingSignature:
+        """Ring-sign a commitment digest under the task's context."""
+        return ring_sign(
+            digest, self.ring, self.secret, self.index, task_context
+        )

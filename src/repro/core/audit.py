@@ -1,0 +1,177 @@
+"""Gold-standard auditability (paper §IV, "Audibility of gold-standards").
+
+The choice of gold standards is the requester's, so a malicious
+requester could publish bogus golds to reject everyone.  Dragoon's
+mitigation — inherited from the Turkopticon-style reputation systems the
+paper cites [14, 15] — is that the golds become *publicly auditable*
+once the task ends: the commitment ``commgs`` is opened on-chain.
+
+:class:`GoldAuditLog` turns that property into a queryable artifact: it
+scans a chain's event log, reconstructs every requester's gold-reveal
+and rejection history, and computes reputation signals a worker would
+consult before accepting a task:
+
+* **rejection rate** — a requester who rejects nearly everything is
+  either posting impossible tasks or cheating on golds;
+* **gold-consensus divergence** — golds that systematically disagree
+  with the consensus of *accepted* submissions suggest bogus ground
+  truth;
+* **silent finishes** — tasks where the requester never opened the
+  golds (everyone is paid, but the requester learns answers without
+  accountability for her quality bar).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.chain import Chain
+from repro.ledger.accounts import Address
+
+
+@dataclass
+class TaskAuditRecord:
+    """What the public chain reveals about one finished task."""
+
+    contract_name: str
+    requester: Optional[Address]
+    gold_indexes: Tuple[int, ...] = ()
+    gold_answers: Tuple[int, ...] = ()
+    golden_opened: bool = False
+    rejected_workers: Tuple[str, ...] = ()
+    paid_workers: Tuple[str, ...] = ()
+
+    @property
+    def total_adjudicated(self) -> int:
+        return len(self.rejected_workers) + len(self.paid_workers)
+
+    @property
+    def rejection_rate(self) -> float:
+        total = self.total_adjudicated
+        return len(self.rejected_workers) / total if total else 0.0
+
+
+@dataclass
+class RequesterReputation:
+    """Aggregated audit signals for one requester identity."""
+
+    requester: str
+    tasks: int = 0
+    silent_tasks: int = 0
+    workers_paid: int = 0
+    workers_rejected: int = 0
+    flags: List[str] = field(default_factory=list)
+
+    @property
+    def rejection_rate(self) -> float:
+        total = self.workers_paid + self.workers_rejected
+        return self.workers_rejected / total if total else 0.0
+
+    @property
+    def is_suspicious(self) -> bool:
+        return bool(self.flags)
+
+
+class GoldAuditLog:
+    """Reconstructs per-task and per-requester audit views from a chain."""
+
+    def __init__(self, chain: Chain) -> None:
+        self.chain = chain
+
+    # ------------------------------------------------------------------
+    # Per-task reconstruction
+    # ------------------------------------------------------------------
+
+    def audit_tasks(self) -> Dict[str, TaskAuditRecord]:
+        """One audit record per published task, from public events only."""
+        records: Dict[str, TaskAuditRecord] = {}
+        name_by_address: Dict[bytes, str] = {}
+        for name in list(self.chain._contracts):
+            contract = self.chain.contract(name)
+            name_by_address[contract.address.value] = name
+
+        for event in self.chain.events:
+            contract_name = name_by_address.get(event.contract.value)
+            if contract_name is None:
+                continue
+            record = records.setdefault(
+                contract_name, TaskAuditRecord(contract_name, None)
+            )
+            payload = event.payload or {}
+            if event.name == "published":
+                record.requester = payload["requester"]
+            elif event.name == "golden_opened":
+                record.golden_opened = True
+                record.gold_indexes = tuple(payload["G"])
+                record.gold_answers = tuple(payload["Gs"])
+            elif event.name in ("evaluated", "outranged"):
+                worker = payload["worker"]
+                record.rejected_workers = record.rejected_workers + (worker.label,)
+            elif event.name == "paid":
+                worker = payload["worker"]
+                record.paid_workers = record.paid_workers + (worker.label,)
+        return records
+
+    # ------------------------------------------------------------------
+    # Per-requester reputation
+    # ------------------------------------------------------------------
+
+    def reputation(
+        self,
+        rejection_rate_threshold: float = 0.75,
+        min_tasks_for_flags: int = 1,
+    ) -> Dict[str, RequesterReputation]:
+        """Aggregate audit records into requester reputations with flags."""
+        reputations: Dict[str, RequesterReputation] = {}
+        for record in self.audit_tasks().values():
+            if record.requester is None:
+                continue
+            label = record.requester.label
+            reputation = reputations.setdefault(
+                label, RequesterReputation(requester=label)
+            )
+            reputation.tasks += 1
+            reputation.workers_paid += len(record.paid_workers)
+            reputation.workers_rejected += len(record.rejected_workers)
+            if not record.golden_opened and record.total_adjudicated:
+                reputation.silent_tasks += 1
+
+        for reputation in reputations.values():
+            if reputation.tasks < min_tasks_for_flags:
+                continue
+            if reputation.rejection_rate >= rejection_rate_threshold:
+                reputation.flags.append(
+                    "rejects %.0f%% of adjudicated workers"
+                    % (100 * reputation.rejection_rate)
+                )
+            if reputation.silent_tasks:
+                reputation.flags.append(
+                    "%d task(s) finished without opening golds"
+                    % reputation.silent_tasks
+                )
+        return reputations
+
+    def divergence_from_consensus(
+        self,
+        record: TaskAuditRecord,
+        accepted_answers: Sequence[Sequence[int]],
+    ) -> float:
+        """How often the revealed golds disagree with accepted consensus.
+
+        A high divergence on many tasks is the classic signature of
+        bogus golds.  Requires the caller to supply the decrypted
+        accepted submissions (only the requester, or a worker comparing
+        against their own answers, can do this).
+        """
+        if not record.golden_opened or not accepted_answers:
+            return 0.0
+        from repro.core.aggregation import majority_vote
+
+        consensus = majority_vote(accepted_answers)
+        disagreements = sum(
+            1
+            for index, answer in zip(record.gold_indexes, record.gold_answers)
+            if index < len(consensus.labels) and consensus.labels[index] != answer
+        )
+        return disagreements / len(record.gold_indexes) if record.gold_indexes else 0.0

@@ -1,0 +1,212 @@
+"""The ideal functionality F_hit (paper Fig. 2).
+
+The ideal world is the security yardstick: a trusted party that sees the
+*plaintext* answers, applies the quality function directly, and drives
+the ledger L.  The paper's Theorem 1 states Π_hit realizes this
+functionality; our test-suite analogue runs scripted scenarios in both
+worlds and checks the outputs (payments, verdicts) coincide and that the
+real world leaks no more than the ideal world's leakage trace.
+
+The functionality is synchronous in the same way the contract is: the
+adversary (here: the caller, standing in for the simulator S) controls
+the order in which ``answer`` messages are delivered and may delay
+evaluation messages, but cannot forge or drop them beyond one period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.task import TaskParameters
+from repro.crypto.poqoea import compute_quality
+from repro.errors import ProtocolError
+from repro.ledger.accounts import Address
+from repro.ledger.ledger import Ledger
+
+PHASE_PUBLISH = 0
+PHASE_COLLECT = 1
+PHASE_EVALUATE = 2
+PHASE_DONE = 3
+
+
+@dataclass(frozen=True)
+class Leak:
+    """One entry of the adversary's view (what S learns and when)."""
+
+    tag: str
+    payload: Tuple = ()
+
+
+@dataclass
+class IdealOutcome:
+    """Final state of an ideal-world execution."""
+
+    payments: Dict[str, int]
+    verdicts: Dict[str, Optional[str]]
+    leakage: List[Leak]
+
+
+class IdealHIT:
+    """F_hit: the trusted-party formulation of a single HIT."""
+
+    def __init__(self, ledger: Ledger, functionality_address: Address) -> None:
+        self.ledger = ledger
+        self.address = functionality_address
+        self.phase = PHASE_PUBLISH
+        self.leakage: List[Leak] = []
+        self._parameters: Optional[TaskParameters] = None
+        self._requester: Optional[Address] = None
+        self._gold_indexes: List[int] = []
+        self._gold_answers: List[int] = []
+        self._answers: Dict[Address, Optional[List[int]]] = {}
+        self._order: List[Address] = []
+        self._verdicts: Dict[Address, str] = {}
+
+    # ------------------------------------------------------------------
+    # Phase 1: publish
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        requester: Address,
+        parameters: TaskParameters,
+        gold_indexes: Sequence[int],
+        gold_answers: Sequence[int],
+    ) -> bool:
+        """The requester's publish message; freezes the budget via L."""
+        if self.phase != PHASE_PUBLISH:
+            raise ProtocolError("publish arrives only once")
+        # F_hit leaks the public parameters and the *sizes* of G and Gs.
+        self.leakage.append(
+            Leak(
+                "publishing",
+                (
+                    requester.label,
+                    parameters.num_questions,
+                    parameters.budget,
+                    parameters.num_workers,
+                    tuple(parameters.answer_range),
+                    parameters.quality_threshold,
+                    len(gold_indexes),
+                    len(gold_answers),
+                ),
+            )
+        )
+        if not self.ledger.freeze(self.address, requester, parameters.budget):
+            self.leakage.append(Leak("nofund", (requester.label,)))
+            return False
+        self._parameters = parameters
+        self._requester = requester
+        self._gold_indexes = list(gold_indexes)
+        self._gold_answers = list(gold_answers)
+        self.phase = PHASE_COLLECT
+        return True
+
+    # ------------------------------------------------------------------
+    # Phase 2: collect answers
+    # ------------------------------------------------------------------
+
+    def answer(self, worker: Address, answers: Optional[Sequence[int]]) -> bool:
+        """A worker's answer message (``None`` models the ⊥ submission).
+
+        Returns False for duplicates (F_hit ignores them).  Only the
+        *length* of the answer leaks to the adversary.
+        """
+        if self.phase != PHASE_COLLECT:
+            raise ProtocolError("answers only arrive in the collect phase")
+        assert self._parameters is not None
+        length = len(answers) if answers is not None else 0
+        self.leakage.append(Leak("answering", (worker.label, length)))
+        if worker in self._answers:
+            return False
+        self._answers[worker] = list(answers) if answers is not None else None
+        self._order.append(worker)
+        self.leakage.append(Leak("answered", (worker.label, length)))
+        if len(self._answers) == self._parameters.num_workers:
+            self.phase = PHASE_EVALUATE
+        return True
+
+    # ------------------------------------------------------------------
+    # Phase 3: evaluate
+    # ------------------------------------------------------------------
+
+    def evaluate(self, worker: Address) -> None:
+        """Requester's evaluate message: pay iff quality meets Θ.
+
+        In F_hit the quality check happens inside the functionality, so a
+        corrupted requester simply cannot lie about it.
+        """
+        self._require_evaluate_phase()
+        answers = self._answers.get(worker)
+        if answers is None:
+            return
+        assert self._parameters is not None
+        quality = compute_quality(answers, self._gold_indexes, self._gold_answers)
+        if quality >= self._parameters.quality_threshold:
+            self._pay(worker, "paid-evaluate")
+        else:
+            self._verdicts[worker] = "rejected-quality"
+        self.leakage.append(
+            Leak(
+                "evaluated",
+                (worker.label, tuple(self._gold_indexes), tuple(self._gold_answers)),
+            )
+        )
+
+    def outrange(self, worker: Address, index: int) -> None:
+        """Requester's out-of-range dispute for one position."""
+        self._require_evaluate_phase()
+        answers = self._answers.get(worker)
+        if answers is None:
+            return
+        assert self._parameters is not None
+        value = answers[index] if 0 <= index < len(answers) else None
+        if value is not None and value not in self._parameters.answer_range:
+            self._verdicts[worker] = "rejected-outrange"
+            self.leakage.append(Leak("outranged", (worker.label, value)))
+        else:
+            self._pay(worker, "paid-outrange")
+
+    def finalize(self) -> IdealOutcome:
+        """End of the evaluation window: default-pay the unevaluated.
+
+        Every worker from whom a non-⊥ answer was collected and about
+        whom the requester sent no (valid) rejection is paid B/K; the
+        leftover budget returns to the requester.
+        """
+        self._require_evaluate_phase()
+        assert self._parameters is not None and self._requester is not None
+        for worker in self._order:
+            if worker in self._verdicts:
+                continue
+            if self._answers[worker] is not None:
+                self._pay(worker, "paid-default")
+        leftover = self.ledger.escrow_of(self.address)
+        if leftover:
+            self.ledger.pay(self.address, self._requester, leftover, memo="refund")
+        self.phase = PHASE_DONE
+        return IdealOutcome(
+            payments={
+                worker.label: self.ledger.balance_of(worker) for worker in self._order
+            },
+            verdicts={
+                worker.label: self._verdicts.get(worker) for worker in self._order
+            },
+            leakage=list(self.leakage),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _require_evaluate_phase(self) -> None:
+        if self.phase != PHASE_EVALUATE:
+            raise ProtocolError("not in the evaluate phase")
+
+    def _pay(self, worker: Address, verdict: str) -> None:
+        assert self._parameters is not None
+        self.ledger.pay(
+            self.address, worker, self._parameters.reward_per_worker, memo=verdict
+        )
+        self._verdicts[worker] = verdict

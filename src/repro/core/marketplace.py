@@ -1,0 +1,158 @@
+"""A worker-side task marketplace: discovery, vetting, selection.
+
+On a public chain every published task is visible; what a rational
+worker needs is a *vetted* view: the task's economics combined with the
+requester's audit record (the paper's Turkopticon analogy [14, 15]).
+:class:`TaskMarketplace` assembles that view from public data only:
+
+* open tasks (published, commit phase not yet filled) with reward per
+  worker, question count, threshold, and remaining slots;
+* the requester's reputation from :class:`~repro.core.audit.GoldAuditLog`;
+* an expected-utility estimate from
+  :mod:`repro.analysis.incentives` given the worker's self-assessed
+  accuracy — so "is this task worth my effort?" is one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.incentives import (
+    IncentiveParameters,
+    binomial_at_least,
+)
+from repro.chain.chain import Chain
+from repro.chain.gas import GasPricing, PAPER_PRICING
+from repro.core.audit import GoldAuditLog, RequesterReputation
+from repro.core.hit_contract import HITContract
+from repro.core.task import TaskParameters
+from repro.ledger.accounts import Address
+
+
+@dataclass(frozen=True)
+class TaskListing:
+    """One open task as a worker sees it."""
+
+    contract_name: str
+    requester: Address
+    parameters: TaskParameters
+    slots_taken: int
+    requester_reputation: Optional[RequesterReputation]
+
+    @property
+    def slots_remaining(self) -> int:
+        return self.parameters.num_workers - self.slots_taken
+
+    @property
+    def is_open(self) -> bool:
+        return self.slots_remaining > 0
+
+    @property
+    def reward_per_worker(self) -> int:
+        return self.parameters.reward_per_worker
+
+    @property
+    def requester_flagged(self) -> bool:
+        return bool(
+            self.requester_reputation and self.requester_reputation.is_suspicious
+        )
+
+
+class TaskMarketplace:
+    """Public-data task discovery over one chain."""
+
+    def __init__(self, chain: Chain, pricing: GasPricing = PAPER_PRICING) -> None:
+        self.chain = chain
+        self.pricing = pricing
+        self._audit = GoldAuditLog(chain)
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+
+    def listings(self, include_closed: bool = False) -> List[TaskListing]:
+        """All published tasks, open ones first, best reward first."""
+        reputations = self._audit.reputation()
+        results: List[TaskListing] = []
+        for event in self.chain.events:
+            if event.name != "published":
+                continue
+            payload = event.payload
+            contract_name = self._contract_name_for(event.contract.value)
+            if contract_name is None:
+                continue
+            contract = self.chain.contract(contract_name)
+            slots_taken = (
+                len(contract.committed_workers())
+                if isinstance(contract, HITContract)
+                else 0
+            )
+            listing = TaskListing(
+                contract_name=contract_name,
+                requester=payload["requester"],
+                parameters=payload["parameters"],
+                slots_taken=slots_taken,
+                requester_reputation=reputations.get(payload["requester"].label),
+            )
+            if listing.is_open or include_closed:
+                results.append(listing)
+        results.sort(
+            key=lambda l: (not l.is_open, -l.reward_per_worker, l.contract_name)
+        )
+        return results
+
+    def _contract_name_for(self, address_value: bytes) -> Optional[str]:
+        for name in list(self.chain._contracts):
+            if self.chain.contract(name).address.value == address_value:
+                return name
+        return None
+
+    # ------------------------------------------------------------------
+    # Vetting
+    # ------------------------------------------------------------------
+
+    def expected_utility(
+        self,
+        listing: TaskListing,
+        worker_accuracy: float,
+        effort_cost_per_question: float = 0.02,
+        coin_value_usd: float = 0.05,
+        submit_fee_usd: float = 0.48,
+    ) -> float:
+        """Expected USD utility of honestly working this task.
+
+        ``coin_value_usd`` converts the task's coin reward; the fee
+        defaults to the Table III per-worker handling cost.
+        """
+        parameters = listing.parameters
+        pay_probability = binomial_at_least(
+            parameters.num_golds,
+            parameters.quality_threshold,
+            worker_accuracy,
+        )
+        reward = listing.reward_per_worker * coin_value_usd
+        cost = (
+            effort_cost_per_question * parameters.num_questions
+            + submit_fee_usd
+        )
+        return pay_probability * reward - cost
+
+    def recommend(
+        self,
+        worker_accuracy: float,
+        avoid_flagged: bool = True,
+        **utility_kwargs,
+    ) -> List[TaskListing]:
+        """Open tasks worth working, best expected utility first."""
+        candidates = []
+        for listing in self.listings():
+            if avoid_flagged and listing.requester_flagged:
+                continue
+            utility = self.expected_utility(
+                listing, worker_accuracy, **utility_kwargs
+            )
+            if utility > 0:
+                candidates.append((utility, listing))
+        candidates.sort(key=lambda pair: -pair[0])
+        return [listing for _, listing in candidates]

@@ -1,0 +1,187 @@
+"""The protocol driver: runs Π_hit end to end on the simulated chain.
+
+:func:`run_hit` wires a requester and K workers through the full task
+life cycle — publish, commit, reveal, evaluate, finalize — mining one
+block per clock period exactly as the synchronous model prescribes, and
+returns a :class:`ProtocolOutcome` with the payment vector and a
+per-operation gas ledger (the raw material of the paper's Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.chain import Chain
+from repro.chain.network import Scheduler
+from repro.chain.transactions import Receipt
+from repro.core.hit_contract import HITContract
+from repro.core.requester import EvaluationAction, RequesterClient
+from repro.core.task import HITTask
+from repro.core.worker import WorkerClient
+from repro.errors import ProtocolError
+from repro.ledger.accounts import Address
+from repro.storage.swarm import SwarmStore
+
+
+@dataclass
+class GasReport:
+    """Gas usage per protocol operation, aggregated across a full run."""
+
+    publish: int = 0
+    commits: Dict[str, int] = field(default_factory=dict)
+    reveals: Dict[str, int] = field(default_factory=dict)
+    golden: int = 0
+    rejections: Dict[str, int] = field(default_factory=dict)
+    finalize: int = 0
+
+    def submit_cost(self, worker_label: str) -> int:
+        """Commit plus reveal gas for one worker (Table III 'submit')."""
+        return self.commits.get(worker_label, 0) + self.reveals.get(worker_label, 0)
+
+    @property
+    def total(self) -> int:
+        return (
+            self.publish
+            + sum(self.commits.values())
+            + sum(self.reveals.values())
+            + self.golden
+            + sum(self.rejections.values())
+            + self.finalize
+        )
+
+
+@dataclass
+class ProtocolOutcome:
+    """Everything a test or bench wants to know about a finished run."""
+
+    chain: Chain
+    swarm: SwarmStore
+    requester: RequesterClient
+    workers: List[WorkerClient]
+    contract: HITContract
+    actions: List[EvaluationAction]
+    gas: GasReport
+    receipts: List[Receipt] = field(default_factory=list)
+
+    def payment_of(self, worker: WorkerClient) -> int:
+        return self.chain.ledger.balance_of(worker.address)
+
+    def payments(self) -> Dict[str, int]:
+        return {w.label: self.payment_of(w) for w in self.workers}
+
+    def verdicts(self) -> Dict[str, Optional[str]]:
+        return {w.label: self.contract.verdict_of(w.address) for w in self.workers}
+
+
+def _receipts_by_sender(receipts: Sequence[Receipt]) -> Dict[Address, List[Receipt]]:
+    grouped: Dict[Address, List[Receipt]] = {}
+    for receipt in receipts:
+        grouped.setdefault(receipt.transaction.sender, []).append(receipt)
+    return grouped
+
+
+def run_hit(
+    task: HITTask,
+    worker_answers: Sequence[Sequence[int]],
+    scheduler: Optional[Scheduler] = None,
+    requester_label: str = "requester",
+    worker_labels: Optional[Sequence[str]] = None,
+    requester_evaluates: bool = True,
+    requester_cls: type = RequesterClient,
+    worker_cls: type = WorkerClient,
+) -> ProtocolOutcome:
+    """Run one complete HIT through the simulated blockchain.
+
+    ``worker_answers`` supplies one answer vector per worker slot; pass a
+    custom ``scheduler`` to inject the reordering adversary, or custom
+    client classes to inject misbehaving parties.
+    """
+    parameters = task.parameters
+    if len(worker_answers) != parameters.num_workers:
+        raise ProtocolError(
+            "need %d answer vectors, got %d"
+            % (parameters.num_workers, len(worker_answers))
+        )
+    labels = list(
+        worker_labels
+        if worker_labels is not None
+        else ["worker-%d" % i for i in range(parameters.num_workers)]
+    )
+    if len(labels) != parameters.num_workers:
+        raise ProtocolError("worker label count mismatch")
+
+    chain = Chain(scheduler=scheduler)
+    swarm = SwarmStore()
+    gas = GasReport()
+    all_receipts: List[Receipt] = []
+
+    # Phase 1: publish (contract deployment block).
+    requester = requester_cls(requester_label, task, chain, swarm)
+    publish_receipt = requester.publish()
+    if not publish_receipt.succeeded:
+        raise ProtocolError("publish failed: %s" % publish_receipt.revert_reason)
+    gas.publish = publish_receipt.gas_used
+    all_receipts.append(publish_receipt)
+    contract = chain.contract(requester.contract_name)
+
+    # Phase 2-a: all workers discover and commit; one block.
+    workers = [
+        worker_cls(label, chain, swarm, answers=answers)
+        for label, answers in zip(labels, worker_answers)
+    ]
+    for worker in workers:
+        worker.discover(requester.contract_name)
+        worker.send_commit()
+    commit_block = chain.mine_block()
+    all_receipts.extend(commit_block.receipts)
+    for receipt in commit_block.receipts:
+        if receipt.succeeded:
+            label = receipt.transaction.sender.label
+            gas.commits[label] = gas.commits.get(label, 0) + receipt.gas_used
+
+    # Phase 2-b: committed workers reveal; one block.
+    committed = set(a.hex() for a in contract.committed_workers())
+    for worker in workers:
+        if worker.address.hex() in committed:
+            worker.send_reveal()
+    reveal_block = chain.mine_block()
+    all_receipts.extend(reveal_block.receipts)
+    for receipt in reveal_block.receipts:
+        if receipt.succeeded:
+            label = receipt.transaction.sender.label
+            gas.reveals[label] = gas.reveals.get(label, 0) + receipt.gas_used
+
+    # Phase 3: the requester opens golds and sends rejections; one block.
+    actions: List[EvaluationAction] = []
+    if requester_evaluates:
+        actions = requester.evaluate_all()
+    evaluate_block = chain.mine_block()
+    all_receipts.extend(evaluate_block.receipts)
+    for receipt in evaluate_block.receipts:
+        if not receipt.succeeded:
+            continue
+        if receipt.transaction.method == "golden":
+            gas.golden += receipt.gas_used
+        elif receipt.transaction.method in ("evaluate", "outrange"):
+            worker_arg = receipt.transaction.args[0]
+            gas.rejections[worker_arg.label or worker_arg.hex()] = receipt.gas_used
+
+    # Finalization block.
+    requester.send_finalize()
+    finalize_block = chain.mine_block()
+    all_receipts.extend(finalize_block.receipts)
+    for receipt in finalize_block.receipts:
+        if receipt.succeeded and receipt.transaction.method == "finalize":
+            gas.finalize = receipt.gas_used
+
+    return ProtocolOutcome(
+        chain=chain,
+        swarm=swarm,
+        requester=requester,
+        workers=workers,
+        contract=contract,
+        actions=actions,
+        gas=gas,
+        receipts=all_receipts,
+    )

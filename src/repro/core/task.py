@@ -1,0 +1,253 @@
+"""HIT task model: batched multiple-choice questions with gold standards.
+
+A task (paper §IV) is a sequence of ``N`` multiple-choice questions whose
+answers lie in a small ``range``.  A secret subset ``G`` of positions are
+gold-standard questions with known answers ``Gs``; a worker's *quality*
+is the number of gold positions answered correctly, and a worker is paid
+``B/K`` iff quality reaches the threshold ``Θ``.
+
+:class:`TaskParameters` is the public on-chain part; :class:`HITTask`
+adds the requester's secrets (the gold set and, for synthetic workloads,
+a full ground truth used by the answer generator).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.crypto.poqoea import compute_quality
+from repro.errors import AnswerError, TaskSpecError
+
+
+@dataclass(frozen=True)
+class TaskParameters:
+    """The public parameters published on-chain (Fig. 4, phase 1)."""
+
+    num_questions: int  # N
+    budget: int  # B, in ledger coins
+    num_workers: int  # K
+    answer_range: Tuple[int, ...]  # allowed options per question
+    quality_threshold: int  # Θ
+    num_golds: int  # |G| (public; the positions stay secret)
+
+    def __post_init__(self) -> None:
+        if self.num_questions <= 0:
+            raise TaskSpecError("a task needs at least one question")
+        if self.num_workers <= 0:
+            raise TaskSpecError("a task needs at least one worker slot")
+        if self.budget < self.num_workers:
+            raise TaskSpecError("budget must cover at least 1 coin per worker")
+        if self.budget % self.num_workers != 0:
+            raise TaskSpecError("budget must split evenly across K workers")
+        if len(self.answer_range) < 2:
+            raise TaskSpecError("questions need at least two options")
+        if len(set(self.answer_range)) != len(self.answer_range):
+            raise TaskSpecError("answer range contains duplicates")
+        if any(option < 0 for option in self.answer_range):
+            raise TaskSpecError("answer options must be non-negative")
+        if not 0 < self.num_golds <= self.num_questions:
+            raise TaskSpecError("gold count must be in [1, N]")
+        if not 0 <= self.quality_threshold <= self.num_golds:
+            raise TaskSpecError("threshold must be in [0, |G|]")
+
+    @property
+    def reward_per_worker(self) -> int:
+        return self.budget // self.num_workers
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "num_questions": self.num_questions,
+                "budget": self.budget,
+                "num_workers": self.num_workers,
+                "answer_range": list(self.answer_range),
+                "quality_threshold": self.quality_threshold,
+                "num_golds": self.num_golds,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, raw: str) -> "TaskParameters":
+        data = json.loads(raw)
+        return cls(
+            num_questions=data["num_questions"],
+            budget=data["budget"],
+            num_workers=data["num_workers"],
+            answer_range=tuple(data["answer_range"]),
+            quality_threshold=data["quality_threshold"],
+            num_golds=data["num_golds"],
+        )
+
+
+@dataclass
+class HITTask:
+    """A full task: public parameters plus the requester's secrets."""
+
+    parameters: TaskParameters
+    questions: List[str]  # human-readable question payloads (go to Swarm)
+    gold_indexes: List[int]  # G — secret until the evaluate phase
+    gold_answers: List[int]  # Gs — ditto
+    ground_truth: Optional[List[int]] = None  # for synthetic workloads only
+
+    def __post_init__(self) -> None:
+        p = self.parameters
+        if len(self.questions) != p.num_questions:
+            raise TaskSpecError(
+                "expected %d questions, got %d" % (p.num_questions, len(self.questions))
+            )
+        if len(self.gold_indexes) != p.num_golds:
+            raise TaskSpecError("gold index count must equal num_golds")
+        if len(self.gold_indexes) != len(set(self.gold_indexes)):
+            raise TaskSpecError("gold indexes must be distinct")
+        if any(not 0 <= i < p.num_questions for i in self.gold_indexes):
+            raise TaskSpecError("gold index out of range")
+        if len(self.gold_answers) != len(self.gold_indexes):
+            raise TaskSpecError("gold answers must align with gold indexes")
+        if any(a not in p.answer_range for a in self.gold_answers):
+            raise TaskSpecError("gold answer outside the answer range")
+        if self.ground_truth is not None:
+            if len(self.ground_truth) != p.num_questions:
+                raise TaskSpecError("ground truth must cover every question")
+            for index, answer in zip(self.gold_indexes, self.gold_answers):
+                if self.ground_truth[index] != answer:
+                    raise TaskSpecError(
+                        "ground truth disagrees with gold answer at %d" % index
+                    )
+
+    # -- derived views --------------------------------------------------------
+
+    def questions_blob(self) -> bytes:
+        """The off-chain task description published to Swarm."""
+        return json.dumps(
+            {"parameters": json.loads(self.parameters.to_json()),
+             "questions": self.questions},
+            sort_keys=True,
+        ).encode("utf-8")
+
+    def golden_blob(self) -> bytes:
+        """The serialized ``G || Gs`` string committed in ``commgs``."""
+        return json.dumps(
+            {"G": self.gold_indexes, "Gs": self.gold_answers}, sort_keys=True
+        ).encode("utf-8")
+
+    def quality_of(self, answers: Sequence[int]) -> int:
+        """The paper's quality function on a full answer vector."""
+        return compute_quality(answers, self.gold_indexes, self.gold_answers)
+
+    def validate_answers(self, answers: Sequence[int]) -> None:
+        """Raise unless ``answers`` is a structurally valid submission."""
+        if len(answers) != self.parameters.num_questions:
+            raise AnswerError(
+                "expected %d answers, got %d"
+                % (self.parameters.num_questions, len(answers))
+            )
+        for position, answer in enumerate(answers):
+            if answer not in self.parameters.answer_range:
+                raise AnswerError(
+                    "answer %r at position %d outside range" % (answer, position)
+                )
+
+
+def parse_golden_blob(raw: bytes) -> Tuple[List[int], List[int]]:
+    """Decode a ``golden_blob`` back into ``(G, Gs)``."""
+    data = json.loads(raw.decode("utf-8"))
+    return list(data["G"]), list(data["Gs"])
+
+
+# ---------------------------------------------------------------------------
+# Synthetic workload generation
+# ---------------------------------------------------------------------------
+
+
+def make_imagenet_task(
+    num_questions: int = 106,
+    num_golds: int = 6,
+    num_workers: int = 4,
+    quality_threshold: int = 4,
+    budget: int = 400,
+    seed: int = 2020,
+) -> HITTask:
+    """The paper's ImageNet HIT: binary attribute questions (§VI).
+
+    106 binary questions, 6 of them gold standards, 4 workers, and a
+    submission is rejected if it misses 3 or more golds (i.e. Θ = 4).
+    """
+    rng = random.Random(seed)
+    ground_truth = [rng.randint(0, 1) for _ in range(num_questions)]
+    gold_indexes = sorted(rng.sample(range(num_questions), num_golds))
+    gold_answers = [ground_truth[i] for i in gold_indexes]
+    questions = [
+        "Does image %04d contain the attribute 'striped'? (0=no, 1=yes)" % i
+        for i in range(num_questions)
+    ]
+    parameters = TaskParameters(
+        num_questions=num_questions,
+        budget=budget,
+        num_workers=num_workers,
+        answer_range=(0, 1),
+        quality_threshold=quality_threshold,
+        num_golds=num_golds,
+    )
+    return HITTask(parameters, questions, gold_indexes, gold_answers, ground_truth)
+
+
+def make_street_parking_task(
+    num_spots: int = 40,
+    num_golds: int = 5,
+    num_workers: int = 3,
+    quality_threshold: int = 4,
+    budget: int = 300,
+    seed: int = 7,
+) -> HITTask:
+    """The paper's motivating example (§IV): Alice's parking survey.
+
+    Alice knows the availability of a few street-parking spots (her gold
+    standards) and crowdsources the rest.  Options: 0 = free, 1 = taken,
+    2 = no-parking zone.
+    """
+    rng = random.Random(seed)
+    ground_truth = [rng.randint(0, 2) for _ in range(num_spots)]
+    gold_indexes = sorted(rng.sample(range(num_spots), num_golds))
+    gold_answers = [ground_truth[i] for i in gold_indexes]
+    questions = [
+        "Availability of parking spot #%d? (0=free, 1=taken, 2=no parking)" % i
+        for i in range(num_spots)
+    ]
+    parameters = TaskParameters(
+        num_questions=num_spots,
+        budget=budget,
+        num_workers=num_workers,
+        answer_range=(0, 1, 2),
+        quality_threshold=quality_threshold,
+        num_golds=num_golds,
+    )
+    return HITTask(parameters, questions, gold_indexes, gold_answers, ground_truth)
+
+
+def sample_worker_answers(
+    task: HITTask, accuracy: float, seed: Optional[int] = None
+) -> List[int]:
+    """Synthesize a worker's answer sheet with the given per-question accuracy.
+
+    With probability ``accuracy`` the worker answers a question correctly;
+    otherwise a uniformly random *wrong* option is chosen.  Requires the
+    task to carry a ground truth.
+    """
+    if task.ground_truth is None:
+        raise TaskSpecError("answer synthesis needs a task with ground truth")
+    if not 0.0 <= accuracy <= 1.0:
+        raise ValueError("accuracy must be a probability")
+    rng = random.Random(seed)
+    options = task.parameters.answer_range
+    answers: List[int] = []
+    for truth in task.ground_truth:
+        if rng.random() < accuracy:
+            answers.append(truth)
+        else:
+            wrong = [option for option in options if option != truth]
+            answers.append(rng.choice(wrong))
+    return answers

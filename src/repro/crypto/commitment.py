@@ -1,0 +1,64 @@
+"""Hash commitments in the random-oracle model (paper §V-C).
+
+``Commit(msg, key) = H(msg || key)`` with a 32-byte blinding key, opened by
+revealing ``(msg, key)``.  Computationally hiding and binding in the ROM;
+the blinding key prevents low-entropy messages (answer ciphertext vectors
+are deterministic once formed) from being brute-forced before the reveal
+phase — which is what blocks the copy-and-paste free-rider.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.random_oracle import RandomOracle, default_oracle
+
+KEY_BYTES = 32
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """An opaque 32-byte commitment digest."""
+
+    digest: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.digest) != 32:
+            raise ValueError("commitment digests are 32 bytes")
+
+    def hex(self) -> str:
+        return self.digest.hex()
+
+
+def generate_key() -> bytes:
+    """A fresh 32-byte blinding key."""
+    return secrets.token_bytes(KEY_BYTES)
+
+
+def commit(
+    message: bytes,
+    key: Optional[bytes] = None,
+    oracle: Optional[RandomOracle] = None,
+) -> Tuple[Commitment, bytes]:
+    """Commit to ``message``; returns (commitment, blinding key)."""
+    if key is None:
+        key = generate_key()
+    if len(key) != KEY_BYTES:
+        raise ValueError("blinding keys are %d bytes" % KEY_BYTES)
+    ro = oracle if oracle is not None else default_oracle()
+    return Commitment(ro.query(message + key)), key
+
+
+def open_commitment(
+    commitment: Commitment,
+    message: bytes,
+    key: bytes,
+    oracle: Optional[RandomOracle] = None,
+) -> bool:
+    """Check an opening: ``H(message || key) == commitment``."""
+    if len(key) != KEY_BYTES:
+        return False
+    ro = oracle if oracle is not None else default_oracle()
+    return ro.query(message + key) == commitment.digest

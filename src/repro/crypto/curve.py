@@ -1,0 +1,348 @@
+"""BN-128 G1: the elliptic-curve group underlying all of Dragoon's crypto.
+
+The curve is ``y^2 = x^3 + 3`` over the prime field of
+:data:`~repro.crypto.field.FIELD_MODULUS`, with prime group order
+:data:`~repro.crypto.field.CURVE_ORDER` — the "alt_bn128" G1 exposed by
+Ethereum's EIP-196/EIP-1108 precompiles, which is exactly why the paper
+instantiates every public-key primitive over it.
+
+Internally the hot path (scalar multiplication) uses Jacobian projective
+coordinates on raw ints.  The public API is :class:`G1Point`, an immutable
+affine point with operator overloading, plus module-level helpers mirroring
+the precompile interface (``ec_add``, ``ec_mul``).
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Optional, Tuple
+
+from repro.crypto.field import CURVE_ORDER, FIELD_MODULUS, inv_mod, sqrt_mod
+from repro.crypto.keccak import keccak256
+from repro.errors import InvalidPoint, InvalidScalar
+from repro.utils.serialization import decode_point, encode_point
+
+_P = FIELD_MODULUS
+_B = 3
+
+Affine = Optional[Tuple[int, int]]
+_Jacobian = Tuple[int, int, int]
+
+_INFINITY_J: _Jacobian = (1, 1, 0)
+
+
+def is_on_curve(point: Affine) -> bool:
+    """Whether an affine point satisfies y^2 = x^3 + 3 (infinity counts)."""
+    if point is None:
+        return True
+    x, y = point
+    if not (0 <= x < _P and 0 <= y < _P):
+        return False
+    return (y * y - (x * x * x + _B)) % _P == 0
+
+
+# ---------------------------------------------------------------------------
+# Jacobian arithmetic on raw integers (internal, performance-sensitive)
+# ---------------------------------------------------------------------------
+
+
+def _to_jacobian(point: Affine) -> _Jacobian:
+    if point is None:
+        return _INFINITY_J
+    return (point[0], point[1], 1)
+
+
+def _from_jacobian(point: _Jacobian) -> Affine:
+    x, y, z = point
+    if z == 0:
+        return None
+    z_inv = inv_mod(z, _P)
+    z_inv_sq = z_inv * z_inv % _P
+    return (x * z_inv_sq % _P, y * z_inv_sq * z_inv % _P)
+
+
+def _jacobian_double(point: _Jacobian) -> _Jacobian:
+    x, y, z = point
+    if z == 0 or y == 0:
+        return _INFINITY_J
+    ysq = y * y % _P
+    s = 4 * x * ysq % _P
+    m = 3 * x * x % _P  # a = 0 for BN-128, so no a*z^4 term
+    nx = (m * m - 2 * s) % _P
+    ny = (m * (s - nx) - 8 * ysq * ysq) % _P
+    nz = 2 * y * z % _P
+    return (nx, ny, nz)
+
+
+def _jacobian_add(p: _Jacobian, q: _Jacobian) -> _Jacobian:
+    x1, y1, z1 = p
+    x2, y2, z2 = q
+    if z1 == 0:
+        return q
+    if z2 == 0:
+        return p
+    z1sq = z1 * z1 % _P
+    z2sq = z2 * z2 % _P
+    u1 = x1 * z2sq % _P
+    u2 = x2 * z1sq % _P
+    s1 = y1 * z2sq * z2 % _P
+    s2 = y2 * z1sq * z1 % _P
+    if u1 == u2:
+        if s1 != s2:
+            return _INFINITY_J
+        return _jacobian_double(p)
+    h = (u2 - u1) % _P
+    r = (s2 - s1) % _P
+    hsq = h * h % _P
+    hcu = hsq * h % _P
+    v = u1 * hsq % _P
+    nx = (r * r - hcu - 2 * v) % _P
+    ny = (r * (v - nx) - s1 * hcu) % _P
+    nz = h * z1 * z2 % _P
+    return (nx, ny, nz)
+
+
+def _jacobian_mul(point: _Jacobian, scalar: int) -> _Jacobian:
+    scalar %= CURVE_ORDER
+    if scalar == 0 or point[2] == 0:
+        return _INFINITY_J
+    result = _INFINITY_J
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = _jacobian_add(result, addend)
+        addend = _jacobian_double(addend)
+        scalar >>= 1
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Affine helpers mirroring the Ethereum precompile interface
+# ---------------------------------------------------------------------------
+
+
+def ec_add(p: Affine, q: Affine) -> Affine:
+    """Affine point addition (the EIP-196 ecAdd operation)."""
+    return _from_jacobian(_jacobian_add(_to_jacobian(p), _to_jacobian(q)))
+
+
+def ec_mul(p: Affine, scalar: int) -> Affine:
+    """Affine scalar multiplication (the EIP-196 ecMul operation)."""
+    return _from_jacobian(_jacobian_mul(_to_jacobian(p), scalar))
+
+
+def ec_neg(p: Affine) -> Affine:
+    """Affine point negation."""
+    if p is None:
+        return None
+    x, y = p
+    return (x, (-y) % _P)
+
+
+# ---------------------------------------------------------------------------
+# Public point class
+# ---------------------------------------------------------------------------
+
+
+class G1Point:
+    """An immutable point of BN-128 G1 with group-operation overloads.
+
+    ``G1Point.generator()`` is the fixed base point (1, 2).  Construction
+    validates curve membership; use arithmetic operators for group ops::
+
+        g = G1Point.generator()
+        h = g * 42
+        assert h - g == g * 41
+    """
+
+    __slots__ = ("_affine",)
+
+    def __init__(self, affine: Affine) -> None:
+        if not is_on_curve(affine):
+            raise InvalidPoint("point is not on BN-128: %r" % (affine,))
+        self._affine = affine
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def generator(cls) -> "G1Point":
+        return cls((1, 2))
+
+    @classmethod
+    def infinity(cls) -> "G1Point":
+        return cls(None)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "G1Point":
+        return cls(decode_point(data))
+
+    @classmethod
+    def from_x(cls, x: int, y_parity: int = 0) -> "G1Point":
+        """Lift an x-coordinate onto the curve, choosing y by parity."""
+        y = sqrt_mod(x * x * x + _B, _P)
+        if y % 2 != y_parity % 2:
+            y = _P - y
+        return cls((x, y))
+
+    @classmethod
+    def hash_to_group(cls, data: bytes) -> "G1Point":
+        """Deterministically map bytes to a curve point (try-and-increment)."""
+        counter = 0
+        while True:
+            candidate = int.from_bytes(
+                keccak256(data + counter.to_bytes(4, "big")), "big"
+            ) % _P
+            try:
+                return cls.from_x(candidate, y_parity=0)
+            except Exception:
+                counter += 1
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def affine(self) -> Affine:
+        return self._affine
+
+    @property
+    def is_infinity(self) -> bool:
+        return self._affine is None
+
+    @property
+    def x(self) -> int:
+        if self._affine is None:
+            raise InvalidPoint("the point at infinity has no coordinates")
+        return self._affine[0]
+
+    @property
+    def y(self) -> int:
+        if self._affine is None:
+            raise InvalidPoint("the point at infinity has no coordinates")
+        return self._affine[1]
+
+    def to_bytes(self) -> bytes:
+        return encode_point(self._affine)
+
+    # -- group operations -----------------------------------------------------
+
+    def __add__(self, other: "G1Point") -> "G1Point":
+        if not isinstance(other, G1Point):
+            return NotImplemented
+        return G1Point(ec_add(self._affine, other._affine))
+
+    def __sub__(self, other: "G1Point") -> "G1Point":
+        if not isinstance(other, G1Point):
+            return NotImplemented
+        return G1Point(ec_add(self._affine, ec_neg(other._affine)))
+
+    def __mul__(self, scalar: int) -> "G1Point":
+        if not isinstance(scalar, int):
+            return NotImplemented
+        return G1Point(ec_mul(self._affine, scalar))
+
+    def mul_fixed(self, scalar: int) -> "G1Point":
+        """Scalar multiplication via a cached fixed-base window table.
+
+        Equivalent to ``self * scalar`` but amortizes precomputation
+        across calls — use for bases that recur (the generator, public
+        keys).
+        """
+        return G1Point(mul_fixed(self._affine, scalar))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "G1Point":
+        return G1Point(ec_neg(self._affine))
+
+    def double(self) -> "G1Point":
+        return G1Point(_from_jacobian(_jacobian_double(_to_jacobian(self._affine))))
+
+    # -- value semantics --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, G1Point):
+            return NotImplemented
+        return self._affine == other._affine
+
+    def __hash__(self) -> int:
+        return hash(self._affine)
+
+    def __repr__(self) -> str:
+        if self._affine is None:
+            return "G1Point(infinity)"
+        return "G1Point(x=%d..., y=%d...)" % (self.x % 10**6, self.y % 10**6)
+
+
+class FixedBaseTable:
+    """Precomputed 4-bit-window multiples of a fixed base point.
+
+    Scalar multiplication against a fixed base (the generator, a public
+    key) dominates the protocol's CPU profile.  With windows
+    ``table[w][d] = (16^w · d) · P`` a multiplication is ~63 point
+    additions instead of ~380 double-and-add steps.  Building a table
+    costs ~1000 additions, so it pays off after a handful of uses;
+    :func:`mul_fixed` caches tables per base point.
+    """
+
+    WINDOW_BITS = 4
+    NUM_WINDOWS = (256 + WINDOW_BITS - 1) // WINDOW_BITS
+
+    def __init__(self, base: Affine) -> None:
+        self.base = base
+        mask_step = _to_jacobian(base)
+        self._rows: list = []
+        for _ in range(self.NUM_WINDOWS):
+            row = [_INFINITY_J]
+            current = _INFINITY_J
+            for _ in range((1 << self.WINDOW_BITS) - 1):
+                current = _jacobian_add(current, mask_step)
+                row.append(current)
+            self._rows.append(row)
+            for _ in range(self.WINDOW_BITS):
+                mask_step = _jacobian_double(mask_step)
+
+    def multiply(self, scalar: int) -> Affine:
+        scalar %= CURVE_ORDER
+        accumulator = _INFINITY_J
+        window = 0
+        while scalar:
+            digit = scalar & 0xF
+            if digit:
+                accumulator = _jacobian_add(accumulator, self._rows[window][digit])
+            scalar >>= 4
+            window += 1
+        return _from_jacobian(accumulator)
+
+
+_FIXED_BASE_CACHE: dict = {}
+_FIXED_BASE_CACHE_LIMIT = 16
+
+
+def mul_fixed(base: Affine, scalar: int) -> Affine:
+    """Scalar multiplication with per-base precomputation (cached)."""
+    if base is None:
+        return None
+    table = _FIXED_BASE_CACHE.get(base)
+    if table is None:
+        if len(_FIXED_BASE_CACHE) >= _FIXED_BASE_CACHE_LIMIT:
+            _FIXED_BASE_CACHE.clear()
+        table = FixedBaseTable(base)
+        _FIXED_BASE_CACHE[base] = table
+    return table.multiply(scalar)
+
+
+def random_scalar() -> int:
+    """A uniformly random non-zero scalar in [1, CURVE_ORDER)."""
+    while True:
+        value = secrets.randbelow(CURVE_ORDER)
+        if value != 0:
+            return value
+
+
+def validate_scalar(scalar: int) -> int:
+    """Check a scalar is in [0, CURVE_ORDER) and return it."""
+    if not isinstance(scalar, int) or not 0 <= scalar < CURVE_ORDER:
+        raise InvalidScalar("scalar out of range: %r" % (scalar,))
+    return scalar
+
+
+GENERATOR = G1Point.generator()

@@ -1,0 +1,183 @@
+"""Prime-field arithmetic.
+
+Two layers live here:
+
+* :func:`make_prime_field` builds a lightweight field-element class for a
+  given modulus (used by the pairing tower and the SNARK baseline, where
+  readability matters more than raw speed).
+* Plain-integer helpers (:func:`inv_mod`, :func:`sqrt_mod`) used by the hot
+  paths in :mod:`repro.crypto.curve`, which work on raw ints for speed.
+
+BN-128's two moduli are exported as :data:`FIELD_MODULUS` (the base field
+of the curve) and :data:`CURVE_ORDER` (the prime order of G1/G2, which is
+the scalar field of the SNARK baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.errors import CryptoError
+
+# BN-128 ("alt_bn128" in Ethereum): base-field modulus and group order.
+FIELD_MODULUS = 21888242871839275222246405745257275088696311157297823662689037894645226208583
+CURVE_ORDER = 21888242871839275222246405745257275088548364400416034343698204186575808495617
+
+
+def inv_mod(value: int, modulus: int) -> int:
+    """Modular inverse of ``value`` mod ``modulus`` (prime modulus)."""
+    if value % modulus == 0:
+        raise ZeroDivisionError("inverse of zero in prime field")
+    return pow(value, -1, modulus)
+
+
+def sqrt_mod(value: int, modulus: int) -> int:
+    """A square root of ``value`` mod a prime ``modulus`` with p % 4 == 3.
+
+    BN-128's base field satisfies p % 4 == 3, so the Tonelli shortcut
+    ``value ** ((p + 1) / 4)`` applies.  Raises if no root exists.
+    """
+    if modulus % 4 != 3:
+        raise CryptoError("sqrt_mod shortcut requires p % 4 == 3")
+    value %= modulus
+    root = pow(value, (modulus + 1) // 4, modulus)
+    if root * root % modulus != value:
+        raise CryptoError("value is not a quadratic residue")
+    return root
+
+
+class FieldElement:
+    """An element of a prime field; subclasses pin the modulus.
+
+    Supports mixed arithmetic with plain ints.  Instances are immutable
+    value objects: hashable and comparable by value.
+    """
+
+    modulus: int = 0
+    __slots__ = ("n",)
+
+    def __init__(self, value: "int | FieldElement") -> None:
+        if isinstance(value, FieldElement):
+            value = value.n
+        self.n = value % self.modulus
+
+    # -- helpers ----------------------------------------------------------
+
+    @classmethod
+    def _coerce(cls, other: "int | FieldElement") -> int:
+        if isinstance(other, FieldElement):
+            if other.modulus != cls.modulus:
+                raise CryptoError("mixing elements of different fields")
+            return other.n
+        if isinstance(other, int):
+            return other
+        return NotImplemented  # type: ignore[return-value]
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "int | FieldElement") -> "FieldElement":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return type(self)(self.n + value)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "int | FieldElement") -> "FieldElement":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return type(self)(self.n - value)
+
+    def __rsub__(self, other: "int | FieldElement") -> "FieldElement":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return type(self)(value - self.n)
+
+    def __mul__(self, other: "int | FieldElement") -> "FieldElement":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return type(self)(self.n * value)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "int | FieldElement") -> "FieldElement":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return type(self)(self.n * inv_mod(value, self.modulus))
+
+    def __rtruediv__(self, other: "int | FieldElement") -> "FieldElement":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return type(self)(value * inv_mod(self.n, self.modulus))
+
+    def __pow__(self, exponent: int) -> "FieldElement":
+        if exponent < 0:
+            return type(self)(pow(inv_mod(self.n, self.modulus), -exponent, self.modulus))
+        return type(self)(pow(self.n, exponent, self.modulus))
+
+    def __neg__(self) -> "FieldElement":
+        return type(self)(-self.n)
+
+    def inverse(self) -> "FieldElement":
+        return type(self)(inv_mod(self.n, self.modulus))
+
+    # -- comparisons / protocol -------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FieldElement):
+            return self.modulus == other.modulus and self.n == other.n
+        if isinstance(other, int):
+            return self.n == other % self.modulus
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash((self.modulus, self.n))
+
+    def __int__(self) -> int:
+        return self.n
+
+    def __bool__(self) -> bool:
+        return self.n != 0
+
+    def __repr__(self) -> str:
+        return "%s(%d)" % (type(self).__name__, self.n)
+
+    # -- class-level constants ---------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "FieldElement":
+        return cls(0)
+
+    @classmethod
+    def one(cls) -> "FieldElement":
+        return cls(1)
+
+
+_FIELD_CACHE: Dict[int, Type[FieldElement]] = {}
+
+
+def make_prime_field(modulus: int, name: str = "") -> Type[FieldElement]:
+    """Create (and cache) a :class:`FieldElement` subclass for ``modulus``."""
+    cached = _FIELD_CACHE.get(modulus)
+    if cached is not None:
+        return cached
+    cls_name = name or "F%d" % (modulus % 100003)
+    cls = type(cls_name, (FieldElement,), {"modulus": modulus, "__slots__": ()})
+    _FIELD_CACHE[modulus] = cls
+    return cls
+
+
+# The two fields every other module uses.
+Fq = make_prime_field(FIELD_MODULUS, "Fq")  # base field of BN-128
+Fr = make_prime_field(CURVE_ORDER, "Fr")  # scalar field / SNARK field

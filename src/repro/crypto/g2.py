@@ -1,0 +1,123 @@
+"""BN-128 G2 (the twist curve over Fp2) and field-generic curve ops.
+
+G2 is the order-``r`` subgroup of ``y^2 = x^3 + 3/(9 + i)`` over Fp2.
+The SNARK baseline places verification-key elements here.  The point
+arithmetic is written generically over any field with ``+ - * /`` so the
+same functions serve points over Fp2 and (after the twist) over Fp12.
+
+Points are affine tuples ``(x, y)`` of field elements, with ``None`` for
+the point at infinity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, TypeVar
+
+from repro.crypto.field import CURVE_ORDER
+from repro.crypto.tower import FQ2, FQ12, fq2
+from repro.errors import InvalidPoint
+
+F = TypeVar("F")
+Point = Optional[Tuple[F, F]]
+
+# Twist coefficient: b2 = 3 / (9 + i).
+B2 = fq2(3, 0) / fq2(9, 1)
+B12 = FQ12.from_int(3)
+
+# The standard G2 generator (as in EIP-197 / py_ecc / libff).
+G2_GENERATOR: Point = (
+    fq2(
+        10857046999023057135944570762232829481370756359578518086990519993285655852781,
+        11559732032986387107991004021392285783925812861821192530917403151452391805634,
+    ),
+    fq2(
+        8495653923123431417604973247489272438418190587263600148770280649306958101930,
+        4082367875863433681332203403145435568316851327593401208105741076214120093531,
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# Field-generic affine curve arithmetic
+# ---------------------------------------------------------------------------
+
+
+def point_double(point: Point) -> Point:
+    """Double an affine point (generic over the coefficient field)."""
+    if point is None:
+        return None
+    x, y = point
+    if not y:
+        return None
+    slope = (3 * x * x) / (2 * y)
+    nx = slope * slope - 2 * x
+    ny = slope * (x - nx) - y
+    return (nx, ny)
+
+
+def point_add(p: Point, q: Point) -> Point:
+    """Add two affine points (generic over the coefficient field)."""
+    if p is None:
+        return q
+    if q is None:
+        return p
+    x1, y1 = p
+    x2, y2 = q
+    if x1 == x2:
+        if y1 == y2:
+            return point_double(p)
+        return None
+    slope = (y2 - y1) / (x2 - x1)
+    nx = slope * slope - x1 - x2
+    ny = slope * (x1 - nx) - y1
+    return (nx, ny)
+
+
+def point_mul(point: Point, scalar: int) -> Point:
+    """Scalar multiplication by double-and-add."""
+    scalar %= CURVE_ORDER if scalar >= 0 else 1
+    if scalar == 0 or point is None:
+        return None
+    result: Point = None
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = point_add(result, addend)
+        addend = point_double(addend)
+        scalar >>= 1
+    return result
+
+
+def point_neg(point: Point) -> Point:
+    """Negate an affine point."""
+    if point is None:
+        return None
+    x, y = point
+    return (x, -y)
+
+
+def is_on_g2(point: Point) -> bool:
+    """Whether a point over Fp2 satisfies the twist equation."""
+    if point is None:
+        return True
+    x, y = point
+    if not isinstance(x, FQ2) or not isinstance(y, FQ2):
+        return False
+    return y * y - x * x * x == B2
+
+
+def is_in_g2_subgroup(point: Point) -> bool:
+    """Whether an Fp2 point lies in the order-``r`` subgroup."""
+    return is_on_g2(point) and point_mul(point, CURVE_ORDER) is None
+
+
+def validate_g2(point: Point) -> Point:
+    """Raise unless ``point`` is a valid G2 element; returns it unchanged."""
+    if not is_on_g2(point):
+        raise InvalidPoint("point is not on the BN-128 twist curve")
+    return point
+
+
+def g2_mul(scalar: int) -> Point:
+    """``scalar`` times the G2 generator."""
+    return point_mul(G2_GENERATOR, scalar)

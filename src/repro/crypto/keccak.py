@@ -1,0 +1,156 @@
+"""Keccak-256 implemented from scratch (the Ethereum hash function).
+
+This is original Keccak with multi-rate padding (``0x01 .. 0x80``), *not*
+NIST SHA3-256 (which pads with ``0x06``).  Ethereum commits to keccak-256
+everywhere (transaction hashes, event topics, the ``keccak256`` opcode), and
+Dragoon instantiates its random oracle and commitments with it, so we
+implement the real thing and test it against the well-known vectors.
+
+The implementation is a straightforward sponge over keccak-f[1600]:
+25 lanes of 64 bits, 24 rounds of theta / rho / pi / chi / iota, rate
+1088 bits (136 bytes) and capacity 512 bits for the 256-bit output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_LANE_MASK = (1 << 64) - 1
+_RATE_BYTES = 136  # 1088-bit rate for Keccak-256
+_OUTPUT_BYTES = 32
+
+_ROUND_CONSTANTS = (
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808A,
+    0x8000000080008000,
+    0x000000000000808B,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008A,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000A,
+    0x000000008000808B,
+    0x800000000000008B,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800A,
+    0x800000008000000A,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+)
+
+# Rotation offsets r[x][y] for the rho step, indexed [x][y].
+_ROTATIONS = (
+    (0, 36, 3, 41, 18),
+    (1, 44, 10, 45, 2),
+    (62, 6, 43, 15, 61),
+    (28, 55, 25, 21, 56),
+    (27, 20, 39, 8, 14),
+)
+
+
+def _rotl(value: int, shift: int) -> int:
+    """Rotate a 64-bit lane left by ``shift`` bits."""
+    shift %= 64
+    return ((value << shift) | (value >> (64 - shift))) & _LANE_MASK
+
+
+# Flattened rho/pi mapping: b[_PI_DEST[i]] = rotl(state[i], _RHO_SHIFT[i]),
+# precomputed once so the permutation's inner loops stay allocation-light.
+_PI_DEST = tuple(
+    (i // 5) + 5 * ((2 * (i % 5) + 3 * (i // 5)) % 5) for i in range(25)
+)
+_RHO_SHIFT = tuple(_ROTATIONS[i % 5][i // 5] for i in range(25))
+
+
+def _keccak_f1600(state: List[int]) -> None:
+    """Apply the keccak-f[1600] permutation to a 25-lane state in place.
+
+    The state is indexed as ``state[x + 5 * y]``.  Loops are flattened
+    against precomputed index tables; this permutation is the single
+    hottest function in the repository (every commitment, oracle query,
+    and on-chain hash lands here).
+    """
+    mask = _LANE_MASK
+    b = [0] * 25
+    for round_constant in _ROUND_CONSTANTS:
+        # theta
+        c0 = state[0] ^ state[5] ^ state[10] ^ state[15] ^ state[20]
+        c1 = state[1] ^ state[6] ^ state[11] ^ state[16] ^ state[21]
+        c2 = state[2] ^ state[7] ^ state[12] ^ state[17] ^ state[22]
+        c3 = state[3] ^ state[8] ^ state[13] ^ state[18] ^ state[23]
+        c4 = state[4] ^ state[9] ^ state[14] ^ state[19] ^ state[24]
+        d0 = c4 ^ (((c1 << 1) | (c1 >> 63)) & mask)
+        d1 = c0 ^ (((c2 << 1) | (c2 >> 63)) & mask)
+        d2 = c1 ^ (((c3 << 1) | (c3 >> 63)) & mask)
+        d3 = c2 ^ (((c4 << 1) | (c4 >> 63)) & mask)
+        d4 = c3 ^ (((c0 << 1) | (c0 >> 63)) & mask)
+        for y in (0, 5, 10, 15, 20):
+            state[y] ^= d0
+            state[y + 1] ^= d1
+            state[y + 2] ^= d2
+            state[y + 3] ^= d3
+            state[y + 4] ^= d4
+
+        # rho + pi (flattened)
+        for index in range(25):
+            lane = state[index]
+            shift = _RHO_SHIFT[index]
+            b[_PI_DEST[index]] = (
+                ((lane << shift) | (lane >> (64 - shift))) & mask
+                if shift
+                else lane
+            )
+
+        # chi
+        for y in (0, 5, 10, 15, 20):
+            b0, b1, b2, b3, b4 = b[y], b[y + 1], b[y + 2], b[y + 3], b[y + 4]
+            state[y] = b0 ^ (~b1 & b2)
+            state[y + 1] = b1 ^ (~b2 & b3)
+            state[y + 2] = b2 ^ (~b3 & b4)
+            state[y + 3] = b3 ^ (~b4 & b0)
+            state[y + 4] = b4 ^ (~b0 & b1)
+
+        # iota
+        state[0] = (state[0] & mask) ^ round_constant
+
+
+def keccak256(data: bytes) -> bytes:
+    """Compute the 32-byte keccak-256 digest of ``data``."""
+    state = [0] * 25
+
+    # Multi-rate padding: append 0x01, zero-fill, set high bit of last byte.
+    padded = bytearray(data)
+    pad_len = _RATE_BYTES - (len(padded) % _RATE_BYTES)
+    padded += b"\x01" + b"\x00" * (pad_len - 1)
+    padded[-1] ^= 0x80
+
+    # Absorb.
+    for offset in range(0, len(padded), _RATE_BYTES):
+        block = padded[offset : offset + _RATE_BYTES]
+        for lane in range(_RATE_BYTES // 8):
+            state[lane] ^= int.from_bytes(block[lane * 8 : lane * 8 + 8], "little")
+        _keccak_f1600(state)
+
+    # Squeeze (a single block suffices for 32 bytes of output).
+    output = bytearray()
+    for lane in range(_OUTPUT_BYTES // 8):
+        output += state[lane].to_bytes(8, "little")
+    return bytes(output)
+
+
+def keccak256_hex(data: bytes) -> str:
+    """Hex-encoded keccak-256 digest (convenience)."""
+    return keccak256(data).hex()
+
+
+def keccak_to_int(data: bytes) -> int:
+    """Interpret the keccak-256 digest of ``data`` as a big-endian integer."""
+    return int.from_bytes(keccak256(data), "big")

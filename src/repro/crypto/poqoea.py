@@ -1,0 +1,200 @@
+"""PoQoEA — proof of quality of encrypted answers (paper §V-A, Fig. 3).
+
+The paper's central reduction: instead of a generic zero-knowledge proof
+that "the answer encrypted in ``c_j`` has quality ``χ``", the requester
+proves an *upper bound* on the quality by verifiably decrypting exactly
+the gold-standard positions where the worker is *wrong*:
+
+* For each gold index ``i`` where the decrypted answer ``a_i`` differs
+  from the ground truth ``s_i``, the proof contains ``(i, a_i, pi_i)``
+  with ``pi_i`` a VPKE proof that ``a_i = Dec_k(c_i)``.
+* The verifier rejects any entry where ``a_i == s_i`` (that would inflate
+  the bound), rejects invalid VPKE proofs, counts the distinct valid
+  mismatches, and accepts iff ``χ + #mismatches >= |G|``.
+
+Soundness ("upper-bound" soundness): every proven mismatch is a genuine
+mismatch (VPKE soundness), so the true quality is at most
+``|G| - #mismatches <= χ``.  A corrupted requester can therefore never
+understate a worker's quality below the claimed bound — she always pays at
+least what the worker deserves.
+
+Zero-knowledge ("special" ZK): only gold-position sub-answers are ever
+revealed, and with |G| and |range| small constants those are simulatable
+from public knowledge — :func:`simulate_quality_proof` does exactly that
+by forging each VPKE proof through the programmable random oracle.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.elgamal import Ciphertext, ElGamalPublicKey, ElGamalSecretKey
+from repro.crypto.random_oracle import RandomOracle
+from repro.crypto.vpke import (
+    Claim,
+    DecryptionProof,
+    prove_decryption,
+    simulate_proof,
+    verify_decryption,
+)
+from repro.errors import ProofError
+
+
+@dataclass(frozen=True)
+class MismatchEntry:
+    """One revealed gold-position mismatch: ``(index, answer, VPKE proof)``."""
+
+    index: int
+    answer: Claim
+    proof: DecryptionProof
+
+
+@dataclass(frozen=True)
+class QualityProof:
+    """A PoQoEA proof: the set of proven gold-standard mismatches."""
+
+    entries: Tuple[MismatchEntry, ...]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def to_bytes(self) -> bytes:
+        parts = []
+        for entry in self.entries:
+            parts.append(entry.index.to_bytes(4, "big"))
+            if isinstance(entry.answer, int):
+                parts.append(b"\x00" + entry.answer.to_bytes(32, "big"))
+            else:
+                parts.append(b"\x01" + entry.answer.to_bytes())
+            parts.append(entry.proof.to_bytes())
+        return b"".join(parts)
+
+
+def compute_quality(
+    answers: Sequence[int], gold_indexes: Sequence[int], gold_answers: Sequence[int]
+) -> int:
+    """The paper's quality function: matches on the gold-standard positions."""
+    if len(gold_indexes) != len(gold_answers):
+        raise ValueError("gold indexes and answers must align")
+    return sum(
+        1
+        for index, truth in zip(gold_indexes, gold_answers)
+        if 0 <= index < len(answers) and answers[index] == truth
+    )
+
+
+def prove_quality(
+    secret_key: ElGamalSecretKey,
+    ciphertexts: Sequence[Ciphertext],
+    gold_indexes: Sequence[int],
+    gold_answers: Sequence[int],
+    answer_range: Sequence[int],
+    oracle: Optional[RandomOracle] = None,
+) -> Tuple[int, QualityProof]:
+    """Prove the quality of an encrypted answer vector.
+
+    Returns ``(χ, proof)`` where ``χ`` is the true quality and ``proof``
+    contains one verifiable decryption per gold-standard mismatch,
+    exactly as Fig. 3 of the paper prescribes.
+    """
+    if len(gold_indexes) != len(gold_answers):
+        raise ValueError("gold indexes and answers must align")
+    entries: List[MismatchEntry] = []
+    quality = 0
+    for index, truth in zip(gold_indexes, gold_answers):
+        if not 0 <= index < len(ciphertexts):
+            raise ProofError("gold index %d outside the answer vector" % index)
+        claim, proof = prove_decryption(
+            secret_key, ciphertexts[index], answer_range, oracle=oracle
+        )
+        if claim == truth:
+            quality += 1
+        else:
+            entries.append(MismatchEntry(index, claim, proof))
+    return quality, QualityProof(tuple(entries))
+
+
+def verify_quality(
+    public_key: ElGamalPublicKey,
+    ciphertexts: Sequence[Ciphertext],
+    claimed_quality: int,
+    proof: QualityProof,
+    gold_indexes: Sequence[int],
+    gold_answers: Sequence[int],
+    oracle: Optional[RandomOracle] = None,
+) -> bool:
+    """Verify a PoQoEA proof (Fig. 3 verifier).
+
+    Accepts iff every entry is a *distinct* gold position whose revealed
+    answer differs from the ground truth and carries a valid VPKE proof,
+    and ``claimed_quality + #entries >= |G|``.
+    """
+    truth_by_index: Dict[int, int] = dict(zip(gold_indexes, gold_answers))
+    if len(truth_by_index) != len(gold_indexes):
+        return False  # malformed gold set (duplicate indexes)
+
+    seen: set = set()
+    count = claimed_quality
+    for entry in proof.entries:
+        if entry.index in seen:
+            return False  # replayed mismatch would inflate the bound
+        seen.add(entry.index)
+        truth = truth_by_index.get(entry.index)
+        if truth is None:
+            return False  # not a gold position
+        if not 0 <= entry.index < len(ciphertexts):
+            return False
+        if entry.answer == truth:
+            return False  # a "mismatch" that actually matches
+        if not verify_decryption(
+            public_key, entry.answer, ciphertexts[entry.index], entry.proof,
+            oracle=oracle,
+        ):
+            return False
+        count += 1
+    return count >= len(gold_indexes)
+
+
+def simulate_quality_proof(
+    public_key: ElGamalPublicKey,
+    ciphertexts: Sequence[Ciphertext],
+    true_answers: Sequence[int],
+    gold_indexes: Sequence[int],
+    gold_answers: Sequence[int],
+    oracle: RandomOracle,
+) -> Tuple[int, QualityProof]:
+    """The "special zero-knowledge" simulator for PoQoEA.
+
+    Given only public knowledge plus the gold-position sub-answers (which
+    the paper argues are already leaked — they are simulatable because
+    |G| and |range| are small constants), forge a proof indistinguishable
+    from an honest one by programming the random oracle.  Requires a
+    programmable (non-default) oracle.
+    """
+    entries: List[MismatchEntry] = []
+    quality = 0
+    for index, truth in zip(gold_indexes, gold_answers):
+        answer = true_answers[index]
+        if answer == truth:
+            quality += 1
+            continue
+        forged = simulate_proof(public_key, answer, ciphertexts[index], oracle=oracle)
+        entries.append(MismatchEntry(index, answer, forged))
+    return quality, QualityProof(tuple(entries))
+
+
+def sample_gold_standard(
+    num_questions: int,
+    num_golds: int,
+    answer_range: Sequence[int],
+    rng: Optional["secrets.SystemRandom"] = None,
+) -> Tuple[List[int], List[int]]:
+    """Sample a random gold-standard set ``(G, Gs)`` for a task."""
+    if num_golds > num_questions:
+        raise ValueError("more golds than questions")
+    randomizer = rng if rng is not None else secrets.SystemRandom()
+    indexes = sorted(randomizer.sample(range(num_questions), num_golds))
+    answers = [randomizer.choice(list(answer_range)) for _ in indexes]
+    return indexes, answers

@@ -1,0 +1,165 @@
+"""Schnorr-family sigma protocols, Fiat–Shamir compiled.
+
+Two classical building blocks used across the library and its tests:
+
+* :class:`SchnorrProof` — proof of knowledge of a discrete log (``h = g^k``),
+  used by clients to register public keys so a corrupted requester cannot
+  claim someone else's key.
+* :class:`ChaumPedersenProof` — proof that two group elements share a
+  discrete log w.r.t. two bases (a DDH-tuple proof); the paper's VPKE
+  construction (see :mod:`repro.crypto.vpke`) is a variant of this.
+
+Both are made non-interactive with the Fiat–Shamir transform over the
+programmable random oracle, so the ideal-world simulator can forge them by
+programming the oracle — exactly the ROM zero-knowledge argument.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.curve import CURVE_ORDER, G1Point, random_scalar
+from repro.crypto.random_oracle import RandomOracle, default_oracle
+
+_G = G1Point.generator()
+
+
+def _challenge(oracle: RandomOracle, transcript: bytes) -> int:
+    return oracle.query_int(transcript, CURVE_ORDER)
+
+
+# ---------------------------------------------------------------------------
+# Proof of knowledge of discrete log
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchnorrProof:
+    """NIZK PoK of ``k`` with ``public = g^k``: ``(commitment B, response Z)``."""
+
+    commitment: G1Point
+    response: int
+
+    def to_bytes(self) -> bytes:
+        return self.commitment.to_bytes() + self.response.to_bytes(32, "big")
+
+
+def schnorr_prove(
+    secret: int,
+    context: bytes = b"",
+    oracle: Optional[RandomOracle] = None,
+) -> SchnorrProof:
+    """Prove knowledge of ``secret`` for the statement ``g^secret``."""
+    ro = oracle if oracle is not None else default_oracle()
+    public = _G * secret
+    x = random_scalar()
+    commitment = _G * x
+    transcript = b"schnorr" + context + public.to_bytes() + commitment.to_bytes()
+    challenge = _challenge(ro, transcript)
+    response = (x + secret * challenge) % CURVE_ORDER
+    return SchnorrProof(commitment, response)
+
+
+def schnorr_verify(
+    public: G1Point,
+    proof: SchnorrProof,
+    context: bytes = b"",
+    oracle: Optional[RandomOracle] = None,
+) -> bool:
+    """Verify a Schnorr PoK: ``g^Z == B * public^C``."""
+    ro = oracle if oracle is not None else default_oracle()
+    transcript = b"schnorr" + context + public.to_bytes() + proof.commitment.to_bytes()
+    challenge = _challenge(ro, transcript)
+    return _G * proof.response == proof.commitment + public * challenge
+
+
+def schnorr_simulate(
+    public: G1Point,
+    context: bytes = b"",
+    oracle: Optional[RandomOracle] = None,
+) -> SchnorrProof:
+    """Forge a Schnorr proof without the secret by programming the oracle."""
+    ro = oracle if oracle is not None else default_oracle()
+    response = random_scalar()
+    challenge = secrets.randbelow(CURVE_ORDER)
+    commitment = _G * response - public * challenge
+    transcript = b"schnorr" + context + public.to_bytes() + commitment.to_bytes()
+    ro.program(transcript, (challenge % 2**256).to_bytes(32, "big"))
+    return SchnorrProof(commitment, response)
+
+
+# ---------------------------------------------------------------------------
+# Chaum–Pedersen DDH-tuple proof (equality of discrete logs)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaumPedersenProof:
+    """NIZK that ``log_g(u) == log_v(w)``: commitments (A, B) and response Z."""
+
+    commitment_a: G1Point
+    commitment_b: G1Point
+    response: int
+
+    def to_bytes(self) -> bytes:
+        return (
+            self.commitment_a.to_bytes()
+            + self.commitment_b.to_bytes()
+            + self.response.to_bytes(32, "big")
+        )
+
+
+def chaum_pedersen_prove(
+    secret: int,
+    base_v: G1Point,
+    context: bytes = b"",
+    oracle: Optional[RandomOracle] = None,
+) -> ChaumPedersenProof:
+    """Prove ``(g, u=g^s, v, w=v^s)`` is a DDH tuple, knowing ``s``."""
+    ro = oracle if oracle is not None else default_oracle()
+    u = _G * secret
+    w = base_v * secret
+    x = random_scalar()
+    commitment_a = _G * x
+    commitment_b = base_v * x
+    transcript = (
+        b"chaum-pedersen"
+        + context
+        + u.to_bytes()
+        + base_v.to_bytes()
+        + w.to_bytes()
+        + commitment_a.to_bytes()
+        + commitment_b.to_bytes()
+    )
+    challenge = _challenge(ro, transcript)
+    response = (x + secret * challenge) % CURVE_ORDER
+    return ChaumPedersenProof(commitment_a, commitment_b, response)
+
+
+def chaum_pedersen_verify(
+    u: G1Point,
+    base_v: G1Point,
+    w: G1Point,
+    proof: ChaumPedersenProof,
+    context: bytes = b"",
+    oracle: Optional[RandomOracle] = None,
+) -> bool:
+    """Verify a Chaum–Pedersen proof for the tuple ``(g, u, v, w)``."""
+    ro = oracle if oracle is not None else default_oracle()
+    transcript = (
+        b"chaum-pedersen"
+        + context
+        + u.to_bytes()
+        + base_v.to_bytes()
+        + w.to_bytes()
+        + proof.commitment_a.to_bytes()
+        + proof.commitment_b.to_bytes()
+    )
+    challenge = _challenge(ro, transcript)
+    lhs_g = _G * proof.response
+    rhs_g = proof.commitment_a + u * challenge
+    lhs_v = base_v * proof.response
+    rhs_v = proof.commitment_b + w * challenge
+    return lhs_g == rhs_g and lhs_v == rhs_v

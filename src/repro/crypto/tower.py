@@ -1,0 +1,210 @@
+"""Extension-field tower for BN-128: Fp2 and Fp12.
+
+The SNARK baseline (Groth16) needs the full BN-128 pairing, which lives in
+Fp12.  We implement polynomial extension fields in the style of py_ecc:
+an element of Fp[x]/(m(x)) is a coefficient vector over Fp, with
+
+* Fp2  = Fp[i]/(i^2 + 1)
+* Fp12 = Fp[w]/(w^12 - 18 w^6 + 82)
+
+Coefficients are stored as plain ints mod the base-field modulus; all
+arithmetic reduces eagerly.  The classes are immutable value objects.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Type, Union
+
+from repro.crypto.field import FIELD_MODULUS
+
+_P = FIELD_MODULUS
+
+IntLike = Union[int, "FQP"]
+
+
+def _poly_degree(coeffs: Sequence[int]) -> int:
+    """Index of the highest non-zero coefficient (-1 for the zero poly)."""
+    for index in range(len(coeffs) - 1, -1, -1):
+        if coeffs[index] % _P:
+            return index
+    return -1
+
+
+def _poly_rounded_div(numerator: Sequence[int], denominator: Sequence[int]) -> List[int]:
+    """Leading-term polynomial division over Fp (helper for inversion)."""
+    deg_num = _poly_degree(numerator)
+    deg_den = _poly_degree(denominator)
+    temp = [c % _P for c in numerator]
+    inv_lead = pow(denominator[deg_den], -1, _P)
+    output = [0] * (deg_num - deg_den + 1)
+    for shift in range(deg_num - deg_den, -1, -1):
+        factor = temp[deg_den + shift] * inv_lead % _P
+        output[shift] = (output[shift] + factor) % _P
+        for i in range(deg_den + 1):
+            temp[shift + i] = (temp[shift + i] - factor * denominator[i]) % _P
+    return output
+
+
+class FQP:
+    """An element of Fp[x]/(m(x)); subclasses fix degree and modulus."""
+
+    degree: int = 0
+    modulus_coeffs: Tuple[int, ...] = ()
+    __slots__ = ("coeffs",)
+
+    def __init__(self, coeffs: Sequence[int]) -> None:
+        if len(coeffs) != self.degree:
+            raise ValueError(
+                "expected %d coefficients, got %d" % (self.degree, len(coeffs))
+            )
+        self.coeffs = tuple(c % _P for c in coeffs)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "FQP":
+        return cls([0] * cls.degree)
+
+    @classmethod
+    def one(cls) -> "FQP":
+        return cls([1] + [0] * (cls.degree - 1))
+
+    @classmethod
+    def from_int(cls, value: int) -> "FQP":
+        return cls([value] + [0] * (cls.degree - 1))
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _coerce(self, other: IntLike) -> "FQP":
+        if isinstance(other, int):
+            return type(self).from_int(other)
+        if isinstance(other, FQP) and type(other) is type(self):
+            return other
+        raise TypeError("cannot mix %r with %r" % (type(self), type(other)))
+
+    def __add__(self, other: IntLike) -> "FQP":
+        rhs = self._coerce(other)
+        return type(self)([a + b for a, b in zip(self.coeffs, rhs.coeffs)])
+
+    __radd__ = __add__
+
+    def __sub__(self, other: IntLike) -> "FQP":
+        rhs = self._coerce(other)
+        return type(self)([a - b for a, b in zip(self.coeffs, rhs.coeffs)])
+
+    def __rsub__(self, other: IntLike) -> "FQP":
+        rhs = self._coerce(other)
+        return type(self)([b - a for a, b in zip(self.coeffs, rhs.coeffs)])
+
+    def __neg__(self) -> "FQP":
+        return type(self)([-a for a in self.coeffs])
+
+    def __mul__(self, other: IntLike) -> "FQP":
+        if isinstance(other, int):
+            return type(self)([c * other for c in self.coeffs])
+        rhs = self._coerce(other)
+        deg = self.degree
+        product = [0] * (2 * deg - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(rhs.coeffs):
+                product[i + j] += a * b
+        # Reduce modulo m(x): replace x^(deg + e) by -sum m_i x^(i + e).
+        for exp in range(2 * deg - 2, deg - 1, -1):
+            top = product[exp] % _P
+            if top == 0:
+                continue
+            product[exp] = 0
+            shift = exp - deg
+            for i, m in enumerate(self.modulus_coeffs):
+                if m:
+                    product[shift + i] -= top * m
+        return type(self)([c % _P for c in product[:deg]])
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: IntLike) -> "FQP":
+        if isinstance(other, int):
+            return self * pow(other, -1, _P)
+        rhs = self._coerce(other)
+        return self * rhs.inverse()
+
+    def __pow__(self, exponent: int) -> "FQP":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = type(self).one()
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base * base
+            exponent >>= 1
+        return result
+
+    def inverse(self) -> "FQP":
+        """Extended-Euclidean inversion in Fp[x]/(m(x))."""
+        deg = self.degree
+        lm, hm = [1] + [0] * deg, [0] * (deg + 1)
+        low = list(self.coeffs) + [0]
+        high = list(self.modulus_coeffs) + [1]
+        while _poly_degree(low) > 0:
+            quotient = _poly_rounded_div(high, low)
+            quotient += [0] * (deg + 1 - len(quotient))
+            nm, new = list(hm), list(high)
+            for i in range(deg + 1):
+                for j in range(deg + 1 - i):
+                    nm[i + j] -= lm[i] * quotient[j]
+                    new[i + j] -= low[i] * quotient[j]
+            nm = [c % _P for c in nm]
+            new = [c % _P for c in new]
+            lm, low, hm, high = nm, new, lm, low
+        if _poly_degree(low) < 0:
+            raise ZeroDivisionError("inverse of zero in extension field")
+        inv_const = pow(low[0], -1, _P)
+        return type(self)([c * inv_const for c in lm[:deg]])
+
+    # -- value semantics ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            return self == type(self).from_int(other)
+        if isinstance(other, FQP) and type(other) is type(self):
+            return self.coeffs == other.coeffs
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.coeffs))
+
+    def __bool__(self) -> bool:
+        return any(self.coeffs)
+
+    def __repr__(self) -> str:
+        return "%s(%s)" % (type(self).__name__, list(self.coeffs))
+
+
+class FQ2(FQP):
+    """Fp2 = Fp[i]/(i^2 + 1)."""
+
+    degree = 2
+    modulus_coeffs = (1, 0)
+    __slots__ = ()
+
+
+class FQ12(FQP):
+    """Fp12 = Fp[w]/(w^12 - 18 w^6 + 82)."""
+
+    degree = 12
+    modulus_coeffs = (82, 0, 0, 0, 0, 0, -18, 0, 0, 0, 0, 0)
+    __slots__ = ()
+
+
+def fq2(a: int, b: int) -> FQ2:
+    """Convenience constructor ``a + b*i``."""
+    return FQ2([a, b])

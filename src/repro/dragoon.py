@@ -1,0 +1,194 @@
+"""The Dragoon system facade: many tasks, one chain, one requester key.
+
+The paper's §VI notes that "Dragoon enables the requester to manage only
+one private-public key pair throughout all her tasks, because all
+protocol scripts are simulatable without the secret key and therefore
+leak nothing relevant".  :class:`Dragoon` packages that deployment
+story: one chain + Swarm instance, per-requester long-lived keys, and a
+task registry, so a downstream user can run many HITs the way the
+deployed system at the paper's ropsten address did.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.chain.chain import Chain
+from repro.chain.network import Scheduler
+from repro.core.hit_contract import HITContract
+from repro.core.protocol import GasReport, ProtocolOutcome
+from repro.core.requester import RequesterClient
+from repro.core.task import HITTask
+from repro.core.worker import WorkerClient
+from repro.errors import ProtocolError
+from repro.ledger.accounts import Address
+from repro.storage.swarm import SwarmStore
+
+
+@dataclass
+class TaskHandle:
+    """One published task: its contract name, requester, and workers."""
+
+    contract_name: str
+    requester: RequesterClient
+    workers: List[WorkerClient] = field(default_factory=list)
+    finished: bool = False
+
+
+class Dragoon:
+    """A long-lived Dragoon deployment hosting many tasks.
+
+    Requester identities keep their ElGamal key pair across tasks; the
+    chain, ledger, and Swarm store are shared.  Each task runs the same
+    five-block life cycle as :func:`repro.core.protocol.run_hit`, but
+    tasks may be interleaved on the same chain.
+    """
+
+    def __init__(self, scheduler: Optional[Scheduler] = None) -> None:
+        self.chain = Chain(scheduler=scheduler)
+        self.swarm = SwarmStore()
+        self._requester_keys: Dict[str, int] = {}
+        self._task_counter = itertools.count()
+        self.tasks: Dict[str, TaskHandle] = {}
+
+    # ------------------------------------------------------------------
+    # Identities
+    # ------------------------------------------------------------------
+
+    def fund(self, label: str, coins: int) -> Address:
+        """Open (or top up awareness of) an account with ``coins``."""
+        return self.chain.register_account(label, coins)
+
+    def _requester_secret(self, label: str) -> int:
+        """The requester's long-lived key (created on first use)."""
+        from repro.crypto.curve import random_scalar
+
+        if label not in self._requester_keys:
+            self._requester_keys[label] = random_scalar()
+        return self._requester_keys[label]
+
+    # ------------------------------------------------------------------
+    # Task life cycle
+    # ------------------------------------------------------------------
+
+    def publish_task(self, requester_label: str, task: HITTask) -> TaskHandle:
+        """Publish a task under the requester's long-lived key."""
+        requester = RequesterClient(
+            requester_label,
+            task,
+            self.chain,
+            self.swarm,
+            balance=None
+            if not self.chain.ledger.has_account(
+                Address.from_label(requester_label)
+            )
+            else self.chain.ledger.balance_of(Address.from_label(requester_label)),
+            secret=self._requester_secret(requester_label),
+        )
+        name = "hit:%s:%d" % (requester_label, next(self._task_counter))
+        receipt = requester.publish(contract_name=name)
+        if not receipt.succeeded:
+            raise ProtocolError("publish failed: %s" % receipt.revert_reason)
+        handle = TaskHandle(contract_name=name, requester=requester)
+        self.tasks[name] = handle
+        return handle
+
+    def submit_answers(
+        self, handle: TaskHandle, worker_label: str, answers: Sequence[int]
+    ) -> WorkerClient:
+        """Register a worker on a task and queue their commit."""
+        worker = WorkerClient(
+            worker_label, self.chain, self.swarm, answers=list(answers)
+        )
+        worker.discover(handle.contract_name)
+        worker.send_commit()
+        handle.workers.append(worker)
+        return worker
+
+    def run_task(
+        self,
+        requester_label: str,
+        task: HITTask,
+        worker_answers: Sequence[Sequence[int]],
+        worker_labels: Optional[Sequence[str]] = None,
+    ) -> ProtocolOutcome:
+        """Publish, collect, evaluate, and settle one task end to end."""
+        handle = self.publish_task(requester_label, task)
+        labels = list(
+            worker_labels
+            if worker_labels is not None
+            else [
+                "%s/worker-%d" % (handle.contract_name, i)
+                for i in range(len(worker_answers))
+            ]
+        )
+        for label, answers in zip(labels, worker_answers):
+            self.submit_answers(handle, label, answers)
+        self.chain.mine_block()  # commits
+
+        for worker in handle.workers:
+            worker.send_reveal()
+        self.chain.mine_block()  # reveals
+
+        actions = handle.requester.evaluate_all()
+        self.chain.mine_block()  # golden + rejections
+
+        handle.requester.send_finalize()
+        self.chain.mine_block()
+        handle.finished = True
+
+        contract = self.chain.contract(handle.contract_name)
+        assert isinstance(contract, HITContract)
+        gas = self._gas_report_for(handle)
+        return ProtocolOutcome(
+            chain=self.chain,
+            swarm=self.swarm,
+            requester=handle.requester,
+            workers=handle.workers,
+            contract=contract,
+            actions=actions,
+            gas=gas,
+        )
+
+    def _gas_report_for(self, handle: TaskHandle) -> GasReport:
+        """Reconstruct the per-operation gas ledger from receipts."""
+        gas = GasReport()
+        for block in self.chain.blocks:
+            for receipt in block.receipts:
+                if receipt.transaction.contract != handle.contract_name:
+                    continue
+                if not receipt.succeeded:
+                    continue
+                method = receipt.transaction.method
+                sender = receipt.transaction.sender.label
+                if method == "__deploy__":
+                    gas.publish = receipt.gas_used
+                elif method == "commit":
+                    gas.commits[sender] = receipt.gas_used
+                elif method == "reveal":
+                    gas.reveals[sender] = receipt.gas_used
+                elif method == "golden":
+                    gas.golden += receipt.gas_used
+                elif method in ("evaluate", "outrange"):
+                    target = receipt.transaction.args[0]
+                    gas.rejections[target.label or target.hex()] = receipt.gas_used
+                elif method == "finalize":
+                    gas.finalize = receipt.gas_used
+        return gas
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def requester_public_key_bytes(self, label: str) -> bytes:
+        """The stable public key a requester uses across all her tasks."""
+        from repro.crypto.elgamal import keygen
+
+        public_key, _ = keygen(self._requester_secret(label))
+        return public_key.to_bytes()
+
+    @property
+    def total_gas(self) -> int:
+        return self.chain.total_gas

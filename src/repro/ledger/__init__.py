@@ -1,0 +1,6 @@
+"""The cryptocurrency ledger functionality L and account identities."""
+
+from repro.ledger.accounts import Address, Registry
+from repro.ledger.ledger import Ledger, LedgerEntry
+
+__all__ = ["Address", "Registry", "Ledger", "LedgerEntry"]

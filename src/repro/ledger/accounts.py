@@ -1,0 +1,67 @@
+"""Account identities for the ledger and chain layers.
+
+Addresses are 20-byte identifiers derived keccak-style from a label, so
+logs read like Ethereum addresses but tests stay deterministic.  The
+registration authority (RA) the paper assumes implicitly (footnote 6) is
+modelled by :class:`Registry`: every protocol identity must be granted
+before it can act, which is what rules out Sybil floods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.crypto.keccak import keccak256
+from repro.errors import LedgerError
+
+
+@dataclass(frozen=True)
+class Address:
+    """A 20-byte account address with a human-readable label."""
+
+    value: bytes
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.value) != 20:
+            raise LedgerError("addresses are 20 bytes")
+
+    @classmethod
+    def from_label(cls, label: str) -> "Address":
+        return cls(keccak256(label.encode("utf-8"))[-20:], label)
+
+    def hex(self) -> str:
+        return "0x" + self.value.hex()
+
+    def __str__(self) -> str:
+        return self.label or self.hex()[:10]
+
+
+class Registry:
+    """The paper's implicit registration authority: grants identities.
+
+    Real deployments inherit an RA (the platform or a certificate
+    authority); here registration is explicit so tests can check that
+    unregistered identities are rejected by the protocol layer.
+    """
+
+    def __init__(self) -> None:
+        self._granted: Dict[bytes, Address] = {}
+
+    def grant(self, label: str) -> Address:
+        """Register (or return the existing) identity for ``label``."""
+        address = Address.from_label(label)
+        return self._granted.setdefault(address.value, address)
+
+    def is_granted(self, address: Address) -> bool:
+        return address.value in self._granted
+
+    def lookup(self, label: str) -> Optional[Address]:
+        return self._granted.get(Address.from_label(label).value)
+
+    def __iter__(self) -> Iterator[Address]:
+        return iter(self._granted.values())
+
+    def __len__(self) -> int:
+        return len(self._granted)

@@ -1,0 +1,172 @@
+"""The cryptocurrency ledger functionality L (paper §III).
+
+The paper models the blockchain's coin layer as an ideal functionality
+with two oracle queries available to contracts:
+
+* ``FreezeCoins`` — move ``b`` coins from a party's balance into a
+  contract's escrow (fails with ``nofund`` if the balance is short).
+* ``PayCoins`` — move ``b`` coins from a contract's escrow to a party.
+
+We additionally track plain transfers (used to charge gas fees) and keep
+an append-only entry log so tests can assert exact payment traces and the
+conservation invariant (total supply never changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import EscrowError, InsufficientFunds, UnknownAccount
+from repro.ledger.accounts import Address
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One append-only log record of a balance movement."""
+
+    kind: str  # "mint" | "transfer" | "freeze" | "pay" | "fee"
+    source: Optional[Address]
+    destination: Optional[Address]
+    amount: int
+    memo: str = ""
+
+
+class Ledger:
+    """Balances, per-contract escrow, and an append-only movement log."""
+
+    def __init__(self) -> None:
+        self._balances: Dict[Address, int] = {}
+        self._escrow: Dict[Address, int] = {}
+        self._entries: List[LedgerEntry] = []
+        self._fees_collected = 0
+
+    # -- account management ---------------------------------------------------
+
+    def open_account(self, address: Address, initial_balance: int = 0) -> None:
+        """Create an account, minting ``initial_balance`` coins into it."""
+        if address in self._balances:
+            raise UnknownAccount("account already open: %s" % address)
+        if initial_balance < 0:
+            raise InsufficientFunds("cannot mint a negative balance")
+        self._balances[address] = initial_balance
+        if initial_balance:
+            self._entries.append(
+                LedgerEntry("mint", None, address, initial_balance)
+            )
+
+    def has_account(self, address: Address) -> bool:
+        return address in self._balances
+
+    def balance_of(self, address: Address) -> int:
+        try:
+            return self._balances[address]
+        except KeyError:
+            raise UnknownAccount("no such account: %s" % address) from None
+
+    def escrow_of(self, contract: Address) -> int:
+        return self._escrow.get(contract, 0)
+
+    # -- the two oracle queries of L -------------------------------------------
+
+    def freeze(self, contract: Address, party: Address, amount: int, memo: str = "") -> bool:
+        """``FreezeCoins``: escrow ``amount`` from ``party`` under ``contract``.
+
+        Returns True on success (the paper's ``frozen`` reply), False when
+        the balance is insufficient (the ``nofund`` reply).
+        """
+        if amount < 0:
+            raise InsufficientFunds("cannot freeze a negative amount")
+        balance = self.balance_of(party)
+        if balance < amount:
+            return False
+        self._balances[party] = balance - amount
+        self._escrow[contract] = self._escrow.get(contract, 0) + amount
+        self._entries.append(LedgerEntry("freeze", party, contract, amount, memo))
+        return True
+
+    def pay(self, contract: Address, party: Address, amount: int, memo: str = "") -> None:
+        """``PayCoins``: release ``amount`` of ``contract``'s escrow to ``party``."""
+        if amount < 0:
+            raise EscrowError("cannot pay a negative amount")
+        held = self._escrow.get(contract, 0)
+        if held < amount:
+            raise EscrowError(
+                "contract %s holds %d, cannot pay %d" % (contract, held, amount)
+            )
+        if party not in self._balances:
+            raise UnknownAccount("no such account: %s" % party)
+        self._escrow[contract] = held - amount
+        self._balances[party] += amount
+        self._entries.append(LedgerEntry("pay", contract, party, amount, memo))
+
+    # -- plain transfers and fees ------------------------------------------------
+
+    def transfer(self, source: Address, destination: Address, amount: int, memo: str = "") -> None:
+        """Move coins directly between two accounts."""
+        if amount < 0:
+            raise InsufficientFunds("cannot transfer a negative amount")
+        balance = self.balance_of(source)
+        if balance < amount:
+            raise InsufficientFunds(
+                "%s holds %d, cannot send %d" % (source, balance, amount)
+            )
+        if destination not in self._balances:
+            raise UnknownAccount("no such account: %s" % destination)
+        self._balances[source] = balance - amount
+        self._balances[destination] += amount
+        self._entries.append(LedgerEntry("transfer", source, destination, amount, memo))
+
+    def charge_fee(self, party: Address, amount: int, memo: str = "") -> None:
+        """Burn a gas fee from ``party`` (tracked for cost accounting)."""
+        balance = self.balance_of(party)
+        if balance < amount:
+            raise InsufficientFunds(
+                "%s holds %d, cannot pay fee %d" % (party, balance, amount)
+            )
+        self._balances[party] = balance - amount
+        self._fees_collected += amount
+        self._entries.append(LedgerEntry("fee", party, None, amount, memo))
+
+    # -- snapshots (transaction rollback support) -----------------------------------
+
+    def snapshot(self) -> Tuple[Dict[Address, int], Dict[Address, int], int, int]:
+        """Capture balances/escrow/fees for rollback of a reverted call."""
+        return (
+            dict(self._balances),
+            dict(self._escrow),
+            self._fees_collected,
+            len(self._entries),
+        )
+
+    def restore(
+        self, state: Tuple[Dict[Address, int], Dict[Address, int], int, int]
+    ) -> None:
+        """Roll back to a snapshot taken with :meth:`snapshot`."""
+        balances, escrow, fees, entry_count = state
+        self._balances = dict(balances)
+        self._escrow = dict(escrow)
+        self._fees_collected = fees
+        del self._entries[entry_count:]
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def entries(self) -> Tuple[LedgerEntry, ...]:
+        return tuple(self._entries)
+
+    @property
+    def fees_collected(self) -> int:
+        return self._fees_collected
+
+    def total_supply(self) -> int:
+        """Sum of all balances, escrow, and burned fees (conserved)."""
+        return sum(self._balances.values()) + sum(self._escrow.values()) + self._fees_collected
+
+    def payments_to(self, party: Address) -> List[LedgerEntry]:
+        """All ``pay`` entries whose destination is ``party``."""
+        return [
+            entry
+            for entry in self._entries
+            if entry.kind == "pay" and entry.destination == party
+        ]

@@ -1,0 +1,5 @@
+"""Off-chain storage substrate (the paper's Swarm)."""
+
+from repro.storage.swarm import SwarmStore, SwarmError
+
+__all__ = ["SwarmStore", "SwarmError"]

@@ -1,0 +1,62 @@
+"""A Swarm-like content-addressed off-chain store.
+
+Dragoon keeps the bulky task description (the actual questions, image
+URLs, instructions) off-chain in Swarm [53] and commits only the 32-byte
+keccak digest on-chain, "which significantly reduces on-chain cost,
+without violating securities".  :class:`SwarmStore` models exactly that
+contract: content-addressed puts/gets with integrity verified against the
+digest, so a tampered task description is detectable by every worker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.crypto.keccak import keccak256
+from repro.errors import ReproError
+
+
+class SwarmError(ReproError):
+    """Raised on integrity failures or missing content."""
+
+
+class SwarmStore:
+    """An in-process content-addressed store keyed by keccak-256 digest."""
+
+    def __init__(self) -> None:
+        self._blobs: Dict[bytes, bytes] = {}
+        self.put_count = 0
+        self.get_count = 0
+
+    def put(self, content: bytes) -> bytes:
+        """Store ``content``; returns its 32-byte content address."""
+        digest = keccak256(content)
+        self._blobs[digest] = content
+        self.put_count += 1
+        return digest
+
+    def get(self, digest: bytes) -> bytes:
+        """Fetch content by address, verifying integrity before returning."""
+        self.get_count += 1
+        try:
+            content = self._blobs[digest]
+        except KeyError:
+            raise SwarmError("no content at %s" % digest.hex()) from None
+        if keccak256(content) != digest:
+            raise SwarmError("stored content fails integrity check")
+        return content
+
+    def has(self, digest: bytes) -> bool:
+        return digest in self._blobs
+
+    def corrupt(self, digest: bytes, content: bytes) -> None:
+        """Adversarially replace stored content (for integrity tests)."""
+        if digest not in self._blobs:
+            raise SwarmError("no content at %s" % digest.hex())
+        self._blobs[digest] = content
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self._blobs)

@@ -1,0 +1,25 @@
+"""Shared utilities: serialization and measurement helpers."""
+
+from repro.utils.serialization import (
+    int_to_bytes,
+    bytes_to_int,
+    encode_point,
+    decode_point,
+    encode_ciphertext,
+    decode_ciphertext,
+    hex_digest,
+)
+from repro.utils.timing import Stopwatch, MemoryMeter, measure
+
+__all__ = [
+    "int_to_bytes",
+    "bytes_to_int",
+    "encode_point",
+    "decode_point",
+    "encode_ciphertext",
+    "decode_ciphertext",
+    "hex_digest",
+    "Stopwatch",
+    "MemoryMeter",
+    "measure",
+]

@@ -1,0 +1,42 @@
+"""Shared fixtures: session-scoped keys and small tasks keep tests fast."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.core.task import HITTask, TaskParameters
+from repro.crypto.elgamal import keygen
+from tests.helpers import small_task
+
+
+@pytest.fixture(scope="session")
+def keypair():
+    """One ElGamal key pair shared across crypto tests (keygen is cheap,
+    but a fixed pair makes failures reproducible)."""
+    return keygen(secret=0xDEADBEEFCAFE)
+
+
+@pytest.fixture(scope="session")
+def public_key(keypair):
+    return keypair[0]
+
+
+@pytest.fixture(scope="session")
+def secret_key(keypair):
+    return keypair[1]
+
+
+@pytest.fixture
+def tiny_task() -> HITTask:
+    """10 binary questions, 3 golds (answers all 0), 2 workers, Θ = 2."""
+    return small_task()
+
+
+@pytest.fixture
+def three_worker_task() -> HITTask:
+    return small_task(num_workers=3, budget=99)

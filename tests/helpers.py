@@ -1,0 +1,35 @@
+"""Shared test helpers (importable, unlike conftest fixtures)."""
+
+from __future__ import annotations
+
+from repro.core.task import HITTask, TaskParameters
+
+
+def small_task(
+    num_questions: int = 10,
+    num_golds: int = 3,
+    num_workers: int = 2,
+    threshold: int = 2,
+    budget: int = 100,
+    answer_range=(0, 1),
+) -> HITTask:
+    """A compact task for protocol tests: golds at positions 0..G-1, all
+    gold answers equal to the first option."""
+    gold_indexes = list(range(num_golds))
+    gold_answers = [answer_range[0] for _ in range(num_golds)]
+    ground_truth = [answer_range[0]] * num_questions
+    parameters = TaskParameters(
+        num_questions=num_questions,
+        budget=budget,
+        num_workers=num_workers,
+        answer_range=tuple(answer_range),
+        quality_threshold=threshold,
+        num_golds=num_golds,
+    )
+    return HITTask(
+        parameters,
+        ["question %d" % i for i in range(num_questions)],
+        gold_indexes,
+        gold_answers,
+        ground_truth,
+    )

@@ -1,0 +1,128 @@
+"""Homomorphic tallies, majority voting, agreement statistics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregation import (
+    accuracy_against_truth,
+    binary_consensus_from_tally,
+    homomorphic_tally,
+    majority_vote,
+    pairwise_agreement,
+)
+from repro.crypto.elgamal import keygen
+from repro.errors import ProtocolError
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return keygen(secret=0xA66)
+
+
+def test_homomorphic_tally_counts_ones(keys):
+    pk, sk = keys
+    submissions = [
+        pk.encrypt_vector([1, 0, 1]),
+        pk.encrypt_vector([1, 1, 0]),
+        pk.encrypt_vector([1, 0, 0]),
+    ]
+    assert homomorphic_tally(sk, submissions) == [3, 1, 1]
+
+
+def test_homomorphic_tally_empty(keys):
+    _, sk = keys
+    assert homomorphic_tally(sk, []) == []
+
+
+def test_homomorphic_tally_mismatched_lengths(keys):
+    pk, sk = keys
+    with pytest.raises(ProtocolError):
+        homomorphic_tally(sk, [pk.encrypt_vector([1]), pk.encrypt_vector([1, 0])])
+
+
+@given(st.lists(st.lists(st.integers(0, 1), min_size=3, max_size=3),
+                min_size=1, max_size=4))
+@settings(max_examples=6, deadline=None)
+def test_homomorphic_tally_matches_plaintext_sum(answer_sets):
+    pk, sk = keygen(secret=0xA67)
+    submissions = [pk.encrypt_vector(a) for a in answer_sets]
+    expected = [sum(col) for col in zip(*answer_sets)]
+    assert homomorphic_tally(sk, submissions) == expected
+
+
+def test_binary_consensus_from_tally():
+    result = binary_consensus_from_tally([3, 1, 2], num_workers=4)
+    assert result.labels == (1, 0, 1)  # tie at position 2 -> tie_break=1
+    assert result.support == (3, 3, 2)
+    assert result.num_workers == 4
+
+
+def test_binary_consensus_tie_break_zero():
+    result = binary_consensus_from_tally([2], num_workers=4, tie_break=0)
+    assert result.labels == (0,)
+
+
+def test_majority_vote_multioption():
+    result = majority_vote([[0, 2], [1, 2], [1, 2]])
+    assert result.labels == (1, 2)
+    assert result.support == (2, 3)
+
+
+def test_majority_vote_tie_resolution():
+    # 0 and 1 tie; smallest wins by default.
+    assert majority_vote([[0], [1]]).labels == (0,)
+    assert majority_vote([[0], [1]], tie_break=1).labels == (1,)
+    # tie_break not among tied options falls back to smallest.
+    assert majority_vote([[0], [1]], tie_break=7).labels == (0,)
+
+
+def test_majority_vote_requires_submissions():
+    with pytest.raises(ProtocolError):
+        majority_vote([])
+
+
+def test_majority_vote_length_mismatch():
+    with pytest.raises(ProtocolError):
+        majority_vote([[1, 0], [1]])
+
+
+def test_agreement_rate():
+    result = majority_vote([[1, 1], [1, 0]])
+    assert result.agreement_rate() == pytest.approx((2 + 1) / (2 * 2))
+
+
+def test_pairwise_agreement_bounds():
+    assert pairwise_agreement([[1, 0, 1]]) == 1.0
+    assert pairwise_agreement([[1, 1], [1, 1]]) == 1.0
+    assert pairwise_agreement([[1, 1], [0, 0]]) == 0.0
+    mixed = pairwise_agreement([[1, 1], [1, 0], [0, 0]])
+    assert 0.0 < mixed < 1.0
+
+
+def test_accuracy_against_truth():
+    assert accuracy_against_truth([1, 0, 1], [1, 0, 0]) == pytest.approx(2 / 3)
+    assert accuracy_against_truth([], []) == 1.0
+    with pytest.raises(ProtocolError):
+        accuracy_against_truth([1], [1, 0])
+
+
+def test_end_to_end_consensus_recovers_truth(keys):
+    """Five noisy binary annotators; consensus beats each individual."""
+    import random
+
+    pk, sk = keys
+    rng = random.Random(5)
+    truth = [rng.randint(0, 1) for _ in range(30)]
+    answer_sets = []
+    for _ in range(5):
+        answer_sets.append(
+            [t if rng.random() < 0.8 else 1 - t for t in truth]
+        )
+    submissions = [pk.encrypt_vector(a) for a in answer_sets]
+    tallies = homomorphic_tally(sk, submissions)
+    consensus = binary_consensus_from_tally(tallies, 5)
+    consensus_accuracy = accuracy_against_truth(list(consensus.labels), truth)
+    mean_individual = sum(
+        accuracy_against_truth(a, truth) for a in answer_sets
+    ) / 5
+    assert consensus_accuracy >= mean_individual

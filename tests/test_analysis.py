@@ -1,0 +1,106 @@
+"""Fee analysis and table rendering."""
+
+import pytest
+
+from repro.analysis.costs import (
+    build_handling_fee_table,
+    gas_summary,
+    mturk_handling_fee,
+)
+from repro.analysis.tables import (
+    format_bytes,
+    format_gas,
+    format_seconds,
+    render_table,
+)
+from repro.chain.gas import GasPricing
+from repro.core.protocol import GasReport
+
+
+def _report(publish=1_293_000, submit=2_830_000, reject=180_000):
+    report = GasReport(publish=publish)
+    for i in range(4):
+        report.commits["w%d" % i] = submit // 10
+        report.reveals["w%d" % i] = submit - submit // 10
+    report.golden = 90_000
+    report.rejections = {"w3": reject}
+    report.finalize = 100_000
+    return report
+
+
+def test_mturk_fee_small_batch():
+    assert mturk_handling_fee(20.0, 4) == pytest.approx(4.0)
+
+
+def test_mturk_fee_large_batch_rate():
+    assert mturk_handling_fee(20.0, 10) == pytest.approx(8.0)
+
+
+def test_mturk_fee_floor():
+    assert mturk_handling_fee(0.1, 5) == pytest.approx(0.05)
+
+
+def test_handling_fee_table_rows():
+    table = build_handling_fee_table(_report())
+    operations = [row.operation for row in table.rows]
+    assert operations == [
+        "Publish task (by requester)",
+        "Submit answers (by worker)",
+        "Verify PoQoEA to reject an answer",
+        "Overall (best-case: reject no submission)",
+    ]
+    assert table.row("Publish task (by requester)").gas == 1_293_000
+    assert table.row("Submit answers (by worker)").gas == 2_830_000
+
+
+def test_handling_fee_usd_matches_paper_rates():
+    table = build_handling_fee_table(_report())
+    publish = table.row("Publish task (by requester)")
+    assert publish.usd == pytest.approx(0.22, abs=0.01)
+
+
+def test_worst_case_row_added():
+    best = _report()
+    worst = _report(reject=200_000)
+    table = build_handling_fee_table(best, worst)
+    assert any("worst-case" in row.operation for row in table.rows)
+
+
+def test_missing_row_raises():
+    table = build_handling_fee_table(_report())
+    with pytest.raises(KeyError):
+        table.row("nope")
+
+
+def test_gas_summary_fields():
+    summary = gas_summary(_report())
+    assert "publish" in summary and "total" in summary
+    assert "1293k" in summary["publish"]
+
+
+def test_render_table_layout():
+    text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].startswith("+-")
+    assert "| 333" in text
+    # all separator lines equal width
+    assert len({len(line) for line in lines[1:]}) == 1
+
+
+def test_format_helpers():
+    assert format_seconds(0.005) == "5.0 ms"
+    assert format_seconds(12.0) == "12.0 s"
+    assert format_seconds(300.0) == "5.0 min"
+    assert format_bytes(500 * 1024) == "500 KiB"
+    assert format_bytes(53 * 1024**2) == "53.0 MiB"
+    assert format_bytes(10.3 * 1024**3) == "10.30 GiB"
+    assert format_gas(180_400) == "~180k"
+
+
+def test_pricing_is_configurable():
+    table = build_handling_fee_table(
+        _report(), pricing=GasPricing(gwei_per_gas=3.0, usd_per_ether=230.0)
+    )
+    publish = table.row("Publish task (by requester)")
+    assert publish.usd == pytest.approx(1_293_000 * 3e-9 * 230.0)

@@ -1,0 +1,166 @@
+"""Anonymous participation: ring-authenticated commits on the contract."""
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.core.anonymity import AnonymousHITContract, AnonymousWorkerIdentity
+from repro.crypto.commitment import commit as make_commitment
+from repro.crypto.ring import keygen_ring, ring_sign
+from repro.storage.swarm import SwarmStore
+from repro.core.requester import RequesterClient
+from tests.helpers import small_task
+
+
+class AnonymousHarness:
+    """Deploys an AnonymousHITContract with an RA-published ring."""
+
+    def __init__(self, ring_size=4):
+        self.task = small_task()
+        self.chain = Chain()
+        self.swarm = SwarmStore()
+        self.publics, self.secrets = keygen_ring(ring_size)
+        self.requester = RequesterClient("req", self.task, self.chain, self.swarm)
+
+        # Publish via an anonymous contract (mirrors RequesterClient.publish).
+        task_digest = self.swarm.put(self.task.questions_blob())
+        commitment, self.requester._golden_key = make_commitment(
+            self.task.golden_blob()
+        )
+        params_json = self.task.parameters.to_json()
+        contract = AnonymousHITContract("anon-hit")
+        contract.set_worker_ring(self.publics)
+        receipt = self.chain.deploy(
+            contract,
+            self.requester.address,
+            args=(params_json, self.requester.public_key.to_bytes(),
+                  commitment.digest, task_digest),
+            payload=params_json.encode() + commitment.digest + task_digest,
+        )
+        assert receipt.succeeded, receipt.revert_reason
+        self.requester.contract_name = "anon-hit"
+        self.contract = contract
+
+    def identity(self, index):
+        return AnonymousWorkerIdentity(self.publics, self.secrets[index], index)
+
+    def commit_as(self, pseudonym_label, identity, digest=None):
+        digest = digest if digest is not None else b"\x11" * 32
+        signature = identity.sign_commitment(digest, b"anon-hit")
+        pseudonym = self.chain.register_account(pseudonym_label, 0)
+        self.chain.send(
+            pseudonym,
+            "anon-hit",
+            "commit_anonymous",
+            args=(digest, signature),
+            payload=digest + signature.tag.to_bytes(),
+        )
+        return pseudonym, signature
+
+
+def test_anonymous_commit_accepted():
+    h = AnonymousHarness()
+    h.commit_as("pseudonym-a", h.identity(0), digest=b"\x01" * 32)
+    block = h.chain.mine_block()
+    assert block.receipts[0].succeeded, block.receipts[0].revert_reason
+    assert len(h.contract.committed_workers()) == 1
+
+
+def test_double_participation_linked_and_rejected():
+    """The same ring member committing twice (fresh pseudonym, fresh
+    digest) is caught by the linkability tag."""
+    h = AnonymousHarness()
+    h.commit_as("pseudonym-a", h.identity(0), digest=b"\x01" * 32)
+    h.chain.mine_block()
+    h.commit_as("pseudonym-b", h.identity(0), digest=b"\x02" * 32)
+    block = h.chain.mine_block()
+    assert not block.receipts[0].succeeded
+    assert "tag already used" in block.receipts[0].revert_reason
+
+
+def test_distinct_members_both_admitted():
+    h = AnonymousHarness()
+    h.commit_as("pseudonym-a", h.identity(0), digest=b"\x01" * 32)
+    h.commit_as("pseudonym-b", h.identity(1), digest=b"\x02" * 32)
+    block = h.chain.mine_block()
+    assert all(r.succeeded for r in block.receipts)
+    assert len(h.contract.committed_workers()) == 2
+
+
+def test_non_member_rejected():
+    h = AnonymousHarness()
+    outsider_publics, outsider_secrets = keygen_ring(4)
+    digest = b"\x03" * 32
+    # The outsider signs against their own ring, not the installed one.
+    forged = ring_sign(digest, outsider_publics, outsider_secrets[0], 0,
+                       b"anon-hit")
+    pseudonym = h.chain.register_account("outsider", 0)
+    h.chain.send(pseudonym, "anon-hit", "commit_anonymous",
+                 args=(digest, forged), payload=digest)
+    block = h.chain.mine_block()
+    assert not block.receipts[0].succeeded
+    assert "ring signature invalid" in block.receipts[0].revert_reason
+
+
+def test_signature_bound_to_digest():
+    """Replaying a valid signature with a different commitment fails."""
+    h = AnonymousHarness()
+    identity = h.identity(2)
+    signature = identity.sign_commitment(b"\x04" * 32, b"anon-hit")
+    pseudonym = h.chain.register_account("replayer", 0)
+    h.chain.send(pseudonym, "anon-hit", "commit_anonymous",
+                 args=(b"\x05" * 32, signature), payload=b"\x05" * 32)
+    block = h.chain.mine_block()
+    assert not block.receipts[0].succeeded
+
+
+def test_commit_event_carries_tag_not_identity():
+    h = AnonymousHarness()
+    _, signature = h.commit_as("pseudonym-a", h.identity(0), digest=b"\x01" * 32)
+    h.chain.mine_block()
+    events = h.chain.events_named("committed")
+    payload = events[0].payload
+    assert payload["tag"] == signature.tag
+    # The ring identity (public key) appears nowhere in the event.
+    for public in h.publics:
+        assert public.to_bytes() not in events[0].data
+
+
+def test_ring_verification_charges_gas():
+    h = AnonymousHarness()
+    h.commit_as("pseudonym-a", h.identity(0), digest=b"\x01" * 32)
+    block = h.chain.mine_block()
+    breakdown = block.receipts[0].gas_breakdown
+    # 4 ecMul per ring member at 6k each: dominates a plain commit.
+    assert breakdown["ecmul"] >= 4 * 4 * 6000
+
+
+def test_anonymous_flow_through_reveal_and_payment():
+    """Full anonymous task: commits via ring, reveals via pseudonyms."""
+    h = AnonymousHarness()
+    from repro.core.hit_contract import CIPHERTEXT_BYTES
+
+    pseudonyms = []
+    reveals = []
+    for index in range(2):
+        answers = [0] * 10
+        ciphertexts = h.requester.public_key.encrypt_vector(answers)
+        blob = b"".join(c.to_bytes() for c in ciphertexts)
+        commitment, key = make_commitment(blob)
+        pseudonym, _ = h.commit_as(
+            "pseudo-%d" % index, h.identity(index), digest=commitment.digest
+        )
+        pseudonyms.append(pseudonym)
+        reveals.append((pseudonym, blob, key))
+    h.chain.mine_block()
+
+    for pseudonym, blob, key in reveals:
+        h.chain.send(pseudonym, "anon-hit", "reveal", args=(blob, key),
+                     payload=blob + key)
+    h.chain.mine_block()
+
+    h.requester.send_golden()
+    h.chain.mine_block()
+    h.requester.send_finalize()
+    h.chain.mine_block()
+    for pseudonym in pseudonyms:
+        assert h.chain.ledger.balance_of(pseudonym) == 50

@@ -1,0 +1,245 @@
+"""Attack-scenario integration tests (paper §I, §IV adversary model).
+
+Each test runs one of the attacks the protocol is designed to survive
+and asserts the honest parties keep their guarantees.
+"""
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.core.adversary import (
+    CopyCatWorker,
+    FalseReportingRequester,
+    LateJoinerWorker,
+    NoRevealWorker,
+    OutOfRangeWorker,
+    ReplayProofRequester,
+    WrongGoldenRequester,
+    front_running_scheduler,
+)
+from repro.core.requester import RequesterClient
+from repro.core.worker import WorkerClient
+from repro.errors import ProtocolError
+from repro.storage.swarm import SwarmStore
+from tests.helpers import small_task
+
+GOOD = [0] * 10
+BAD = [1] * 10
+
+
+def _setup(task=None, scheduler=None, requester_cls=RequesterClient):
+    task = task if task is not None else small_task()
+    chain = Chain(scheduler=scheduler)
+    swarm = SwarmStore()
+    requester = requester_cls("req", task, chain, swarm)
+    assert requester.publish().succeeded
+    return task, chain, swarm, requester
+
+
+def _finish(chain, requester, evaluate=True):
+    if evaluate:
+        requester.evaluate_all()
+    chain.mine_block()
+    requester.send_finalize()
+    chain.mine_block()
+
+
+# ---------------------------------------------------------------------------
+# Free-riding (workers)
+# ---------------------------------------------------------------------------
+
+
+def test_copycat_commit_is_rejected_as_duplicate():
+    task, chain, swarm, requester = _setup()
+    victim = WorkerClient("victim", chain, swarm, answers=GOOD)
+    victim.discover(requester.contract_name)
+    victim.send_commit()
+    chain.mine_block()
+
+    copier = CopyCatWorker("copier", chain, swarm, victim=victim)
+    copier.discover(requester.contract_name)
+    copier.send_commit()
+    block = chain.mine_block()
+    assert not block.receipts[0].succeeded
+    assert "duplicate" in block.receipts[0].revert_reason
+
+
+def test_front_running_copycat_still_earns_nothing():
+    """Even if the rushing adversary delivers the copied commitment
+    first, the copier cannot open it and is never paid."""
+    task, chain, swarm, requester = _setup()
+    victim = WorkerClient("victim", chain, swarm, answers=GOOD)
+    victim.discover(requester.contract_name)
+
+    copier = CopyCatWorker("copier", chain, swarm, victim=victim)
+    copier.discover(requester.contract_name)
+
+    victim.send_commit()  # enters the mempool first...
+    copier.send_commit()  # ...but the adversary reorders below.
+    chain.scheduler = front_running_scheduler(copier.address)
+    block = chain.mine_block()
+    by_sender = {r.transaction.sender.label: r for r in block.receipts}
+    assert by_sender["copier"].succeeded  # the stolen commit landed first
+    assert not by_sender["victim"].succeeded  # the victim got bounced
+
+    # The copier cannot reveal (knows neither key nor ciphertexts)...
+    with pytest.raises(ProtocolError):
+        copier.send_reveal()
+    # ...and the griefed task never fills its K slots, so the requester
+    # cancels and recovers the budget.  The copier earned nothing.
+    chain.mine_block()
+    chain.mine_block()
+    chain.send(requester.address, requester.contract_name, "cancel")
+    block = chain.mine_block()
+    assert block.receipts[0].succeeded, block.receipts[0].revert_reason
+    assert chain.ledger.balance_of(copier.address) == 0
+    assert chain.ledger.balance_of(requester.address) == task.parameters.budget
+
+
+def test_late_joiner_cannot_enter_after_reveals():
+    task, chain, swarm, requester = _setup()
+    workers = [
+        WorkerClient("w%d" % i, chain, swarm, answers=GOOD) for i in range(2)
+    ]
+    for worker in workers:
+        worker.discover(requester.contract_name)
+        worker.send_commit()
+    chain.mine_block()
+    for worker in workers:
+        worker.send_reveal()
+    chain.mine_block()
+
+    # Ciphertexts are now public; the late joiner copies them...
+    late = LateJoinerWorker("late", chain, swarm)
+    late.discover(requester.contract_name)
+    assert late.copy_revealed_ciphertexts() is not None
+    late.send_commit()
+    block = chain.mine_block()
+    # ...but the commit phase closed at K commitments.
+    assert not block.receipts[0].succeeded
+
+
+def test_no_reveal_worker_forfeits_payment_only():
+    task, chain, swarm, requester = _setup()
+    honest = WorkerClient("honest", chain, swarm, answers=GOOD)
+    silent = NoRevealWorker("silent", chain, swarm, answers=GOOD)
+    for worker in (honest, silent):
+        worker.discover(requester.contract_name)
+        worker.send_commit()
+    chain.mine_block()
+    honest.send_reveal()
+    chain.mine_block()
+    _finish(chain, requester)
+    assert chain.ledger.balance_of(honest.address) == 50
+    assert chain.ledger.balance_of(silent.address) == 0
+    assert chain.ledger.balance_of(requester.address) == 50
+
+
+def test_out_of_range_worker_rejected_with_evidence():
+    task, chain, swarm, requester = _setup()
+    honest = WorkerClient("honest", chain, swarm, answers=GOOD)
+    cheat = OutOfRangeWorker("cheat", chain, swarm, answers=list(GOOD),
+                             bad_position=3, bad_value=42)
+    for worker in (honest, cheat):
+        worker.discover(requester.contract_name)
+        worker.send_commit()
+    chain.mine_block()
+    for worker in (honest, cheat):
+        worker.send_reveal()
+    chain.mine_block()
+    _finish(chain, requester)
+    assert chain.ledger.balance_of(honest.address) == 50
+    assert chain.ledger.balance_of(cheat.address) == 0
+    outranged = chain.events_named("outranged")
+    assert len(outranged) == 1
+    assert outranged[0].payload["index"] == 3
+
+
+# ---------------------------------------------------------------------------
+# False-reporting (requester)
+# ---------------------------------------------------------------------------
+
+
+def _run_two_workers(requester_cls, answers=(GOOD, GOOD)):
+    task, chain, swarm, requester = _setup(requester_cls=requester_cls)
+    workers = [
+        WorkerClient("w%d" % i, chain, swarm, answers=list(a))
+        for i, a in enumerate(answers)
+    ]
+    for worker in workers:
+        worker.discover(requester.contract_name)
+        worker.send_commit()
+    chain.mine_block()
+    for worker in workers:
+        worker.send_reveal()
+    chain.mine_block()
+    _finish(chain, requester)
+    return chain, requester, workers
+
+
+def test_false_reporting_requester_pays_anyway():
+    """Claiming quality 0 with a bogus proof cannot reap free data."""
+    chain, requester, workers = _run_two_workers(FalseReportingRequester)
+    for worker in workers:
+        assert chain.ledger.balance_of(worker.address) == 50
+    assert chain.ledger.balance_of(requester.address) == 0
+
+
+def test_replayed_proof_entries_do_not_reject():
+    """Padding a PoQoEA proof with duplicate entries fails verification,
+    so the honest worker is paid (Fig. 4 semantics)."""
+    # Workers miss one gold (quality 2 of 3, still >= theta): a cheating
+    # requester tries to reject by replaying the single mismatch.
+    near = [0, 0, 1] + [0] * 7
+    chain, requester, workers = _run_two_workers(ReplayProofRequester, (near, near))
+    for worker in workers:
+        assert chain.ledger.balance_of(worker.address) == 50
+
+
+def test_wrong_golden_opening_defaults_to_paying_everyone():
+    """A requester whose golden message fails the commitment check is
+    treated as silent: every revealed worker is paid."""
+    chain, requester, workers = _run_two_workers(WrongGoldenRequester, (BAD, BAD))
+    for worker in workers:
+        assert chain.ledger.balance_of(worker.address) == 50
+    assert chain.ledger.balance_of(requester.address) == 0
+
+
+# ---------------------------------------------------------------------------
+# Network adversary
+# ---------------------------------------------------------------------------
+
+
+def test_reordering_reveals_changes_nothing():
+    """Reordering the reveal phase cannot affect payments: submissions
+    were bound at commit time."""
+    from repro.chain.network import ReverseScheduler
+
+    task, chain, swarm, requester = _setup(scheduler=ReverseScheduler())
+    workers = [
+        WorkerClient("w%d" % i, chain, swarm, answers=a)
+        for i, a in enumerate([GOOD, BAD])
+    ]
+    for worker in workers:
+        worker.discover(requester.contract_name)
+        worker.send_commit()
+    chain.mine_block()
+    for worker in workers:
+        worker.send_reveal()
+    chain.mine_block()
+    _finish(chain, requester)
+    assert chain.ledger.balance_of(workers[0].address) == 50
+    assert chain.ledger.balance_of(workers[1].address) == 0
+
+
+def test_commitments_hide_answers_from_mempool_observers():
+    """The rushing adversary sees commit payloads before delivery; they
+    must be 32-byte digests, not ciphertexts or answers."""
+    task, chain, swarm, requester = _setup()
+    worker = WorkerClient("w", chain, swarm, answers=GOOD)
+    worker.discover(requester.contract_name)
+    worker.send_commit()
+    pending = chain.mempool.pending
+    assert len(pending) == 1
+    assert len(pending[0].payload) == 32
+    assert pending[0].payload != bytes(GOOD)

@@ -1,0 +1,82 @@
+"""Gold-standard auditability: reconstructing reputations from the chain."""
+
+import pytest
+
+from repro.core.audit import GoldAuditLog
+from repro.core.protocol import run_hit
+from repro.dragoon import Dragoon
+from tests.helpers import small_task
+
+GOOD = [0] * 10
+BAD = [1] * 10
+
+
+def test_audit_reconstructs_single_task():
+    outcome = run_hit(small_task(), [GOOD, BAD])
+    log = GoldAuditLog(outcome.chain)
+    records = log.audit_tasks()
+    assert len(records) == 1
+    record = next(iter(records.values()))
+    assert record.requester.label == "requester"
+    assert record.golden_opened
+    assert record.gold_indexes == tuple(small_task().gold_indexes)
+    assert len(record.paid_workers) == 1
+    assert len(record.rejected_workers) == 1
+    assert record.rejection_rate == pytest.approx(0.5)
+
+
+def test_audit_detects_silent_requester():
+    outcome = run_hit(small_task(), [GOOD, GOOD], requester_evaluates=False)
+    log = GoldAuditLog(outcome.chain)
+    record = next(iter(log.audit_tasks().values()))
+    assert not record.golden_opened
+    assert len(record.paid_workers) == 2
+    reputation = log.reputation()["requester"]
+    assert reputation.silent_tasks == 1
+    assert any("without opening golds" in flag for flag in reputation.flags)
+
+
+def test_reputation_flags_mass_rejecter():
+    system = Dragoon()
+    system.fund("mallory", 300)
+    for i in range(3):
+        system.run_task(
+            "mallory", small_task(), [BAD, BAD],
+            worker_labels=["w%d-a" % i, "w%d-b" % i],
+        )
+    log = GoldAuditLog(system.chain)
+    reputation = log.reputation()["mallory"]
+    assert reputation.tasks == 3
+    assert reputation.workers_rejected == 6
+    assert reputation.rejection_rate == 1.0
+    assert reputation.is_suspicious
+
+
+def test_reputation_clean_requester_unflagged():
+    system = Dragoon()
+    system.fund("alice", 200)
+    system.run_task("alice", small_task(), [GOOD, GOOD],
+                    worker_labels=["w0", "w1"])
+    system.run_task("alice", small_task(), [GOOD, BAD],
+                    worker_labels=["w2", "w3"])
+    reputation = GoldAuditLog(system.chain).reputation()["alice"]
+    assert reputation.tasks == 2
+    assert reputation.rejection_rate == pytest.approx(0.25)
+    assert not reputation.is_suspicious
+
+
+def test_divergence_from_consensus():
+    outcome = run_hit(small_task(), [GOOD, GOOD])
+    log = GoldAuditLog(outcome.chain)
+    record = next(iter(log.audit_tasks().values()))
+    # Accepted submissions agree with the golds: divergence 0.
+    assert log.divergence_from_consensus(record, [GOOD, GOOD]) == 0.0
+    # A hypothetical consensus that contradicts every gold: divergence 1.
+    assert log.divergence_from_consensus(record, [BAD, BAD]) == 1.0
+
+
+def test_divergence_without_golden_is_zero():
+    outcome = run_hit(small_task(), [GOOD, GOOD], requester_evaluates=False)
+    log = GoldAuditLog(outcome.chain)
+    record = next(iter(log.audit_tasks().values()))
+    assert log.divergence_from_consensus(record, [GOOD]) == 0.0

@@ -1,0 +1,175 @@
+"""The chain simulator: deployment, execution, revert, events, gas."""
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.chain.contract import CallContext, Contract
+from repro.chain.gas import TX_BASE, deployment_cost
+from repro.errors import ChainError, ContractError
+
+
+class Counter(Contract):
+    """A tiny test contract: counts, stores, pays, and can revert."""
+
+    code_size = 1000
+
+    def on_deploy(self, ctx: CallContext) -> None:
+        self._sstore(ctx, "count", 0)
+
+    def increment(self, ctx: CallContext) -> None:
+        current = self._sload(ctx, "count")
+        self._sstore(ctx, "count", current + 1)
+        self.emit(ctx, "incremented", payload={"count": current + 1})
+
+    def boom(self, ctx: CallContext) -> None:
+        self._sstore(ctx, "count", 999)
+        ctx.require(False, "always reverts")
+
+    def take_budget(self, ctx: CallContext) -> None:
+        ok = ctx.ledger.freeze(self.address, ctx.sender, 50)
+        ctx.require(ok, "no funds")
+
+    def pay_then_fail(self, ctx: CallContext) -> None:
+        ctx.ledger.pay(self.address, ctx.sender, 10)
+        ctx.require(False, "revert after pay")
+
+
+@pytest.fixture
+def chain():
+    chain = Chain()
+    chain.register_account("deployer", 100)
+    chain.register_account("user", 100)
+    return chain
+
+
+def _deploy(chain) -> Counter:
+    contract = Counter("counter")
+    receipt = chain.deploy(contract, chain.registry.lookup("deployer"))
+    assert receipt.succeeded
+    return contract
+
+
+def test_deploy_charges_code_deposit(chain):
+    contract = Counter("counter")
+    receipt = chain.deploy(contract, chain.registry.lookup("deployer"))
+    assert receipt.gas_used >= TX_BASE + deployment_cost(1000)
+    assert chain.height == 1
+
+
+def test_duplicate_contract_name_rejected(chain):
+    _deploy(chain)
+    with pytest.raises(ChainError):
+        chain.deploy(Counter("counter"), chain.registry.lookup("deployer"))
+
+
+def test_send_and_mine(chain):
+    contract = _deploy(chain)
+    user = chain.registry.lookup("user")
+    chain.send(user, "counter", "increment")
+    chain.send(user, "counter", "increment")
+    block = chain.mine_block()
+    assert len(block.transactions) == 2
+    assert all(r.succeeded for r in block.receipts)
+    assert contract.storage["count"] == 2
+
+
+def test_send_to_unknown_contract(chain):
+    with pytest.raises(ChainError):
+        chain.send(chain.registry.lookup("user"), "ghost", "noop")
+
+
+def test_revert_rolls_back_storage(chain):
+    contract = _deploy(chain)
+    user = chain.registry.lookup("user")
+    chain.send(user, "counter", "boom")
+    block = chain.mine_block()
+    receipt = block.receipts[0]
+    assert not receipt.succeeded
+    assert "always reverts" in receipt.revert_reason
+    assert contract.storage["count"] == 0  # the 999 write rolled back
+
+
+def test_revert_rolls_back_ledger(chain):
+    contract = _deploy(chain)
+    user = chain.registry.lookup("user")
+    chain.send(user, "counter", "take_budget")
+    chain.mine_block()
+    assert chain.ledger.escrow_of(contract.address) == 50
+    chain.send(user, "counter", "pay_then_fail")
+    chain.mine_block()
+    # The pay inside the reverted call must not stick.
+    assert chain.ledger.escrow_of(contract.address) == 50
+    assert chain.ledger.balance_of(user) == 50
+
+
+def test_revert_suppresses_events(chain):
+    _deploy(chain)
+    user = chain.registry.lookup("user")
+    chain.send(user, "counter", "boom")
+    chain.mine_block()
+    assert chain.events_named("incremented") == []
+
+
+def test_events_recorded_on_success(chain):
+    _deploy(chain)
+    user = chain.registry.lookup("user")
+    chain.send(user, "counter", "increment")
+    chain.mine_block()
+    events = chain.events_named("incremented", "counter")
+    assert len(events) == 1
+    assert events[0].payload == {"count": 1}
+
+
+def test_unknown_method_reverts(chain):
+    _deploy(chain)
+    user = chain.registry.lookup("user")
+    chain.send(user, "counter", "not_a_method")
+    block = chain.mine_block()
+    assert not block.receipts[0].succeeded
+
+
+def test_private_method_not_callable(chain):
+    _deploy(chain)
+    user = chain.registry.lookup("user")
+    chain.send(user, "counter", "_sstore")
+    block = chain.mine_block()
+    assert not block.receipts[0].succeeded
+
+
+def test_gas_accounting_per_sender(chain):
+    _deploy(chain)
+    user = chain.registry.lookup("user")
+    chain.send(user, "counter", "increment")
+    chain.mine_block()
+    assert chain.gas_by_sender[user] > TX_BASE
+    assert chain.total_gas > 0
+
+
+def test_clock_advances_per_block(chain):
+    _deploy(chain)
+    assert chain.clock.period == 0
+    chain.mine_block()
+    chain.mine_block()
+    assert chain.clock.period == 2
+
+
+def test_block_linkage(chain):
+    _deploy(chain)
+    b1 = chain.mine_block()
+    b2 = chain.mine_block()
+    assert b2.parent_hash == b1.block_hash()
+    assert b1.number == 1 and b2.number == 2
+
+
+def test_mine_until_idle(chain):
+    _deploy(chain)
+    user = chain.registry.lookup("user")
+    chain.send(user, "counter", "increment")
+    mined = chain.mine_until_idle()
+    assert len(mined) == 1
+    assert chain.mine_until_idle() == []
+
+
+def test_register_account_idempotent(chain):
+    a = chain.register_account("user", 5)
+    assert chain.ledger.balance_of(a) == 100  # existing balance kept

@@ -1,0 +1,89 @@
+"""Statement circuits and full-scale constraint estimators."""
+
+import pytest
+
+from repro.baseline.circuits import (
+    exponential_elgamal_decryption_constraints,
+    generic_poqoea_statement,
+    generic_vpke_statement,
+    multiplication_chain_circuit,
+    quality_statement_circuit,
+    range_membership_circuit,
+    rsa_oaep_decryption_constraints,
+)
+from repro.errors import ConstraintError
+
+
+def test_multiplication_chain_satisfied():
+    cs = multiplication_chain_circuit(10)
+    assert cs.is_satisfied()
+    assert cs.num_constraints == 11  # 10 squarings + output equality
+
+
+def test_multiplication_chain_scales_linearly():
+    assert (
+        multiplication_chain_circuit(40).num_constraints
+        - multiplication_chain_circuit(20).num_constraints
+        == 20
+    )
+
+
+def test_multiplication_chain_rejects_zero_length():
+    with pytest.raises(ConstraintError):
+        multiplication_chain_circuit(0)
+
+
+@pytest.mark.parametrize(
+    "golds,answers,chi,ok",
+    [
+        ([1, 0, 1], [1, 0, 1], 3, True),
+        ([1, 0, 1], [1, 0, 1], 2, False),
+        ([1, 0, 1], [0, 1, 0], 0, True),
+        ([1, 0], [1, 1], 1, True),
+    ],
+)
+def test_quality_statement_satisfiability(golds, answers, chi, ok):
+    cs = quality_statement_circuit(golds, chi, answers)
+    assert cs.is_satisfied() == ok
+
+
+def test_quality_statement_publics_are_golds_and_chi():
+    cs = quality_statement_circuit([1, 0], 1, [1, 1])
+    assert cs.public_values() == [1, 0, 1]
+
+
+@pytest.mark.parametrize("value,ok", [(0, True), (1, True), (2, True), (3, False)])
+def test_range_membership(value, ok):
+    cs = range_membership_circuit([0, 1, 2], value)
+    assert cs.is_satisfied() == ok
+
+
+def test_rsa_estimator_magnitude():
+    """~1.7M constraints for 2048-bit RSA-OAEP — the scale that explains
+    the paper's 37 s / 3.9 GB generic proving row."""
+    constraints = rsa_oaep_decryption_constraints(2048)
+    assert 1_000_000 < constraints < 3_000_000
+
+
+def test_rsa_estimator_grows_superlinearly_in_modulus():
+    assert rsa_oaep_decryption_constraints(4096) > 4 * rsa_oaep_decryption_constraints(2048) * 0.9
+
+
+def test_elgamal_estimator_much_smaller_than_rsa():
+    assert (
+        exponential_elgamal_decryption_constraints()
+        < rsa_oaep_decryption_constraints() / 100
+    )
+
+
+def test_vpke_statement_size():
+    statement = generic_vpke_statement()
+    assert statement.constraints == rsa_oaep_decryption_constraints()
+    assert "RSA-OAEP" in statement.notes
+
+
+def test_poqoea_statement_is_about_three_vpke():
+    """Matches the paper's 112 s vs 37 s proving-time ratio (~3x)."""
+    vpke = generic_vpke_statement().constraints
+    poqoea = generic_poqoea_statement(num_golds=6, num_mismatches=3).constraints
+    assert 2.8 < poqoea / vpke < 3.3

@@ -1,0 +1,50 @@
+"""The command-line interface: every subcommand runs and reports."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_subcommand(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_demo_command(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "Demo HIT" in out
+    assert "worker-0" in out
+
+
+def test_imagenet_command(capsys):
+    assert main(["imagenet"]) == 0
+    out = capsys.readouterr().out
+    assert "gold quality" in out
+    assert "total gas" in out
+
+
+def test_fees_command(capsys):
+    assert main(["fees"]) == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out
+    assert "MTurk" in out
+
+
+def test_audit_command(capsys):
+    assert main(["audit"]) == 0
+    out = capsys.readouterr().out
+    assert "mass-rejecter" in out
+    assert "rejects 100%" in out
+
+
+def test_incentives_command(capsys):
+    assert main(["incentives"]) == 0
+    out = capsys.readouterr().out
+    assert "copy-paste" in out
+    assert "naive transparent chain" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

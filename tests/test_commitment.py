@@ -1,0 +1,81 @@
+"""Hash commitments: correctness, binding, key handling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.commitment import (
+    KEY_BYTES,
+    Commitment,
+    commit,
+    generate_key,
+    open_commitment,
+)
+from repro.crypto.random_oracle import RandomOracle
+
+
+def test_commit_open_roundtrip():
+    commitment, key = commit(b"message")
+    assert open_commitment(commitment, b"message", key)
+
+
+def test_wrong_message_rejected():
+    commitment, key = commit(b"message")
+    assert not open_commitment(commitment, b"other", key)
+
+
+def test_wrong_key_rejected():
+    commitment, _ = commit(b"message")
+    assert not open_commitment(commitment, b"message", generate_key())
+
+
+@given(st.binary(max_size=200), st.binary(max_size=200))
+@settings(max_examples=40)
+def test_binding_distinct_messages(a, b):
+    if a == b:
+        return
+    key = b"\x11" * KEY_BYTES
+    commitment_a, _ = commit(a, key)
+    commitment_b, _ = commit(b, key)
+    assert commitment_a.digest != commitment_b.digest
+
+
+def test_hiding_same_message_fresh_keys():
+    a, _ = commit(b"answer")
+    b, _ = commit(b"answer")
+    assert a.digest != b.digest  # fresh blinding keys
+
+
+def test_deterministic_under_fixed_key():
+    key = b"\x22" * KEY_BYTES
+    a, _ = commit(b"answer", key)
+    b, _ = commit(b"answer", key)
+    assert a.digest == b.digest
+
+
+def test_key_length_enforced():
+    with pytest.raises(ValueError):
+        commit(b"m", b"short")
+    commitment, key = commit(b"m")
+    assert not open_commitment(commitment, b"m", b"short")
+
+
+def test_commitment_digest_length_enforced():
+    with pytest.raises(ValueError):
+        Commitment(b"short")
+
+
+def test_generate_key_is_32_bytes_and_fresh():
+    a, b = generate_key(), generate_key()
+    assert len(a) == KEY_BYTES
+    assert a != b
+
+
+def test_commit_with_custom_oracle():
+    oracle = RandomOracle()
+    commitment, key = commit(b"m", oracle=oracle)
+    assert open_commitment(commitment, b"m", key, oracle=oracle)
+
+
+def test_hex_rendering():
+    commitment, _ = commit(b"m")
+    assert commitment.hex() == commitment.digest.hex()

@@ -1,0 +1,56 @@
+"""The SNARK cost model: calibration and extrapolation sanity."""
+
+import pytest
+
+from repro.baseline.costmodel import (
+    SnarkCostModel,
+    measure_local_model,
+    paper_calibrated_model,
+)
+
+
+def test_paper_calibrated_model_recovers_paper_numbers():
+    model = paper_calibrated_model()
+    vpke = model.estimate_vpke()
+    assert vpke.seconds == pytest.approx(37.0, rel=0.01)
+    assert vpke.peak_gib == pytest.approx(3.9, rel=0.01)
+
+
+def test_paper_model_poqoea_near_paper():
+    """The PoQoEA estimate should land near the paper's 112 s / 10.3 GB."""
+    model = paper_calibrated_model()
+    poqoea = model.estimate_poqoea()
+    assert 90 < poqoea.seconds < 135
+    assert 9 < poqoea.peak_gib < 14
+
+
+def test_estimates_scale_linearly():
+    model = SnarkCostModel(seconds_per_constraint=1e-5,
+                           bytes_per_constraint=100.0)
+    small = model.estimate("s", 1000)
+    large = model.estimate("l", 2000)
+    assert large.seconds == pytest.approx(2 * small.seconds)
+    assert large.peak_bytes == pytest.approx(2 * small.peak_bytes)
+
+
+def test_fixed_costs_added():
+    model = SnarkCostModel(
+        seconds_per_constraint=0.0,
+        bytes_per_constraint=0.0,
+        fixed_seconds=1.5,
+        fixed_bytes=10.0,
+    )
+    estimate = model.estimate("s", 10)
+    assert estimate.seconds == 1.5
+    assert estimate.peak_bytes == 10.0
+
+
+@pytest.mark.slow
+def test_measured_model_is_positive_and_predictive():
+    model, samples = measure_local_model(sizes=(8, 16, 32))
+    assert len(samples) == 3
+    assert model.seconds_per_constraint > 0
+    # Extrapolation to the full statement must be enormous compared to
+    # the concrete construction (that is the paper's point).
+    vpke = model.estimate_vpke()
+    assert vpke.seconds > 60  # pure-Python per-constraint cost is high

@@ -1,0 +1,92 @@
+"""The Dragoon multi-task facade: shared chain, long-lived keys."""
+
+import pytest
+
+from repro.dragoon import Dragoon
+from repro.errors import ProtocolError
+from tests.helpers import small_task
+
+GOOD = [0] * 10
+BAD = [1] * 10
+
+
+def test_single_task_through_facade():
+    system = Dragoon()
+    system.fund("alice", 100)
+    outcome = system.run_task("alice", small_task(), [GOOD, BAD])
+    payments = outcome.payments()
+    assert sorted(payments.values()) == [0, 50]
+
+
+def test_two_sequential_tasks_same_requester():
+    system = Dragoon()
+    system.fund("alice", 200)
+    first = system.run_task("alice", small_task(), [GOOD, GOOD],
+                            worker_labels=["w0", "w1"])
+    second = system.run_task("alice", small_task(), [GOOD, BAD],
+                             worker_labels=["w2", "w3"])
+    assert all(v == 50 for v in first.payments().values())
+    assert sorted(second.payments().values()) == [0, 50]
+    assert len(system.tasks) == 2
+
+
+def test_requester_key_is_stable_across_tasks():
+    """The paper's one-key-pair-for-all-tasks property."""
+    system = Dragoon()
+    system.fund("alice", 200)
+    key_before = system.requester_public_key_bytes("alice")
+    system.run_task("alice", small_task(), [GOOD, GOOD])
+    key_after = system.requester_public_key_bytes("alice")
+    assert key_before == key_after
+    published = system.chain.events_named("published")
+    assert published[0].payload["pubkey"] == key_before
+
+
+def test_different_requesters_have_different_keys():
+    system = Dragoon()
+    assert (
+        system.requester_public_key_bytes("alice")
+        != system.requester_public_key_bytes("bob")
+    )
+
+
+def test_gas_report_from_facade_matches_chain():
+    system = Dragoon()
+    system.fund("alice", 100)
+    outcome = system.run_task("alice", small_task(), [GOOD, BAD])
+    gas = outcome.gas
+    assert gas.publish > 1_000_000
+    assert len(gas.commits) == 2
+    assert len(gas.reveals) == 2
+    assert len(gas.rejections) == 1
+    assert gas.finalize > 0
+
+
+def test_publish_fails_without_funds():
+    system = Dragoon()
+    system.fund("pauper", 1)
+    with pytest.raises(ProtocolError):
+        system.publish_task("pauper", small_task())
+
+
+def test_worker_identities_can_span_tasks():
+    system = Dragoon()
+    system.fund("alice", 200)
+    first = system.run_task("alice", small_task(), [GOOD, GOOD],
+                            worker_labels=["w0", "w1"])
+    second = system.run_task("alice", small_task(), [GOOD, GOOD],
+                             worker_labels=["w0", "w1"])
+    ledger = system.chain.ledger
+    # Same worker accumulated rewards from both tasks.
+    assert ledger.balance_of(first.workers[0].address) == 100
+
+
+def test_total_gas_accumulates():
+    system = Dragoon()
+    system.fund("alice", 200)
+    system.run_task("alice", small_task(), [GOOD, GOOD],
+                    worker_labels=["w0", "w1"])
+    first_total = system.total_gas
+    system.run_task("alice", small_task(), [GOOD, GOOD],
+                    worker_labels=["w2", "w3"])
+    assert system.total_gas > first_total

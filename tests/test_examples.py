@@ -1,0 +1,37 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are documentation that executes; these tests keep them honest.
+Each runs in a subprocess exactly as a user would invoke it.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": "fairness holds",
+    "imagenet_annotation.py": "decentralized is cheaper     : True",
+    "street_parking.py": "qualified submissions off-chain",
+    "attack_gallery.py": "all four attacks defeated",
+    "consensus_labels.py": "homomorphic aggregation",
+    "anonymous_workers.py": "never learned which ring members",
+    "task_marketplace.py": "recommendations for a 95%-accurate worker",
+}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script,snippet", sorted(EXPECTED_SNIPPETS.items()))
+def test_example_runs(script, snippet):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert snippet in result.stdout

@@ -1,0 +1,76 @@
+"""The chain explorer: public-data views and JSON export."""
+
+import json
+
+from repro.chain.explorer import ChainExplorer
+from repro.core.protocol import run_hit
+from tests.helpers import small_task
+
+GOOD = [0] * 10
+BAD = [1] * 10
+
+
+def _explorer():
+    outcome = run_hit(small_task(), [GOOD, BAD])
+    return ChainExplorer(outcome.chain), outcome
+
+
+def test_block_summary_lists_all_blocks():
+    explorer, outcome = _explorer()
+    text = explorer.block_summary()
+    assert "5 blocks" in text
+    for number in range(5):
+        assert "| %d" % number in text
+
+
+def test_transaction_log_contains_protocol_calls():
+    explorer, outcome = _explorer()
+    text = explorer.transaction_log()
+    for method in ("commit", "reveal", "golden", "evaluate", "finalize"):
+        assert method in text
+
+
+def test_transaction_log_filter_by_contract():
+    explorer, outcome = _explorer()
+    name = outcome.requester.contract_name
+    assert "commit" in explorer.transaction_log(contract=name)
+    assert "commit" not in explorer.transaction_log(contract="ghost")
+
+
+def test_event_log_filter():
+    explorer, _ = _explorer()
+    assert "revealed" in explorer.event_log("revealed")
+    assert "committed" not in explorer.event_log("revealed")
+
+
+def test_json_export_roundtrips():
+    explorer, _ = _explorer()
+    data = json.loads(explorer.to_json())
+    assert data["height"] == 5
+    assert data["total_gas"] > 0
+    assert len(data["blocks"]) == 5
+    methods = [
+        receipt["method"]
+        for block in data["blocks"]
+        for receipt in block["receipts"]
+    ]
+    assert "reveal" in methods
+
+
+def test_json_blocks_are_linked():
+    explorer, _ = _explorer()
+    data = explorer.to_dict()
+    for previous, block in zip(data["blocks"], data["blocks"][1:]):
+        assert block["parent"] == previous["hash"]
+
+
+def test_gas_spent_by_label():
+    explorer, outcome = _explorer()
+    assert explorer.gas_spent_by("requester") > 1_000_000
+    assert explorer.gas_spent_by("worker-0") > 100_000
+    assert explorer.gas_spent_by("nobody") == 0
+
+
+def test_failed_transactions_empty_on_clean_run():
+    explorer, _ = _explorer()
+    assert explorer.failed_transactions() == []

@@ -1,0 +1,123 @@
+"""Prime-field arithmetic: axioms (property-based) and helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.field import (
+    CURVE_ORDER,
+    FIELD_MODULUS,
+    Fq,
+    Fr,
+    inv_mod,
+    make_prime_field,
+    sqrt_mod,
+)
+from repro.errors import CryptoError
+
+elements = st.integers(min_value=0, max_value=FIELD_MODULUS - 1)
+nonzero = st.integers(min_value=1, max_value=FIELD_MODULUS - 1)
+
+
+@given(elements, elements, elements)
+def test_field_ring_axioms(a, b, c):
+    x, y, z = Fq(a), Fq(b), Fq(c)
+    assert x + y == y + x
+    assert (x + y) + z == x + (y + z)
+    assert x * y == y * x
+    assert (x * y) * z == x * (y * z)
+    assert x * (y + z) == x * y + x * z
+
+
+@given(nonzero)
+def test_multiplicative_inverse(a):
+    x = Fq(a)
+    assert x * x.inverse() == Fq(1)
+    assert (x / x) == Fq(1)
+
+
+@given(elements)
+def test_additive_inverse(a):
+    x = Fq(a)
+    assert x + (-x) == Fq(0)
+    assert x - x == Fq(0)
+
+
+@given(elements, st.integers(min_value=0, max_value=50))
+def test_pow_matches_repeated_multiplication(a, e):
+    x = Fq(a)
+    expected = Fq(1)
+    for _ in range(e):
+        expected = expected * x
+    assert x**e == expected
+
+
+@given(nonzero)
+def test_negative_exponent(a):
+    x = Fq(a)
+    assert x**-1 == x.inverse()
+    assert x**-3 == (x * x * x).inverse()
+
+
+def test_mixed_int_arithmetic():
+    assert Fq(5) + 3 == Fq(8)
+    assert 3 + Fq(5) == Fq(8)
+    assert Fq(5) - 7 == Fq(-2)
+    assert 7 - Fq(5) == Fq(2)
+    assert Fq(5) * 2 == Fq(10)
+    assert 1 / Fq(2) == Fq(2).inverse()
+
+
+def test_cross_field_mixing_rejected():
+    with pytest.raises(CryptoError):
+        Fq(1) + Fr(1)
+
+
+def test_division_by_zero():
+    with pytest.raises(ZeroDivisionError):
+        Fq(1) / Fq(0)
+    with pytest.raises(ZeroDivisionError):
+        inv_mod(0, FIELD_MODULUS)
+
+
+def test_equality_and_hash():
+    assert Fq(1) == Fq(1 + FIELD_MODULUS)
+    assert Fq(1) == 1
+    assert hash(Fq(2)) == hash(Fq(2 + FIELD_MODULUS))
+    assert Fq(1) != Fr(1)
+
+
+def test_bool_and_int_conversion():
+    assert not Fq(0)
+    assert Fq(3)
+    assert int(Fq(3)) == 3
+
+
+def test_field_cache_returns_same_class():
+    assert make_prime_field(FIELD_MODULUS) is make_prime_field(FIELD_MODULUS)
+    assert make_prime_field(FIELD_MODULUS) is Fq
+
+
+@given(nonzero)
+@settings(max_examples=25)
+def test_sqrt_mod_roundtrip(a):
+    square = a * a % FIELD_MODULUS
+    root = sqrt_mod(square, FIELD_MODULUS)
+    assert root * root % FIELD_MODULUS == square
+
+
+def test_sqrt_mod_rejects_non_residue():
+    # -1 is a non-residue when p % 4 == 3.
+    with pytest.raises(CryptoError):
+        sqrt_mod(FIELD_MODULUS - 1, FIELD_MODULUS)
+
+
+def test_sqrt_mod_requires_3_mod_4():
+    with pytest.raises(CryptoError):
+        sqrt_mod(4, 13)  # 13 % 4 == 1
+
+
+def test_bn128_constants_are_prime_ish():
+    """Fermat sanity checks on the curve constants."""
+    assert pow(2, FIELD_MODULUS - 1, FIELD_MODULUS) == 1
+    assert pow(2, CURVE_ORDER - 1, CURVE_ORDER) == 1
+    assert FIELD_MODULUS % 4 == 3

@@ -1,0 +1,90 @@
+"""Groth16: completeness, soundness against tampering, statement circuits.
+
+Each verification costs 4 pure-Python pairings (~1 s), so the module
+reuses one setup and keeps the number of verifications small.
+"""
+
+import pytest
+
+from repro.baseline.circuits import quality_statement_circuit
+from repro.baseline.groth16 import Proof, prove, setup, verify
+from repro.baseline.qap import QAP
+from repro.baseline.r1cs import LC, ConstraintSystem
+from repro.crypto.curve import G1Point
+
+
+def _cubic_system(x=3, out=35):
+    cs = ConstraintSystem()
+    out_var = cs.public_input("out", out)
+    x_var = cs.private_witness("x", x)
+    x2 = cs.mul(x_var, x_var)
+    x3 = cs.mul(x2, x_var)
+    cs.enforce(LC.of(x3) + LC.of(x_var) + LC.constant(5), LC.constant(1),
+               LC.of(out_var))
+    return cs
+
+
+@pytest.fixture(scope="module")
+def cubic():
+    cs = _cubic_system()
+    qap = QAP.from_r1cs(cs)
+    pk, vk = setup(qap)
+    proof = prove(pk, qap, cs.full_assignment())
+    return cs, qap, pk, vk, proof
+
+
+def test_completeness(cubic):
+    cs, _, _, vk, proof = cubic
+    assert verify(vk, cs.public_values(), proof)
+
+
+def test_wrong_public_input_rejected(cubic):
+    _, _, _, vk, proof = cubic
+    assert not verify(vk, [36], proof)
+
+
+def test_wrong_public_input_count_rejected(cubic):
+    _, _, _, vk, proof = cubic
+    assert not verify(vk, [35, 1], proof)
+
+
+def test_tampered_proof_rejected(cubic):
+    cs, _, _, vk, proof = cubic
+    tampered = Proof(proof.a + G1Point.generator(), proof.b, proof.c)
+    assert not verify(vk, cs.public_values(), tampered)
+
+
+def test_proofs_are_randomized(cubic):
+    cs, qap, pk, _, proof = cubic
+    second = prove(pk, qap, cs.full_assignment())
+    assert second != proof  # fresh (r, s) each time
+
+
+def test_proof_size_constant(cubic):
+    _, _, _, _, proof = cubic
+    assert proof.size_bytes() == 256
+
+
+def test_quality_statement_circuit_proves_and_verifies():
+    """The reduced PoQoEA statement under the real SNARK."""
+    golds = [1, 0, 1]
+    answers = [1, 1, 1]  # matches golds at positions 0 and 2
+    cs = quality_statement_circuit(golds, claimed_quality=2,
+                                   private_answers=answers)
+    assert cs.is_satisfied()
+    qap = QAP.from_r1cs(cs)
+    pk, vk = setup(qap)
+    proof = prove(pk, qap, cs.full_assignment())
+    assert verify(vk, cs.public_values(), proof)
+    # A different claimed quality is a different public input: rejected.
+    wrong_public = list(cs.public_values())
+    wrong_public[-1] = 3
+    assert not verify(vk, wrong_public, proof)
+
+
+def test_quality_statement_unsatisfiable_with_wrong_chi():
+    golds = [1, 0, 1]
+    answers = [0, 0, 0]
+    cs = quality_statement_circuit(golds, claimed_quality=3,
+                                   private_answers=answers)
+    assert not cs.is_satisfied()  # true quality is 1, not 3

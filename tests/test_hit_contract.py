@@ -1,0 +1,431 @@
+"""Unit tests for the C_hit contract (Fig. 4): one behaviour per test.
+
+These drive the contract through the chain directly (no protocol
+driver), so each phase rule, rejection path, and payment rule is pinned
+down at the transaction level.
+"""
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.core.hit_contract import CIPHERTEXT_BYTES
+from repro.core.requester import RequesterClient
+from repro.core.worker import WorkerClient
+from repro.crypto.commitment import commit as make_commitment
+from repro.crypto.poqoea import QualityProof
+from repro.storage.swarm import SwarmStore
+
+from tests.helpers import small_task
+
+
+class Harness:
+    """A two-worker task plus helpers to step through phases."""
+
+    def __init__(self, task=None):
+        self.task = task if task is not None else small_task()
+        self.chain = Chain()
+        self.swarm = SwarmStore()
+        self.requester = RequesterClient("req", self.task, self.chain, self.swarm)
+        receipt = self.requester.publish()
+        assert receipt.succeeded, receipt.revert_reason
+        self.contract = self.chain.contract(self.requester.contract_name)
+        self.workers = []
+
+    def add_worker(self, label, answers):
+        worker = WorkerClient(label, self.chain, self.swarm, answers=answers)
+        worker.discover(self.requester.contract_name)
+        self.workers.append(worker)
+        return worker
+
+    def last_receipt(self):
+        return self.chain.blocks[-1].receipts[-1]
+
+    def commit_all(self):
+        for worker in self.workers:
+            worker.send_commit()
+        return self.chain.mine_block()
+
+    def reveal_all(self):
+        for worker in self.workers:
+            worker.send_reveal()
+        return self.chain.mine_block()
+
+
+GOOD = [0] * 10  # matches all three golds (answers are all 0)
+BAD = [1] * 10  # misses all three golds
+
+
+def test_publish_freezes_budget():
+    h = Harness()
+    assert h.chain.ledger.escrow_of(h.contract.address) == 100
+    assert h.chain.ledger.balance_of(h.requester.address) == 0
+
+
+def test_publish_without_funds_fails():
+    task = small_task()
+    chain = Chain()
+    swarm = SwarmStore()
+    requester = RequesterClient("poor", task, chain, swarm, balance=10)
+    receipt = requester.publish()
+    assert not receipt.succeeded
+    assert "budget" in receipt.revert_reason
+
+
+def test_published_event_payload():
+    h = Harness()
+    events = h.chain.events_named("published")
+    assert len(events) == 1
+    assert events[0].payload["parameters"].num_questions == 10
+
+
+def test_commit_happy_path():
+    h = Harness()
+    h.add_worker("w0", GOOD)
+    h.workers[0].send_commit()
+    block = h.chain.mine_block()
+    assert block.receipts[0].succeeded
+    assert h.contract.committed_workers() == [h.workers[0].address]
+
+
+def test_duplicate_commitment_rejected():
+    h = Harness()
+    w0 = h.add_worker("w0", GOOD)
+    w0.send_commit()
+    h.chain.mine_block()
+    # Another identity replays the exact same digest.
+    copier = h.add_worker("copier", GOOD)
+    digest = h.chain.events_named("committed")[0].payload["digest"]
+    copier._send_commit_digest(digest)
+    block = h.chain.mine_block()
+    assert not block.receipts[0].succeeded
+    assert "duplicate" in block.receipts[0].revert_reason
+
+
+def test_double_commit_by_same_worker_rejected():
+    h = Harness()
+    w0 = h.add_worker("w0", GOOD)
+    w0.send_commit()
+    h.chain.mine_block()
+    w0.send_commit()
+    block = h.chain.mine_block()
+    assert not block.receipts[0].succeeded
+    assert "already committed" in block.receipts[0].revert_reason
+
+
+def test_requester_cannot_commit():
+    h = Harness()
+    commitment, _ = make_commitment(b"x" * 64)
+    h.chain.send(
+        h.requester.address,
+        h.requester.contract_name,
+        "commit",
+        args=(commitment.digest,),
+        payload=commitment.digest,
+    )
+    block = h.chain.mine_block()
+    assert not block.receipts[0].succeeded
+
+
+def test_commit_after_k_filled_rejected():
+    h = Harness()
+    h.add_worker("w0", GOOD)
+    h.add_worker("w1", GOOD)
+    h.commit_all()
+    late = h.add_worker("late", GOOD)
+    late.send_commit()
+    block = h.chain.mine_block()
+    assert not block.receipts[0].succeeded
+
+
+def test_malformed_commitment_rejected():
+    h = Harness()
+    w0 = h.add_worker("w0", GOOD)
+    h.chain.send(
+        w0.address, w0.discovered.contract_name, "commit",
+        args=(b"short",), payload=b"short",
+    )
+    block = h.chain.mine_block()
+    assert not block.receipts[0].succeeded
+
+
+def test_reveal_happy_path_stores_hashes():
+    h = Harness()
+    h.add_worker("w0", GOOD)
+    h.add_worker("w1", BAD)
+    h.commit_all()
+    h.reveal_all()
+    key = "cthash:%s:0" % h.workers[0].address.hex()
+    assert key in h.contract.storage
+    assert len(h.chain.events_named("revealed")) == 2
+
+
+def test_reveal_with_wrong_opening_rejected():
+    h = Harness()
+    w0 = h.add_worker("w0", GOOD)
+    h.add_worker("w1", GOOD)
+    h.commit_all()
+    w0.blinding_key = b"\x00" * 32  # destroy the key
+    w0.send_reveal()
+    block = h.chain.mine_block()
+    assert not block.receipts[0].succeeded
+    assert "opening" in block.receipts[0].revert_reason
+
+
+def test_reveal_before_all_commits_rejected():
+    h = Harness()
+    w0 = h.add_worker("w0", GOOD)
+    h.add_worker("w1", GOOD)
+    w0.send_commit()
+    h.chain.mine_block()  # only one of two commits
+    w0.send_reveal()
+    block = h.chain.mine_block()
+    assert not block.receipts[0].succeeded
+
+
+def test_reveal_after_deadline_rejected():
+    h = Harness()
+    w0 = h.add_worker("w0", GOOD)
+    h.add_worker("w1", GOOD)
+    h.commit_all()
+    h.chain.mine_block()  # burn the reveal window
+    h.chain.mine_block()
+    w0.send_reveal()
+    block = h.chain.mine_block()
+    assert not block.receipts[0].succeeded
+
+
+def test_double_reveal_rejected():
+    h = Harness()
+    w0 = h.add_worker("w0", GOOD)
+    h.add_worker("w1", GOOD)
+    h.commit_all()
+    w0.send_reveal()
+    w0.send_reveal()
+    block = h.chain.mine_block()
+    assert block.receipts[0].succeeded
+    assert not block.receipts[1].succeeded
+
+
+def test_golden_opening_checked():
+    h = Harness()
+    h.add_worker("w0", GOOD)
+    h.add_worker("w1", GOOD)
+    h.commit_all()
+    h.reveal_all()
+    blob = h.task.golden_blob()
+    h.chain.send(
+        h.requester.address, h.requester.contract_name, "golden",
+        args=(blob, b"\x00" * 32), payload=blob,
+    )
+    block = h.chain.mine_block()
+    assert not block.receipts[0].succeeded
+    assert "opening" in block.receipts[0].revert_reason
+
+
+def test_golden_only_by_requester():
+    h = Harness()
+    w0 = h.add_worker("w0", GOOD)
+    h.add_worker("w1", GOOD)
+    h.commit_all()
+    h.reveal_all()
+    blob = h.task.golden_blob()
+    h.chain.send(
+        w0.address, h.requester.contract_name, "golden",
+        args=(blob, h.requester._golden_key), payload=blob,
+    )
+    block = h.chain.mine_block()
+    assert not block.receipts[0].succeeded
+
+
+def test_evaluate_rejects_low_quality_with_valid_proof():
+    h = Harness()
+    h.add_worker("w0", GOOD)
+    bad_worker = h.add_worker("w1", BAD)
+    h.commit_all()
+    h.reveal_all()
+    h.requester.evaluate_all()
+    h.chain.mine_block()
+    assert h.contract.verdict_of(bad_worker.address) == "rejected-quality"
+
+
+def test_evaluate_with_bogus_proof_pays_worker():
+    """Fig. 4: invalid rejection evidence => the worker gets paid."""
+    h = Harness()
+    h.add_worker("w0", GOOD)
+    victim = h.add_worker("w1", GOOD)
+    h.commit_all()
+    h.reveal_all()
+    h.requester.send_golden()
+    h.chain.send(
+        h.requester.address, h.requester.contract_name, "evaluate",
+        args=(victim.address, 0, QualityProof(()), {}), payload=b"\x01" * 50,
+    )
+    h.chain.mine_block()
+    assert h.contract.verdict_of(victim.address) == "paid-evaluate"
+    assert h.chain.ledger.balance_of(victim.address) == 50
+
+
+def test_evaluate_before_golden_rejected():
+    h = Harness()
+    h.add_worker("w0", GOOD)
+    victim = h.add_worker("w1", BAD)
+    h.commit_all()
+    h.reveal_all()
+    h.chain.send(
+        h.requester.address, h.requester.contract_name, "evaluate",
+        args=(victim.address, 0, QualityProof(()), {}), payload=b"",
+    )
+    block = h.chain.mine_block()
+    assert not block.receipts[0].succeeded
+    assert "gold standards" in block.receipts[0].revert_reason
+
+
+def test_evaluate_by_non_requester_rejected():
+    h = Harness()
+    w0 = h.add_worker("w0", GOOD)
+    victim = h.add_worker("w1", BAD)
+    h.commit_all()
+    h.reveal_all()
+    h.requester.send_golden()
+    h.chain.send(
+        w0.address, h.requester.contract_name, "evaluate",
+        args=(victim.address, 0, QualityProof(()), {}), payload=b"",
+    )
+    block = h.chain.mine_block()
+    receipts = {r.transaction.method: r for r in block.receipts}
+    assert not receipts["evaluate"].succeeded
+
+
+def test_outrange_rejects_genuinely_out_of_range():
+    h = Harness()
+    h.add_worker("w0", GOOD)
+    cheat = h.add_worker("w1", [0] * 9 + [7])  # 7 outside (0, 1)
+    h.commit_all()
+    h.reveal_all()
+    actions = h.requester.evaluate_all()
+    h.chain.mine_block()
+    assert h.contract.verdict_of(cheat.address) == "rejected-outrange"
+    assert any(a.kind == "reject-outrange" for a in actions)
+    assert len(h.chain.events_named("outranged")) == 1
+
+
+def test_outrange_false_accusation_pays_worker():
+    h = Harness()
+    h.add_worker("w0", GOOD)
+    honest = h.add_worker("w1", GOOD)
+    h.commit_all()
+    h.reveal_all()
+    h.requester.send_golden()
+    # Accuse position 0, which decrypts in-range to 0: per Fig. 4 the
+    # claim "a in range" forces payment regardless of the proof.
+    submissions = h.requester.collect_submissions()
+    vector = submissions[honest.address]
+    ciphertexts, _ = h.requester.decrypt_submission(vector)
+    from repro.crypto.vpke import prove_decryption
+
+    claim, proof = prove_decryption(
+        h.requester.secret_key, ciphertexts[0], h.task.parameters.answer_range
+    )
+    chunk = vector[:CIPHERTEXT_BYTES]
+    h.chain.send(
+        h.requester.address, h.requester.contract_name, "outrange",
+        args=(honest.address, 0, claim, proof, chunk), payload=chunk,
+    )
+    h.chain.mine_block()
+    assert h.contract.verdict_of(honest.address) == "paid-outrange"
+
+
+def test_outrange_with_tampered_ciphertext_rejected():
+    h = Harness()
+    h.add_worker("w0", GOOD)
+    victim = h.add_worker("w1", GOOD)
+    h.commit_all()
+    h.reveal_all()
+    h.requester.send_golden()
+    from repro.crypto.vpke import prove_decryption
+
+    other = h.requester.public_key.encrypt(5)  # not the worker's ciphertext
+    claim, proof = prove_decryption(
+        h.requester.secret_key, other, h.task.parameters.answer_range
+    )
+    h.chain.send(
+        h.requester.address, h.requester.contract_name, "outrange",
+        args=(victim.address, 0, claim, proof, other.to_bytes()),
+        payload=other.to_bytes(),
+    )
+    block = h.chain.mine_block()
+    receipts = {r.transaction.method: r for r in block.receipts}
+    assert not receipts["outrange"].succeeded
+    assert "does not match" in receipts["outrange"].revert_reason
+
+
+def test_finalize_pays_unevaluated_and_refunds():
+    h = Harness()
+    good = h.add_worker("w0", GOOD)
+    bad = h.add_worker("w1", BAD)
+    h.commit_all()
+    h.reveal_all()
+    h.requester.evaluate_all()
+    h.chain.mine_block()
+    h.requester.send_finalize()
+    h.chain.mine_block()
+    assert h.contract.is_finalized()
+    assert h.chain.ledger.balance_of(good.address) == 50
+    assert h.chain.ledger.balance_of(bad.address) == 0
+    # The rejected worker's share returns to the requester.
+    assert h.chain.ledger.balance_of(h.requester.address) == 50
+    assert h.chain.ledger.escrow_of(h.contract.address) == 0
+
+
+def test_finalize_too_early_rejected():
+    h = Harness()
+    h.add_worker("w0", GOOD)
+    h.add_worker("w1", GOOD)
+    h.commit_all()
+    h.requester.send_finalize()
+    block = h.chain.mine_block()
+    assert not block.receipts[-1].succeeded
+
+
+def test_double_finalize_rejected():
+    h = Harness()
+    h.add_worker("w0", GOOD)
+    h.add_worker("w1", GOOD)
+    h.commit_all()
+    h.reveal_all()
+    h.chain.mine_block()
+    h.requester.send_finalize()
+    h.chain.mine_block()
+    h.requester.send_finalize()
+    block = h.chain.mine_block()
+    assert not block.receipts[0].succeeded
+
+
+def test_silent_requester_pays_everyone():
+    """If the requester never opens the golds, all revealed workers win."""
+    h = Harness()
+    good = h.add_worker("w0", GOOD)
+    bad = h.add_worker("w1", BAD)
+    h.commit_all()
+    h.reveal_all()
+    h.chain.mine_block()  # evaluation window passes in silence
+    h.requester.send_finalize()
+    h.chain.mine_block()
+    assert h.chain.ledger.balance_of(good.address) == 50
+    assert h.chain.ledger.balance_of(bad.address) == 50
+    assert h.chain.ledger.balance_of(h.requester.address) == 0
+
+
+def test_unrevealed_worker_not_paid():
+    h = Harness()
+    good = h.add_worker("w0", GOOD)
+    ghost = h.add_worker("w1", GOOD)
+    h.commit_all()
+    good.send_reveal()  # ghost never reveals
+    h.chain.mine_block()
+    h.chain.mine_block()
+    h.requester.send_finalize()
+    h.chain.mine_block()
+    assert h.chain.ledger.balance_of(good.address) == 50
+    assert h.chain.ledger.balance_of(ghost.address) == 0
+    assert h.chain.ledger.balance_of(h.requester.address) == 50

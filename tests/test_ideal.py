@@ -1,0 +1,169 @@
+"""The ideal functionality F_hit (Fig. 2) in isolation."""
+
+import pytest
+
+from repro.core.ideal import IdealHIT, PHASE_COLLECT, PHASE_EVALUATE
+from repro.errors import ProtocolError
+from repro.ledger.accounts import Address
+from repro.ledger.ledger import Ledger
+from tests.helpers import small_task
+
+REQ = Address.from_label("req")
+W0 = Address.from_label("w0")
+W1 = Address.from_label("w1")
+F = Address.from_label("F_hit")
+
+GOOD = [0] * 10
+BAD = [1] * 10
+
+
+def _fresh(budget=100):
+    ledger = Ledger()
+    ledger.open_account(REQ, budget)
+    ledger.open_account(W0, 0)
+    ledger.open_account(W1, 0)
+    task = small_task()
+    functionality = IdealHIT(ledger, F)
+    return ledger, task, functionality
+
+
+def _publish(functionality, task):
+    return functionality.publish(
+        REQ, task.parameters, task.gold_indexes, task.gold_answers
+    )
+
+
+def test_publish_freezes_budget():
+    ledger, task, f = _fresh()
+    assert _publish(f, task)
+    assert ledger.balance_of(REQ) == 0
+    assert ledger.escrow_of(F) == 100
+    assert f.phase == PHASE_COLLECT
+
+
+def test_publish_nofund():
+    ledger, task, f = _fresh()
+    ledger.charge_fee(REQ, 50)  # drain below the budget
+    assert not _publish(f, task)
+    assert any(leak.tag == "nofund" for leak in f.leakage)
+
+
+def test_double_publish_rejected():
+    _, task, f = _fresh()
+    _publish(f, task)
+    with pytest.raises(ProtocolError):
+        _publish(f, task)
+
+
+def test_answers_fill_and_phase_advances():
+    _, task, f = _fresh()
+    _publish(f, task)
+    assert f.answer(W0, GOOD)
+    assert f.phase == PHASE_COLLECT
+    assert f.answer(W1, BAD)
+    assert f.phase == PHASE_EVALUATE
+
+
+def test_duplicate_answer_ignored():
+    _, task, f = _fresh()
+    _publish(f, task)
+    assert f.answer(W0, GOOD)
+    assert not f.answer(W0, BAD)
+
+
+def test_answer_leaks_only_length():
+    _, task, f = _fresh()
+    _publish(f, task)
+    f.answer(W0, GOOD)
+    answering = [l for l in f.leakage if l.tag == "answering"]
+    assert answering[0].payload == ("w0", 10)
+
+
+def test_evaluate_pays_qualified_only():
+    ledger, task, f = _fresh()
+    _publish(f, task)
+    f.answer(W0, GOOD)
+    f.answer(W1, BAD)
+    f.evaluate(W0)
+    f.evaluate(W1)
+    outcome = f.finalize()
+    assert ledger.balance_of(W0) == 50
+    assert ledger.balance_of(W1) == 0
+    assert outcome.verdicts["w0"] == "paid-evaluate"
+    assert outcome.verdicts["w1"] == "rejected-quality"
+
+
+def test_unevaluated_workers_paid_by_default():
+    ledger, task, f = _fresh()
+    _publish(f, task)
+    f.answer(W0, BAD)
+    f.answer(W1, BAD)
+    outcome = f.finalize()  # requester silent
+    assert ledger.balance_of(W0) == 50
+    assert ledger.balance_of(W1) == 50
+    assert outcome.payments == {"w0": 50, "w1": 50}
+
+
+def test_bottom_answer_never_paid():
+    ledger, task, f = _fresh()
+    _publish(f, task)
+    f.answer(W0, GOOD)
+    f.answer(W1, None)  # ⊥
+    outcome = f.finalize()
+    assert ledger.balance_of(W0) == 50
+    assert ledger.balance_of(W1) == 0
+    assert ledger.balance_of(REQ) == 50
+
+
+def test_outrange_dispute_rejects_cheat():
+    ledger, task, f = _fresh()
+    _publish(f, task)
+    cheat_answers = [0] * 9 + [42]
+    f.answer(W0, cheat_answers)
+    f.answer(W1, GOOD)
+    f.outrange(W0, 9)
+    f.evaluate(W1)
+    f.finalize()
+    assert ledger.balance_of(W0) == 0
+    assert ledger.balance_of(W1) == 50
+    assert any(leak.tag == "outranged" for leak in f.leakage)
+
+
+def test_false_outrange_accusation_pays_worker():
+    ledger, task, f = _fresh()
+    _publish(f, task)
+    f.answer(W0, GOOD)
+    f.answer(W1, GOOD)
+    f.outrange(W0, 0)  # position 0 is in range
+    f.finalize()
+    assert ledger.balance_of(W0) == 50
+
+
+def test_evaluate_before_phase_rejected():
+    _, task, f = _fresh()
+    _publish(f, task)
+    f.answer(W0, GOOD)
+    with pytest.raises(ProtocolError):
+        f.evaluate(W0)
+
+
+def test_evaluated_leak_exposes_golds():
+    """Audibility: the gold standards become public at evaluation."""
+    _, task, f = _fresh()
+    _publish(f, task)
+    f.answer(W0, GOOD)
+    f.answer(W1, GOOD)
+    f.evaluate(W0)
+    leaks = [l for l in f.leakage if l.tag == "evaluated"]
+    assert leaks[0].payload[1] == tuple(task.gold_indexes)
+    assert leaks[0].payload[2] == tuple(task.gold_answers)
+
+
+def test_finalize_refunds_leftover():
+    ledger, task, f = _fresh()
+    _publish(f, task)
+    f.answer(W0, BAD)
+    f.answer(W1, None)
+    f.evaluate(W0)  # rejected
+    f.finalize()
+    assert ledger.balance_of(REQ) == 100

@@ -1,0 +1,90 @@
+"""Incentive analysis: honest effort dominates under Dragoon."""
+
+import pytest
+
+from repro.analysis.incentives import (
+    IncentiveParameters,
+    binomial_at_least,
+    copy_paste,
+    honest_dominates,
+    honest_effort,
+    minimum_viable_reward,
+    random_guessing,
+    strategy_profile,
+)
+
+
+def test_binomial_at_least_edges():
+    assert binomial_at_least(6, 0, 0.5) == 1.0
+    assert binomial_at_least(6, 7, 0.5) == 0.0
+    assert binomial_at_least(6, 6, 1.0) == pytest.approx(1.0)
+    assert binomial_at_least(6, 1, 0.0) == 0.0
+
+
+def test_binomial_at_least_known_value():
+    # P[X >= 1], X ~ Bin(2, 0.5) = 3/4.
+    assert binomial_at_least(2, 1, 0.5) == pytest.approx(0.75)
+
+
+def test_honest_worker_usually_paid():
+    outcome = honest_effort(IncentiveParameters())
+    assert outcome.pay_probability > 0.99
+    assert outcome.expected_utility > 0
+
+
+def test_random_guessing_on_imagenet_policy():
+    """Guessing 6 binary golds needs >= 4 right: P ~ 34% — positive
+    expected reward, but still dominated by honest effort."""
+    params = IncentiveParameters()
+    guess = random_guessing(params)
+    assert 0.30 < guess.pay_probability < 0.40
+    assert honest_effort(params).expected_utility > guess.expected_utility
+
+
+def test_copy_paste_worthless_under_dragoon():
+    outcome = copy_paste(IncentiveParameters())
+    assert outcome.pay_probability == 0.0
+    assert outcome.expected_utility < 0  # burns the submission fee
+
+
+def test_copy_paste_dominates_on_naive_chain():
+    """On a transparent chain (the paper's §I warning) copying is the
+    best response — the tragedy Dragoon exists to prevent."""
+    params = IncentiveParameters()
+    outcomes = {o.name: o for o in strategy_profile(params, naive_chain=True)}
+    assert (
+        outcomes["copy-paste"].expected_utility
+        > outcomes["honest effort"].expected_utility
+    )
+
+
+def test_honest_dominates_under_dragoon():
+    assert honest_dominates(IncentiveParameters())
+
+
+def test_stricter_threshold_punishes_guessers():
+    lax = IncentiveParameters(quality_threshold=2)
+    strict = IncentiveParameters(quality_threshold=6)
+    assert (
+        random_guessing(strict).pay_probability
+        < random_guessing(lax).pay_probability
+    )
+
+
+def test_minimum_viable_reward_sensible():
+    params = IncentiveParameters()
+    minimum = minimum_viable_reward(params)
+    assert 0 < minimum < params.reward  # $5 is comfortably viable
+    # At (just under) the minimum, honesty is not strictly dominant.
+    below = IncentiveParameters(reward=minimum * 0.5)
+    assert not honest_dominates(below) or honest_effort(below).expected_utility <= 0
+
+
+def test_wider_range_hurts_guessers_only():
+    binary = IncentiveParameters(range_size=2)
+    wide = IncentiveParameters(range_size=8)
+    assert (
+        random_guessing(wide).pay_probability
+        < random_guessing(binary).pay_probability
+    )
+    assert honest_effort(wide).pay_probability == honest_effort(binary).pay_probability

@@ -1,0 +1,96 @@
+"""Cross-feature integration: the extension modules working together.
+
+These tests chain the extension features end to end: aggregation over a
+settled task's real ciphertexts, the marketplace reading a Dragoon
+deployment that the audit log also scores, and batch verification of
+the proofs a real rejection produced.
+"""
+
+from repro.core.aggregation import (
+    accuracy_against_truth,
+    binary_consensus_from_tally,
+    homomorphic_tally,
+)
+from repro.core.audit import GoldAuditLog
+from repro.core.marketplace import TaskMarketplace
+from repro.core.protocol import run_hit
+from repro.crypto.vpke import verify_decryption_batch
+from repro.dragoon import Dragoon
+from tests.helpers import small_task
+
+GOOD = [0] * 10
+BAD = [1] * 10
+
+
+def test_aggregate_settled_task_submissions():
+    """Consensus labels from the ciphertexts a real task collected."""
+    task = small_task(num_workers=3, budget=99)
+    answers = [GOOD, GOOD, [0] * 9 + [1]]
+    outcome = run_hit(task, answers)
+    submissions = outcome.requester.collect_submissions()
+
+    paid_vectors = []
+    for worker in outcome.workers:
+        if outcome.payment_of(worker) > 0:
+            ciphertexts, _ = outcome.requester.decrypt_submission(
+                submissions[worker.address]
+            )
+            paid_vectors.append(ciphertexts)
+    assert len(paid_vectors) == 3
+
+    tallies = homomorphic_tally(outcome.requester.secret_key, paid_vectors)
+    consensus = binary_consensus_from_tally(tallies, len(paid_vectors))
+    assert accuracy_against_truth(list(consensus.labels), task.ground_truth) == 1.0
+
+
+def test_marketplace_and_audit_share_one_deployment():
+    """The marketplace's reputation column agrees with the audit log."""
+    system = Dragoon()
+    system.fund("alice", 200)
+    system.run_task("alice", small_task(), [GOOD, BAD],
+                    worker_labels=["w0", "w1"])
+    system.publish_task("alice", small_task(budget=100))
+
+    audit = GoldAuditLog(system.chain).reputation()["alice"]
+    market = TaskMarketplace(system.chain)
+    listing = market.listings()[0]
+    assert listing.requester_reputation is not None
+    assert listing.requester_reputation.rejection_rate == audit.rejection_rate
+    assert not listing.requester_flagged
+
+
+def test_batch_verify_a_real_rejection_proof():
+    """The VPKE proofs inside a protocol-produced PoQoEA rejection batch-
+    verify against the on-chain ciphertexts."""
+    task = small_task()
+    outcome = run_hit(task, [GOOD, BAD])
+    evaluate_txs = [
+        r.transaction
+        for r in outcome.receipts
+        if r.transaction.method == "evaluate" and r.succeeded
+    ]
+    assert len(evaluate_txs) == 1
+    worker, chi, proof, gold_chunks = evaluate_txs[0].args
+    assert chi == 0 and len(proof.entries) == 3
+
+    from repro.crypto.elgamal import Ciphertext
+
+    statements = [
+        (entry.answer, Ciphertext.from_bytes(gold_chunks[entry.index]), entry.proof)
+        for entry in proof.entries
+    ]
+    assert verify_decryption_batch(outcome.requester.public_key, statements)
+
+
+def test_explorer_sees_facade_tasks():
+    from repro.chain.explorer import ChainExplorer
+
+    system = Dragoon()
+    system.fund("alice", 100)
+    outcome = system.run_task("alice", small_task(), [GOOD, GOOD],
+                              worker_labels=["w0", "w1"])
+    explorer = ChainExplorer(system.chain)
+    listing = explorer.transaction_log(contract=outcome.requester.contract_name)
+    for method in ("commit", "reveal", "golden", "finalize"):
+        assert method in listing
+    assert explorer.gas_spent_by("alice") > 1_000_000

@@ -1,0 +1,62 @@
+"""keccak-256 against the well-known Ethereum vectors and edge cases."""
+
+import pytest
+
+from repro.crypto.keccak import keccak256, keccak256_hex, keccak_to_int
+
+KNOWN_VECTORS = [
+    (b"", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"),
+    (b"abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"),
+    (b"hello", "1c8aff950685c2ed4bc3174f3472287b56d9517b9c948127319a09a7a36deac8"),
+    (
+        b"The quick brown fox jumps over the lazy dog",
+        "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15",
+    ),
+]
+
+
+@pytest.mark.parametrize("message,expected", KNOWN_VECTORS)
+def test_known_vectors(message, expected):
+    assert keccak256(message).hex() == expected
+
+
+def test_output_is_32_bytes():
+    assert len(keccak256(b"x")) == 32
+
+
+def test_hex_helper_matches_bytes():
+    assert keccak256_hex(b"abc") == keccak256(b"abc").hex()
+
+
+def test_int_helper_is_big_endian():
+    assert keccak_to_int(b"abc") == int.from_bytes(keccak256(b"abc"), "big")
+
+
+def test_differs_from_sha3_256():
+    """Keccak padding (0x01) differs from NIST SHA3 padding (0x06)."""
+    import hashlib
+
+    assert keccak256(b"") != hashlib.sha3_256(b"").digest()
+
+
+@pytest.mark.parametrize("length", [0, 1, 135, 136, 137, 271, 272, 273, 1000])
+def test_rate_boundary_lengths(length):
+    """Messages straddling the 136-byte rate must hash deterministically
+    and distinctly from their neighbours."""
+    base = bytes(range(256)) * 4
+    digest = keccak256(base[:length])
+    assert digest == keccak256(base[:length])
+    if length:
+        assert digest != keccak256(base[: length - 1])
+
+
+def test_single_bit_avalanche():
+    a = keccak256(b"\x00" * 64)
+    b = keccak256(b"\x00" * 63 + b"\x01")
+    differing_bits = bin(int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).count("1")
+    assert differing_bits > 80  # expect ~128 of 256 bits to flip
+
+
+def test_no_trivial_collisions_on_prefixes():
+    digests = {keccak256(b"msg-%d" % i) for i in range(200)}
+    assert len(digests) == 200

@@ -1,0 +1,168 @@
+"""The ledger functionality L: freeze/pay semantics and conservation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EscrowError, InsufficientFunds, UnknownAccount
+from repro.ledger.accounts import Address, Registry
+from repro.ledger.ledger import Ledger
+
+
+@pytest.fixture
+def ledger():
+    book = Ledger()
+    book.open_account(Address.from_label("alice"), 100)
+    book.open_account(Address.from_label("bob"), 50)
+    return book
+
+
+ALICE = Address.from_label("alice")
+BOB = Address.from_label("bob")
+CONTRACT = Address.from_label("contract:test")
+
+
+def test_open_and_balance(ledger):
+    assert ledger.balance_of(ALICE) == 100
+    assert ledger.balance_of(BOB) == 50
+
+
+def test_double_open_rejected(ledger):
+    with pytest.raises(UnknownAccount):
+        ledger.open_account(ALICE, 1)
+
+
+def test_unknown_account(ledger):
+    with pytest.raises(UnknownAccount):
+        ledger.balance_of(Address.from_label("carol"))
+
+
+def test_freeze_success(ledger):
+    assert ledger.freeze(CONTRACT, ALICE, 60)
+    assert ledger.balance_of(ALICE) == 40
+    assert ledger.escrow_of(CONTRACT) == 60
+
+
+def test_freeze_nofund_returns_false(ledger):
+    assert not ledger.freeze(CONTRACT, ALICE, 101)
+    assert ledger.balance_of(ALICE) == 100
+    assert ledger.escrow_of(CONTRACT) == 0
+
+
+def test_pay_from_escrow(ledger):
+    ledger.freeze(CONTRACT, ALICE, 60)
+    ledger.pay(CONTRACT, BOB, 25)
+    assert ledger.balance_of(BOB) == 75
+    assert ledger.escrow_of(CONTRACT) == 35
+
+
+def test_pay_exceeding_escrow_rejected(ledger):
+    ledger.freeze(CONTRACT, ALICE, 10)
+    with pytest.raises(EscrowError):
+        ledger.pay(CONTRACT, BOB, 11)
+
+
+def test_pay_to_unknown_account_rejected(ledger):
+    ledger.freeze(CONTRACT, ALICE, 10)
+    with pytest.raises(UnknownAccount):
+        ledger.pay(CONTRACT, Address.from_label("nobody"), 5)
+
+
+def test_transfer(ledger):
+    ledger.transfer(ALICE, BOB, 30)
+    assert ledger.balance_of(ALICE) == 70
+    assert ledger.balance_of(BOB) == 80
+
+
+def test_transfer_insufficient(ledger):
+    with pytest.raises(InsufficientFunds):
+        ledger.transfer(BOB, ALICE, 51)
+
+
+def test_negative_amounts_rejected(ledger):
+    with pytest.raises(InsufficientFunds):
+        ledger.freeze(CONTRACT, ALICE, -1)
+    with pytest.raises(EscrowError):
+        ledger.pay(CONTRACT, ALICE, -1)
+    with pytest.raises(InsufficientFunds):
+        ledger.transfer(ALICE, BOB, -1)
+
+
+def test_fee_burn(ledger):
+    ledger.charge_fee(ALICE, 10)
+    assert ledger.balance_of(ALICE) == 90
+    assert ledger.fees_collected == 10
+
+
+def test_total_supply_conserved(ledger):
+    supply = ledger.total_supply()
+    ledger.freeze(CONTRACT, ALICE, 50)
+    ledger.pay(CONTRACT, BOB, 20)
+    ledger.transfer(BOB, ALICE, 5)
+    ledger.charge_fee(ALICE, 3)
+    assert ledger.total_supply() == supply
+
+
+def test_entries_log(ledger):
+    ledger.freeze(CONTRACT, ALICE, 50, memo="budget")
+    ledger.pay(CONTRACT, BOB, 20, memo="reward")
+    kinds = [entry.kind for entry in ledger.entries]
+    assert kinds == ["mint", "mint", "freeze", "pay"]
+    assert ledger.payments_to(BOB)[0].amount == 20
+
+
+def test_snapshot_restore(ledger):
+    before = ledger.snapshot()
+    ledger.freeze(CONTRACT, ALICE, 50)
+    ledger.pay(CONTRACT, BOB, 20)
+    ledger.restore(before)
+    assert ledger.balance_of(ALICE) == 100
+    assert ledger.balance_of(BOB) == 50
+    assert ledger.escrow_of(CONTRACT) == 0
+    assert len(ledger.entries) == 2  # the two mints
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["freeze", "pay", "transfer"]),
+                  st.integers(min_value=0, max_value=40)),
+        max_size=30,
+    )
+)
+@settings(max_examples=30)
+def test_supply_invariant_under_random_operations(operations):
+    book = Ledger()
+    book.open_account(ALICE, 200)
+    book.open_account(BOB, 100)
+    initial = book.total_supply()
+    for kind, amount in operations:
+        try:
+            if kind == "freeze":
+                book.freeze(CONTRACT, ALICE, amount)
+            elif kind == "pay":
+                book.pay(CONTRACT, BOB, amount)
+            else:
+                book.transfer(BOB, ALICE, amount)
+        except (EscrowError, InsufficientFunds):
+            pass
+        assert book.total_supply() == initial
+
+
+def test_address_validation():
+    with pytest.raises(Exception):
+        Address(b"short")
+    address = Address.from_label("alice")
+    assert len(address.value) == 20
+    assert address.hex().startswith("0x")
+    assert str(address) == "alice"
+
+
+def test_registry():
+    registry = Registry()
+    alice = registry.grant("alice")
+    assert registry.is_granted(alice)
+    assert registry.grant("alice") == alice
+    assert registry.lookup("alice") == alice
+    assert registry.lookup("carol") is None
+    registry.grant("bob")
+    assert len(registry) == 2
+    assert alice in set(registry)

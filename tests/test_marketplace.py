@@ -1,0 +1,98 @@
+"""The worker-side task marketplace: discovery, vetting, recommendation."""
+
+import pytest
+
+from repro.core.marketplace import TaskMarketplace
+from repro.dragoon import Dragoon
+from tests.helpers import small_task
+
+GOOD = [0] * 10
+BAD = [1] * 10
+
+
+@pytest.fixture
+def busy_system():
+    """A chain with one finished clean task, one finished mass-reject
+    task, and one open task."""
+    system = Dragoon()
+    system.fund("honest-alice", 300)
+    system.fund("mass-rejecter", 300)
+    system.run_task("honest-alice", small_task(), [GOOD, GOOD],
+                    worker_labels=["w0", "w1"])
+    system.run_task("mass-rejecter", small_task(), [BAD, BAD],
+                    worker_labels=["w2", "w3"])
+    system.publish_task("honest-alice", small_task(budget=200))
+    system.publish_task("mass-rejecter", small_task(budget=150))
+    return system
+
+
+def test_listings_show_open_tasks_first(busy_system):
+    market = TaskMarketplace(busy_system.chain)
+    open_listings = market.listings()
+    assert len(open_listings) == 2
+    assert all(l.is_open for l in open_listings)
+    # Best reward first: 200/2 = 100 beats 150/2 = 75.
+    assert open_listings[0].reward_per_worker == 100
+
+
+def test_listings_include_closed_on_request(busy_system):
+    market = TaskMarketplace(busy_system.chain)
+    all_listings = market.listings(include_closed=True)
+    assert len(all_listings) == 4
+    closed = [l for l in all_listings if not l.is_open]
+    assert len(closed) == 2
+
+
+def test_flagged_requester_visible(busy_system):
+    market = TaskMarketplace(busy_system.chain)
+    by_requester = {
+        l.requester.label: l for l in market.listings()
+    }
+    assert by_requester["mass-rejecter"].requester_flagged
+    assert not by_requester["honest-alice"].requester_flagged
+
+
+def test_expected_utility_positive_for_able_worker(busy_system):
+    market = TaskMarketplace(busy_system.chain)
+    listing = market.listings()[0]
+    good_worker = market.expected_utility(listing, worker_accuracy=0.95)
+    bad_worker = market.expected_utility(listing, worker_accuracy=0.2)
+    assert good_worker > 0
+    assert bad_worker < good_worker
+
+
+def test_recommend_avoids_flagged_requesters(busy_system):
+    market = TaskMarketplace(busy_system.chain)
+    recommended = market.recommend(worker_accuracy=0.95)
+    assert recommended
+    assert all(
+        l.requester.label != "mass-rejecter" for l in recommended
+    )
+
+
+def test_recommend_can_include_flagged(busy_system):
+    market = TaskMarketplace(busy_system.chain)
+    with_flagged = market.recommend(worker_accuracy=0.95, avoid_flagged=False)
+    requesters = {l.requester.label for l in with_flagged}
+    assert "mass-rejecter" in requesters
+
+
+def test_recommend_empty_for_hopeless_worker(busy_system):
+    market = TaskMarketplace(busy_system.chain)
+    # A worker who cannot meet the threshold has negative utility
+    # everywhere once effort costs are accounted.
+    assert market.recommend(worker_accuracy=0.05) == []
+
+
+def test_slots_accounting(busy_system):
+    system = busy_system
+    market = TaskMarketplace(system.chain)
+    listing = market.listings()[0]
+    handle = system.tasks[listing.contract_name]
+    system.submit_answers(handle, "early-bird", GOOD)
+    system.chain.mine_block()
+    refreshed = [
+        l for l in market.listings() if l.contract_name == listing.contract_name
+    ][0]
+    assert refreshed.slots_taken == 1
+    assert refreshed.slots_remaining == 1

@@ -1,0 +1,100 @@
+"""The BN-128 pairing: G2 membership, bilinearity, non-degeneracy.
+
+Pairings are the slowest primitive (pure Python); these tests compute a
+handful and reuse them across assertions.
+"""
+
+import pytest
+
+from repro.crypto.curve import G1Point
+from repro.crypto.field import CURVE_ORDER
+from repro.crypto.g2 import (
+    B2,
+    G2_GENERATOR,
+    g2_mul,
+    is_in_g2_subgroup,
+    is_on_g2,
+    point_add,
+    point_mul,
+    point_neg,
+    validate_g2,
+)
+from repro.crypto.pairing import pairing, pairing_check
+from repro.crypto.tower import FQ12, fq2
+from repro.errors import InvalidPoint
+
+G1 = G1Point.generator()
+
+
+def test_g2_generator_on_twist():
+    assert is_on_g2(G2_GENERATOR)
+
+
+def test_g2_generator_in_subgroup():
+    assert is_in_g2_subgroup(G2_GENERATOR)
+
+
+def test_g2_group_laws():
+    double = point_add(G2_GENERATOR, G2_GENERATOR)
+    assert double == point_mul(G2_GENERATOR, 2)
+    assert point_add(double, point_neg(G2_GENERATOR)) == G2_GENERATOR
+    assert point_mul(G2_GENERATOR, CURVE_ORDER) is None
+
+
+def test_g2_small_multiples():
+    p2 = g2_mul(2)
+    p3 = g2_mul(3)
+    assert point_add(p2, G2_GENERATOR) == p3
+    assert is_on_g2(p2) and is_on_g2(p3)
+
+
+def test_validate_g2_rejects_off_curve():
+    bogus = (fq2(1, 1), fq2(2, 2))
+    assert not is_on_g2(bogus)
+    with pytest.raises(InvalidPoint):
+        validate_g2(bogus)
+
+
+def test_twist_coefficient():
+    x, y = G2_GENERATOR
+    assert y * y - x * x * x == B2
+
+
+@pytest.fixture(scope="module")
+def base_pairing():
+    return pairing(G2_GENERATOR, G1)
+
+
+def test_pairing_nondegenerate(base_pairing):
+    assert base_pairing != FQ12.one()
+
+
+def test_pairing_has_order_r(base_pairing):
+    assert base_pairing**CURVE_ORDER == FQ12.one()
+
+
+def test_bilinearity_in_g1(base_pairing):
+    assert pairing(G2_GENERATOR, G1 * 3) == base_pairing**3
+
+
+def test_bilinearity_in_g2(base_pairing):
+    assert pairing(g2_mul(3), G1) == base_pairing**3
+
+
+def test_pairing_of_infinity_is_one():
+    assert pairing(None, G1) == FQ12.one()
+    assert pairing(G2_GENERATOR, G1Point.infinity()) == FQ12.one()
+
+
+def test_pairing_check_accepts_cancelling_pairs():
+    # e(P, Q) * e(-P, Q) == 1
+    assert pairing_check([(G1 * 5, G2_GENERATOR), (-(G1 * 5), G2_GENERATOR)])
+
+
+def test_pairing_check_rejects_unbalanced_pairs():
+    assert not pairing_check([(G1, G2_GENERATOR), (G1, G2_GENERATOR)])
+
+
+def test_pairing_rejects_non_fq2_argument():
+    with pytest.raises(InvalidPoint):
+        pairing((FQ12.one(), FQ12.one()), G1)

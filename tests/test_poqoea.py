@@ -1,0 +1,222 @@
+"""PoQoEA: completeness, upper-bound soundness, special zero-knowledge.
+
+This is the paper's central primitive (§V-A, Fig. 3); the soundness
+tests encode exactly the attacks the definition rules out — a requester
+understating a worker's quality.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.elgamal import keygen
+from repro.crypto.poqoea import (
+    MismatchEntry,
+    QualityProof,
+    compute_quality,
+    prove_quality,
+    sample_gold_standard,
+    simulate_quality_proof,
+    verify_quality,
+)
+from repro.crypto.random_oracle import RandomOracle
+from repro.errors import ProofError
+
+RANGE = [0, 1]
+GOLD_INDEXES = [0, 2, 4]
+GOLD_ANSWERS = [1, 1, 0]
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return keygen(secret=0xFEEDFACE)
+
+
+def _encrypt(pk, answers):
+    return pk.encrypt_vector(answers)
+
+
+def test_compute_quality():
+    answers = [1, 0, 1, 0, 0, 1]
+    assert compute_quality(answers, GOLD_INDEXES, GOLD_ANSWERS) == 3
+    assert compute_quality([0, 0, 0, 0, 1, 1], GOLD_INDEXES, GOLD_ANSWERS) == 0
+
+
+def test_compute_quality_out_of_bounds_index_scores_zero():
+    assert compute_quality([1], [5], [1]) == 0
+
+
+def test_compute_quality_misaligned_golds_rejected():
+    with pytest.raises(ValueError):
+        compute_quality([1, 0], [0], [1, 1])
+
+
+@pytest.mark.parametrize(
+    "answers,expected_quality,expected_mismatches",
+    [
+        ([1, 0, 1, 0, 0, 1], 3, 0),  # perfect on golds
+        ([1, 0, 1, 0, 1, 1], 2, 1),  # one gold wrong
+        ([0, 0, 0, 0, 1, 1], 0, 3),  # all golds wrong
+    ],
+)
+def test_prove_verify_roundtrip(keys, answers, expected_quality, expected_mismatches):
+    pk, sk = keys
+    ciphertexts = _encrypt(pk, answers)
+    quality, proof = prove_quality(sk, ciphertexts, GOLD_INDEXES, GOLD_ANSWERS, RANGE)
+    assert quality == expected_quality
+    assert len(proof) == expected_mismatches
+    assert verify_quality(pk, ciphertexts, quality, proof, GOLD_INDEXES, GOLD_ANSWERS)
+
+
+def test_upper_bound_soundness_cannot_understate(keys):
+    """A requester cannot claim a lower quality than the proof supports."""
+    pk, sk = keys
+    answers = [1, 0, 1, 0, 1, 1]  # true quality 2, one mismatch
+    ciphertexts = _encrypt(pk, answers)
+    quality, proof = prove_quality(sk, ciphertexts, GOLD_INDEXES, GOLD_ANSWERS, RANGE)
+    assert quality == 2
+    # Claiming quality 1 with only one proven mismatch: 1 + 1 < 3 golds.
+    assert not verify_quality(pk, ciphertexts, 1, proof, GOLD_INDEXES, GOLD_ANSWERS)
+    assert not verify_quality(pk, ciphertexts, 0, proof, GOLD_INDEXES, GOLD_ANSWERS)
+
+
+def test_overstating_quality_is_allowed_by_design(keys):
+    """χ is an upper bound: overstating only hurts the requester."""
+    pk, sk = keys
+    answers = [1, 0, 1, 0, 1, 1]
+    ciphertexts = _encrypt(pk, answers)
+    quality, proof = prove_quality(sk, ciphertexts, GOLD_INDEXES, GOLD_ANSWERS, RANGE)
+    assert verify_quality(
+        pk, ciphertexts, quality + 1, proof, GOLD_INDEXES, GOLD_ANSWERS
+    )
+
+
+def test_replayed_entry_rejected(keys):
+    """Duplicating a mismatch entry must not inflate the bound."""
+    pk, sk = keys
+    answers = [1, 0, 1, 0, 1, 1]  # one genuine mismatch at index 4
+    ciphertexts = _encrypt(pk, answers)
+    _, proof = prove_quality(sk, ciphertexts, GOLD_INDEXES, GOLD_ANSWERS, RANGE)
+    assert len(proof) == 1
+    padded = QualityProof(proof.entries * 3)
+    assert not verify_quality(pk, ciphertexts, 0, padded, GOLD_INDEXES, GOLD_ANSWERS)
+
+
+def test_fake_mismatch_on_matching_position_rejected(keys):
+    """An entry whose revealed answer equals the gold must be rejected."""
+    pk, sk = keys
+    answers = [1, 0, 1, 0, 0, 1]  # perfect on golds
+    ciphertexts = _encrypt(pk, answers)
+    from repro.crypto.vpke import prove_decryption
+
+    claim, dproof = prove_decryption(sk, ciphertexts[0], RANGE)
+    assert claim == 1  # matches the gold
+    fake = QualityProof((MismatchEntry(0, claim, dproof),))
+    assert not verify_quality(pk, ciphertexts, 2, fake, GOLD_INDEXES, GOLD_ANSWERS)
+
+
+def test_entry_on_non_gold_position_rejected(keys):
+    pk, sk = keys
+    answers = [1, 1, 1, 1, 0, 1]
+    ciphertexts = _encrypt(pk, answers)
+    from repro.crypto.vpke import prove_decryption
+
+    claim, dproof = prove_decryption(sk, ciphertexts[1], RANGE)
+    rogue = QualityProof((MismatchEntry(1, claim, dproof),))
+    assert not verify_quality(pk, ciphertexts, 2, rogue, GOLD_INDEXES, GOLD_ANSWERS)
+
+
+def test_lying_about_decryption_rejected(keys):
+    """Claiming a wrong plaintext for a gold position fails VPKE."""
+    pk, sk = keys
+    answers = [1, 0, 1, 0, 0, 1]  # gold 0 answered correctly (1)
+    ciphertexts = _encrypt(pk, answers)
+    from repro.crypto.vpke import prove_decryption
+
+    _, dproof = prove_decryption(sk, ciphertexts[0], RANGE)
+    # Claim the answer was 0 (a mismatch) using the honest proof for 1.
+    lie = QualityProof((MismatchEntry(0, 0, dproof),))
+    assert not verify_quality(pk, ciphertexts, 2, lie, GOLD_INDEXES, GOLD_ANSWERS)
+
+
+def test_duplicate_gold_indexes_rejected(keys):
+    pk, sk = keys
+    answers = [1, 0, 1, 0, 0, 1]
+    ciphertexts = _encrypt(pk, answers)
+    quality, proof = prove_quality(sk, ciphertexts, GOLD_INDEXES, GOLD_ANSWERS, RANGE)
+    assert not verify_quality(
+        pk, ciphertexts, quality, proof, [0, 0, 4], [1, 1, 0]
+    )
+
+
+def test_gold_index_out_of_vector_rejected(keys):
+    pk, sk = keys
+    ciphertexts = _encrypt(pk, [1, 0])
+    with pytest.raises(ProofError):
+        prove_quality(sk, ciphertexts, [5], [1], RANGE)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=6, max_size=6))
+@settings(max_examples=8, deadline=None)
+def test_quality_bound_always_tight(answers):
+    """For honest proofs, the verified bound equals the true quality."""
+    pk, sk = keygen(secret=0x5151)
+    ciphertexts = pk.encrypt_vector(answers)
+    quality, proof = prove_quality(sk, ciphertexts, GOLD_INDEXES, GOLD_ANSWERS, RANGE)
+    assert quality == compute_quality(answers, GOLD_INDEXES, GOLD_ANSWERS)
+    assert verify_quality(pk, ciphertexts, quality, proof, GOLD_INDEXES, GOLD_ANSWERS)
+    if quality > 0:
+        assert not verify_quality(
+            pk, ciphertexts, quality - 1, proof, GOLD_INDEXES, GOLD_ANSWERS
+        )
+
+
+def test_special_zero_knowledge_simulator(keys):
+    """The PoQoEA simulator forges accepting proofs from public data."""
+    pk, _ = keys
+    answers = [0, 0, 0, 0, 1, 1]  # all golds wrong
+    ciphertexts = _encrypt(pk, answers)
+    oracle = RandomOracle()
+    quality, forged = simulate_quality_proof(
+        pk, ciphertexts, answers, GOLD_INDEXES, GOLD_ANSWERS, oracle
+    )
+    assert quality == 0
+    assert len(forged) == 3
+    assert verify_quality(
+        pk, ciphertexts, quality, forged, GOLD_INDEXES, GOLD_ANSWERS, oracle=oracle
+    )
+
+
+def test_simulated_proof_rejected_without_programming(keys):
+    pk, _ = keys
+    answers = [0, 0, 0, 0, 1, 1]
+    ciphertexts = _encrypt(pk, answers)
+    oracle = RandomOracle()
+    quality, forged = simulate_quality_proof(
+        pk, ciphertexts, answers, GOLD_INDEXES, GOLD_ANSWERS, oracle
+    )
+    assert not verify_quality(
+        pk, ciphertexts, quality, forged, GOLD_INDEXES, GOLD_ANSWERS,
+        oracle=RandomOracle(),
+    )
+
+
+def test_sample_gold_standard_shape():
+    indexes, answers = sample_gold_standard(100, 6, [0, 1])
+    assert len(indexes) == len(answers) == 6
+    assert len(set(indexes)) == 6
+    assert all(0 <= i < 100 for i in indexes)
+    assert all(a in (0, 1) for a in answers)
+
+
+def test_sample_gold_standard_too_many_golds():
+    with pytest.raises(ValueError):
+        sample_gold_standard(3, 5, [0, 1])
+
+
+def test_proof_serialization_nonempty(keys):
+    pk, sk = keys
+    answers = [0, 0, 0, 0, 1, 1]
+    ciphertexts = _encrypt(pk, answers)
+    _, proof = prove_quality(sk, ciphertexts, GOLD_INDEXES, GOLD_ANSWERS, RANGE)
+    data = proof.to_bytes()
+    assert len(data) == len(proof) * (4 + 33 + 160)

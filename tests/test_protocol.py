@@ -1,0 +1,156 @@
+"""End-to-end protocol runs: fairness outcomes and the gas ledger."""
+
+import pytest
+
+from repro.core.protocol import run_hit
+from repro.core.task import make_imagenet_task, make_street_parking_task, sample_worker_answers
+from repro.errors import ProtocolError
+from tests.helpers import small_task
+
+GOOD = [0] * 10
+BAD = [1] * 10
+
+
+def test_all_workers_accepted():
+    task = small_task()
+    outcome = run_hit(task, [GOOD, GOOD])
+    assert outcome.payments() == {"worker-0": 50, "worker-1": 50}
+    assert all(v.startswith("paid") for v in outcome.verdicts().values())
+
+
+def test_all_workers_rejected():
+    task = small_task()
+    outcome = run_hit(task, [BAD, BAD])
+    assert outcome.payments() == {"worker-0": 0, "worker-1": 0}
+    assert outcome.chain.ledger.balance_of(outcome.requester.address) == 100
+
+
+def test_mixed_outcome():
+    task = small_task()
+    outcome = run_hit(task, [GOOD, BAD])
+    assert outcome.payments() == {"worker-0": 50, "worker-1": 0}
+    assert outcome.verdicts()["worker-1"] == "rejected-quality"
+
+
+def test_boundary_quality_is_paid():
+    """A worker exactly at Θ (2 of 3 golds) must be paid."""
+    task = small_task()
+    boundary = [0, 0, 1] + [0] * 7  # misses gold at index 2 only
+    assert task.quality_of(boundary) == 2
+    outcome = run_hit(task, [boundary, BAD])
+    assert outcome.payments()["worker-0"] == 50
+
+
+def test_just_below_threshold_rejected():
+    task = small_task()
+    below = [0, 1, 1] + [0] * 7  # one of three golds
+    assert task.quality_of(below) == 1
+    outcome = run_hit(task, [below, GOOD])
+    assert outcome.payments()["worker-0"] == 0
+
+
+def test_wrong_answer_count_raises():
+    task = small_task()
+    with pytest.raises(ProtocolError):
+        run_hit(task, [GOOD])
+
+
+def test_requester_budget_conservation():
+    task = small_task()
+    outcome = run_hit(task, [GOOD, BAD])
+    ledger = outcome.chain.ledger
+    total = (
+        ledger.balance_of(outcome.requester.address)
+        + sum(ledger.balance_of(w.address) for w in outcome.workers)
+        + ledger.escrow_of(outcome.contract.address)
+    )
+    assert total == task.parameters.budget
+
+
+def test_gas_report_structure():
+    task = small_task()
+    outcome = run_hit(task, [GOOD, BAD])
+    gas = outcome.gas
+    assert gas.publish > 1_000_000  # dominated by deployment
+    assert gas.submit_cost("worker-0") > 200_000
+    assert gas.golden > 21_000
+    assert "worker-1" in gas.rejections
+    assert gas.finalize > 21_000
+    assert gas.total == (
+        gas.publish
+        + sum(gas.commits.values())
+        + sum(gas.reveals.values())
+        + gas.golden
+        + sum(gas.rejections.values())
+        + gas.finalize
+    )
+
+
+def test_reveal_dominates_submit_cost():
+    """Per the paper's storage profile, reveal ≫ commit (the reveal
+    stores one hash per question and carries all the ciphertexts)."""
+    task = small_task()
+    outcome = run_hit(task, [GOOD, GOOD])
+    assert outcome.gas.reveals["worker-0"] > 3 * outcome.gas.commits["worker-0"]
+
+
+def test_silent_requester_default_payment():
+    task = small_task()
+    outcome = run_hit(task, [BAD, BAD], requester_evaluates=False)
+    assert outcome.payments() == {"worker-0": 50, "worker-1": 50}
+    assert outcome.chain.ledger.balance_of(outcome.requester.address) == 0
+
+
+def test_custom_worker_labels():
+    task = small_task()
+    outcome = run_hit(task, [GOOD, GOOD], worker_labels=["alice", "bob"])
+    assert set(outcome.payments()) == {"alice", "bob"}
+
+
+def test_street_parking_scenario():
+    task = make_street_parking_task()
+    answers = [
+        sample_worker_answers(task, 1.0, seed=1),
+        sample_worker_answers(task, 0.9, seed=2),
+        sample_worker_answers(task, 0.1, seed=3),
+    ]
+    outcome = run_hit(task, answers)
+    payments = outcome.payments()
+    assert payments["worker-0"] == 100
+    assert payments["worker-2"] == 0
+
+
+@pytest.mark.slow
+def test_imagenet_task_full_run():
+    """The paper's §VI experiment at full size (106 questions)."""
+    task = make_imagenet_task()
+    answers = [
+        sample_worker_answers(task, 0.97, seed=1),
+        sample_worker_answers(task, 0.92, seed=2),
+        sample_worker_answers(task, 0.55, seed=3),
+        sample_worker_answers(task, 0.10, seed=4),
+    ]
+    outcome = run_hit(task, answers)
+    qualities = [task.quality_of(a) for a in answers]
+    for worker, quality in zip(outcome.workers, qualities):
+        paid = outcome.payment_of(worker) > 0
+        assert paid == (quality >= task.parameters.quality_threshold)
+    # Gas sanity against the paper's Table III orders of magnitude.
+    assert 900_000 < outcome.gas.publish < 1_700_000
+    for worker in outcome.workers:
+        assert 1_800_000 < outcome.gas.submit_cost(worker.label) < 3_600_000
+
+
+def test_events_expose_no_plaintext():
+    """Confidentiality: nothing in the event log reveals raw answers."""
+    task = small_task()
+    outcome = run_hit(task, [GOOD, GOOD])
+    answers_bytes = bytes(GOOD)
+    for event in outcome.chain.events:
+        assert answers_bytes not in event.data
+
+
+def test_protocol_finishes_in_five_blocks():
+    task = small_task()
+    outcome = run_hit(task, [GOOD, GOOD])
+    assert outcome.chain.height == 5  # deploy, commit, reveal, evaluate, finalize

@@ -1,0 +1,123 @@
+"""Polynomials, Lagrange interpolation, and the R1CS→QAP reduction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baseline.qap import QAP, Poly, lagrange_interpolate
+from repro.baseline.r1cs import LC, ConstraintSystem
+from repro.crypto.field import CURVE_ORDER
+from repro.errors import ConstraintError
+
+coeffs = st.lists(
+    st.integers(min_value=0, max_value=CURVE_ORDER - 1), min_size=1, max_size=6
+)
+
+
+@given(coeffs, coeffs)
+@settings(max_examples=25)
+def test_poly_add_evaluates_pointwise(a, b):
+    p, q = Poly(a), Poly(b)
+    for x in (0, 1, 7):
+        assert (p + q).evaluate(x) == (p.evaluate(x) + q.evaluate(x)) % CURVE_ORDER
+
+
+@given(coeffs, coeffs)
+@settings(max_examples=25)
+def test_poly_mul_evaluates_pointwise(a, b):
+    p, q = Poly(a), Poly(b)
+    for x in (0, 1, 7):
+        assert (p * q).evaluate(x) == (p.evaluate(x) * q.evaluate(x)) % CURVE_ORDER
+
+
+def test_poly_normalizes_leading_zeros():
+    assert Poly([1, 2, 0, 0]).coeffs == [1, 2]
+    assert Poly([0, 0]).is_zero()
+    assert Poly([0]).degree == 0
+
+
+@given(coeffs, coeffs)
+@settings(max_examples=25)
+def test_divmod_reconstructs(a, b):
+    p, q = Poly(a), Poly(b)
+    if q.is_zero():
+        return
+    quotient, remainder = p.divmod(q)
+    assert quotient * q + remainder == p
+    assert remainder.is_zero() or remainder.degree < q.degree
+
+
+def test_division_by_zero():
+    with pytest.raises(ZeroDivisionError):
+        Poly([1]).divmod(Poly([0]))
+
+
+def test_lagrange_interpolation():
+    points = [(1, 5), (2, 11), (3, 19)]
+    poly = lagrange_interpolate(points)
+    for x, y in points:
+        assert poly.evaluate(x) == y
+    assert poly.degree <= 2
+
+
+def _cubic_system():
+    cs = ConstraintSystem()
+    out = cs.public_input("out", 35)
+    x = cs.private_witness("x", 3)
+    x2 = cs.mul(x, x)
+    x3 = cs.mul(x2, x)
+    cs.enforce(LC.of(x3) + LC.of(x) + LC.constant(5), LC.constant(1), LC.of(out))
+    return cs
+
+
+def test_qap_construction_shape():
+    cs = _cubic_system()
+    qap = QAP.from_r1cs(cs)
+    assert qap.num_variables == cs.num_variables
+    assert qap.degree == cs.num_constraints
+    assert qap.num_public == 1
+
+
+def test_qap_column_polys_interpolate_constraints():
+    cs = _cubic_system()
+    qap = QAP.from_r1cs(cs)
+    witness = cs.full_assignment()
+    a, b, c = qap.witness_polynomials(witness)
+    # At every domain point, A·B == C (the constraint holds).
+    for point in range(1, cs.num_constraints + 1):
+        assert (
+            a.evaluate(point) * b.evaluate(point) % CURVE_ORDER
+            == c.evaluate(point)
+        )
+
+
+def test_qap_quotient_divides_cleanly():
+    cs = _cubic_system()
+    qap = QAP.from_r1cs(cs)
+    h = qap.quotient(cs.full_assignment())
+    witness = cs.full_assignment()
+    a, b, c = qap.witness_polynomials(witness)
+    assert a * b - c == h * qap.target
+
+
+def test_qap_invalid_witness_rejected():
+    cs = _cubic_system()
+    qap = QAP.from_r1cs(cs)
+    witness = cs.full_assignment()
+    witness[-1] = (witness[-1] + 1) % CURVE_ORDER
+    with pytest.raises(ConstraintError):
+        qap.quotient(witness)
+
+
+def test_qap_wrong_witness_length_rejected():
+    cs = _cubic_system()
+    qap = QAP.from_r1cs(cs)
+    with pytest.raises(ConstraintError):
+        qap.witness_polynomials([1, 2])
+
+
+def test_target_vanishes_exactly_on_domain():
+    cs = _cubic_system()
+    qap = QAP.from_r1cs(cs)
+    for point in range(1, cs.num_constraints + 1):
+        assert qap.target.evaluate(point) == 0
+    assert qap.target.evaluate(cs.num_constraints + 1) != 0

@@ -1,0 +1,135 @@
+"""R1CS builder and gadgets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baseline.r1cs import LC, ConstraintSystem, LinearCombination
+from repro.crypto.field import CURVE_ORDER
+from repro.errors import ConstraintError
+
+
+def test_variable_layout():
+    cs = ConstraintSystem()
+    a = cs.public_input("a", 1)
+    b = cs.private_witness("b", 2)
+    assert a == 1 and b == 2
+    assert cs.num_public == 1
+    assert cs.names[0] == "~one"
+
+
+def test_public_after_private_rejected():
+    cs = ConstraintSystem()
+    cs.private_witness("w", 0)
+    with pytest.raises(ConstraintError):
+        cs.public_input("late", 0)
+
+
+def test_mul_gadget():
+    cs = ConstraintSystem()
+    x = cs.private_witness("x", 6)
+    y = cs.private_witness("y", 7)
+    z = cs.mul(x, y)
+    assert cs.value_of(z) == 42
+    assert cs.is_satisfied()
+
+
+def test_unsatisfied_detected():
+    cs = ConstraintSystem()
+    x = cs.private_witness("x", 6)
+    z = cs.mul(x, x)
+    cs.assign(z, 35)  # wrong
+    assert not cs.is_satisfied()
+    assert cs.first_unsatisfied() is not None
+
+
+def test_enforce_equal():
+    cs = ConstraintSystem()
+    x = cs.private_witness("x", 5)
+    cs.enforce_equal(LC.of(x), LC.constant(5))
+    assert cs.is_satisfied()
+    cs2 = ConstraintSystem()
+    y = cs2.private_witness("y", 5)
+    cs2.enforce_equal(LC.of(y), LC.constant(6))
+    assert not cs2.is_satisfied()
+
+
+@pytest.mark.parametrize("value,ok", [(0, True), (1, True), (2, False)])
+def test_boolean_gadget(value, ok):
+    cs = ConstraintSystem()
+    x = cs.private_witness("x", value)
+    cs.enforce_boolean(x)
+    assert cs.is_satisfied() == ok
+
+
+@pytest.mark.parametrize("value,expected", [(0, 1), (5, 0), (CURVE_ORDER - 1, 0)])
+def test_is_zero_gadget(value, expected):
+    cs = ConstraintSystem()
+    x = cs.private_witness("x", value)
+    b = cs.is_zero(x)
+    assert cs.value_of(b) == expected
+    assert cs.is_satisfied()
+
+
+def test_is_zero_gadget_rejects_lies():
+    cs = ConstraintSystem()
+    x = cs.private_witness("x", 5)
+    b = cs.is_zero(x)
+    cs.assign(b, 1)  # lie: claim 5 == 0
+    assert not cs.is_satisfied()
+
+
+@given(st.integers(min_value=0, max_value=100), st.integers(min_value=0, max_value=100))
+@settings(max_examples=30)
+def test_is_equal_gadget(a, b):
+    cs = ConstraintSystem()
+    x = cs.private_witness("x", a)
+    y = cs.private_witness("y", b)
+    eq = cs.is_equal(x, y)
+    assert cs.value_of(eq) == (1 if a == b else 0)
+    assert cs.is_satisfied()
+
+
+@given(st.integers(min_value=0, max_value=255))
+@settings(max_examples=25)
+def test_bit_decomposition(value):
+    cs = ConstraintSystem()
+    x = cs.private_witness("x", value)
+    bits = cs.decompose_bits(x, 8)
+    assert [cs.value_of(b) for b in bits] == [(value >> i) & 1 for i in range(8)]
+    assert cs.is_satisfied()
+
+
+def test_bit_decomposition_rejects_overflow():
+    cs = ConstraintSystem()
+    x = cs.private_witness("x", 256)
+    cs.decompose_bits(x, 8)
+    assert not cs.is_satisfied()
+
+
+def test_linear_combination_arithmetic():
+    lc = LC.of(1, 2) + LC.of(2, 3) - LC.of(1, 2)
+    assert lc.terms == {2: 3}
+    scaled = LC.of(1, 2).scale(5)
+    assert scaled.terms == {1: 10}
+    assert LC.constant(0).terms == {}
+
+
+def test_lc_evaluate():
+    assignment = [1, 10, 20]
+    lc = LC.of(1, 2) + LC.of(2, 3) + LC.constant(7)
+    assert lc.evaluate(assignment) == (2 * 10 + 3 * 20 + 7) % CURVE_ORDER
+
+
+def test_unassigned_variable_detected():
+    cs = ConstraintSystem()
+    cs.private_witness("x")
+    with pytest.raises(ConstraintError):
+        cs.full_assignment()
+
+
+def test_public_values_extraction():
+    cs = ConstraintSystem()
+    cs.public_input("a", 11)
+    cs.public_input("b", 22)
+    cs.private_witness("w", 33)
+    assert cs.public_values() == [11, 22]

@@ -1,0 +1,138 @@
+"""LSAG linkable ring signatures: anonymity mechanics and linkability."""
+
+import pytest
+
+from repro.crypto.curve import G1Point, random_scalar
+from repro.crypto.ring import (
+    RingSignature,
+    keygen_ring,
+    linkability_tag,
+    ring_sign,
+    ring_verify,
+    tag_base,
+    tags_link,
+)
+from repro.errors import CryptoError
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return keygen_ring(4)
+
+
+CONTEXT = b"task-42"
+
+
+def test_sign_verify_roundtrip(ring):
+    publics, secrets = ring
+    for index in range(len(publics)):
+        signature = ring_sign(b"msg", publics, secrets[index], index, CONTEXT)
+        assert ring_verify(b"msg", publics, signature, CONTEXT)
+
+
+def test_wrong_message_rejected(ring):
+    publics, secrets = ring
+    signature = ring_sign(b"msg", publics, secrets[0], 0, CONTEXT)
+    assert not ring_verify(b"other", publics, signature, CONTEXT)
+
+
+def test_wrong_context_rejected(ring):
+    publics, secrets = ring
+    signature = ring_sign(b"msg", publics, secrets[0], 0, CONTEXT)
+    assert not ring_verify(b"msg", publics, signature, b"task-43")
+
+
+def test_wrong_ring_rejected(ring):
+    publics, secrets = ring
+    signature = ring_sign(b"msg", publics, secrets[0], 0, CONTEXT)
+    other_publics, _ = keygen_ring(4)
+    assert not ring_verify(b"msg", other_publics, signature, CONTEXT)
+
+
+def test_tampered_signature_rejected(ring):
+    publics, secrets = ring
+    signature = ring_sign(b"msg", publics, secrets[1], 1, CONTEXT)
+    tampered = RingSignature(
+        signature.challenge,
+        (signature.responses[0] + 1,) + signature.responses[1:],
+        signature.tag,
+    )
+    assert not ring_verify(b"msg", publics, tampered, CONTEXT)
+
+
+def test_tampered_tag_rejected(ring):
+    publics, secrets = ring
+    signature = ring_sign(b"msg", publics, secrets[1], 1, CONTEXT)
+    forged = RingSignature(
+        signature.challenge,
+        signature.responses,
+        signature.tag + G1Point.generator(),
+    )
+    assert not ring_verify(b"msg", publics, forged, CONTEXT)
+
+
+def test_same_signer_same_context_links(ring):
+    publics, secrets = ring
+    a = ring_sign(b"msg-1", publics, secrets[2], 2, CONTEXT)
+    b = ring_sign(b"msg-2", publics, secrets[2], 2, CONTEXT)
+    assert tags_link(a, b)
+    assert a.tag == linkability_tag(secrets[2], CONTEXT)
+
+
+def test_different_signers_do_not_link(ring):
+    publics, secrets = ring
+    a = ring_sign(b"msg", publics, secrets[0], 0, CONTEXT)
+    b = ring_sign(b"msg", publics, secrets[1], 1, CONTEXT)
+    assert not tags_link(a, b)
+
+
+def test_same_signer_different_contexts_unlinkable(ring):
+    """Cross-task unlinkability: tags under different contexts differ."""
+    publics, secrets = ring
+    a = ring_sign(b"msg", publics, secrets[0], 0, b"task-1")
+    b = ring_sign(b"msg", publics, secrets[0], 0, b"task-2")
+    assert not tags_link(a, b)
+    assert tag_base(b"task-1") != tag_base(b"task-2")
+
+
+def test_signature_hides_signer_index(ring):
+    """Structural anonymity: signatures by different members have the
+    same shape and each verifies; nothing in the signature exposes the
+    index (the tag differs, but maps to no public key directly)."""
+    publics, secrets = ring
+    signatures = [
+        ring_sign(b"msg", publics, secrets[i], i, CONTEXT)
+        for i in range(len(publics))
+    ]
+    for signature in signatures:
+        assert ring_verify(b"msg", publics, signature, CONTEXT)
+        assert len(signature.responses) == len(publics)
+        assert signature.tag not in publics
+
+
+def test_ring_size_two_minimum():
+    publics, secrets = keygen_ring(2)
+    signature = ring_sign(b"m", publics, secrets[1], 1, CONTEXT)
+    assert ring_verify(b"m", publics, signature, CONTEXT)
+    with pytest.raises(CryptoError):
+        ring_sign(b"m", publics[:1], secrets[0], 0, CONTEXT)
+
+
+def test_mismatched_secret_rejected(ring):
+    publics, secrets = ring
+    with pytest.raises(CryptoError):
+        ring_sign(b"m", publics, secrets[0], 1, CONTEXT)
+    with pytest.raises(CryptoError):
+        ring_sign(b"m", publics, random_scalar(), 0, CONTEXT)
+
+
+def test_response_count_must_match_ring(ring):
+    publics, secrets = ring
+    signature = ring_sign(b"m", publics, secrets[0], 0, CONTEXT)
+    assert not ring_verify(b"m", publics[:3], signature, CONTEXT)
+
+
+def test_signature_size(ring):
+    publics, secrets = ring
+    signature = ring_sign(b"m", publics, secrets[0], 0, CONTEXT)
+    assert signature.size_bytes() == 32 + 32 * 4 + 64

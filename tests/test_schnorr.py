@@ -1,0 +1,89 @@
+"""Schnorr PoK and Chaum–Pedersen DDH-tuple proofs."""
+
+import pytest
+
+from repro.crypto.curve import G1Point, random_scalar
+from repro.crypto.random_oracle import RandomOracle
+from repro.crypto.schnorr import (
+    chaum_pedersen_prove,
+    chaum_pedersen_verify,
+    schnorr_prove,
+    schnorr_simulate,
+    schnorr_verify,
+)
+
+G = G1Point.generator()
+
+
+def test_schnorr_roundtrip():
+    secret = random_scalar()
+    proof = schnorr_prove(secret)
+    assert schnorr_verify(G * secret, proof)
+
+
+def test_schnorr_wrong_statement_rejected():
+    secret = random_scalar()
+    proof = schnorr_prove(secret)
+    assert not schnorr_verify(G * (secret + 1), proof)
+
+
+def test_schnorr_context_binding():
+    secret = random_scalar()
+    proof = schnorr_prove(secret, context=b"task-1")
+    assert schnorr_verify(G * secret, proof, context=b"task-1")
+    assert not schnorr_verify(G * secret, proof, context=b"task-2")
+
+
+def test_schnorr_tampered_response_rejected():
+    from repro.crypto.schnorr import SchnorrProof
+
+    secret = random_scalar()
+    proof = schnorr_prove(secret)
+    tampered = SchnorrProof(proof.commitment, proof.response + 1)
+    assert not schnorr_verify(G * secret, tampered)
+
+
+def test_schnorr_simulator_fools_verifier_with_programmed_oracle():
+    oracle = RandomOracle()
+    public = G * random_scalar()  # simulator never learns the secret
+    forged = schnorr_simulate(public, oracle=oracle)
+    assert schnorr_verify(public, forged, oracle=oracle)
+
+
+def test_schnorr_simulated_proof_fails_against_fresh_oracle():
+    oracle = RandomOracle()
+    public = G * random_scalar()
+    forged = schnorr_simulate(public, oracle=oracle)
+    assert not schnorr_verify(public, forged, oracle=RandomOracle())
+
+
+def test_chaum_pedersen_roundtrip():
+    secret = random_scalar()
+    base_v = G * 777
+    proof = chaum_pedersen_prove(secret, base_v)
+    assert chaum_pedersen_verify(G * secret, base_v, base_v * secret, proof)
+
+
+def test_chaum_pedersen_non_ddh_tuple_rejected():
+    secret = random_scalar()
+    base_v = G * 777
+    proof = chaum_pedersen_prove(secret, base_v)
+    # w is NOT base_v^secret:
+    assert not chaum_pedersen_verify(
+        G * secret, base_v, base_v * (secret + 1), proof
+    )
+
+
+def test_chaum_pedersen_context_binding():
+    secret = random_scalar()
+    base_v = G * 3
+    proof = chaum_pedersen_prove(secret, base_v, context=b"a")
+    assert not chaum_pedersen_verify(
+        G * secret, base_v, base_v * secret, proof, context=b"b"
+    )
+
+
+def test_proof_serialization_sizes():
+    secret = random_scalar()
+    assert len(schnorr_prove(secret).to_bytes()) == 96
+    assert len(chaum_pedersen_prove(secret, G * 2).to_bytes()) == 160

@@ -1,0 +1,64 @@
+"""Byte-encoding helpers used for calldata sizing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.curve import G1Point
+from repro.utils.serialization import (
+    bytes_to_int,
+    decode_ciphertext,
+    decode_point,
+    encode_ciphertext,
+    encode_point,
+    hex_digest,
+    int_to_bytes,
+)
+
+
+@given(st.integers(min_value=0, max_value=2**256 - 1))
+def test_int_roundtrip(value):
+    assert bytes_to_int(int_to_bytes(value)) == value
+
+
+def test_int_to_bytes_length():
+    assert len(int_to_bytes(5)) == 32
+    assert len(int_to_bytes(5, 4)) == 4
+
+
+def test_negative_int_rejected():
+    with pytest.raises(ValueError):
+        int_to_bytes(-1)
+
+
+def test_overflow_rejected():
+    with pytest.raises(OverflowError):
+        int_to_bytes(2**256, 32)
+
+
+def test_point_roundtrip():
+    point = (G1Point.generator() * 99).affine
+    assert decode_point(encode_point(point)) == point
+
+
+def test_infinity_point_roundtrip():
+    assert decode_point(encode_point(None)) is None
+
+
+def test_point_wrong_length():
+    with pytest.raises(ValueError):
+        decode_point(b"\x00" * 63)
+
+
+def test_ciphertext_roundtrip():
+    g = G1Point.generator()
+    pair = ((g * 3).affine, (g * 7).affine)
+    assert decode_ciphertext(encode_ciphertext(pair)) == pair
+
+
+def test_ciphertext_wrong_length():
+    with pytest.raises(ValueError):
+        decode_ciphertext(b"\x00" * 127)
+
+
+def test_hex_digest():
+    assert hex_digest(b"\xde\xad") == "dead"

@@ -1,0 +1,102 @@
+"""The interactive sigma protocol: completeness, extraction, HVZK."""
+
+import pytest
+
+from repro.crypto.elgamal import keygen
+from repro.crypto.sigma import (
+    SigmaProver,
+    SigmaTranscript,
+    extract_secret,
+    fresh_challenge,
+    run_interactive,
+    simulate_transcript,
+    verify_transcript,
+)
+from repro.errors import ProofError
+
+
+@pytest.fixture(scope="module")
+def instance():
+    pk, sk = keygen(secret=0x516A)
+    ciphertext = pk.encrypt(1)
+    return pk, sk, ciphertext
+
+
+def test_completeness(instance):
+    pk, sk, ciphertext = instance
+    transcript = run_interactive(sk, ciphertext, claim=1)
+    assert verify_transcript(pk, 1, ciphertext, transcript)
+
+
+def test_wrong_claim_rejected(instance):
+    pk, sk, ciphertext = instance
+    transcript = run_interactive(sk, ciphertext, claim=1)
+    assert not verify_transcript(pk, 0, ciphertext, transcript)
+
+
+def test_move3_requires_move1(instance):
+    _, sk, ciphertext = instance
+    prover = SigmaProver(sk, ciphertext)
+    with pytest.raises(ProofError):
+        prover.move3(fresh_challenge())
+
+
+def test_special_soundness_extracts_key(instance):
+    """Answering two challenges on one commitment leaks the secret —
+    the knowledge extractor of the soundness proof."""
+    pk, sk, ciphertext = instance
+    prover = SigmaProver(sk, ciphertext)
+    commitment_a, commitment_b = prover.move1()
+    c1, c2 = 11111, 22222
+    t1 = SigmaTranscript(commitment_a, commitment_b, c1, prover.move3(c1))
+    t2 = SigmaTranscript(commitment_a, commitment_b, c2, prover.move3(c2))
+    assert verify_transcript(pk, 1, ciphertext, t1)
+    assert verify_transcript(pk, 1, ciphertext, t2)
+    assert extract_secret(t1, t2) == sk.k
+
+
+def test_extraction_requires_shared_first_move(instance):
+    _, sk, ciphertext = instance
+    t1 = run_interactive(sk, ciphertext, claim=1)
+    t2 = run_interactive(sk, ciphertext, claim=1)
+    with pytest.raises(ProofError):
+        extract_secret(t1, t2)
+
+
+def test_extraction_requires_distinct_challenges(instance):
+    _, sk, ciphertext = instance
+    transcript = run_interactive(sk, ciphertext, claim=1, challenge=777)
+    with pytest.raises(ProofError):
+        extract_secret(transcript, transcript)
+
+
+def test_hvzk_simulator_produces_accepting_transcripts(instance):
+    """The simulator works with no secret key and no oracle programming."""
+    pk, _, ciphertext = instance
+    for _ in range(3):
+        forged = simulate_transcript(pk, 1, ciphertext)
+        assert verify_transcript(pk, 1, ciphertext, forged)
+
+
+def test_simulated_and_real_transcripts_same_shape(instance):
+    """On a fixed challenge, real and simulated transcripts are both
+    accepting and structurally identical — the HVZK argument."""
+    pk, sk, ciphertext = instance
+    challenge = fresh_challenge()
+    real = run_interactive(sk, ciphertext, claim=1, challenge=challenge)
+    fake = simulate_transcript(pk, 1, ciphertext, challenge=challenge)
+    assert verify_transcript(pk, 1, ciphertext, real)
+    assert verify_transcript(pk, 1, ciphertext, fake)
+    assert real.challenge == fake.challenge
+    # Responses are both uniform field elements; commitments both points.
+    assert real != fake  # overwhelmingly
+
+
+def test_simulator_cannot_help_on_false_statements(instance):
+    """Simulated transcripts for a FALSE claim verify against that false
+    claim only in the interactive HVZK sense — they do not transfer to
+    the true claim, so soundness is intact."""
+    pk, _, ciphertext = instance  # ciphertext encrypts 1
+    forged_for_zero = simulate_transcript(pk, 0, ciphertext)
+    assert verify_transcript(pk, 0, ciphertext, forged_for_zero)  # HVZK artifact
+    assert not verify_transcript(pk, 1, ciphertext, forged_for_zero)

@@ -1,0 +1,93 @@
+"""Ideal/real correspondence (the observable face of Theorem 1).
+
+Every scenario must produce identical payments and verdict kinds in the
+real protocol and in the ideal functionality; confidentiality checks
+assert the leakage traces contain no plaintext beyond the golds.
+"""
+
+import pytest
+
+from repro.core.simulator import (
+    compare_worlds,
+    leakage_is_plaintext_free,
+    run_ideal_mirror,
+)
+from tests.helpers import small_task
+
+GOOD = [0] * 10
+BAD = [1] * 10
+NEAR = [0, 0, 1] + [0] * 7  # quality 2 (boundary)
+BELOW = [0, 1, 1] + [0] * 7  # quality 1
+
+
+@pytest.mark.parametrize(
+    "answers",
+    [
+        (GOOD, GOOD),
+        (BAD, BAD),
+        (GOOD, BAD),
+        (NEAR, BELOW),
+        (BELOW, NEAR),
+    ],
+    ids=["all-good", "all-bad", "mixed", "boundary", "boundary-swapped"],
+)
+def test_worlds_indistinguishable(answers):
+    comparison = compare_worlds(small_task(), list(answers))
+    assert comparison.indistinguishable, comparison.differences
+
+
+def test_worlds_match_with_silent_requester():
+    comparison = compare_worlds(
+        small_task(), [BAD, BAD], requester_evaluates=False
+    )
+    assert comparison.indistinguishable, comparison.differences
+
+
+def test_worlds_match_with_out_of_range_answer():
+    cheat = [0] * 9 + [42]
+    comparison = compare_worlds(small_task(), [cheat, GOOD])
+    assert comparison.indistinguishable, comparison.differences
+
+
+def test_three_workers():
+    task = small_task(num_workers=3, budget=99)
+    comparison = compare_worlds(task, [GOOD, BAD, NEAR])
+    assert comparison.indistinguishable, comparison.differences
+
+
+def test_ideal_mirror_handles_bottom():
+    task = small_task()
+    outcome = run_ideal_mirror(task, [GOOD, None])
+    assert outcome.payments["worker-0"] == 50
+    assert outcome.payments["worker-1"] == 0
+
+
+def test_ideal_mirror_custom_labels():
+    task = small_task()
+    outcome = run_ideal_mirror(task, [GOOD, BAD], worker_labels=["a", "b"])
+    assert set(outcome.payments) == {"a", "b"}
+
+
+def test_leakage_contains_no_plaintext():
+    task = small_task()
+    outcome = run_ideal_mirror(task, [GOOD, BAD])
+    assert leakage_is_plaintext_free(
+        outcome.leakage, [GOOD, BAD], task.gold_indexes
+    )
+
+
+def test_leakage_trace_shape():
+    task = small_task()
+    outcome = run_ideal_mirror(task, [GOOD, BAD])
+    tags = [leak.tag for leak in outcome.leakage]
+    assert tags[0] == "publishing"
+    assert tags.count("answering") == 2
+    assert "evaluated" in tags
+
+
+def test_payment_totals_match_between_worlds():
+    task = small_task()
+    comparison = compare_worlds(task, [GOOD, NEAR])
+    assert sum(comparison.real_payments.values()) == sum(
+        comparison.ideal_payments.values()
+    )

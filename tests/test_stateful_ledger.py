@@ -1,0 +1,88 @@
+"""Stateful property testing of the ledger (hypothesis state machine).
+
+Random interleavings of freeze / pay / transfer / fee / snapshot-restore
+must preserve the two global invariants: total supply is constant, and
+no balance or escrow ever goes negative.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.errors import EscrowError, InsufficientFunds
+from repro.ledger.accounts import Address
+from repro.ledger.ledger import Ledger
+
+PARTIES = [Address.from_label("p%d" % i) for i in range(4)]
+CONTRACTS = [Address.from_label("c%d" % i) for i in range(2)]
+INITIAL = 1_000
+
+
+class LedgerMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.ledger = Ledger()
+        for party in PARTIES:
+            self.ledger.open_account(party, INITIAL)
+        self.supply = self.ledger.total_supply()
+        self.saved = None
+
+    @rule(party=st.sampled_from(PARTIES), contract=st.sampled_from(CONTRACTS),
+          amount=st.integers(min_value=0, max_value=400))
+    def freeze(self, party, contract, amount):
+        self.ledger.freeze(contract, party, amount)
+
+    @rule(party=st.sampled_from(PARTIES), contract=st.sampled_from(CONTRACTS),
+          amount=st.integers(min_value=0, max_value=400))
+    def pay(self, party, contract, amount):
+        try:
+            self.ledger.pay(contract, party, amount)
+        except EscrowError:
+            pass
+
+    @rule(source=st.sampled_from(PARTIES), destination=st.sampled_from(PARTIES),
+          amount=st.integers(min_value=0, max_value=400))
+    def transfer(self, source, destination, amount):
+        try:
+            self.ledger.transfer(source, destination, amount)
+        except InsufficientFunds:
+            pass
+
+    @rule(party=st.sampled_from(PARTIES),
+          amount=st.integers(min_value=0, max_value=100))
+    def fee(self, party, amount):
+        try:
+            self.ledger.charge_fee(party, amount)
+        except InsufficientFunds:
+            pass
+
+    @rule()
+    def snapshot(self):
+        self.saved = self.ledger.snapshot()
+
+    @rule()
+    def restore(self):
+        if self.saved is not None:
+            self.ledger.restore(self.saved)
+
+    @invariant()
+    def supply_conserved(self):
+        assert self.ledger.total_supply() == self.supply
+
+    @invariant()
+    def no_negative_balances(self):
+        for party in PARTIES:
+            assert self.ledger.balance_of(party) >= 0
+        for contract in CONTRACTS:
+            assert self.ledger.escrow_of(contract) >= 0
+
+
+TestLedgerMachine = LedgerMachine.TestCase
+TestLedgerMachine.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,64 @@
+"""The Swarm-like content-addressed store: integrity end to end."""
+
+import pytest
+
+from repro.crypto.keccak import keccak256
+from repro.storage.swarm import SwarmError, SwarmStore
+
+
+def test_put_get_roundtrip():
+    store = SwarmStore()
+    digest = store.put(b"task questions")
+    assert store.get(digest) == b"task questions"
+
+
+def test_digest_is_keccak():
+    store = SwarmStore()
+    assert store.put(b"blob") == keccak256(b"blob")
+
+
+def test_missing_content():
+    store = SwarmStore()
+    with pytest.raises(SwarmError):
+        store.get(b"\x00" * 32)
+
+
+def test_has_and_len():
+    store = SwarmStore()
+    digest = store.put(b"a")
+    store.put(b"b")
+    assert store.has(digest)
+    assert not store.has(b"\x01" * 32)
+    assert len(store) == 2
+
+
+def test_idempotent_put():
+    store = SwarmStore()
+    d1 = store.put(b"same")
+    d2 = store.put(b"same")
+    assert d1 == d2
+    assert len(store) == 1
+    assert store.put_count == 2
+
+
+def test_corruption_detected():
+    """A tampered blob fails the integrity check on fetch — this is why
+    committing the digest on-chain is safe."""
+    store = SwarmStore()
+    digest = store.put(b"honest questions")
+    store.corrupt(digest, b"tampered questions")
+    with pytest.raises(SwarmError):
+        store.get(digest)
+
+
+def test_corrupt_requires_existing():
+    store = SwarmStore()
+    with pytest.raises(SwarmError):
+        store.corrupt(b"\x00" * 32, b"x")
+
+
+def test_iteration():
+    store = SwarmStore()
+    digests = {store.put(b"a"), store.put(b"b")}
+    assert set(store) == digests
+    assert store.get_count == 0

@@ -1,0 +1,182 @@
+"""The HIT task model: validation, workloads, serialization."""
+
+import pytest
+
+from repro.core.task import (
+    HITTask,
+    TaskParameters,
+    make_imagenet_task,
+    make_street_parking_task,
+    parse_golden_blob,
+    sample_worker_answers,
+)
+from repro.errors import AnswerError, TaskSpecError
+
+
+def _params(**overrides):
+    base = dict(
+        num_questions=10,
+        budget=100,
+        num_workers=2,
+        answer_range=(0, 1),
+        quality_threshold=2,
+        num_golds=3,
+    )
+    base.update(overrides)
+    return TaskParameters(**base)
+
+
+def test_valid_parameters():
+    p = _params()
+    assert p.reward_per_worker == 50
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        dict(num_questions=0),
+        dict(num_workers=0),
+        dict(budget=1),
+        dict(budget=101),  # not divisible by K
+        dict(answer_range=(0,)),
+        dict(answer_range=(0, 0)),
+        dict(answer_range=(-1, 1)),
+        dict(num_golds=0),
+        dict(num_golds=11),
+        dict(quality_threshold=4),  # > |G|
+        dict(quality_threshold=-1),
+    ],
+)
+def test_invalid_parameters(overrides):
+    with pytest.raises(TaskSpecError):
+        _params(**overrides)
+
+
+def test_parameters_json_roundtrip():
+    p = _params()
+    assert TaskParameters.from_json(p.to_json()) == p
+
+
+def _task(**param_overrides):
+    p = _params(**param_overrides)
+    return HITTask(
+        p,
+        ["q%d" % i for i in range(p.num_questions)],
+        [0, 1, 2][: p.num_golds],
+        [0] * p.num_golds,
+        [0] * p.num_questions,
+    )
+
+
+def test_valid_task():
+    task = _task()
+    assert task.quality_of([0] * 10) == 3
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    [
+        lambda t: HITTask(t.parameters, t.questions[:-1], t.gold_indexes,
+                          t.gold_answers, t.ground_truth),
+        lambda t: HITTask(t.parameters, t.questions, [0, 0, 1],
+                          t.gold_answers, t.ground_truth),
+        lambda t: HITTask(t.parameters, t.questions, [0, 1, 99],
+                          t.gold_answers, t.ground_truth),
+        lambda t: HITTask(t.parameters, t.questions, t.gold_indexes,
+                          [0, 0], t.ground_truth),
+        lambda t: HITTask(t.parameters, t.questions, t.gold_indexes,
+                          [0, 0, 9], t.ground_truth),
+        lambda t: HITTask(t.parameters, t.questions, t.gold_indexes,
+                          t.gold_answers, [0] * 9),
+        lambda t: HITTask(t.parameters, t.questions, t.gold_indexes,
+                          [1, 0, 0], t.ground_truth),  # disagrees with truth
+    ],
+)
+def test_invalid_tasks(mutation):
+    task = _task()
+    with pytest.raises(TaskSpecError):
+        mutation(task)
+
+
+def test_validate_answers():
+    task = _task()
+    task.validate_answers([0] * 10)
+    with pytest.raises(AnswerError):
+        task.validate_answers([0] * 9)
+    with pytest.raises(AnswerError):
+        task.validate_answers([0] * 9 + [7])
+
+
+def test_golden_blob_roundtrip():
+    task = _task()
+    indexes, answers = parse_golden_blob(task.golden_blob())
+    assert indexes == task.gold_indexes
+    assert answers == task.gold_answers
+
+
+def test_questions_blob_contains_questions():
+    import json
+
+    task = _task()
+    data = json.loads(task.questions_blob().decode())
+    assert data["questions"] == task.questions
+    assert data["parameters"]["num_questions"] == 10
+
+
+def test_imagenet_task_matches_paper_policy():
+    """106 binary questions, 6 golds, 4 workers, reject below 4."""
+    task = make_imagenet_task()
+    p = task.parameters
+    assert p.num_questions == 106
+    assert p.num_golds == 6
+    assert p.num_workers == 4
+    assert p.quality_threshold == 4
+    assert p.answer_range == (0, 1)
+    assert len(task.gold_indexes) == 6
+    assert task.ground_truth is not None
+
+
+def test_imagenet_task_deterministic_by_seed():
+    assert make_imagenet_task(seed=1).gold_indexes == make_imagenet_task(seed=1).gold_indexes
+    assert make_imagenet_task(seed=1).gold_indexes != make_imagenet_task(seed=2).gold_indexes
+
+
+def test_street_parking_task():
+    task = make_street_parking_task()
+    assert task.parameters.answer_range == (0, 1, 2)
+    assert task.parameters.num_workers == 3
+
+
+def test_sample_worker_answers_full_accuracy():
+    task = make_imagenet_task()
+    answers = sample_worker_answers(task, 1.0, seed=0)
+    assert answers == task.ground_truth
+    assert task.quality_of(answers) == 6
+
+
+def test_sample_worker_answers_zero_accuracy():
+    task = make_imagenet_task()
+    answers = sample_worker_answers(task, 0.0, seed=0)
+    assert all(a != t for a, t in zip(answers, task.ground_truth))
+    assert task.quality_of(answers) == 0
+
+
+def test_sample_worker_answers_validates_probability():
+    task = make_imagenet_task()
+    with pytest.raises(ValueError):
+        sample_worker_answers(task, 1.5)
+
+
+def test_sample_worker_answers_needs_ground_truth():
+    task = _task()
+    no_truth = HITTask(
+        task.parameters, task.questions, task.gold_indexes, task.gold_answers
+    )
+    with pytest.raises(TaskSpecError):
+        sample_worker_answers(no_truth, 0.5)
+
+
+def test_sampled_answers_stay_in_range():
+    task = make_street_parking_task()
+    answers = sample_worker_answers(task, 0.5, seed=3)
+    task.validate_answers(answers)

@@ -1,0 +1,49 @@
+"""Measurement helpers behind the benchmark harness."""
+
+import time
+
+from repro.utils.timing import MemoryMeter, Stopwatch, best_of, measure
+
+
+def test_stopwatch_measures_elapsed():
+    with Stopwatch() as watch:
+        time.sleep(0.01)
+    assert watch.elapsed >= 0.009
+    assert watch.elapsed_ms >= 9.0
+
+
+def test_memory_meter_sees_allocation():
+    with MemoryMeter() as meter:
+        blob = bytearray(4 * 1024 * 1024)
+        del blob
+    assert meter.peak_bytes >= 3 * 1024 * 1024
+    assert meter.peak_mib >= 3.0
+
+
+def test_memory_meter_nested():
+    with MemoryMeter() as outer:
+        with MemoryMeter() as inner:
+            blob = bytearray(1024 * 1024)
+            del blob
+    assert inner.peak_bytes >= 900 * 1024
+    assert outer.peak_bytes >= 0
+
+
+def test_measure_returns_result():
+    measurement = measure(lambda a, b: a + b, 2, b=3)
+    assert measurement.result == 5
+    assert measurement.elapsed_seconds >= 0
+    assert measurement.elapsed_ms == measurement.elapsed_seconds * 1000.0
+
+
+def test_best_of_returns_minimum():
+    calls = []
+
+    def job():
+        calls.append(1)
+        return 42
+
+    elapsed, result = best_of(job, repeats=3)
+    assert result == 42
+    assert len(calls) == 3
+    assert elapsed >= 0

@@ -1,0 +1,102 @@
+"""Extension-field tower Fp2/Fp12: axioms and inversion."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.field import FIELD_MODULUS
+from repro.crypto.tower import FQ2, FQ12, fq2
+
+coeff = st.integers(min_value=0, max_value=FIELD_MODULUS - 1)
+
+
+@given(coeff, coeff, coeff, coeff)
+@settings(max_examples=30)
+def test_fq2_ring_axioms(a0, a1, b0, b1):
+    x, y = fq2(a0, a1), fq2(b0, b1)
+    assert x + y == y + x
+    assert x * y == y * x
+    assert x - x == FQ2.zero()
+    assert x * FQ2.one() == x
+
+
+def test_fq2_i_squared_is_minus_one():
+    i = fq2(0, 1)
+    assert i * i == FQ2.from_int(FIELD_MODULUS - 1)
+    assert i * i == -FQ2.one()
+
+
+@given(coeff, coeff)
+@settings(max_examples=30)
+def test_fq2_inverse(a0, a1):
+    x = fq2(a0, a1)
+    if not x:
+        return
+    assert x * x.inverse() == FQ2.one()
+    assert x / x == FQ2.one()
+
+
+def test_fq12_modulus_relation():
+    """w^12 == 18 w^6 - 82 by construction."""
+    w = FQ12([0, 1] + [0] * 10)
+    w6 = w**6
+    assert w**12 == w6 * 18 - 82
+
+
+@given(st.lists(coeff, min_size=12, max_size=12))
+@settings(max_examples=15)
+def test_fq12_inverse(coeffs):
+    x = FQ12(coeffs)
+    if not x:
+        return
+    assert x * x.inverse() == FQ12.one()
+
+
+@given(st.lists(coeff, min_size=12, max_size=12),
+       st.lists(coeff, min_size=12, max_size=12))
+@settings(max_examples=15)
+def test_fq12_mul_commutes(a, b):
+    x, y = FQ12(a), FQ12(b)
+    assert x * y == y * x
+
+
+def test_fqp_pow_square_and_multiply():
+    x = fq2(3, 5)
+    assert x**0 == FQ2.one()
+    assert x**1 == x
+    assert x**5 == x * x * x * x * x
+
+
+def test_fqp_negative_pow():
+    x = fq2(3, 5)
+    assert x**-2 == (x * x).inverse()
+
+
+def test_int_coercion():
+    x = fq2(3, 0)
+    assert x == 3
+    assert x + 1 == fq2(4, 0)
+    assert 2 * x == fq2(6, 0)
+    assert x / 3 == FQ2.one()
+
+
+def test_wrong_coefficient_count_rejected():
+    with pytest.raises(ValueError):
+        FQ2([1, 2, 3])
+    with pytest.raises(ValueError):
+        FQ12([1])
+
+
+def test_cross_tower_mixing_rejected():
+    with pytest.raises(TypeError):
+        fq2(1, 0) + FQ12.one()
+
+
+def test_zero_inverse_raises():
+    with pytest.raises(ZeroDivisionError):
+        FQ2.zero().inverse()
+
+
+def test_hash_and_bool():
+    assert not FQ2.zero()
+    assert FQ2.one()
+    assert len({fq2(1, 2), fq2(1, 2), fq2(2, 1)}) == 2

@@ -1,0 +1,157 @@
+"""VPKE (verifiable decryption): the paper's §V-C construction.
+
+Covers completeness (in-range and out-of-range claims), soundness
+against tampered claims and proofs, the zero-knowledge simulator, and
+serialization.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.curve import G1Point
+from repro.crypto.elgamal import keygen
+from repro.crypto.random_oracle import RandomOracle
+from repro.crypto.vpke import (
+    DecryptionProof,
+    prove_decryption,
+    simulate_proof,
+    verify_decryption,
+)
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return keygen(secret=0xABCDEF)
+
+
+def test_completeness_in_range(keys):
+    pk, sk = keys
+    for message in range(4):
+        ciphertext = pk.encrypt(message)
+        claim, proof = prove_decryption(sk, ciphertext, range(4))
+        assert claim == message
+        assert verify_decryption(pk, claim, ciphertext, proof)
+
+
+def test_completeness_out_of_range(keys):
+    """Out-of-range plaintexts are claimed as bare group elements."""
+    pk, sk = keys
+    ciphertext = pk.encrypt(1000)
+    claim, proof = prove_decryption(sk, ciphertext, range(2))
+    assert isinstance(claim, G1Point)
+    assert claim == G1Point.generator() * 1000
+    assert verify_decryption(pk, claim, ciphertext, proof)
+
+
+def test_soundness_wrong_claim_rejected(keys):
+    pk, sk = keys
+    ciphertext = pk.encrypt(0)
+    claim, proof = prove_decryption(sk, ciphertext, range(2))
+    assert not verify_decryption(pk, 1, ciphertext, proof)
+
+
+def test_soundness_wrong_group_claim_rejected(keys):
+    pk, sk = keys
+    ciphertext = pk.encrypt(77)
+    claim, proof = prove_decryption(sk, ciphertext, range(2))
+    wrong = G1Point.generator() * 78
+    assert not verify_decryption(pk, wrong, ciphertext, proof)
+
+
+def test_soundness_proof_not_transferable_between_ciphertexts(keys):
+    pk, sk = keys
+    c1 = pk.encrypt(1)
+    c2 = pk.encrypt(1)
+    claim, proof = prove_decryption(sk, c1, range(2))
+    assert not verify_decryption(pk, claim, c2, proof)
+
+
+def test_soundness_tampered_proof_fields(keys):
+    pk, sk = keys
+    ciphertext = pk.encrypt(1)
+    claim, proof = prove_decryption(sk, ciphertext, range(2))
+    g = G1Point.generator()
+    tampered_a = DecryptionProof(proof.commitment_a + g, proof.commitment_b,
+                                 proof.response)
+    tampered_b = DecryptionProof(proof.commitment_a, proof.commitment_b + g,
+                                 proof.response)
+    tampered_z = DecryptionProof(proof.commitment_a, proof.commitment_b,
+                                 proof.response + 1)
+    assert not verify_decryption(pk, claim, ciphertext, tampered_a)
+    assert not verify_decryption(pk, claim, ciphertext, tampered_b)
+    assert not verify_decryption(pk, claim, ciphertext, tampered_z)
+
+
+def test_wrong_public_key_rejected(keys):
+    pk, sk = keys
+    other_pk, _ = keygen(secret=0x123456)
+    ciphertext = pk.encrypt(1)
+    claim, proof = prove_decryption(sk, ciphertext, range(2))
+    assert not verify_decryption(other_pk, claim, ciphertext, proof)
+
+
+@given(st.integers(min_value=0, max_value=7))
+@settings(max_examples=8, deadline=None)
+def test_completeness_property(message):
+    pk, sk = keygen(secret=0x777)
+    ciphertext = pk.encrypt(message)
+    claim, proof = prove_decryption(sk, ciphertext, range(8))
+    assert claim == message
+    assert verify_decryption(pk, claim, ciphertext, proof)
+
+
+def test_zero_knowledge_simulator(keys):
+    """S_VPKE forges accepting proofs without the key (programmed RO)."""
+    pk, _ = keys
+    oracle = RandomOracle()
+    ciphertext = pk.encrypt(1)
+    forged = simulate_proof(pk, 1, ciphertext, oracle=oracle)
+    assert verify_decryption(pk, 1, ciphertext, forged, oracle=oracle)
+
+
+def test_simulated_proof_rejected_by_unprogrammed_oracle(keys):
+    pk, _ = keys
+    oracle = RandomOracle()
+    ciphertext = pk.encrypt(1)
+    forged = simulate_proof(pk, 1, ciphertext, oracle=oracle)
+    assert not verify_decryption(pk, 1, ciphertext, forged, oracle=RandomOracle())
+
+
+def test_simulated_out_of_range_claim(keys):
+    pk, _ = keys
+    oracle = RandomOracle()
+    ciphertext = pk.encrypt(500)
+    claim_point = G1Point.generator() * 500
+    forged = simulate_proof(pk, claim_point, ciphertext, oracle=oracle)
+    assert verify_decryption(pk, claim_point, ciphertext, forged, oracle=oracle)
+
+
+def test_simulated_transcript_shape_matches_honest(keys):
+    """Honest and simulated proofs are structurally indistinguishable."""
+    pk, sk = keys
+    ciphertext = pk.encrypt(1)
+    _, honest = prove_decryption(sk, ciphertext, range(2))
+    oracle = RandomOracle()
+    forged = simulate_proof(pk, 1, ciphertext, oracle=oracle)
+    assert isinstance(forged, DecryptionProof)
+    assert len(honest.to_bytes()) == len(forged.to_bytes()) == 160
+
+
+def test_proof_serialization_roundtrip(keys):
+    pk, sk = keys
+    ciphertext = pk.encrypt(1)
+    claim, proof = prove_decryption(sk, ciphertext, range(2))
+    restored = DecryptionProof.from_bytes(proof.to_bytes())
+    assert restored == proof
+    assert verify_decryption(pk, claim, ciphertext, restored)
+
+
+def test_proof_deserialization_length_check():
+    with pytest.raises(ValueError):
+        DecryptionProof.from_bytes(b"\x00" * 100)
+
+
+def test_self_test_passes():
+    from repro.crypto.vpke import self_test
+
+    self_test()

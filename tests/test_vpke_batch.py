@@ -1,0 +1,79 @@
+"""Batch VPKE verification (small-exponent random linear combination)."""
+
+import pytest
+
+from repro.crypto.elgamal import keygen
+from repro.crypto.vpke import (
+    DecryptionProof,
+    prove_decryption,
+    verify_decryption,
+    verify_decryption_batch,
+)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    pk, sk = keygen(secret=0xBA7C4)
+    statements = []
+    for message in (0, 1, 0, 1, 1):
+        ciphertext = pk.encrypt(message)
+        claim, proof = prove_decryption(sk, ciphertext, range(2))
+        statements.append((claim, ciphertext, proof))
+    return pk, sk, statements
+
+
+def test_batch_accepts_honest_proofs(batch):
+    pk, _, statements = batch
+    assert verify_decryption_batch(pk, statements)
+
+
+def test_empty_batch_accepts(batch):
+    pk, _, _ = batch
+    assert verify_decryption_batch(pk, [])
+
+
+def test_batch_rejects_one_wrong_claim(batch):
+    pk, _, statements = batch
+    claim, ciphertext, proof = statements[2]
+    tampered = statements[:2] + [(1 - claim, ciphertext, proof)] + statements[3:]
+    assert not verify_decryption_batch(pk, tampered)
+
+
+def test_batch_rejects_tampered_proof(batch):
+    pk, _, statements = batch
+    from repro.crypto.curve import G1Point
+
+    claim, ciphertext, proof = statements[0]
+    bad = DecryptionProof(
+        proof.commitment_a + G1Point.generator(),
+        proof.commitment_b,
+        proof.response,
+    )
+    assert not verify_decryption_batch(
+        pk, [(claim, ciphertext, bad)] + statements[1:]
+    )
+
+
+def test_batch_rejects_swapped_proofs(batch):
+    """Proofs are bound to their ciphertexts; swapping two must fail."""
+    pk, _, statements = batch
+    a, b = statements[0], statements[1]
+    swapped = [
+        (a[0], a[1], b[2]),
+        (b[0], b[1], a[2]),
+    ] + statements[2:]
+    assert not verify_decryption_batch(pk, swapped)
+
+
+def test_batch_agrees_with_individual_verification(batch):
+    pk, _, statements = batch
+    individually = all(
+        verify_decryption(pk, claim, ciphertext, proof)
+        for claim, ciphertext, proof in statements
+    )
+    assert individually == verify_decryption_batch(pk, statements)
+
+
+def test_single_statement_batch(batch):
+    pk, _, statements = batch
+    assert verify_decryption_batch(pk, statements[:1])
