@@ -17,12 +17,12 @@ from repro.baseline.circuits import multiplication_chain_circuit
 from repro.baseline.groth16 import prove, setup, verify
 from repro.baseline.qap import QAP
 
-from bench_helpers import emit
+from bench_helpers import SMOKE, emit, pick
 
-SIZES = [8, 16, 32, 64]
+SIZES = pick([8, 16, 32, 64], [4, 8])
 
 
-@pytest.mark.parametrize("size", [8, 32])
+@pytest.mark.parametrize("size", pick([8, 32], [4]))
 def test_groth16_prove_scaling(benchmark, size):
     system = multiplication_chain_circuit(size)
     qap = QAP.from_r1cs(system)
@@ -72,7 +72,9 @@ def test_groth16_scaling_report(benchmark):
     emit("ablation_groth16", text)
 
     # Proving grows with the circuit; verification stays flat.
-    assert prove_times[64] > prove_times[8]
-    spread = max(verify_times.values()) / max(min(verify_times.values()), 1e-9)
-    assert spread < 3.0  # constant up to noise
+    # (Asserted only at full scale — tiny circuits are all noise.)
+    if not SMOKE:
+        assert prove_times[64] > prove_times[8]
+        spread = max(verify_times.values()) / max(min(verify_times.values()), 1e-9)
+        assert spread < 3.0  # constant up to noise
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -15,9 +15,9 @@ from repro.crypto.elgamal import keygen
 from repro.crypto.poqoea import prove_quality, verify_quality
 from repro.utils.timing import best_of
 
-from bench_helpers import emit
+from bench_helpers import SMOKE, emit, pick
 
-NUM_QUESTIONS = 106
+NUM_QUESTIONS = pick(106, 40)
 
 
 def _statement(num_golds: int, range_size: int):
@@ -31,13 +31,13 @@ def _statement(num_golds: int, range_size: int):
     return pk, sk, ciphertexts, gold_indexes, gold_answers, answer_range
 
 
-@pytest.mark.parametrize("num_golds", [2, 6, 16])
+@pytest.mark.parametrize("num_golds", pick([2, 6, 16], [2]))
 def test_poqoea_prove_vs_golds(benchmark, num_golds):
     pk, sk, cts, gold_idx, gold_ans, rng = _statement(num_golds, 2)
     benchmark(prove_quality, sk, cts, gold_idx, gold_ans, rng)
 
 
-@pytest.mark.parametrize("range_size", [2, 8])
+@pytest.mark.parametrize("range_size", pick([2, 8], [2]))
 def test_poqoea_prove_vs_range(benchmark, range_size):
     pk, sk, cts, gold_idx, gold_ans, rng = _statement(6, range_size)
     benchmark(prove_quality, sk, cts, gold_idx, gold_ans, rng)
@@ -47,7 +47,7 @@ def test_poqoea_ablation_report(benchmark):
     vpke_gas = 6 * ECMUL + 3 * ECADD + keccak_cost(452)
     rows = []
     prove_times = {}
-    for num_golds in (2, 4, 6, 8, 16, 32):
+    for num_golds in pick((2, 4, 6, 8, 16, 32), (2, 4)):
         pk, sk, cts, gold_idx, gold_ans, rng = _statement(num_golds, 2)
         prove_time, (quality, proof) = best_of(
             lambda: prove_quality(sk, cts, gold_idx, gold_ans, rng), repeats=3
@@ -74,7 +74,7 @@ def test_poqoea_ablation_report(benchmark):
     )
 
     range_rows = []
-    for range_size in (2, 4, 8, 16):
+    for range_size in pick((2, 4, 8, 16), (2, 4)):
         pk, sk, cts, gold_idx, gold_ans, rng = _statement(6, range_size)
         prove_time, (quality, proof) = best_of(
             lambda: prove_quality(sk, cts, gold_idx, gold_ans, rng), repeats=3
@@ -88,6 +88,7 @@ def test_poqoea_ablation_report(benchmark):
     emit("ablation_poqoea", text)
 
     # Cost grows with |G| (one VPKE per mismatch): 32 golds should cost
-    # clearly more than 2 (noise-tolerant factor).
-    assert prove_times[32] > 4 * prove_times[2]
+    # clearly more than 2 (noise-tolerant factor; full sweep only).
+    if not SMOKE:
+        assert prove_times[32] > 4 * prove_times[2]
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -3,20 +3,54 @@
 Every bench prints its reproduction table to stdout (run pytest with
 ``-s`` to see it live) and writes a copy under ``benchmarks/results/``
 so EXPERIMENTS.md can reference stable artifacts.
+
+Smoke mode
+----------
+
+Setting ``DRAGOON_BENCH_SMOKE=1`` shrinks every bench to tiny
+parameters: small tasks, short sweeps, and no paper-number assertions.
+``tests/test_bench_smoke.py`` runs every bench entry point this way on
+each tier-1 run, so a refactor that breaks a benchmark is caught
+immediately instead of at the next full benchmark campaign.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List, Sequence
+from typing import List, Sequence, TypeVar
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: Tiny-parameter mode for the tier-1 smoke run (see module docstring).
+SMOKE = os.environ.get("DRAGOON_BENCH_SMOKE") == "1"
+
+_T = TypeVar("_T")
+
+
+def pick(full: _T, tiny: _T) -> _T:
+    """``full`` normally, ``tiny`` under ``DRAGOON_BENCH_SMOKE=1``."""
+    return tiny if SMOKE else full
+
+
+def bench_task():
+    """The ImageNet task (shrunk to 16 questions in smoke mode)."""
+    from repro.core.task import make_imagenet_task
+
+    if SMOKE:
+        return make_imagenet_task(num_questions=16)
+    return make_imagenet_task()
+
 
 def emit(name: str, text: str) -> None:
-    """Print a table and persist it under benchmarks/results/<name>.txt."""
+    """Print a table and persist it under benchmarks/results/<name>.txt.
+
+    Smoke-mode tables are printed but *not* persisted, so a tier-1 run
+    never clobbers full-size result artifacts with tiny-parameter ones.
+    """
     print()
     print(text)
+    if SMOKE:
+        return
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
         handle.write(text + "\n")

@@ -21,15 +21,14 @@ import pytest
 
 from repro.analysis.tables import format_bytes, format_seconds, render_table
 from repro.baseline.costmodel import measure_local_model, paper_calibrated_model
-from repro.core.task import make_imagenet_task
 from repro.crypto.elgamal import keygen
 from repro.crypto.poqoea import prove_quality
 from repro.crypto.vpke import prove_decryption
 from repro.utils.timing import measure
 
-from bench_helpers import emit
+from bench_helpers import SMOKE, bench_task, emit, pick
 
-TASK = make_imagenet_task()
+TASK = bench_task()
 RANGE = list(TASK.parameters.answer_range)
 
 
@@ -65,7 +64,7 @@ def test_table1_generic_reduced_scale_proving(benchmark):
     from repro.baseline.groth16 import prove, setup
     from repro.baseline.qap import QAP
 
-    system = multiplication_chain_circuit(32)
+    system = multiplication_chain_circuit(pick(32, 4))
     qap = QAP.from_r1cs(system)
     proving_key, _ = setup(qap)
     assignment = system.full_assignment()
@@ -106,7 +105,7 @@ def test_table1_report(benchmark, setup_statement):
     vpke = _M(vpke_time, vpke_memory.peak_bytes)
     poqoea = _M(poqoea_time, poqoea_memory.peak_bytes)
 
-    local_model, samples = measure_local_model(sizes=(8, 16, 32))
+    local_model, samples = measure_local_model(sizes=pick((8, 16, 32), (4, 8)))
     paper_model = paper_calibrated_model()
     generic_vpke = local_model.estimate_vpke()
     generic_poqoea = local_model.estimate_poqoea()
@@ -142,7 +141,10 @@ def test_table1_report(benchmark, setup_statement):
 
     # The paper's qualitative claims must hold in our reproduction:
     # concrete proving is orders of magnitude below generic proving.
-    assert vpke.elapsed_seconds < 0.2
-    assert poqoea.elapsed_seconds < 1.0
-    assert generic_vpke.seconds > 100 * poqoea.elapsed_seconds
+    # (Timing claims are asserted only at full scale; the smoke run's
+    # tiny anchors make the fitted model meaningless.)
+    if not SMOKE:
+        assert vpke.elapsed_seconds < 0.2
+        assert poqoea.elapsed_seconds < 1.0
+        assert generic_vpke.seconds > 100 * poqoea.elapsed_seconds
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -22,15 +22,14 @@ import pytest
 
 from repro.analysis.tables import format_gas, format_seconds, render_table
 from repro.chain.gas import ECADD, ECMUL, keccak_cost, pairing_cost
-from repro.core.task import make_imagenet_task
 from repro.crypto.elgamal import keygen
 from repro.crypto.poqoea import prove_quality, verify_quality
 from repro.crypto.vpke import prove_decryption, verify_decryption
 from repro.utils.timing import best_of
 
-from bench_helpers import emit
+from bench_helpers import bench_task, emit
 
-TASK = make_imagenet_task()
+TASK = bench_task()
 RANGE = list(TASK.parameters.answer_range)
 
 

@@ -24,9 +24,14 @@ from repro.analysis.costs import build_handling_fee_table, mturk_handling_fee
 from repro.analysis.tables import format_gas, render_table
 from repro.chain.gas import PAPER_PRICING
 from repro.core.protocol import run_hit
-from repro.core.task import make_imagenet_task
 
-from bench_helpers import all_rejected_answers, emit, imagenet_answer_sets
+from bench_helpers import (
+    SMOKE,
+    all_rejected_answers,
+    bench_task,
+    emit,
+    imagenet_answer_sets,
+)
 
 PAPER_ROWS = {
     "Publish task (by requester)": (1_293_000, 0.22),
@@ -39,7 +44,7 @@ PAPER_ROWS = {
 
 @pytest.fixture(scope="module")
 def best_case_outcome():
-    task = make_imagenet_task()
+    task = bench_task()
     answers = imagenet_answer_sets(task, [0.98, 0.97, 0.96, 0.95])
     outcome = run_hit(task, answers)
     assert all(value > 0 for value in outcome.payments().values())
@@ -48,7 +53,7 @@ def best_case_outcome():
 
 @pytest.fixture(scope="module")
 def worst_case_outcome():
-    task = make_imagenet_task()
+    task = bench_task()
     outcome = run_hit(task, all_rejected_answers(task))
     assert all(value == 0 for value in outcome.payments().values())
     return outcome
@@ -56,7 +61,7 @@ def worst_case_outcome():
 
 def test_table3_full_protocol_run(benchmark):
     """Wall-clock of one full best-case ImageNet protocol run."""
-    task = make_imagenet_task()
+    task = bench_task()
     answers = imagenet_answer_sets(task, [0.98, 0.97, 0.96, 0.95])
     benchmark.pedantic(run_hit, args=(task, answers), rounds=1, iterations=1)
 
@@ -93,14 +98,16 @@ def test_table3_report(benchmark, best_case_outcome, worst_case_outcome):
     )
     emit("table3_gas", text)
 
-    # Shape assertions against the paper (within ~25% per row).
-    for row in table.rows:
-        paper_gas, _ = PAPER_ROWS[row.operation]
-        assert abs(row.gas - paper_gas) / paper_gas < 0.25, (
-            row.operation, row.gas, paper_gas,
-        )
-    # Headline claim: decentralized handling beats the MTurk fee.
-    assert worst_usd < mturk
+    # Shape assertions against the paper (within ~25% per row) only
+    # make sense at the paper's task size, not on the smoke-mode task.
+    if not SMOKE:
+        for row in table.rows:
+            paper_gas, _ = PAPER_ROWS[row.operation]
+            assert abs(row.gas - paper_gas) / paper_gas < 0.25, (
+                row.operation, row.gas, paper_gas,
+            )
+        # Headline claim: decentralized handling beats the MTurk fee.
+        assert worst_usd < mturk
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

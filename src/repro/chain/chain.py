@@ -57,20 +57,15 @@ class Chain:
 
     # -- contracts ----------------------------------------------------------------
 
-    def deploy(
+    def _execute_deployment(
         self,
         contract: Contract,
         deployer: Address,
-        args: Tuple[Any, ...] = (),
-        payload: bytes = b"",
-        value: int = 0,
+        args: Tuple[Any, ...],
+        payload: bytes,
+        value: int,
     ) -> Receipt:
-        """Deploy a contract: executes its constructor in its own block.
-
-        Deployment is modelled as an immediate single-transaction block
-        (ordering games on a deployment are uninteresting: nothing else
-        can reference the contract before it exists).
-        """
+        """Run one deployment transaction (constructor + gas), no sealing."""
         if contract.name in self._contracts:
             raise ChainError("contract name already taken: %s" % contract.name)
         self._contracts[contract.name] = contract
@@ -102,20 +97,69 @@ class Chain:
         except (ContractError, OutOfGas) as exc:
             self.ledger.restore(ledger_state)
             del self._contracts[contract.name]
-            receipt = Receipt(
+            return Receipt(
                 transaction, False, meter.used, dict(meter.breakdown),
                 tuple(ctx.events), str(exc),
             )
-            self._seal_block([transaction], [receipt])
-            return receipt
 
         receipt = Receipt(
             transaction, True, meter.used, dict(meter.breakdown), tuple(ctx.events)
         )
         self._record_gas(deployer, meter.used)
-        self._seal_block([transaction], [receipt])
         self.events.extend(ctx.events)
         return receipt
+
+    def deploy(
+        self,
+        contract: Contract,
+        deployer: Address,
+        args: Tuple[Any, ...] = (),
+        payload: bytes = b"",
+        value: int = 0,
+    ) -> Receipt:
+        """Deploy a contract: executes its constructor in its own block.
+
+        Deployment is modelled as an immediate single-transaction block
+        (ordering games on a deployment are uninteresting: nothing else
+        can reference the contract before it exists).
+        """
+        receipt = self._execute_deployment(contract, deployer, args, payload, value)
+        self._seal_block([receipt.transaction], [receipt])
+        return receipt
+
+    def deploy_many(
+        self,
+        deployments: Sequence[
+            Tuple[Contract, Address, Tuple[Any, ...], bytes]
+        ],
+    ) -> List[Receipt]:
+        """Deploy several contracts in *one* block (batched publication).
+
+        This is the mempool-style counterpart of :meth:`deploy` for
+        multi-task throughput: N interleaved tasks publish in a single
+        clock period instead of sealing one block each, so the chain
+        height grows per *phase*, not per task.  Each deployment still
+        executes (and reverts) independently.
+
+        Name collisions are validated up front so the batch is atomic
+        with respect to them: a duplicate name raises before *any*
+        deployment executes, rather than leaving earlier ones applied
+        but never sealed into a block.
+        """
+        names = [contract.name for contract, _, _, _ in deployments]
+        if len(set(names)) != len(names):
+            raise ChainError("duplicate contract name within the batch")
+        for name in names:
+            if name in self._contracts:
+                raise ChainError("contract name already taken: %s" % name)
+        receipts = [
+            self._execute_deployment(contract, deployer, args, payload, 0)
+            for contract, deployer, args, payload in deployments
+        ]
+        self._seal_block(
+            [receipt.transaction for receipt in receipts], receipts
+        )
+        return receipts
 
     def contract(self, name: str) -> Contract:
         try:

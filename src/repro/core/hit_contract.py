@@ -37,7 +37,12 @@ from repro.chain.contract import CallContext, Contract
 from repro.crypto.commitment import Commitment, open_commitment
 from repro.crypto.elgamal import Ciphertext, ElGamalPublicKey
 from repro.crypto.poqoea import QualityProof
-from repro.crypto.vpke import Claim, DecryptionProof, verify_decryption
+from repro.crypto.vpke import (
+    Claim,
+    DecryptionProof,
+    verify_decryption,
+    verify_decryption_batch,
+)
 from repro.core.task import TaskParameters, parse_golden_blob
 from repro.errors import ContractError
 from repro.ledger.accounts import Address
@@ -260,6 +265,22 @@ class HITContract(Contract):
         ctx.meter.charge_ecmul(6)
         ctx.meter.charge_ecadd(3)
 
+    def _charge_vpke_batch_verification(self, ctx: CallContext, count: int) -> None:
+        """Gas for one random-linear-combination check over ``count`` proofs.
+
+        Each proof still pays its Fiat–Shamir keccak, but the group work
+        folds into one multi-scalar multiplication: 5 ecMul per proof
+        (claim, c1, c2 and the two weighted commitments) plus 2 shared
+        fixed-base terms for ``g`` and ``h``, against 6 ecMul + 3 ecAdd
+        per proof sequentially.
+        """
+        if count == 0:
+            return
+        for _ in range(count):
+            ctx.meter.charge_keccak(_VPKE_TRANSCRIPT_BYTES)
+        ctx.meter.charge_ecmul(5 * count + 2)
+        ctx.meter.charge_ecadd(6 * count + 1)
+
     def _public_key(self) -> ElGamalPublicKey:
         from repro.crypto.curve import G1Point
 
@@ -307,29 +328,19 @@ class HITContract(Contract):
 
         # Fig. 4: the worker is paid if χ ≥ Θ *or* the proof fails.
         def _proof_is_valid() -> bool:
-            if not isinstance(proof, QualityProof):
+            statements = self._screen_rejection(
+                ctx, worker, claimed_quality, proof, gold_ciphertexts,
+                truth_by_index, len(gold_indexes),
+            )
+            if statements is None:
                 return False
-            seen: set = set()
-            count = claimed_quality
-            for entry in proof.entries:
-                if entry.index in seen or entry.index not in truth_by_index:
-                    return False
-                seen.add(entry.index)
-                chunk = gold_ciphertexts.get(entry.index)
-                if chunk is None:
-                    return False
-                ciphertext = self._check_ciphertext_against_stored_hash(
-                    ctx, worker, entry.index, chunk
-                )
-                if entry.answer == truth_by_index[entry.index]:
-                    return False
+            for claim, ciphertext, decryption_proof in statements:
                 self._charge_vpke_verification(ctx)
                 if not verify_decryption(
-                    public_key, entry.answer, ciphertext, entry.proof
+                    public_key, claim, ciphertext, decryption_proof
                 ):
                     return False
-                count += 1
-            return count >= len(gold_indexes)
+            return True
 
         if claimed_quality >= parameters.quality_threshold or not _proof_is_valid():
             self._pay_worker(ctx, worker, parameters, verdict="paid-evaluate")
@@ -342,6 +353,143 @@ class HITContract(Contract):
                 payload={"worker": worker, "quality": claimed_quality,
                          "verdict": "rejected"},
             )
+
+    def evaluate_batch(self, ctx: CallContext) -> None:
+        """Adjudicate many workers with one batched PoQoEA verification.
+
+        Args: ``(rejections,)`` where ``rejections`` is a sequence of
+        ``(worker, claimed_quality, proof, gold_ciphertexts)`` tuples,
+        each shaped exactly like one :meth:`evaluate` call.
+
+        Fig. 4 semantics are preserved per worker — a bogus rejection
+        attempt pays that worker, a valid one rejects them — but all
+        VPKE decryption proofs across the whole batch are verified in a
+        single random-linear-combination check, so the group-operation
+        gas is charged once for the batch (5 ecMul per proof + 2 shared
+        fixed-base terms) instead of 6 ecMul + 3 ecAdd per proof.  If
+        the combined check fails, the offending workers are localized
+        with one per-worker batch check each (charged on top, exactly
+        like the optimistic on-chain pattern).
+
+        The whole transaction reverts if any named worker never
+        revealed, was already adjudicated, or appears twice — those are
+        caller errors, not proof defects.
+        """
+        (rejections,) = ctx.args
+        self._require_phase(ctx, PHASE_EVALUATE, "evaluate_batch")
+        ctx.require(ctx.sender == self._memory_read("requester"),
+                    "only the requester evaluates")
+        ctx.require(bool(self._memory_read("golden_opened")),
+                    "gold standards must be opened first")
+
+        parameters = self._parameters()
+        gold_indexes: List[int] = self._memory_read("gold_indexes")
+        gold_answers: List[int] = self._memory_read("gold_answers")
+        truth_by_index = dict(zip(gold_indexes, gold_answers))
+        public_key = self._public_key()
+
+        seen_workers: set = set()
+        for worker, _, _, _ in rejections:
+            ctx.require(worker.hex() not in seen_workers,
+                        "worker appears twice in the batch")
+            seen_workers.add(worker.hex())
+            ctx.require(self._memory_read("revealed:" + worker.hex()) is not None,
+                        "worker did not reveal")
+            ctx.require(
+                self._memory_read("adjudicated:" + worker.hex()) is None,
+                "worker already adjudicated",
+            )
+
+        # Structural screening (the cheap half of Fig. 3's verifier);
+        # workers surviving it contribute their VPKE statements to the
+        # combined check.
+        pending: List[Tuple[Address, int, List[Tuple[Claim, Ciphertext,
+                                                     DecryptionProof]]]] = []
+        for worker, claimed_quality, proof, gold_ciphertexts in rejections:
+            if claimed_quality >= parameters.quality_threshold:
+                self._pay_worker(ctx, worker, parameters, verdict="paid-evaluate")
+                continue
+            statements = self._screen_rejection(
+                ctx, worker, claimed_quality, proof, gold_ciphertexts,
+                truth_by_index, len(gold_indexes),
+            )
+            if statements is None:
+                self._pay_worker(ctx, worker, parameters, verdict="paid-evaluate")
+            else:
+                pending.append((worker, claimed_quality, statements))
+
+        combined = [stmt for _, _, stmts in pending for stmt in stmts]
+        self._charge_vpke_batch_verification(ctx, len(combined))
+        if verify_decryption_batch(public_key, combined):
+            verdict_of = {worker.hex(): True for worker, _, _ in pending}
+        else:
+            verdict_of = {}
+            for worker, _, stmts in pending:
+                self._charge_vpke_batch_verification(ctx, len(stmts))
+                verdict_of[worker.hex()] = verify_decryption_batch(
+                    public_key, stmts
+                )
+
+        rejected = 0
+        for worker, claimed_quality, _ in pending:
+            if not verdict_of[worker.hex()]:
+                self._pay_worker(ctx, worker, parameters, verdict="paid-evaluate")
+                continue
+            rejected += 1
+            self._sstore(ctx, "adjudicated:" + worker.hex(), "rejected-quality")
+            self.emit(
+                ctx,
+                "evaluated",
+                topics=(worker.value,),
+                payload={"worker": worker, "quality": claimed_quality,
+                         "verdict": "rejected"},
+            )
+        self.emit(
+            ctx,
+            "batch_evaluated",
+            payload={
+                "batch_size": len(rejections),
+                "rejected": rejected,
+                "proofs_verified": len(combined),
+            },
+        )
+
+    def _screen_rejection(
+        self,
+        ctx: CallContext,
+        worker: Address,
+        claimed_quality: int,
+        proof: Any,
+        gold_ciphertexts: Dict[int, bytes],
+        truth_by_index: Dict[int, int],
+        num_golds: int,
+    ) -> Optional[List[Tuple[Claim, Ciphertext, DecryptionProof]]]:
+        """Everything :meth:`evaluate` checks *except* the VPKE proofs.
+
+        Returns the VPKE statements still to be verified, or ``None``
+        when the rejection is already bogus (which per Fig. 4 pays the
+        worker).
+        """
+        if not isinstance(proof, QualityProof):
+            return None
+        seen: set = set()
+        statements: List[Tuple[Claim, Ciphertext, DecryptionProof]] = []
+        for entry in proof.entries:
+            if entry.index in seen or entry.index not in truth_by_index:
+                return None
+            seen.add(entry.index)
+            chunk = gold_ciphertexts.get(entry.index)
+            if chunk is None:
+                return None
+            ciphertext = self._check_ciphertext_against_stored_hash(
+                ctx, worker, entry.index, chunk
+            )
+            if entry.answer == truth_by_index[entry.index]:
+                return None
+            statements.append((entry.answer, ciphertext, entry.proof))
+        if claimed_quality + len(statements) < num_golds:
+            return None
+        return statements
 
     def outrange(self, ctx: CallContext) -> None:
         """Reject a worker whose answer at ``index`` is outside the range.

@@ -70,8 +70,16 @@ class RequesterClient:
     # Phase 1: publish
     # ------------------------------------------------------------------
 
-    def publish(self, contract_name: Optional[str] = None) -> Receipt:
-        """Deploy the HIT contract; returns the deployment receipt."""
+    def prepare_publish(
+        self, contract_name: Optional[str] = None
+    ) -> Tuple[HITContract, Tuple, bytes]:
+        """Build the deployment of this task without sending it.
+
+        Pushes the question blob to Swarm and commits to the golds, then
+        returns ``(contract, args, payload)`` ready for
+        :meth:`repro.chain.chain.Chain.deploy` — or, batched with other
+        tasks' deployments, for :meth:`~repro.chain.chain.Chain.deploy_many`.
+        """
         name = contract_name or ("hit:" + self.label)
         task_digest = self.swarm.put(self.task.questions_blob())
         commitment, self._golden_key = make_commitment(self.task.golden_blob())
@@ -85,14 +93,17 @@ class RequesterClient:
             + task_digest
         )
         contract = HITContract(name)
+        args = (params_json, pubkey_bytes, commitment.digest, task_digest)
+        return contract, args, payload
+
+    def publish(self, contract_name: Optional[str] = None) -> Receipt:
+        """Deploy the HIT contract; returns the deployment receipt."""
+        contract, args, payload = self.prepare_publish(contract_name)
         receipt = self.chain.deploy(
-            contract,
-            self.address,
-            args=(params_json, pubkey_bytes, commitment.digest, task_digest),
-            payload=payload,
+            contract, self.address, args=args, payload=payload
         )
         if receipt.succeeded:
-            self.contract_name = name
+            self.contract_name = contract.name
         return receipt
 
     # ------------------------------------------------------------------
@@ -151,25 +162,116 @@ class RequesterClient:
             actions.append(self._evaluate_one(worker, ciphertext_bytes))
         return actions
 
+    def evaluate_all_batched(self) -> List[EvaluationAction]:
+        """Like :meth:`evaluate_all`, but all quality rejections ride one
+        ``evaluate_batch`` transaction.
+
+        The contract then verifies every rejected worker's VPKE proofs
+        in a single random-linear-combination check instead of one
+        6-ecMul check per proof.  Out-of-range disputes (rare) still go
+        as individual ``outrange`` transactions, and accepted workers
+        still cost nothing.
+        """
+        self.send_golden()
+        actions: List[EvaluationAction] = []
+        batch: List[Tuple[Address, int, QualityProof, Dict[int, bytes]]] = []
+        batch_payload = b""
+        batch_actions: List[EvaluationAction] = []
+        for worker, ciphertext_bytes in sorted(
+            self.collect_submissions().items(), key=lambda item: item[0].hex()
+        ):
+            kind, quality, ciphertexts, outrange_index = self._classify_submission(
+                ciphertext_bytes
+            )
+            if kind == "reject-outrange":
+                transaction = self._send_outrange(
+                    worker, outrange_index, ciphertexts[outrange_index],
+                    ciphertext_bytes,
+                )
+                actions.append(
+                    EvaluationAction(worker, "reject-outrange", None, transaction)
+                )
+                continue
+            if kind == "accept":
+                actions.append(EvaluationAction(worker, "accept", quality, None))
+                continue
+
+            proved_quality, proof, gold_chunks, payload = (
+                self._quality_rejection_material(worker, ciphertexts,
+                                                 ciphertext_bytes)
+            )
+            batch.append((worker, proved_quality, proof, gold_chunks))
+            batch_payload += payload
+            action = EvaluationAction(worker, "reject-quality", quality, None)
+            batch_actions.append(action)
+            actions.append(action)
+
+        if batch:
+            transaction = self.chain.send(
+                self.address,
+                self.contract_name,
+                "evaluate_batch",
+                args=(batch,),
+                payload=batch_payload,
+            )
+            for action in batch_actions:
+                action.transaction = transaction
+        return actions
+
+    def _classify_submission(
+        self, ciphertext_bytes: bytes
+    ) -> Tuple[str, Optional[int], List[Ciphertext], Optional[int]]:
+        """Decrypt one submission and decide its fate.
+
+        Returns ``(kind, quality, ciphertexts, outrange_index)`` where
+        ``kind`` is ``accept`` / ``reject-quality`` / ``reject-outrange``
+        (quality is None for outrange; outrange_index is None otherwise).
+        """
+        ciphertexts, plaintexts = self.decrypt_submission(ciphertext_bytes)
+        for index, plaintext in enumerate(plaintexts):
+            if not isinstance(plaintext, int):
+                return "reject-outrange", None, ciphertexts, index
+        quality = self.task.quality_of(list(plaintexts))
+        if quality >= self.task.parameters.quality_threshold:
+            return "accept", quality, ciphertexts, None
+        return "reject-quality", quality, ciphertexts, None
+
+    def _quality_rejection_material(
+        self,
+        worker: Address,
+        ciphertexts: Sequence[Ciphertext],
+        full_vector: bytes,
+    ) -> Tuple[int, QualityProof, Dict[int, bytes], bytes]:
+        """The proof, gold-position chunks, and payload of one rejection."""
+        quality, proof = self.make_quality_proof(ciphertexts)
+        gold_chunks = {
+            entry.index: full_vector[
+                entry.index * CIPHERTEXT_BYTES
+                : (entry.index + 1) * CIPHERTEXT_BYTES
+            ]
+            for entry in proof.entries
+        }
+        payload = worker.value + int_to_bytes(quality, 4) + proof.to_bytes()
+        for chunk in gold_chunks.values():
+            payload += chunk
+        return quality, proof, gold_chunks, payload
+
     def _evaluate_one(
         self, worker: Address, ciphertext_bytes: bytes
     ) -> EvaluationAction:
-        parameters = self.task.parameters
-        ciphertexts, plaintexts = self.decrypt_submission(ciphertext_bytes)
-
-        # Out-of-range answers are disputed with a single verifiable
-        # decryption of the offending position.
-        for index, plaintext in enumerate(plaintexts):
-            if not isinstance(plaintext, int):
-                transaction = self._send_outrange(
-                    worker, index, ciphertexts[index], ciphertext_bytes
-                )
-                return EvaluationAction(worker, "reject-outrange", None, transaction)
-
-        quality = self.task.quality_of(list(plaintexts))
-        if quality >= parameters.quality_threshold:
+        kind, quality, ciphertexts, outrange_index = self._classify_submission(
+            ciphertext_bytes
+        )
+        if kind == "reject-outrange":
+            # Out-of-range answers are disputed with a single verifiable
+            # decryption of the offending position.
+            transaction = self._send_outrange(
+                worker, outrange_index, ciphertexts[outrange_index],
+                ciphertext_bytes,
+            )
+            return EvaluationAction(worker, "reject-outrange", None, transaction)
+        if kind == "accept":
             return EvaluationAction(worker, "accept", quality, None)
-
         transaction = self._send_quality_rejection(
             worker, ciphertexts, ciphertext_bytes
         )
@@ -207,16 +309,9 @@ class RequesterClient:
         ciphertexts: Sequence[Ciphertext],
         full_vector: bytes,
     ) -> Transaction:
-        quality, proof = self.make_quality_proof(ciphertexts)
-        gold_chunks = {
-            entry.index: full_vector[
-                entry.index * CIPHERTEXT_BYTES : (entry.index + 1) * CIPHERTEXT_BYTES
-            ]
-            for entry in proof.entries
-        }
-        payload = worker.value + int_to_bytes(quality, 4) + proof.to_bytes()
-        for chunk in gold_chunks.values():
-            payload += chunk
+        quality, proof, gold_chunks, payload = self._quality_rejection_material(
+            worker, ciphertexts, full_vector
+        )
         return self.chain.send(
             self.address,
             self.contract_name,

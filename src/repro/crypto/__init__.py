@@ -18,7 +18,15 @@ All primitives are implemented from scratch in pure Python:
 from repro.crypto.keccak import keccak256, keccak256_hex, keccak_to_int
 from repro.crypto.random_oracle import RandomOracle, default_oracle
 from repro.crypto.field import FIELD_MODULUS, CURVE_ORDER, Fq, Fr, make_prime_field
-from repro.crypto.curve import G1Point, GENERATOR, random_scalar
+from repro.crypto.curve import (
+    G1Point,
+    GENERATOR,
+    configure_fixed_base_cache,
+    fixed_base_cache_info,
+    msm,
+    precompute_base,
+    random_scalar,
+)
 from repro.crypto.elgamal import (
     Ciphertext,
     ElGamalPublicKey,
@@ -30,22 +38,27 @@ from repro.crypto.schnorr import (
     SchnorrProof,
     schnorr_prove,
     schnorr_verify,
+    schnorr_verify_batch,
     ChaumPedersenProof,
     chaum_pedersen_prove,
     chaum_pedersen_verify,
+    chaum_pedersen_verify_batch,
 )
 from repro.crypto.vpke import (
     DecryptionProof,
     prove_decryption,
     verify_decryption,
+    verify_decryption_batch,
     simulate_proof,
 )
 from repro.crypto.poqoea import (
     QualityProof,
     MismatchEntry,
+    QualityStatement,
     compute_quality,
     prove_quality,
     verify_quality,
+    verify_quality_proofs_batch,
     simulate_quality_proof,
     sample_gold_standard,
 )
@@ -63,6 +76,10 @@ __all__ = [
     "make_prime_field",
     "G1Point",
     "GENERATOR",
+    "configure_fixed_base_cache",
+    "fixed_base_cache_info",
+    "msm",
+    "precompute_base",
     "random_scalar",
     "Ciphertext",
     "ElGamalPublicKey",
@@ -75,18 +92,23 @@ __all__ = [
     "SchnorrProof",
     "schnorr_prove",
     "schnorr_verify",
+    "schnorr_verify_batch",
     "ChaumPedersenProof",
     "chaum_pedersen_prove",
     "chaum_pedersen_verify",
+    "chaum_pedersen_verify_batch",
     "DecryptionProof",
     "prove_decryption",
     "verify_decryption",
+    "verify_decryption_batch",
     "simulate_proof",
     "QualityProof",
     "MismatchEntry",
+    "QualityStatement",
     "compute_quality",
     "prove_quality",
     "verify_quality",
+    "verify_quality_proofs_batch",
     "simulate_quality_proof",
     "sample_gold_standard",
 ]

@@ -15,7 +15,7 @@ the precompile interface (``ec_add``, ``ec_mul``).
 from __future__ import annotations
 
 import secrets
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.crypto.field import CURVE_ORDER, FIELD_MODULUS, inv_mod, sqrt_mod
 from repro.crypto.keccak import keccak256
@@ -317,6 +317,27 @@ _FIXED_BASE_CACHE: dict = {}
 _FIXED_BASE_CACHE_LIMIT = 16
 
 
+def configure_fixed_base_cache(limit: int) -> None:
+    """Set how many per-base window tables :func:`mul_fixed` retains.
+
+    A deployment verifying proofs under many distinct public keys can
+    raise the limit so every key keeps its table; a memory-constrained
+    one can lower it.  Shrinking below the current population evicts
+    everything (the cache is an amortization aid, not state).
+    """
+    global _FIXED_BASE_CACHE_LIMIT
+    if limit < 1:
+        raise ValueError("fixed-base cache limit must be positive")
+    _FIXED_BASE_CACHE_LIMIT = limit
+    if len(_FIXED_BASE_CACHE) > limit:
+        _FIXED_BASE_CACHE.clear()
+
+
+def fixed_base_cache_info() -> Tuple[int, int]:
+    """``(population, limit)`` of the fixed-base table cache."""
+    return len(_FIXED_BASE_CACHE), _FIXED_BASE_CACHE_LIMIT
+
+
 def mul_fixed(base: Affine, scalar: int) -> Affine:
     """Scalar multiplication with per-base precomputation (cached)."""
     if base is None:
@@ -328,6 +349,83 @@ def mul_fixed(base: Affine, scalar: int) -> Affine:
         table = FixedBaseTable(base)
         _FIXED_BASE_CACHE[base] = table
     return table.multiply(scalar)
+
+
+def precompute_base(base: "G1Point | Affine") -> None:
+    """Warm the fixed-base table for ``base`` ahead of the hot path."""
+    affine = base.affine if isinstance(base, G1Point) else base
+    if affine is not None:
+        mul_fixed(affine, 1)
+
+
+# ---------------------------------------------------------------------------
+# Multi-scalar multiplication (Pippenger bucket method)
+# ---------------------------------------------------------------------------
+
+
+def _msm_window_bits(count: int, max_bits: int) -> int:
+    """The window width minimizing ``windows * (count + 2^c)`` additions."""
+    best_c, best_cost = 1, None
+    for c in range(1, 17):
+        windows = (max_bits + c - 1) // c
+        cost = windows * (count + (1 << c))
+        if best_cost is None or cost < best_cost:
+            best_c, best_cost = c, cost
+    return best_c
+
+
+def _msm_jacobian(points: Sequence[_Jacobian], scalars: Sequence[int]) -> _Jacobian:
+    entries = [
+        (point, scalar)
+        for point, scalar in zip(points, scalars)
+        if scalar and point[2]
+    ]
+    if not entries:
+        return _INFINITY_J
+    max_bits = max(scalar.bit_length() for _, scalar in entries)
+    window_bits = _msm_window_bits(len(entries), max_bits)
+    num_windows = (max_bits + window_bits - 1) // window_bits
+    mask = (1 << window_bits) - 1
+
+    result = _INFINITY_J
+    for window in range(num_windows - 1, -1, -1):
+        if result[2]:
+            for _ in range(window_bits):
+                result = _jacobian_double(result)
+        shift = window * window_bits
+        buckets: list = [None] * (mask + 1)
+        for point, scalar in entries:
+            digit = (scalar >> shift) & mask
+            if digit:
+                held = buckets[digit]
+                buckets[digit] = (
+                    point if held is None else _jacobian_add(held, point)
+                )
+        # Sum d * bucket[d] via the running-sum trick.
+        running = _INFINITY_J
+        accumulator = _INFINITY_J
+        for digit in range(mask, 0, -1):
+            held = buckets[digit]
+            if held is not None:
+                running = _jacobian_add(running, held)
+            accumulator = _jacobian_add(accumulator, running)
+        result = _jacobian_add(result, accumulator)
+    return result
+
+
+def msm(points: Sequence["G1Point"], scalars: Sequence[int]) -> "G1Point":
+    """Multi-scalar multiplication ``sum_i scalars[i] * points[i]``.
+
+    The workhorse of batch verification: one Pippenger pass over ``n``
+    terms costs far fewer point additions than ``n`` double-and-add
+    multiplications, and the advantage grows with the batch.  Scalars are
+    reduced modulo the curve order (pass ``order - x`` to subtract).
+    """
+    if len(points) != len(scalars):
+        raise InvalidScalar("msm needs one scalar per point")
+    jacobians = [_to_jacobian(point.affine) for point in points]
+    reduced = [scalar % CURVE_ORDER for scalar in scalars]
+    return G1Point(_from_jacobian(_msm_jacobian(jacobians, reduced)))
 
 
 def random_scalar() -> int:

@@ -76,8 +76,13 @@ def _linefunc(p1: Fq12Point, p2: Fq12Point, target: Fq12Point) -> FQ12:
     return xt - x1
 
 
-def miller_loop(q: Fq12Point, p: Fq12Point) -> FQ12:
-    """The ate Miller loop followed by the final exponentiation."""
+def miller_loop_raw(q: Fq12Point, p: Fq12Point) -> FQ12:
+    """The ate Miller loop *without* the final exponentiation.
+
+    Raw Miller values multiply: the product over many pairs can be
+    carried to a single shared final exponentiation, which is how the
+    precompile-style :func:`multi_pairing` check amortizes its cost.
+    """
     if q is None or p is None:
         return FQ12.one()
     r = q
@@ -94,7 +99,12 @@ def miller_loop(q: Fq12Point, p: Fq12Point) -> FQ12:
     f = f * _linefunc(r, q1, p)
     r = point_add(r, q1)
     f = f * _linefunc(r, nq2, p)
-    return f ** _FINAL_EXPONENT
+    return f
+
+
+def miller_loop(q: Fq12Point, p: Fq12Point) -> FQ12:
+    """The ate Miller loop followed by the final exponentiation."""
+    return miller_loop_raw(q, p) ** _FINAL_EXPONENT
 
 
 def pairing(q: Point, p: G1Point) -> FQ12:
@@ -110,13 +120,33 @@ def pairing(q: Point, p: G1Point) -> FQ12:
     return miller_loop(twist(q), cast_g1_to_fq12(p))
 
 
+def multi_pairing(pairs: "list[tuple[G1Point, Point]]") -> FQ12:
+    """The product ``prod_i e(Pi, Qi)`` as one Miller-loop product.
+
+    Each pair contributes only its (raw) Miller loop; the expensive
+    final exponentiation is applied *once* to the accumulated product.
+    This is exactly how the Ethereum pairing precompile evaluates a
+    check over many pairs, and it is the combined path batched Groth16
+    verification rides on: ``k`` pairings cost ``k`` Miller loops plus a
+    single final exponentiation instead of ``k``.
+    """
+    accumulator = FQ12.one()
+    for g1_point, g2_point in pairs:
+        if g2_point is not None:
+            x, y = g2_point
+            if not isinstance(x, FQ2) or not isinstance(y, FQ2):
+                raise InvalidPoint("G2 argument must be over Fp2")
+        accumulator = accumulator * miller_loop_raw(
+            twist(g2_point), cast_g1_to_fq12(g1_point)
+        )
+    return accumulator ** _FINAL_EXPONENT
+
+
 def pairing_check(pairs: "list[tuple[G1Point, Point]]") -> bool:
     """Whether the product of pairings over ``pairs`` equals one.
 
     This mirrors the Ethereum pairing precompile's interface: it receives
-    a list of (G1, G2) pairs and accepts iff ``prod e(Pi, Qi) == 1``.
+    a list of (G1, G2) pairs and accepts iff ``prod e(Pi, Qi) == 1``,
+    evaluated via :func:`multi_pairing` (one shared final exponentiation).
     """
-    accumulator = FQ12.one()
-    for g1_point, g2_point in pairs:
-        accumulator = accumulator * pairing(g2_point, g1_point)
-    return accumulator == FQ12.one()
+    return multi_pairing(pairs) == FQ12.one()

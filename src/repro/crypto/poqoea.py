@@ -38,6 +38,7 @@ from repro.crypto.vpke import (
     prove_decryption,
     simulate_proof,
     verify_decryption,
+    verify_decryption_batch,
 )
 from repro.errors import ProofError
 
@@ -155,6 +156,90 @@ def verify_quality(
             return False
         count += 1
     return count >= len(gold_indexes)
+
+
+#: One worker's quality statement: ``(ciphertexts, claimed_quality, proof)``.
+QualityStatement = Tuple[Sequence[Ciphertext], int, QualityProof]
+
+
+def _screen_quality_statement(
+    statement: QualityStatement,
+    truth_by_index: Dict[int, int],
+    num_golds: int,
+) -> Optional[List[Tuple[Claim, Ciphertext, DecryptionProof]]]:
+    """The structural (non-VPKE) half of the Fig. 3 verifier.
+
+    Returns the VPKE statements still to be checked, or ``None`` when the
+    proof already fails structurally (replayed index, non-gold position,
+    a "mismatch" that matches, or an insufficient mismatch count).
+    """
+    ciphertexts, claimed_quality, proof = statement
+    seen: set = set()
+    vpke_statements: List[Tuple[Claim, Ciphertext, DecryptionProof]] = []
+    for entry in proof.entries:
+        if entry.index in seen:
+            return None
+        seen.add(entry.index)
+        truth = truth_by_index.get(entry.index)
+        if truth is None:
+            return None
+        if not 0 <= entry.index < len(ciphertexts):
+            return None
+        if entry.answer == truth:
+            return None
+        vpke_statements.append(
+            (entry.answer, ciphertexts[entry.index], entry.proof)
+        )
+    if claimed_quality + len(vpke_statements) < num_golds:
+        return None
+    return vpke_statements
+
+
+def verify_quality_proofs_batch(
+    public_key: ElGamalPublicKey,
+    statements: Sequence[QualityStatement],
+    gold_indexes: Sequence[int],
+    gold_answers: Sequence[int],
+    oracle: Optional[RandomOracle] = None,
+) -> List[bool]:
+    """Verify many workers' PoQoEA proofs in one batched pass.
+
+    ``statements`` holds one ``(ciphertexts, claimed_quality, proof)``
+    triple per worker, all under the same gold standard and requester
+    key (the situation of one task's evaluate phase).  Element-wise
+    equivalent to calling :func:`verify_quality` per worker, but all
+    VPKE decryption proofs across *all* workers are checked in a single
+    random-linear-combination batch
+    (:func:`repro.crypto.vpke.verify_decryption_batch`).
+
+    The batch path is optimistic: if the combined check fails, the
+    offending workers are localized with one per-worker batch check
+    each, so an adversary hiding a single tampered proof in a large
+    batch costs extra work but cannot flip any verdict.
+    """
+    truth_by_index: Dict[int, int] = dict(zip(gold_indexes, gold_answers))
+    malformed_golds = len(truth_by_index) != len(gold_indexes)
+
+    results: List[bool] = [False] * len(statements)
+    pending: List[Tuple[int, List[Tuple[Claim, Ciphertext, DecryptionProof]]]] = []
+    if not malformed_golds:
+        for position, statement in enumerate(statements):
+            vpke_statements = _screen_quality_statement(
+                statement, truth_by_index, len(gold_indexes)
+            )
+            if vpke_statements is not None:
+                pending.append((position, vpke_statements))
+
+    combined = [stmt for _, stmts in pending for stmt in stmts]
+    if verify_decryption_batch(public_key, combined, oracle=oracle):
+        for position, _ in pending:
+            results[position] = True
+    else:
+        for position, stmts in pending:
+            results[position] = verify_decryption_batch(
+                public_key, stmts, oracle=oracle
+            )
+    return results
 
 
 def simulate_quality_proof(

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 import secrets
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
-from repro.crypto.curve import CURVE_ORDER, G1Point, random_scalar
+from repro.crypto.curve import CURVE_ORDER, G1Point, msm, random_scalar
 from repro.crypto.random_oracle import RandomOracle, default_oracle
 
 _G = G1Point.generator()
@@ -73,6 +73,44 @@ def schnorr_verify(
     transcript = b"schnorr" + context + public.to_bytes() + proof.commitment.to_bytes()
     challenge = _challenge(ro, transcript)
     return _G * proof.response == proof.commitment + public * challenge
+
+
+def schnorr_verify_batch(
+    statements: Sequence[Tuple[G1Point, SchnorrProof]],
+    context: bytes = b"",
+    oracle: Optional[RandomOracle] = None,
+) -> bool:
+    """Batch-verify many Schnorr PoKs with one multi-scalar multiplication.
+
+    Registration bursts (many clients proving key knowledge at once) all
+    check the same equation shape ``Z_i·G == B_i + C_i·pub_i``; random
+    128-bit weights ``w_i`` fold them into
+
+        (sum_i w_i·Z_i)·G − sum_i w_i·B_i − sum_i (w_i·C_i)·pub_i == O
+
+    evaluated as a single MSM over ``2n + 1`` points.  Soundness error
+    is ``2^-128`` per run (standard small-exponent argument); agreement
+    with ``all(schnorr_verify(...))`` is exercised by the batch
+    equivalence property tests.
+    """
+    ro = oracle if oracle is not None else default_oracle()
+    if not statements:
+        return True
+    points: "list[G1Point]" = []
+    scalars: "list[int]" = []
+    generator_scalar = 0
+    for public, proof in statements:
+        transcript = (
+            b"schnorr" + context + public.to_bytes() + proof.commitment.to_bytes()
+        )
+        challenge = _challenge(ro, transcript)
+        weight = secrets.randbits(128) | 1
+        points.extend((proof.commitment, public))
+        scalars.extend((-weight, -weight * challenge))
+        generator_scalar += weight * proof.response
+    points.append(_G)
+    scalars.append(generator_scalar)
+    return msm(points, scalars).is_infinity
 
 
 def schnorr_simulate(
@@ -163,3 +201,48 @@ def chaum_pedersen_verify(
     lhs_v = base_v * proof.response
     rhs_v = proof.commitment_b + w * challenge
     return lhs_g == rhs_g and lhs_v == rhs_v
+
+
+def chaum_pedersen_verify_batch(
+    statements: Sequence[Tuple[G1Point, G1Point, G1Point, ChaumPedersenProof]],
+    context: bytes = b"",
+    oracle: Optional[RandomOracle] = None,
+) -> bool:
+    """Batch-verify Chaum–Pedersen proofs ``(u, v, w, proof)`` via one MSM.
+
+    Both per-proof equations get independent random 128-bit weights, so
+    one accumulated check replaces ``2n`` equation checks.
+    """
+    ro = oracle if oracle is not None else default_oracle()
+    if not statements:
+        return True
+    points: "list[G1Point]" = []
+    scalars: "list[int]" = []
+    generator_scalar = 0
+    for u, base_v, w, proof in statements:
+        transcript = (
+            b"chaum-pedersen"
+            + context
+            + u.to_bytes()
+            + base_v.to_bytes()
+            + w.to_bytes()
+            + proof.commitment_a.to_bytes()
+            + proof.commitment_b.to_bytes()
+        )
+        challenge = _challenge(ro, transcript)
+        g_weight = secrets.randbits(128) | 1
+        v_weight = secrets.randbits(128) | 1
+        points.extend((proof.commitment_a, u, base_v, proof.commitment_b, w))
+        scalars.extend(
+            (
+                -g_weight,
+                -g_weight * challenge,
+                v_weight * proof.response,
+                -v_weight,
+                -v_weight * challenge,
+            )
+        )
+        generator_scalar += g_weight * proof.response
+    points.append(_G)
+    scalars.append(generator_scalar)
+    return msm(points, scalars).is_infinity

@@ -26,11 +26,11 @@ from __future__ import annotations
 
 import secrets
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Sequence, Tuple
 
 from repro.crypto.curve import CURVE_ORDER, G1Point, random_scalar
 from repro.crypto.elgamal import Ciphertext, ElGamalPublicKey, ElGamalSecretKey
-from repro.crypto.vpke import Claim, _claim_point
+from repro.crypto.vpke import Claim, _claim_point, fold_dh_checks
 from repro.errors import ProofError
 
 _G = G1Point.generator()
@@ -92,6 +92,30 @@ def verify_transcript(
     lhs_key = _G.mul_fixed(transcript.response)
     rhs_key = transcript.commitment_b + public_key.h.mul_fixed(challenge)
     return lhs_key == rhs_key
+
+
+def verify_transcripts_batch(
+    public_key: ElGamalPublicKey,
+    statements: Sequence[Tuple[Claim, Ciphertext, SigmaTranscript]],
+) -> bool:
+    """Batch-verify many completed sigma transcripts with one MSM.
+
+    Same random-linear-combination fold as the non-interactive
+    :func:`repro.crypto.vpke.verify_decryption_batch` (shared via
+    :func:`repro.crypto.vpke.fold_dh_checks`), but the challenge comes
+    from the transcript (the verifier chose it) instead of the random
+    oracle.  Equivalent to ``all(verify_transcript(...))`` up to
+    ``2^-128`` soundness error.
+    """
+    return fold_dh_checks(
+        public_key,
+        [
+            (claim, ciphertext, transcript.commitment_a,
+             transcript.commitment_b, transcript.challenge,
+             transcript.response)
+            for claim, ciphertext, transcript in statements
+        ],
+    )
 
 
 def run_interactive(

@@ -30,7 +30,7 @@ import secrets
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple, Union
 
-from repro.crypto.curve import CURVE_ORDER, G1Point, random_scalar
+from repro.crypto.curve import CURVE_ORDER, G1Point, msm, random_scalar
 from repro.crypto.elgamal import (
     Ciphertext,
     ElGamalPublicKey,
@@ -191,21 +191,22 @@ def verify_decryption_batch(
 
     An extension beyond the paper: a PoQoEA proof carries one VPKE proof
     per mismatch, and the verifier's two group equations per proof can
-    be checked together with random 128-bit weights ``r_i``:
+    be folded into one random linear combination with independent
+    128-bit weights ``u_i`` (decryption equation) and ``v_i`` (key
+    equation):
 
-        sum_i r_i · (m_i·C_i·G + Z_i·c1_i − A_i − C_i·c2_i) == O
-        sum_i r_i · (Z_i·G − B_i − C_i·h) == O
+        sum_i [ u_i·(C_i·M_i + Z_i·c1_i − A_i − C_i·c2_i)
+              + v_i·(Z_i·G − B_i − C_i·h) ]  ==  O
 
-    A single batch check replaces ``2n`` equation checks; soundness
-    error is ``2^-128`` per run by the standard small-exponent argument.
-    Returns False on an empty batch only if any individual proof would.
+    The whole sum is evaluated as a *single* multi-scalar
+    multiplication (:func:`repro.crypto.curve.msm`): the ``G`` and ``h``
+    terms collapse to one point each, and the remaining ``5n`` terms go
+    through the Pippenger bucket method instead of ``6n`` independent
+    double-and-add multiplications.  Soundness error is ``2^-128`` per
+    run by the standard small-exponent argument.
     """
     ro = oracle if oracle is not None else default_oracle()
-    if not statements:
-        return True
-
-    weighted_dec = G1Point.infinity()
-    weighted_key = G1Point.infinity()
+    checks = []
     for claim, ciphertext, proof in statements:
         challenge = ro.query_int(
             _transcript(
@@ -214,22 +215,58 @@ def verify_decryption_batch(
             ),
             CURVE_ORDER,
         )
-        weight = secrets.randbits(128) | 1
-        claim_point = _claim_point(claim)
-        dec_residue = (
-            claim_point * challenge
-            + ciphertext.c1 * proof.response
-            - proof.commitment_a
-            - ciphertext.c2 * challenge
+        checks.append(
+            (claim, ciphertext, proof.commitment_a, proof.commitment_b,
+             challenge, proof.response)
         )
-        key_residue = (
-            _G.mul_fixed(proof.response)
-            - proof.commitment_b
-            - public_key.h.mul_fixed(challenge)
+    return fold_dh_checks(public_key, checks)
+
+
+def fold_dh_checks(
+    public_key: ElGamalPublicKey,
+    checks: "list[tuple[Claim, Ciphertext, G1Point, G1Point, int, int]]",
+) -> bool:
+    """One MSM over many DH-tuple verification equations.
+
+    Each check ``(claim, ciphertext, A, B, challenge, response)`` stands
+    for the VPKE verifier's two equations; where the challenge came from
+    (Fiat–Shamir or an interactive verifier) is the caller's business.
+    This is the single sign-sensitive implementation of the fold both
+    :func:`verify_decryption_batch` and
+    :func:`repro.crypto.sigma.verify_transcripts_batch` ride on.
+    """
+    if not checks:
+        return True
+    points: "list[G1Point]" = []
+    scalars: "list[int]" = []
+    generator_scalar = 0
+    pubkey_scalar = 0
+    for claim, ciphertext, commitment_a, commitment_b, challenge, response in checks:
+        dec_weight = secrets.randbits(128) | 1
+        key_weight = secrets.randbits(128) | 1
+        points.extend(
+            (
+                _claim_point(claim),
+                ciphertext.c1,
+                ciphertext.c2,
+                commitment_a,
+                commitment_b,
+            )
         )
-        weighted_dec = weighted_dec + dec_residue * weight
-        weighted_key = weighted_key + key_residue * weight
-    return weighted_dec.is_infinity and weighted_key.is_infinity
+        scalars.extend(
+            (
+                dec_weight * challenge,
+                dec_weight * response,
+                -dec_weight * challenge,
+                -dec_weight,
+                -key_weight,
+            )
+        )
+        generator_scalar += key_weight * response
+        pubkey_scalar -= key_weight * challenge
+    points.extend((_G, public_key.h))
+    scalars.extend((generator_scalar, pubkey_scalar))
+    return msm(points, scalars).is_infinity
 
 
 def self_test() -> None:

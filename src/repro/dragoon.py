@@ -7,13 +7,46 @@ leak nothing relevant".  :class:`Dragoon` packages that deployment
 story: one chain + Swarm instance, per-requester long-lived keys, and a
 task registry, so a downstream user can run many HITs the way the
 deployed system at the paper's ropsten address did.
+
+Batch API and throughput
+------------------------
+
+Two execution paths are offered:
+
+* :meth:`Dragoon.run_task` — one task, one block per protocol phase
+  (five blocks per task), sequential ``evaluate`` transactions, one
+  VPKE verification per mismatch proof.  This is the paper's literal
+  deployment story.
+* :meth:`Dragoon.run_hits_batch` — N tasks interleaved on the shared
+  chain.  All deployments seal into a *single* block
+  (:meth:`repro.chain.chain.Chain.deploy_many`), all commits share the
+  next block, then reveals, then evaluations, then finalizations: five
+  blocks total for the whole batch instead of five per task.  Each
+  requester's quality rejections ride one ``evaluate_batch``
+  transaction whose VPKE proofs the contract verifies in a single
+  random-linear-combination check
+  (:func:`repro.crypto.vpke.verify_decryption_batch`).
+
+Precomputation knobs
+--------------------
+
+The scalar-multiplication hot path caches 4-bit window tables per base
+point (generator, requester public keys).  Deployments hosting many
+requesters can size the cache with
+:func:`repro.crypto.curve.configure_fixed_base_cache` and warm tables
+ahead of a burst with :func:`repro.crypto.curve.precompute_base`;
+:func:`repro.crypto.curve.fixed_base_cache_info` reports occupancy.
+
+``benchmarks/bench_batch_verification.py`` records the batched-versus-
+sequential speedup (see its module docstring for how to reproduce the
+table).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.chain.chain import Chain
 from repro.chain.network import Scheduler
@@ -152,6 +185,107 @@ class Dragoon:
             gas=gas,
         )
 
+    def publish_tasks_batch(
+        self, specs: Sequence[Tuple[str, HITTask]]
+    ) -> List[TaskHandle]:
+        """Publish many tasks in one block (see :meth:`Chain.deploy_many`).
+
+        ``specs`` is a sequence of ``(requester_label, task)`` pairs;
+        requesters may repeat (each keeps its single long-lived key).
+        """
+        clients: List[RequesterClient] = []
+        deployments = []
+        names: List[str] = []
+        for requester_label, task in specs:
+            requester = RequesterClient(
+                requester_label,
+                task,
+                self.chain,
+                self.swarm,
+                balance=None
+                if not self.chain.ledger.has_account(
+                    Address.from_label(requester_label)
+                )
+                else self.chain.ledger.balance_of(
+                    Address.from_label(requester_label)
+                ),
+                secret=self._requester_secret(requester_label),
+            )
+            name = "hit:%s:%d" % (requester_label, next(self._task_counter))
+            contract, args, payload = requester.prepare_publish(contract_name=name)
+            deployments.append((contract, requester.address, args, payload))
+            clients.append(requester)
+            names.append(name)
+
+        receipts = self.chain.deploy_many(deployments)
+        handles: List[TaskHandle] = []
+        for requester, name, receipt in zip(clients, names, receipts):
+            if not receipt.succeeded:
+                raise ProtocolError("publish failed: %s" % receipt.revert_reason)
+            requester.contract_name = name
+            handle = TaskHandle(contract_name=name, requester=requester)
+            self.tasks[name] = handle
+            handles.append(handle)
+        return handles
+
+    def run_hits_batch(
+        self,
+        specs: Sequence[Tuple[str, HITTask, Sequence[Sequence[int]]]],
+    ) -> List[ProtocolOutcome]:
+        """Run N tasks through five *shared* blocks (batched throughput).
+
+        ``specs`` holds ``(requester_label, task, worker_answers)``
+        triples.  All tasks publish in one block, then all workers'
+        commits share a block, then all reveals, then all evaluations
+        (each task's quality rejections in one ``evaluate_batch``
+        transaction), then all finalizations — so a batch of N tasks
+        advances the chain by 5 blocks instead of ~5N and verifies all
+        of a task's mismatch proofs in a single batched check.
+        """
+        if not specs:
+            return []
+        handles = self.publish_tasks_batch(
+            [(label, task) for label, task, _ in specs]
+        )
+
+        for handle, (_, _, worker_answers) in zip(handles, specs):
+            for index, answers in enumerate(worker_answers):
+                label = "%s/worker-%d" % (handle.contract_name, index)
+                self.submit_answers(handle, label, answers)
+        self.chain.mine_block()  # all tasks' commits
+
+        for handle in handles:
+            for worker in handle.workers:
+                worker.send_reveal()
+        self.chain.mine_block()  # all tasks' reveals
+
+        actions_by_handle = []
+        for handle in handles:
+            actions_by_handle.append(handle.requester.evaluate_all_batched())
+        self.chain.mine_block()  # all goldens + batched rejections
+
+        for handle in handles:
+            handle.requester.send_finalize()
+        self.chain.mine_block()  # all finalizations
+
+        outcomes: List[ProtocolOutcome] = []
+        for handle, actions in zip(handles, actions_by_handle):
+            handle.finished = True
+            contract = self.chain.contract(handle.contract_name)
+            assert isinstance(contract, HITContract)
+            outcomes.append(
+                ProtocolOutcome(
+                    chain=self.chain,
+                    swarm=self.swarm,
+                    requester=handle.requester,
+                    workers=handle.workers,
+                    contract=contract,
+                    actions=actions,
+                    gas=self._gas_report_for(handle),
+                )
+            )
+        return outcomes
+
     def _gas_report_for(self, handle: TaskHandle) -> GasReport:
         """Reconstruct the per-operation gas ledger from receipts."""
         gas = GasReport()
@@ -174,6 +308,18 @@ class Dragoon:
                 elif method in ("evaluate", "outrange"):
                     target = receipt.transaction.args[0]
                     gas.rejections[target.label or target.hex()] = receipt.gas_used
+                elif method == "evaluate_batch":
+                    # Equal amortized shares; the division remainder goes
+                    # to the first worker so the report sums to the
+                    # receipt's actual gas.
+                    rejections = receipt.transaction.args[0]
+                    share, remainder = divmod(
+                        receipt.gas_used, max(1, len(rejections))
+                    )
+                    for position, (target, _, _, _) in enumerate(rejections):
+                        gas.rejections[target.label or target.hex()] = (
+                            share + (remainder if position == 0 else 0)
+                        )
                 elif method == "finalize":
                     gas.finalize = receipt.gas_used
         return gas

@@ -1,0 +1,139 @@
+"""Provider contract tests freezing the HITContract *interface*.
+
+Per the consumer-driven contract-testing pattern (SNIPPETS 1-2): the
+clients (`RequesterClient`, `WorkerClient`, `Dragoon`, the protocol
+driver, and the gas analysis layer) are the consumers; `HITContract`
+plus the chain's execution model are the provider.  These tests pin the
+method surface, callable signatures, and gas-accounting vocabulary the
+consumers were written against, so a refactor of the verification
+internals (e.g. the batched-evaluate path) cannot silently change the
+on-chain interface.
+
+If one of these fails, either revert the interface change or version it
+deliberately: update this contract *and* every consumer in the same PR.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.chain.contract import CallContext, Contract
+from repro.chain.gas import GasMeter
+from repro.core.hit_contract import (
+    CIPHERTEXT_BYTES,
+    HITContract,
+    PHASE_COMMIT,
+    PHASE_DONE,
+    PHASE_EVALUATE,
+    PHASE_REVEAL,
+)
+from repro.core.protocol import GasReport
+from repro.errors import ContractError
+
+pytestmark = pytest.mark.contract
+
+#: The dispatchable (transaction-callable) methods of the HIT contract.
+#: Adding a method extends the protocol; removing or renaming one breaks
+#: every deployed consumer.
+EXPECTED_METHODS = {
+    "commit",
+    "reveal",
+    "golden",
+    "evaluate",
+    "evaluate_batch",
+    "outrange",
+    "finalize",
+    "cancel",
+}
+
+#: Gas-free observation helpers the tests/clients read state through.
+EXPECTED_VIEWS = {"verdict_of", "committed_workers", "is_finalized"}
+
+
+def _public_methods(cls) -> set:
+    names = set()
+    for name, member in inspect.getmembers(cls, predicate=callable):
+        if name.startswith("_"):
+            continue
+        if name in dir(Contract):  # base-class machinery (emit, dispatch...)
+            continue
+        names.add(name)
+    return names
+
+
+def test_dispatchable_method_surface_is_frozen():
+    assert _public_methods(HITContract) == EXPECTED_METHODS | EXPECTED_VIEWS
+
+
+def test_transaction_methods_take_exactly_one_call_context():
+    for name in EXPECTED_METHODS:
+        signature = inspect.signature(getattr(HITContract, name))
+        parameters = list(signature.parameters.values())
+        assert [p.name for p in parameters] == ["self", "ctx"], name
+        annotation = parameters[1].annotation
+        assert annotation in (inspect.Parameter.empty, CallContext, "CallContext"), name
+
+
+def test_dispatch_refuses_private_methods():
+    contract = HITContract("freeze-check")
+    with pytest.raises(ContractError):
+        contract.dispatch("_pay_worker", None)
+    with pytest.raises(ContractError):
+        contract.dispatch("no_such_method", None)
+
+
+def test_phase_constants_are_frozen():
+    assert (PHASE_COMMIT, PHASE_REVEAL, PHASE_EVALUATE, PHASE_DONE) == (1, 2, 3, 4)
+    assert CIPHERTEXT_BYTES == 128
+
+
+def test_constructor_contract():
+    """Contracts are constructed with a name only; deploy args flow via ctx."""
+    signature = inspect.signature(HITContract.__init__)
+    assert [p.name for p in signature.parameters.values()] == ["self", "name"]
+    contract = HITContract("hit:example")
+    assert contract.name == "hit:example"
+    assert contract.storage == {}
+
+
+def test_gas_meter_vocabulary_is_frozen():
+    """The charge_* helpers contracts meter themselves through."""
+    expected = {
+        "charge",
+        "charge_intrinsic",
+        "charge_sstore",
+        "charge_sload",
+        "charge_keccak",
+        "charge_log",
+        "charge_ecmul",
+        "charge_ecadd",
+        "charge_pairing",
+        "charge_value_transfer",
+        "charge_deployment",
+    }
+    available = {
+        name
+        for name, _ in inspect.getmembers(GasMeter, predicate=callable)
+        if name.startswith("charge")
+    }
+    assert expected <= available
+    # Count-style helpers default to one operation.
+    assert inspect.signature(GasMeter.charge_ecmul).parameters["count"].default == 1
+    assert inspect.signature(GasMeter.charge_ecadd).parameters["count"].default == 1
+
+
+def test_gas_report_ledger_keys_are_frozen():
+    """The per-operation gas ledger the analysis layer aggregates."""
+    report = GasReport()
+    assert set(vars(report)) == {
+        "publish",
+        "commits",
+        "reveals",
+        "golden",
+        "rejections",
+        "finalize",
+    }
+    assert report.total == 0
+    assert report.submit_cost("nobody") == 0

@@ -1,0 +1,180 @@
+"""Consumer contract tests freezing the HIT *data* shapes.
+
+Where the sibling module pins the callable surface, this one pins the
+wire-visible data: receipt fields, event names and payload keys,
+gas-breakdown labels, and the storage-key vocabulary — everything a
+consumer (client, explorer, analysis table) pattern-matches on.  The
+batching refactor must keep emitting byte-for-byte compatible shapes,
+which is checked by running the same task through the sequential and
+the batched evaluate paths and comparing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import run_hit
+from repro.dragoon import Dragoon
+from tests.helpers import small_task
+
+pytestmark = pytest.mark.contract
+
+GOOD = [0] * 10
+BAD = [1] * 10  # misses all three golds -> rejected via PoQoEA
+
+#: Every gas label a receipt breakdown may carry.  The analysis layer
+#: (and bench_table3's breakdown table) switches on these strings.
+GAS_LABELS = {
+    "tx-base",
+    "calldata",
+    "sstore",
+    "sload",
+    "keccak",
+    "log",
+    "ecmul",
+    "ecadd",
+    "pairing",
+    "value-transfer",
+    "deploy",
+}
+
+#: Event name -> the payload keys consumers read.  Extending a payload
+#: is backward compatible; removing or renaming a key is a break.
+EVENT_PAYLOAD_KEYS = {
+    "published": {"requester", "parameters", "pubkey", "commgs", "task_digest"},
+    "committed": {"worker", "digest", "count"},
+    "all_committed": {"workers", "reveal_deadline"},
+    "revealed": {"worker", "ciphertexts"},
+    "golden_opened": {"G", "Gs"},
+    "evaluated": {"worker", "quality", "verdict"},
+    "batch_evaluated": {"batch_size", "rejected", "proofs_verified"},
+    "paid": {"worker", "amount", "verdict"},
+    "finalized": {"workers"},
+}
+
+STORAGE_KEY_PREFIXES = (
+    "params",
+    "params2",
+    "requester",
+    "pubkey_x",
+    "pubkey_y",
+    "commgs",
+    "task_digest",
+    "phase",
+    "comm:",
+    "comm_of:",
+    "workers",
+    "reveal_deadline",
+    "cthash:",
+    "revealed:",
+    "adjudicated:",
+    "golden_opened",
+    "gold_indexes",
+    "gold_answers",
+    "finalized",
+)
+
+
+@pytest.fixture(scope="module")
+def sequential_outcome():
+    return run_hit(small_task(), [GOOD, BAD])
+
+
+@pytest.fixture(scope="module")
+def batched_outcome():
+    dragoon = Dragoon()
+    (outcome,) = dragoon.run_hits_batch([("req", small_task(), [GOOD, BAD])])
+    return outcome
+
+
+def test_receipt_shape(sequential_outcome):
+    receipt = sequential_outcome.receipts[0]
+    assert set(vars(receipt)) == {
+        "transaction",
+        "status",
+        "gas_used",
+        "gas_breakdown",
+        "events",
+        "revert_reason",
+        "block_number",
+    }
+    transaction = receipt.transaction
+    for field in ("sender", "contract", "method", "payload", "args",
+                  "value", "gas_limit", "nonce"):
+        assert hasattr(transaction, field), field
+
+
+@pytest.mark.parametrize("path", ["sequential", "batched"])
+def test_gas_breakdown_labels(path, sequential_outcome, batched_outcome, request):
+    outcome = sequential_outcome if path == "sequential" else batched_outcome
+    receipts = (
+        outcome.receipts
+        if path == "sequential"
+        else [r for b in outcome.chain.blocks for r in b.receipts]
+    )
+    assert receipts
+    for receipt in receipts:
+        assert set(receipt.gas_breakdown) <= GAS_LABELS, receipt.transaction.method
+
+
+@pytest.mark.parametrize("path", ["sequential", "batched"])
+def test_event_payload_keys(path, sequential_outcome, batched_outcome):
+    outcome = sequential_outcome if path == "sequential" else batched_outcome
+    seen_names = set()
+    for event in outcome.chain.events:
+        assert event.name in EVENT_PAYLOAD_KEYS, event.name
+        seen_names.add(event.name)
+        if event.payload is not None:
+            assert set(event.payload) == EVENT_PAYLOAD_KEYS[event.name], event.name
+    # The full life cycle must have emitted the core protocol events.
+    core = {"published", "committed", "all_committed", "revealed",
+            "golden_opened", "evaluated", "paid", "finalized"}
+    assert core <= seen_names
+    if path == "batched":
+        assert "batch_evaluated" in seen_names
+
+
+@pytest.mark.parametrize("path", ["sequential", "batched"])
+def test_storage_key_vocabulary(path, sequential_outcome, batched_outcome):
+    outcome = sequential_outcome if path == "sequential" else batched_outcome
+    for key in outcome.contract.storage:
+        assert key.startswith(STORAGE_KEY_PREFIXES), key
+
+
+def test_batched_evaluate_preserves_sequential_semantics(
+    sequential_outcome, batched_outcome
+):
+    """Same task, same answers: verdicts and payments must agree."""
+    sequential = {
+        worker.label.rsplit("-", 1)[-1]: sequential_outcome.payment_of(worker)
+        for worker in sequential_outcome.workers
+    }
+    batched = {
+        worker.label.rsplit("-", 1)[-1]: batched_outcome.payment_of(worker)
+        for worker in batched_outcome.workers
+    }
+    assert sequential == batched
+    sequential_verdicts = [
+        sequential_outcome.contract.verdict_of(worker.address)
+        for worker in sequential_outcome.workers
+    ]
+    batched_verdicts = [
+        batched_outcome.contract.verdict_of(worker.address)
+        for worker in batched_outcome.workers
+    ]
+    assert sequential_verdicts == batched_verdicts
+
+
+def test_rejection_event_per_rejected_worker(batched_outcome):
+    """evaluate_batch still emits one 'evaluated' event per rejection."""
+    events = batched_outcome.chain.events_named(
+        "evaluated", batched_outcome.contract.name
+    )
+    assert len(events) == 1
+    assert events[0].payload["verdict"] == "rejected"
+    (batch_event,) = batched_outcome.chain.events_named(
+        "batch_evaluated", batched_outcome.contract.name
+    )
+    assert batch_event.payload["batch_size"] == 1
+    assert batch_event.payload["rejected"] == 1
+    assert batch_event.payload["proofs_verified"] == 3

@@ -1,0 +1,292 @@
+"""Batch == sequential equivalence properties for every *_batch verifier.
+
+The batching subsystem is only allowed to be a faster spelling of the
+sequential verifiers: for any batch — all-valid, all-invalid, or a
+single tampered proof hidden among many valid ones —
+
+    verify_*_batch(proofs) == all(verify_*(p) for p in proofs)
+
+(up to the 2^-128 soundness error of the random-linear-combination
+fold, which no seeded loop will ever witness).  Seeded-random loops
+keep the runs reproducible; failures print the seed via the assert
+message.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.curve import CURVE_ORDER, G1Point, random_scalar
+from repro.crypto.elgamal import keygen
+from repro.crypto.poqoea import (
+    prove_quality,
+    verify_quality,
+    verify_quality_proofs_batch,
+)
+from repro.crypto.schnorr import (
+    SchnorrProof,
+    chaum_pedersen_prove,
+    chaum_pedersen_verify,
+    chaum_pedersen_verify_batch,
+    schnorr_prove,
+    schnorr_verify,
+    schnorr_verify_batch,
+)
+from repro.crypto.sigma import (
+    run_interactive,
+    verify_transcript,
+    verify_transcripts_batch,
+)
+from repro.crypto.vpke import (
+    DecryptionProof,
+    prove_decryption,
+    verify_decryption,
+    verify_decryption_batch,
+)
+
+_G = G1Point.generator()
+
+
+def _vpke_statements(pk, sk, count, rng):
+    statements = []
+    for _ in range(count):
+        message = rng.randrange(2)
+        ciphertext = pk.encrypt(message)
+        claim, proof = prove_decryption(sk, ciphertext, range(2))
+        statements.append((claim, ciphertext, proof))
+    return statements
+
+
+def _tamper_vpke(statement, rng):
+    claim, ciphertext, proof = statement
+    mode = rng.randrange(3)
+    if mode == 0:  # lie about the plaintext
+        return (1 - claim, ciphertext, proof)
+    if mode == 1:  # corrupt a commitment
+        return (
+            claim,
+            ciphertext,
+            DecryptionProof(
+                proof.commitment_a + _G, proof.commitment_b, proof.response
+            ),
+        )
+    # corrupt the response
+    return (
+        claim,
+        ciphertext,
+        DecryptionProof(
+            proof.commitment_a,
+            proof.commitment_b,
+            (proof.response + 1) % CURVE_ORDER,
+        ),
+    )
+
+
+def _assert_vpke_equivalence(pk, statements, seed):
+    sequential = all(
+        verify_decryption(pk, claim, ciphertext, proof)
+        for claim, ciphertext, proof in statements
+    )
+    batched = verify_decryption_batch(pk, statements)
+    assert batched == sequential, "seed=%d" % seed
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_vpke_batch_equivalence_valid(seed):
+    rng = random.Random(seed)
+    pk, sk = keygen(secret=0x1000 + seed)
+    statements = _vpke_statements(pk, sk, rng.randrange(1, 7), rng)
+    _assert_vpke_equivalence(pk, statements, seed)
+
+
+@pytest.mark.parametrize("seed", [4, 5, 6])
+def test_vpke_batch_equivalence_mixed(seed):
+    rng = random.Random(seed)
+    pk, sk = keygen(secret=0x2000 + seed)
+    statements = _vpke_statements(pk, sk, rng.randrange(2, 8), rng)
+    for position in rng.sample(
+        range(len(statements)), rng.randrange(1, len(statements) + 1)
+    ):
+        statements[position] = _tamper_vpke(statements[position], rng)
+    _assert_vpke_equivalence(pk, statements, seed)
+
+
+@pytest.mark.slow
+def test_vpke_single_tampered_proof_in_large_valid_batch():
+    """The adversarial hiding case: 1 bad proof among 23 good ones."""
+    rng = random.Random(0x5EED)
+    pk, sk = keygen(secret=0xF00D)
+    statements = _vpke_statements(pk, sk, 24, rng)
+    position = rng.randrange(len(statements))
+    statements[position] = _tamper_vpke(statements[position], rng)
+    assert not verify_decryption_batch(pk, statements)
+    # Every *other* statement still verifies — the batch rejected the
+    # whole set because of exactly that one entry.
+    rest = statements[:position] + statements[position + 1 :]
+    assert verify_decryption_batch(pk, rest)
+
+
+@pytest.mark.parametrize("seed", [7, 8])
+def test_schnorr_batch_equivalence(seed):
+    rng = random.Random(seed)
+    statements = []
+    for _ in range(rng.randrange(1, 9)):
+        secret = random_scalar()
+        statements.append((_G * secret, schnorr_prove(secret)))
+    if seed % 2 == 0:  # tamper half the batches
+        position = rng.randrange(len(statements))
+        public, proof = statements[position]
+        statements[position] = (
+            public,
+            SchnorrProof(proof.commitment + _G, proof.response),
+        )
+    sequential = all(schnorr_verify(p, pr) for p, pr in statements)
+    assert schnorr_verify_batch(statements) == sequential, "seed=%d" % seed
+
+
+def test_schnorr_batch_respects_context():
+    secret = random_scalar()
+    statements = [(_G * secret, schnorr_prove(secret, context=b"ctx-a"))]
+    assert schnorr_verify_batch(statements, context=b"ctx-a")
+    assert not schnorr_verify_batch(statements, context=b"ctx-b")
+
+
+@pytest.mark.parametrize("tamper", [False, True])
+def test_chaum_pedersen_batch_equivalence(tamper):
+    rng = random.Random(11 + tamper)
+    statements = []
+    for _ in range(rng.randrange(2, 6)):
+        secret = random_scalar()
+        base_v = _G * random_scalar()
+        statements.append(
+            (_G * secret, base_v, base_v * secret, chaum_pedersen_prove(secret, base_v))
+        )
+    if tamper:
+        position = rng.randrange(len(statements))
+        u, base_v, w, proof = statements[position]
+        statements[position] = (u, base_v, w + base_v, proof)
+    sequential = all(
+        chaum_pedersen_verify(u, v, w, proof) for u, v, w, proof in statements
+    )
+    assert chaum_pedersen_verify_batch(statements) == sequential
+
+
+@pytest.mark.parametrize("tamper", [False, True])
+def test_sigma_transcripts_batch_equivalence(tamper, keypair):
+    pk, sk = keypair
+    rng = random.Random(21 + tamper)
+    statements = []
+    for _ in range(rng.randrange(2, 6)):
+        message = rng.randrange(2)
+        ciphertext = pk.encrypt(message)
+        transcript = run_interactive(sk, ciphertext, message)
+        statements.append((message, ciphertext, transcript))
+    if tamper:
+        position = rng.randrange(len(statements))
+        claim, ciphertext, transcript = statements[position]
+        statements[position] = (1 - claim, ciphertext, transcript)
+    sequential = all(
+        verify_transcript(pk, claim, ciphertext, transcript)
+        for claim, ciphertext, transcript in statements
+    )
+    assert verify_transcripts_batch(pk, statements) == sequential
+
+
+def test_empty_batches_accept():
+    pk, _ = keygen(secret=0xE)
+    assert verify_decryption_batch(pk, [])
+    assert schnorr_verify_batch([])
+    assert chaum_pedersen_verify_batch([])
+    assert verify_transcripts_batch(pk, [])
+    assert verify_quality_proofs_batch(pk, [], [0, 1], [0, 0]) == []
+
+
+# ---------------------------------------------------------------------------
+# PoQoEA quality-proof batching (the contract's evaluate-path primitive)
+# ---------------------------------------------------------------------------
+
+
+def _quality_statement(pk, sk, gold_indexes, gold_answers, answers):
+    ciphertexts = pk.encrypt_vector(answers)
+    quality, proof = prove_quality(
+        sk, ciphertexts, gold_indexes, gold_answers, [0, 1]
+    )
+    return (ciphertexts, quality, proof)
+
+
+@pytest.mark.parametrize("seed", [31, 32, 33])
+def test_quality_proofs_batch_equivalence(seed):
+    rng = random.Random(seed)
+    pk, sk = keygen(secret=0x3000 + seed)
+    gold_indexes = [0, 2, 4]
+    gold_answers = [0, 0, 0]
+    statements = []
+    for _ in range(rng.randrange(1, 5)):
+        answers = [rng.randrange(2) for _ in range(8)]
+        statements.append(
+            _quality_statement(pk, sk, gold_indexes, gold_answers, answers)
+        )
+    # Tamper a random subset: understate the claimed quality, which
+    # makes the mismatch count come up short (structural failure), or
+    # corrupt a VPKE proof (cryptographic failure).
+    for position in range(len(statements)):
+        if rng.random() < 0.4:
+            ciphertexts, quality, proof = statements[position]
+            if proof.entries and rng.random() < 0.5:
+                entry = proof.entries[0]
+                bad_entry = type(entry)(
+                    entry.index,
+                    entry.answer,
+                    DecryptionProof(
+                        entry.proof.commitment_a + _G,
+                        entry.proof.commitment_b,
+                        entry.proof.response,
+                    ),
+                )
+                proof = type(proof)((bad_entry,) + proof.entries[1:])
+                statements[position] = (ciphertexts, quality, proof)
+            else:
+                statements[position] = (ciphertexts, quality - 1, proof)
+
+    sequential = [
+        verify_quality(pk, cts, quality, proof, gold_indexes, gold_answers)
+        for cts, quality, proof in statements
+    ]
+    batched = verify_quality_proofs_batch(
+        pk, statements, gold_indexes, gold_answers
+    )
+    assert batched == sequential, "seed=%d" % seed
+
+
+def test_quality_proofs_batch_localizes_single_bad_worker():
+    """One worker's tampered proof must not poison the others' verdicts."""
+    pk, sk = keygen(secret=0x51)
+    gold_indexes = [0, 1, 2]
+    gold_answers = [0, 0, 0]
+    statements = [
+        _quality_statement(pk, sk, gold_indexes, gold_answers, [1] * 6)
+        for _ in range(4)
+    ]
+    ciphertexts, quality, proof = statements[2]
+    entry = proof.entries[0]
+    bad_entry = type(entry)(
+        entry.index,
+        entry.answer,
+        DecryptionProof(
+            entry.proof.commitment_a + _G,
+            entry.proof.commitment_b,
+            entry.proof.response,
+        ),
+    )
+    statements[2] = (ciphertexts, quality, type(proof)((bad_entry,) + proof.entries[1:]))
+    assert verify_quality_proofs_batch(
+        pk, statements, gold_indexes, gold_answers
+    ) == [True, True, False, True]
+
+
+def test_quality_proofs_batch_rejects_duplicate_golds():
+    pk, sk = keygen(secret=0x52)
+    statement = _quality_statement(pk, sk, [0, 1], [0, 0], [1, 1, 0])
+    assert verify_quality_proofs_batch(pk, [statement], [0, 0], [0, 0]) == [False]

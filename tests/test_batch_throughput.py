@@ -1,0 +1,256 @@
+"""The multi-task throughput subsystem: deploy_many, evaluate_batch,
+run_hits_batch.
+
+Complements tests/contracts/ (which freezes shapes) by exercising the
+batched paths' *semantics*: Fig. 4 verdicts must be preserved per
+worker, block counts must collapse from per-task to per-phase, and the
+batched gas charge must undercut the sequential one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.core.hit_contract import HITContract
+from repro.core.protocol import run_hit
+from repro.crypto.poqoea import QualityProof
+from repro.dragoon import Dragoon
+from repro.errors import ChainError
+from tests.helpers import small_task
+
+GOOD = [0] * 10
+BAD = [1] * 10
+
+
+# ---------------------------------------------------------------------------
+# Chain.deploy_many
+# ---------------------------------------------------------------------------
+
+
+def test_deploy_many_seals_one_block():
+    chain = Chain()
+    deployer = chain.register_account("req", 1000)
+    task = small_task()
+    from repro.core.requester import RequesterClient
+    from repro.storage.swarm import SwarmStore
+
+    swarm = SwarmStore()
+    deployments = []
+    for index in range(3):
+        client = RequesterClient("req-%d" % index, task, chain, swarm)
+        contract, args, payload = client.prepare_publish("hit:%d" % index)
+        deployments.append((contract, client.address, args, payload))
+    height_before = chain.height
+    receipts = chain.deploy_many(deployments)
+    assert chain.height == height_before + 1
+    assert all(receipt.succeeded for receipt in receipts)
+    assert len(chain.blocks[-1].transactions) == 3
+    for index in range(3):
+        assert isinstance(chain.contract("hit:%d" % index), HITContract)
+
+
+def test_deploy_many_rejects_duplicate_names():
+    chain = Chain()
+    deployer = chain.register_account("req", 1000)
+    task = small_task()
+    from repro.core.requester import RequesterClient
+    from repro.storage.swarm import SwarmStore
+
+    client = RequesterClient("req", task, chain, SwarmStore())
+    contract_a, args, payload = client.prepare_publish("hit:same")
+    contract_b, _, _ = client.prepare_publish("hit:same")
+    with pytest.raises(ChainError):
+        chain.deploy_many(
+            [
+                (contract_a, client.address, args, payload),
+                (contract_b, client.address, args, payload),
+            ]
+        )
+
+
+def test_deploy_many_failed_deployment_gets_receipt_not_exception():
+    """An unfunded requester's deployment reverts; others still land."""
+    chain = Chain()
+    task = small_task(budget=100)
+    from repro.core.requester import RequesterClient
+    from repro.storage.swarm import SwarmStore
+
+    swarm = SwarmStore()
+    rich = RequesterClient("rich", task, chain, swarm)
+    poor = RequesterClient("poor", task, chain, swarm, balance=1)
+    deployments = []
+    for name, client in (("hit:rich", rich), ("hit:poor", poor)):
+        contract, args, payload = client.prepare_publish(name)
+        deployments.append((contract, client.address, args, payload))
+    receipts = chain.deploy_many(deployments)
+    assert receipts[0].succeeded
+    assert not receipts[1].succeeded
+    assert "budget" in receipts[1].revert_reason
+    with pytest.raises(ChainError):
+        chain.contract("hit:poor")
+
+
+# ---------------------------------------------------------------------------
+# Dragoon.run_hits_batch
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def batch_of_three():
+    dragoon = Dragoon()
+    specs = [
+        ("req-%d" % index, small_task(), [GOOD, BAD]) for index in range(3)
+    ]
+    outcomes = dragoon.run_hits_batch(specs)
+    return dragoon, outcomes
+
+
+def test_batch_advances_five_blocks_total(batch_of_three):
+    dragoon, outcomes = batch_of_three
+    # publish + commits + reveals + evaluations + finalizations.
+    assert dragoon.chain.height == 5
+    assert len(outcomes) == 3
+
+
+def test_batch_preserves_fig4_verdicts(batch_of_three):
+    _, outcomes = batch_of_three
+    for outcome in outcomes:
+        good, bad = outcome.workers
+        assert outcome.payment_of(good) == 50
+        assert outcome.payment_of(bad) == 0
+        assert outcome.contract.verdict_of(good.address) == "paid-default"
+        assert outcome.contract.verdict_of(bad.address) == "rejected-quality"
+
+
+def test_batch_matches_sequential_payments(batch_of_three):
+    _, outcomes = batch_of_three
+    sequential = run_hit(small_task(), [GOOD, BAD])
+    sequential_payments = sorted(sequential.payments().values())
+    for outcome in outcomes:
+        assert sorted(outcome.payments().values()) == sequential_payments
+
+
+def test_batch_rejection_gas_undercuts_sequential(batch_of_three):
+    """The RLC check saves ecMul/ecAdd gas per proof."""
+    _, outcomes = batch_of_three
+    sequential = run_hit(small_task(), [GOOD, BAD])
+    sequential_gas = next(iter(sequential.gas.rejections.values()))
+    batched_gas = next(iter(outcomes[0].gas.rejections.values()))
+    assert 0 < batched_gas < sequential_gas
+
+
+def test_batch_requesters_keep_long_lived_keys():
+    dragoon = Dragoon()
+    dragoon.fund("alice", 200)  # enough budget for both tasks up front
+    first = dragoon.run_hits_batch([("alice", small_task(), [GOOD, GOOD])])
+    key_bytes = dragoon.requester_public_key_bytes("alice")
+    second = dragoon.run_hits_batch([("alice", small_task(), [GOOD, GOOD])])
+    assert first[0].requester.public_key.to_bytes() == key_bytes
+    assert second[0].requester.public_key.to_bytes() == key_bytes
+
+
+def test_batched_evaluate_handles_outrange_workers():
+    """An out-of-range answer still gets its individual outrange dispute."""
+    dragoon = Dragoon()
+    outrange_answers = [0] * 9 + [7]  # 7 outside the (0, 1) range
+    (outcome,) = dragoon.run_hits_batch(
+        [("req", small_task(), [GOOD, outrange_answers])]
+    )
+    good, bad = outcome.workers
+    assert outcome.payment_of(good) == 50
+    assert outcome.payment_of(bad) == 0
+    assert outcome.contract.verdict_of(bad.address) == "rejected-outrange"
+
+
+# ---------------------------------------------------------------------------
+# HITContract.evaluate_batch edge semantics
+# ---------------------------------------------------------------------------
+
+
+def _run_batched(task, answers, mutate_batch):
+    """Drive one task to the evaluate phase, mutate the batch args, mine."""
+    dragoon = Dragoon()
+    handle = dragoon.publish_task("req", task)
+    for index, answer_vector in enumerate(answers):
+        dragoon.submit_answers(handle, "w%d" % index, answer_vector)
+    dragoon.chain.mine_block()
+    for worker in handle.workers:
+        worker.send_reveal()
+    dragoon.chain.mine_block()
+
+    handle.requester.evaluate_all_batched()
+    # Rewrite the pending evaluate_batch transaction through the hook.
+    pending = dragoon.chain.mempool.pending
+    batch_txs = [t for t in pending if t.method == "evaluate_batch"]
+    assert len(batch_txs) == 1
+    mutate_batch(batch_txs[0])
+    dragoon.chain.mine_block()
+    dragoon.chain.send(
+        handle.requester.address, handle.contract_name, "finalize"
+    )
+    dragoon.chain.mine_block()
+    return dragoon, handle
+
+
+def test_evaluate_batch_bogus_proof_pays_the_worker():
+    """Fig. 4: a rejection whose proof fails pays the accused worker."""
+
+    def corrupt(transaction):
+        (rejections,) = transaction.args
+        worker, quality, proof, chunks = rejections[0]
+        assert isinstance(proof, QualityProof)
+        entry = proof.entries[0]
+        from repro.crypto.curve import G1Point
+        from repro.crypto.vpke import DecryptionProof
+
+        bad = type(entry)(
+            entry.index,
+            entry.answer,
+            DecryptionProof(
+                entry.proof.commitment_a + G1Point.generator(),
+                entry.proof.commitment_b,
+                entry.proof.response,
+            ),
+        )
+        rejections[0] = (worker, quality, type(proof)((bad,) + proof.entries[1:]), chunks)
+
+    dragoon, handle = _run_batched(small_task(), [GOOD, BAD], corrupt)
+    bad_worker = handle.workers[1]
+    contract = dragoon.chain.contract(handle.contract_name)
+    assert contract.verdict_of(bad_worker.address) == "paid-evaluate"
+    assert dragoon.chain.ledger.balance_of(bad_worker.address) == 50
+
+
+def test_evaluate_batch_duplicate_worker_reverts():
+    def duplicate(transaction):
+        (rejections,) = transaction.args
+        rejections.append(rejections[0])
+
+    dragoon, handle = _run_batched(small_task(), [GOOD, BAD], duplicate)
+    receipts = [
+        receipt
+        for block in dragoon.chain.blocks
+        for receipt in block.receipts
+        if receipt.transaction.method == "evaluate_batch"
+    ]
+    assert len(receipts) == 1
+    assert not receipts[0].succeeded
+    assert "twice" in receipts[0].revert_reason
+    # The revert leaves the worker un-adjudicated, so finalize pays them.
+    bad_worker = handle.workers[1]
+    contract = dragoon.chain.contract(handle.contract_name)
+    assert contract.verdict_of(bad_worker.address) == "paid-default"
+
+
+def test_evaluate_batch_empty_batch_is_a_noop():
+    """All workers above threshold: no evaluate_batch tx is sent at all."""
+    dragoon = Dragoon()
+    (outcome,) = dragoon.run_hits_batch([("req", small_task(), [GOOD, GOOD])])
+    methods = [
+        receipt.transaction.method
+        for block in dragoon.chain.blocks
+        for receipt in block.receipts
+    ]
+    assert "evaluate_batch" not in methods
+    assert all(payment == 50 for payment in outcome.payments().values())

@@ -1,0 +1,66 @@
+"""Smoke-run every benchmark entry point with tiny parameters.
+
+Benchmarks are the repo's reproduction artifacts, but they are not
+collected by the tier-1 run (``pytest.ini`` scopes it to ``tests/``),
+so without this module a refactor could break them invisibly until the
+next full campaign.  Each bench file is executed here as its own pytest
+session with ``DRAGOON_BENCH_SMOKE=1`` (tiny tasks, short sweeps, no
+paper-number or timing assertions — see ``benchmarks/bench_helpers.py``)
+and ``--benchmark-disable`` so pytest-benchmark runs every benched
+callable exactly once.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+BENCH_FILES = sorted(
+    path.name for path in BENCH_DIR.glob("bench_*.py")
+    if path.name != "bench_helpers.py"
+)
+
+
+def test_every_bench_file_is_covered():
+    """A new bench_*.py is smoke-tested automatically; helpers are not."""
+    assert BENCH_FILES, "no benchmarks found — did the layout move?"
+    assert "bench_batch_verification.py" in BENCH_FILES
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("bench_file", BENCH_FILES)
+def test_bench_smoke(bench_file):
+    env = dict(os.environ)
+    env["DRAGOON_BENCH_SMOKE"] = "1"
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(BENCH_DIR / bench_file),
+            "-x",
+            "-q",
+            "--benchmark-disable",
+            "-p",
+            "no:cacheprovider",
+        ],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        "%s failed in smoke mode:\n%s\n%s"
+        % (bench_file, result.stdout[-4000:], result.stderr[-4000:])
+    )
