@@ -41,6 +41,12 @@ from repro.core import (
     WorkerClient,
     compare_worlds,
     run_ideal_mirror,
+    HITSession,
+    SessionConfig,
+    SessionEngine,
+    WorkerPolicy,
+    DropScheduler,
+    StragglerScheduler,
 )
 from repro.crypto import (
     keygen,
@@ -54,7 +60,7 @@ from repro.chain import Chain, PAPER_PRICING, GasPricing
 from repro.ledger import Ledger, Address
 from repro.storage import SwarmStore
 from repro.analysis import build_handling_fee_table, mturk_handling_fee
-from repro.dragoon import Dragoon
+from repro.dragoon import Dragoon, TaskArrival
 
 __version__ = "1.0.0"
 
@@ -71,6 +77,12 @@ __all__ = [
     "WorkerClient",
     "compare_worlds",
     "run_ideal_mirror",
+    "HITSession",
+    "SessionConfig",
+    "SessionEngine",
+    "WorkerPolicy",
+    "DropScheduler",
+    "StragglerScheduler",
     "keygen",
     "prove_decryption",
     "verify_decryption",
@@ -86,5 +98,6 @@ __all__ = [
     "build_handling_fee_table",
     "mturk_handling_fee",
     "Dragoon",
+    "TaskArrival",
     "__version__",
 ]

@@ -24,6 +24,7 @@ from repro.chain.gas import (
     HIT_CONTRACT_CODE_BYTES,
 )
 from repro.chain.transactions import Transaction, Receipt, Event
+from repro.chain.eventlog import EventFilter, EventLog, EventRecord, Subscription
 from repro.chain.blocks import Block, GENESIS_HASH
 from repro.chain.clock import Clock
 from repro.chain.contract import Contract, CallContext
@@ -55,6 +56,10 @@ __all__ = [
     "Transaction",
     "Receipt",
     "Event",
+    "EventFilter",
+    "EventLog",
+    "EventRecord",
+    "Subscription",
     "Block",
     "GENESIS_HASH",
     "Clock",

@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.chain.blocks import Block, GENESIS_HASH
 from repro.chain.clock import Clock
 from repro.chain.contract import CallContext, Contract
+from repro.chain.eventlog import EventFilter, EventLog, Subscription
 from repro.chain.gas import GasMeter, calldata_cost, TX_BASE
 from repro.chain.network import Mempool, Scheduler
 from repro.chain.transactions import Event, Receipt, Transaction
@@ -42,9 +43,18 @@ class Chain:
         self.mempool = Mempool()
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.blocks: List[Block] = []
-        self.events: List[Event] = []
+        self.event_log = EventLog()
         self.gas_by_sender: Dict[Address, int] = {}
         self._contracts: Dict[str, Contract] = {}
+
+    @property
+    def events(self) -> List[Event]:
+        """Every successfully emitted event, in emission order.
+
+        A read-only view over :attr:`event_log`; cursor-based consumers
+        should :meth:`subscribe` instead of rescanning this list.
+        """
+        return [record.event for record in self.event_log]
 
     # -- accounts ---------------------------------------------------------------
 
@@ -106,7 +116,7 @@ class Chain:
             transaction, True, meter.used, dict(meter.breakdown), tuple(ctx.events)
         )
         self._record_gas(deployer, meter.used)
-        self.events.extend(ctx.events)
+        self._log_events(ctx.events)
         return receipt
 
     def deploy(
@@ -195,7 +205,13 @@ class Chain:
     # -- block production -----------------------------------------------------------
 
     def mine_block(self) -> Block:
-        """Advance one clock period: deliver and execute pending messages."""
+        """Advance one clock period: deliver and execute pending messages.
+
+        An empty mempool still seals an (empty) block and advances the
+        clock — time passes without traffic, which is what lets deadline
+        logic (reveal windows, timeout refunds) run against a quiet
+        chain.
+        """
         ordered = self.mempool.drain(self.scheduler)
         receipts = [self._execute(transaction) for transaction in ordered]
         block = self._seal_block(ordered, receipts)
@@ -258,7 +274,7 @@ class Chain:
         )
         self._record_gas(transaction.sender, meter.used)
         if status:
-            self.events.extend(ctx.events)
+            self._log_events(ctx.events)
         return receipt
 
     def _seal_block(
@@ -277,15 +293,39 @@ class Chain:
     def _record_gas(self, sender: Address, gas: int) -> None:
         self.gas_by_sender[sender] = self.gas_by_sender.get(sender, 0) + gas
 
+    def _log_events(self, events: Sequence[Event]) -> None:
+        """Append this call's events to the log, tagged with the block
+        currently being built (``len(self.blocks)``: sealing follows)."""
+        for event in events:
+            self.event_log.append(len(self.blocks), event)
+
     # -- observation ---------------------------------------------------------------
+
+    def subscribe(
+        self, filter: Optional[EventFilter] = None, from_start: bool = False
+    ) -> Subscription:
+        """Open a cursor-based subscription on the chain's event log.
+
+        Clients *observe* receipts and events through this instead of
+        being handed them by a driver; each :meth:`Subscription.poll`
+        returns only the not-yet-seen matching events.
+        """
+        return self.event_log.subscribe(filter, from_start=from_start)
+
+    def events_in_block(self, block_number: int) -> List[Event]:
+        """The events emitted while block ``block_number`` was built."""
+        return [
+            record.event for record in self.event_log.in_block(block_number)
+        ]
 
     def events_named(self, name: str, contract: Optional[str] = None) -> List[Event]:
         """All successfully emitted events with the given name."""
         address = self._contracts[contract].address if contract else None
         return [
-            event
-            for event in self.events
-            if event.name == name and (address is None or event.contract == address)
+            record.event
+            for record in self.event_log
+            if record.event.name == name
+            and (address is None or record.event.contract == address)
         ]
 
     @property

@@ -1,0 +1,137 @@
+"""The chain's event bus: a cursor-based log with filtered subscriptions.
+
+Ethereum clients do not get handed receipts — they *watch* the log.
+This module gives the simulator the same inversion: every successfully
+emitted :class:`~repro.chain.transactions.Event` is appended to one
+append-only :class:`EventLog` together with the block that carried it,
+and clients read through :class:`Subscription` cursors (``eth_getLogs``
+with a block cursor, in Ethereum terms).  The session engine
+(:mod:`repro.core.session`) is built entirely on this API: sessions
+never touch receipts, they react to what the log shows them.
+
+The log is an observation layer only: it charges no gas (the emitting
+transaction already paid ``charge_log``) and cannot influence execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from repro.chain.transactions import Event
+from repro.ledger.accounts import Address
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One log entry: an event plus where (and in what order) it landed."""
+
+    sequence: int  # global, monotone across the whole chain
+    block_number: int
+    event: Event
+
+
+class EventFilter:
+    """Which events a subscriber wants to see (contract / name / topic).
+
+    All given criteria must match; an empty filter matches everything.
+    ``contract`` is the emitting contract's address (use
+    :meth:`for_contract` to build one from an instance name).
+    """
+
+    def __init__(
+        self,
+        contract: Optional[Address] = None,
+        names: Optional[Iterable[str]] = None,
+        topic: Optional[bytes] = None,
+    ) -> None:
+        self.contract = contract
+        self.names = frozenset(names) if names is not None else None
+        self.topic = topic
+
+    @classmethod
+    def for_contract(
+        cls, contract_name: str, names: Optional[Iterable[str]] = None
+    ) -> "EventFilter":
+        """A filter on one contract instance, by its chain name."""
+        return cls(
+            contract=Address.from_label("contract:" + contract_name), names=names
+        )
+
+    def matches(self, event: Event) -> bool:
+        if self.contract is not None and event.contract != self.contract:
+            return False
+        if self.names is not None and event.name not in self.names:
+            return False
+        if self.topic is not None and self.topic not in event.topics:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return "EventFilter(contract=%s, names=%s)" % (self.contract, self.names)
+
+
+class EventLog:
+    """Append-only record of every successfully emitted event."""
+
+    def __init__(self) -> None:
+        self._records: List[EventRecord] = []
+
+    def append(self, block_number: int, event: Event) -> EventRecord:
+        """Record one emitted event (called by the chain, never clients)."""
+        record = EventRecord(len(self._records), block_number, event)
+        self._records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        return iter(self._records)
+
+    def since(
+        self, cursor: int, filter: Optional[EventFilter] = None
+    ) -> List[EventRecord]:
+        """All records at sequence >= ``cursor`` that pass the filter."""
+        records = self._records[cursor:]
+        if filter is None:
+            return list(records)
+        return [record for record in records if filter.matches(record.event)]
+
+    def in_block(self, block_number: int) -> List[EventRecord]:
+        """The records emitted by block ``block_number``, in log order."""
+        return [
+            record
+            for record in self._records
+            if record.block_number == block_number
+        ]
+
+    def subscribe(
+        self, filter: Optional[EventFilter] = None, from_start: bool = False
+    ) -> "Subscription":
+        """Open a cursor; by default it starts at the log's current end."""
+        return Subscription(
+            self, filter, cursor=0 if from_start else len(self._records)
+        )
+
+
+class Subscription:
+    """A client's private cursor into the event log.
+
+    Each :meth:`poll` returns the matching records the cursor has not yet
+    seen and advances past *everything* it scanned, so two subscribers
+    never interfere and no record is delivered twice.
+    """
+
+    def __init__(
+        self, log: EventLog, filter: Optional[EventFilter], cursor: int
+    ) -> None:
+        self._log = log
+        self.filter = filter
+        self.cursor = cursor
+
+    def poll(self) -> List[EventRecord]:
+        """New matching records since the last poll (may be empty)."""
+        records = self._log.since(self.cursor, self.filter)
+        self.cursor = len(self._log)
+        return records

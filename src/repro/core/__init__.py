@@ -18,7 +18,26 @@ from repro.core.hit_contract import (
 )
 from repro.core.requester import RequesterClient, EvaluationAction
 from repro.core.worker import WorkerClient, DiscoveredTask
-from repro.core.protocol import run_hit, ProtocolOutcome, GasReport
+from repro.core.protocol import (
+    run_hit,
+    ProtocolOutcome,
+    GasReport,
+    gas_report_from_receipts,
+)
+from repro.core.session import (
+    HITSession,
+    SessionConfig,
+    SessionEngine,
+    WorkerPolicy,
+    DropScheduler,
+    StragglerScheduler,
+    SESSION_COMMIT,
+    SESSION_REVEAL,
+    SESSION_EVALUATE,
+    SESSION_FINALIZE,
+    SESSION_DONE,
+    SESSION_CANCELLED,
+)
 from repro.core.ideal import IdealHIT, IdealOutcome, Leak
 from repro.core.simulator import (
     compare_worlds,
@@ -57,6 +76,19 @@ __all__ = [
     "run_hit",
     "ProtocolOutcome",
     "GasReport",
+    "gas_report_from_receipts",
+    "HITSession",
+    "SessionConfig",
+    "SessionEngine",
+    "WorkerPolicy",
+    "DropScheduler",
+    "StragglerScheduler",
+    "SESSION_COMMIT",
+    "SESSION_REVEAL",
+    "SESSION_EVALUATE",
+    "SESSION_FINALIZE",
+    "SESSION_DONE",
+    "SESSION_CANCELLED",
     "IdealHIT",
     "IdealOutcome",
     "Leak",

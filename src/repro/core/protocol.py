@@ -1,16 +1,23 @@
 """The protocol driver: runs Π_hit end to end on the simulated chain.
 
 :func:`run_hit` wires a requester and K workers through the full task
-life cycle — publish, commit, reveal, evaluate, finalize — mining one
-block per clock period exactly as the synchronous model prescribes, and
-returns a :class:`ProtocolOutcome` with the payment vector and a
-per-operation gas ledger (the raw material of the paper's Table III).
+life cycle — publish, commit, reveal, evaluate, finalize — and returns a
+:class:`ProtocolOutcome` with the payment vector and a per-operation gas
+ledger (the raw material of the paper's Table III).
+
+Since the session-engine refactor, :func:`run_hit` is a thin wrapper
+over :class:`repro.core.session.SessionEngine`: one session, honest
+policies, sequential evaluation.  Everyone acts at the earliest allowed
+period, so the engine reproduces the classic lock-step schedule — one
+block per clock period, five blocks per task — transaction for
+transaction.  The event-driven path (staggered arrivals, stragglers,
+dropouts) lives in :mod:`repro.core.session`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.chain.chain import Chain
 from repro.chain.network import Scheduler
@@ -20,13 +27,20 @@ from repro.core.requester import EvaluationAction, RequesterClient
 from repro.core.task import HITTask
 from repro.core.worker import WorkerClient
 from repro.errors import ProtocolError
-from repro.ledger.accounts import Address
 from repro.storage.swarm import SwarmStore
 
 
 @dataclass
 class GasReport:
-    """Gas usage per protocol operation, aggregated across a full run."""
+    """Gas usage per protocol operation, aggregated across a full run.
+
+    The five scripted operations of the happy path keep their fixed
+    slots (Table III reads them directly); anything outside that script
+    — a cancelled task's refund, a late reveal burned against the
+    Fig. 4 deadline — lands in the dynamic :attr:`extras` ledger via
+    :meth:`record`, so per-session scenarios extend the report without
+    changing its shape.
+    """
 
     publish: int = 0
     commits: Dict[str, int] = field(default_factory=dict)
@@ -34,6 +48,29 @@ class GasReport:
     golden: int = 0
     rejections: Dict[str, int] = field(default_factory=dict)
     finalize: int = 0
+
+    @property
+    def extras(self) -> Dict[str, int]:
+        """Gas of dynamic (non-scripted) operations, keyed by operation.
+
+        Created lazily so the report's storage layout — frozen by the
+        interface contract tests — is untouched until a scenario
+        actually records something dynamic.
+        """
+        try:
+            return self._extras
+        except AttributeError:
+            self._extras: Dict[str, int] = {}
+            return self._extras
+
+    def record(self, operation: str, gas: int) -> None:
+        """Accumulate gas under a dynamic operation label.
+
+        Operation labels are free-form but conventionally
+        ``"<what>:<who>"`` — e.g. ``"cancel:requester"`` or
+        ``"late-reveal:worker-3"``.
+        """
+        self.extras[operation] = self.extras.get(operation, 0) + gas
 
     def submit_cost(self, worker_label: str) -> int:
         """Commit plus reveal gas for one worker (Table III 'submit')."""
@@ -48,6 +85,7 @@ class GasReport:
             + self.golden
             + sum(self.rejections.values())
             + self.finalize
+            + sum(getattr(self, "_extras", {}).values())
         )
 
 
@@ -74,11 +112,53 @@ class ProtocolOutcome:
         return {w.label: self.contract.verdict_of(w.address) for w in self.workers}
 
 
-def _receipts_by_sender(receipts: Sequence[Receipt]) -> Dict[Address, List[Receipt]]:
-    grouped: Dict[Address, List[Receipt]] = {}
+def gas_report_from_receipts(receipts: Sequence[Receipt]) -> GasReport:
+    """Rebuild the per-operation gas ledger of one task from its receipts.
+
+    Successful scripted operations fill the report's fixed Table III
+    slots; an ``evaluate_batch`` receipt is amortized into equal
+    per-worker shares (the division remainder goes to the first worker
+    so the report sums to the receipt's actual gas).  Dynamic
+    per-session operations go to :meth:`GasReport.record`: a successful
+    ``cancel`` (the unfilled-task refund) and the gas burned by
+    commits/reveals that reverted against their Fig. 4 phase deadline.
+    """
+    gas = GasReport()
     for receipt in receipts:
-        grouped.setdefault(receipt.transaction.sender, []).append(receipt)
-    return grouped
+        method = receipt.transaction.method
+        sender = receipt.transaction.sender.label
+        if not receipt.succeeded:
+            # Only deadline misses are a protocol-level operation worth
+            # ledgering; other reverts (duplicate commitment, bad
+            # opening) stay out of the totals, as they always have.
+            if method in ("commit", "reveal") and (
+                "only valid in phase" in receipt.revert_reason
+            ):
+                gas.record("late-%s:%s" % (method, sender), receipt.gas_used)
+            continue
+        if method == "__deploy__":
+            gas.publish = receipt.gas_used
+        elif method == "commit":
+            gas.commits[sender] = gas.commits.get(sender, 0) + receipt.gas_used
+        elif method == "reveal":
+            gas.reveals[sender] = gas.reveals.get(sender, 0) + receipt.gas_used
+        elif method == "golden":
+            gas.golden += receipt.gas_used
+        elif method in ("evaluate", "outrange"):
+            target = receipt.transaction.args[0]
+            gas.rejections[target.label or target.hex()] = receipt.gas_used
+        elif method == "evaluate_batch":
+            rejections = receipt.transaction.args[0]
+            share, remainder = divmod(receipt.gas_used, max(1, len(rejections)))
+            for position, (target, _, _, _) in enumerate(rejections):
+                gas.rejections[target.label or target.hex()] = (
+                    share + (remainder if position == 0 else 0)
+                )
+        elif method == "finalize":
+            gas.finalize = receipt.gas_used
+        elif method == "cancel":
+            gas.record("cancel:%s" % sender, receipt.gas_used)
+    return gas
 
 
 def run_hit(
@@ -96,7 +176,14 @@ def run_hit(
     ``worker_answers`` supplies one answer vector per worker slot; pass a
     custom ``scheduler`` to inject the reordering adversary, or custom
     client classes to inject misbehaving parties.
+
+    A thin wrapper over the session engine: publish the task, enroll
+    every worker with the honest policy, and pump until the session
+    settles — publish, commit, reveal, evaluate, finalize, one block per
+    clock period, exactly as the synchronous model prescribes.
     """
+    from repro.core.session import SessionConfig, SessionEngine
+
     parameters = task.parameters
     if len(worker_answers) != parameters.num_workers:
         raise ProtocolError(
@@ -111,77 +198,22 @@ def run_hit(
     if len(labels) != parameters.num_workers:
         raise ProtocolError("worker label count mismatch")
 
-    chain = Chain(scheduler=scheduler)
-    swarm = SwarmStore()
-    gas = GasReport()
-    all_receipts: List[Receipt] = []
-
-    # Phase 1: publish (contract deployment block).
-    requester = requester_cls(requester_label, task, chain, swarm)
-    publish_receipt = requester.publish()
-    if not publish_receipt.succeeded:
-        raise ProtocolError("publish failed: %s" % publish_receipt.revert_reason)
-    gas.publish = publish_receipt.gas_used
-    all_receipts.append(publish_receipt)
-    contract = chain.contract(requester.contract_name)
-
-    # Phase 2-a: all workers discover and commit; one block.
-    workers = [
-        worker_cls(label, chain, swarm, answers=answers)
-        for label, answers in zip(labels, worker_answers)
-    ]
-    for worker in workers:
-        worker.discover(requester.contract_name)
-        worker.send_commit()
-    commit_block = chain.mine_block()
-    all_receipts.extend(commit_block.receipts)
-    for receipt in commit_block.receipts:
-        if receipt.succeeded:
-            label = receipt.transaction.sender.label
-            gas.commits[label] = gas.commits.get(label, 0) + receipt.gas_used
-
-    # Phase 2-b: committed workers reveal; one block.
-    committed = set(a.hex() for a in contract.committed_workers())
-    for worker in workers:
-        if worker.address.hex() in committed:
-            worker.send_reveal()
-    reveal_block = chain.mine_block()
-    all_receipts.extend(reveal_block.receipts)
-    for receipt in reveal_block.receipts:
-        if receipt.succeeded:
-            label = receipt.transaction.sender.label
-            gas.reveals[label] = gas.reveals.get(label, 0) + receipt.gas_used
-
-    # Phase 3: the requester opens golds and sends rejections; one block.
-    actions: List[EvaluationAction] = []
-    if requester_evaluates:
-        actions = requester.evaluate_all()
-    evaluate_block = chain.mine_block()
-    all_receipts.extend(evaluate_block.receipts)
-    for receipt in evaluate_block.receipts:
-        if not receipt.succeeded:
-            continue
-        if receipt.transaction.method == "golden":
-            gas.golden += receipt.gas_used
-        elif receipt.transaction.method in ("evaluate", "outrange"):
-            worker_arg = receipt.transaction.args[0]
-            gas.rejections[worker_arg.label or worker_arg.hex()] = receipt.gas_used
-
-    # Finalization block.
-    requester.send_finalize()
-    finalize_block = chain.mine_block()
-    all_receipts.extend(finalize_block.receipts)
-    for receipt in finalize_block.receipts:
-        if receipt.succeeded and receipt.transaction.method == "finalize":
-            gas.finalize = receipt.gas_used
-
-    return ProtocolOutcome(
-        chain=chain,
-        swarm=swarm,
-        requester=requester,
-        workers=workers,
-        contract=contract,
-        actions=actions,
-        gas=gas,
-        receipts=all_receipts,
+    engine = SessionEngine(scheduler=scheduler)
+    requester = requester_cls(requester_label, task, engine.chain, engine.swarm)
+    session = engine.publish_session(
+        requester,
+        config=SessionConfig(
+            evaluation="sequential" if requester_evaluates else "none"
+        ),
     )
+    for label, answers in zip(labels, worker_answers):
+        session.add_worker(
+            worker_cls(label, engine.chain, engine.swarm, answers=answers)
+        )
+    # The lock-step schedule: deploy block + four mined blocks.  Like the
+    # scripted driver of old, run_hit always returns after five blocks —
+    # a task whose commit phase never fills (a misbehaving worker_cls)
+    # comes back as an unfinished outcome, not an exception.
+    while not session.finished and engine.chain.height < 5:
+        engine.step()
+    return session.outcome()

@@ -65,6 +65,8 @@ class RequesterClient:
         self.public_key, self.secret_key = keygen(secret)
         self.contract_name: Optional[str] = None
         self._golden_key: Optional[bytes] = None
+        self.observed_reveal_deadline: Optional[int] = None
+        self.observed_finished = False
 
     # ------------------------------------------------------------------
     # Phase 1: publish
@@ -105,6 +107,30 @@ class RequesterClient:
         if receipt.succeeded:
             self.contract_name = contract.name
         return receipt
+
+    # ------------------------------------------------------------------
+    # Reactive step function (the session engine's hook)
+    # ------------------------------------------------------------------
+
+    def on_event(self, event) -> List[str]:
+        """React to one chain event of this requester's task.
+
+        The requester's duties are deadline-driven rather than
+        event-driven (she evaluates when the reveal window closes and
+        finalizes when the evaluation window closes, whether or not
+        anything happened), so this method records the observed phase
+        boundaries — ``observed_reveal_deadline`` from the contract's
+        ``all_committed`` event, ``observed_finished`` from
+        ``finalized``/``cancelled`` — and returns no immediate steps.
+        The :class:`~repro.core.session.HITSession` state machine reads
+        these observations to time ``evaluate_all`` and
+        ``send_finalize``.
+        """
+        if event.name == "all_committed":
+            self.observed_reveal_deadline = event.payload["reveal_deadline"]
+        elif event.name in ("finalized", "cancelled"):
+            self.observed_finished = True
+        return []
 
     # ------------------------------------------------------------------
     # Phase 3: evaluate
@@ -337,4 +363,11 @@ class RequesterClient:
         assert self.contract_name is not None
         return self.chain.send(
             self.address, self.contract_name, "finalize", args=(), payload=b""
+        )
+
+    def send_cancel(self) -> Transaction:
+        """Reclaim the budget of a task whose commit phase never filled."""
+        assert self.contract_name is not None
+        return self.chain.send(
+            self.address, self.contract_name, "cancel", args=(), payload=b""
         )

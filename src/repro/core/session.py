@@ -1,0 +1,470 @@
+"""Event-driven HIT sessions: per-task phase machines over the event bus.
+
+The original driver (:func:`repro.core.protocol.run_hit`) was a
+lock-step script — every task started at block 0 and marched through
+publish → commit → reveal → evaluate → finalize in unison, so staggered
+arrivals, stragglers, and dropouts were inexpressible.  This module
+inverts the life cycle:
+
+* :class:`HITSession` is an explicit per-task phase state machine that
+  mirrors the contract's ``_effective_phase``.  It never calls
+  ``mine_block`` and is never handed receipts: it reacts to the events
+  the chain's :class:`~repro.chain.eventlog.EventLog` shows it, routed
+  through the reactive step methods
+  :meth:`~repro.core.worker.WorkerClient.on_event` and
+  :meth:`~repro.core.requester.RequesterClient.on_event`.
+* :class:`SessionEngine` pumps the clock: each :meth:`SessionEngine.step`
+  mines one block (possibly empty — time passes without traffic) and
+  delivers that block's events to every registered session.  Any number
+  of sessions run concurrently at arbitrary block offsets; sessions in
+  the same phase land their transactions in the same block, so all of a
+  task's quality rejections ride one ``evaluate_batch`` transaction
+  (``evaluation="batched"``) and the chain grows per *phase*, not per
+  task.
+* :class:`DropScheduler` and :class:`StragglerScheduler` are the
+  scenario adversaries: they sit between a worker's reactive steps and
+  the mempool, dropping or delaying commits and reveals to exercise the
+  contract's Fig. 4 deadlines (a late reveal reverts; an unrevealed slot
+  is refunded to the requester at finalization).
+
+``run_hit`` and ``Dragoon.run_hits_batch`` are thin wrappers over this
+engine; the lock-step five-block schedule falls out of the state machine
+as the special case where everyone acts at the earliest allowed period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.chain.blocks import Block
+from repro.chain.chain import Chain
+from repro.chain.eventlog import EventRecord
+from repro.chain.network import Scheduler
+from repro.core.protocol import (
+    ProtocolOutcome,
+    gas_report_from_receipts,
+)
+from repro.core.requester import EvaluationAction, RequesterClient
+from repro.core.worker import WorkerClient
+from repro.errors import ProtocolError
+from repro.ledger.accounts import Address
+from repro.storage.swarm import SwarmStore
+
+# Client-side session phases.  COMMIT/REVEAL/EVALUATE mirror the
+# contract's effective phases; FINALIZE covers "window closed, settlement
+# transaction in flight"; DONE and CANCELLED are terminal.
+SESSION_COMMIT = "commit"
+SESSION_REVEAL = "reveal"
+SESSION_EVALUATE = "evaluate"
+SESSION_FINALIZE = "finalize"
+SESSION_DONE = "done"
+SESSION_CANCELLED = "cancelled"
+
+TERMINAL_PHASES = (SESSION_DONE, SESSION_CANCELLED)
+
+
+@dataclass
+class SessionConfig:
+    """How one session conducts its requester's duties.
+
+    ``evaluation`` selects the phase-3 path: ``"sequential"`` sends one
+    ``evaluate``/``outrange`` transaction per rejected worker (the
+    paper's literal deployment story), ``"batched"`` folds all quality
+    rejections into one ``evaluate_batch`` transaction verified by a
+    single random-linear-combination check, and ``"none"`` models the
+    silent requester (everyone is paid by default).  ``cancel_after``
+    makes the requester reclaim her budget if the commit phase is still
+    unfilled that many clock periods after arrival (``None``: wait
+    forever).
+    """
+
+    evaluation: str = "sequential"  # "sequential" | "batched" | "none"
+    cancel_after: Optional[int] = None
+
+
+class WorkerPolicy:
+    """When a worker's due protocol steps actually reach the mempool.
+
+    The honest policy submits every step the moment it becomes due.
+    Adversarial subclasses delay (:class:`StragglerScheduler`) or
+    suppress (:class:`DropScheduler`) steps; they model worker-side
+    behaviour, not network power — the network adversary stays in
+    :mod:`repro.chain.network`.
+    """
+
+    def schedule(self, step: str, period: int) -> Optional[int]:
+        """The period to submit ``step`` at, or ``None`` to never send it."""
+        return period
+
+
+class StragglerScheduler(WorkerPolicy):
+    """Delay chosen steps by whole clock periods (late commits/reveals).
+
+    ``StragglerScheduler(reveal=1)`` submits the reveal one period after
+    it became due — past the Fig. 4 reveal deadline, so the contract
+    rejects it and the worker's slot is refunded to the requester at
+    finalization.
+    """
+
+    def __init__(self, **delays: int) -> None:
+        for step, blocks in delays.items():
+            if blocks < 0:
+                raise ValueError("cannot deliver %s into the past" % step)
+        self.delays = dict(delays)
+
+    def schedule(self, step: str, period: int) -> Optional[int]:
+        return period + self.delays.get(step, 0)
+
+
+class DropScheduler(WorkerPolicy):
+    """Suppress chosen steps entirely (worker dropouts).
+
+    ``DropScheduler("reveal")`` commits but never opens — the classic
+    mid-task dropout; ``DropScheduler("commit")`` never shows up, which
+    leaves the task unfilled until the requester cancels.
+    """
+
+    def __init__(self, *steps: str) -> None:
+        if not steps:
+            raise ValueError("name at least one step to drop")
+        self.dropped_steps = frozenset(steps)
+
+    def schedule(self, step: str, period: int) -> Optional[int]:
+        if step in self.dropped_steps:
+            return None
+        return period
+
+
+class HITSession:
+    """The client-side state machine of one published task.
+
+    Mirrors the contract's ``_effective_phase``: the session learns the
+    reveal deadline from the ``all_committed`` event (through the
+    requester's reactive view) and times every subsequent duty off it,
+    exactly as a deployed client would.  All chain interaction goes
+    through the registered clients' existing step methods, so
+    adversarial client subclasses behave identically under the engine
+    and under the old lock-step driver.
+    """
+
+    def __init__(
+        self,
+        chain: Chain,
+        swarm: SwarmStore,
+        requester: RequesterClient,
+        config: Optional[SessionConfig] = None,
+    ) -> None:
+        if requester.contract_name is None:
+            raise ProtocolError("session requires a published task")
+        self.chain = chain
+        self.swarm = swarm
+        self.requester = requester
+        self.contract_name: str = requester.contract_name
+        self.contract_address = chain.contract(self.contract_name).address
+        self.config = config or SessionConfig()
+        self.workers: List[WorkerClient] = []
+        self.phase = SESSION_COMMIT
+        self.arrival_period = chain.clock.period
+        self.actions: List[EvaluationAction] = []
+        #: (block_number, phase) at every transition, for traces/tests.
+        self.history: List[Tuple[int, str]] = [
+            (max(0, chain.height - 1), SESSION_COMMIT)
+        ]
+        #: (worker_label, step) pairs a policy refused to send.
+        self.dropped: List[Tuple[str, str]] = []
+        self._policies: Dict[str, WorkerPolicy] = {}
+        self._deferred: List[Tuple[int, str, str, Callable[[], object]]] = []
+        self._cancel_requested = False
+        self._finalize_sent = False
+        self._terminal_phase: Optional[str] = None
+        published = chain.events_named("published", self.contract_name)
+        if not published:
+            raise ProtocolError(
+                "no published event for %s" % self.contract_name
+            )
+        self._published_event = published[0]
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def add_worker(
+        self, worker: WorkerClient, policy: Optional[WorkerPolicy] = None
+    ) -> WorkerClient:
+        """Enroll a worker: discover the task and react to its publication.
+
+        The worker is handed the ``published`` event it would have seen
+        on the bus; its :meth:`~repro.core.worker.WorkerClient.on_event`
+        answers with the due ``commit`` step, which the policy then
+        schedules (immediately, late, or never).
+        """
+        if worker.discovered is None:
+            worker.discover(self.contract_name)
+        self.workers.append(worker)
+        if policy is not None:
+            self._policies[worker.label] = policy
+        for step in worker.on_event(self._published_event):
+            self._schedule_worker_step(worker, step, self.chain.clock.period)
+        return worker
+
+    @property
+    def reveal_deadline(self) -> Optional[int]:
+        """The observed Fig. 4 reveal deadline (None while unfilled)."""
+        return self.requester.observed_reveal_deadline
+
+    @property
+    def finished(self) -> bool:
+        return self.phase in TERMINAL_PHASES
+
+    # ------------------------------------------------------------------
+    # Event delivery (called by the engine once per mined block)
+    # ------------------------------------------------------------------
+
+    def on_block(
+        self, block_number: int, period: int, records: Iterable[EventRecord]
+    ) -> None:
+        """Deliver one block's events, then act on the new clock period."""
+        for record in records:
+            event = record.event
+            self.requester.on_event(event)
+            if event.name == "finalized":
+                self._terminal_phase = SESSION_DONE
+            elif event.name == "cancelled":
+                self._terminal_phase = SESSION_CANCELLED
+            for worker in self.workers:
+                for step in worker.on_event(event):
+                    self._schedule_worker_step(worker, step, period)
+        self._advance(block_number, period)
+
+    def _schedule_worker_step(
+        self, worker: WorkerClient, step: str, period: int
+    ) -> None:
+        policy = self._policies.get(worker.label)
+        due = period if policy is None else policy.schedule(step, period)
+        if due is None:
+            self.dropped.append((worker.label, step))
+            return
+        submit = worker.send_commit if step == "commit" else worker.send_reveal
+        if due <= period:
+            submit()
+        else:
+            self._deferred.append((due, worker.label, step, submit))
+
+    def _run_deferred(self, period: int) -> None:
+        still_waiting = []
+        for due, label, step, submit in self._deferred:
+            if due <= period:
+                submit()
+            else:
+                still_waiting.append((due, label, step, submit))
+        self._deferred = still_waiting
+
+    # ------------------------------------------------------------------
+    # The phase state machine
+    # ------------------------------------------------------------------
+
+    def _advance(self, block_number: int, period: int) -> None:
+        """Fire every transition the new period allows (Fig. 4 timing).
+
+        With everyone honest this advances one phase per block — the
+        lock-step schedule — but the ``>=`` guards let a session catch
+        up after idle blocks, which is what staggered scenarios need.
+        """
+        if self.finished:
+            return
+        self._run_deferred(period)
+        if self._terminal_phase is not None:
+            # Which terminal event actually arrived decides the phase: a
+            # cancel that reverted (a late commit filled the task in the
+            # same block) still runs to DONE through finalization.
+            self._set_phase(block_number, self._terminal_phase)
+            return
+        deadline = self.reveal_deadline
+        if self.phase == SESSION_COMMIT:
+            if deadline is not None:
+                self._set_phase(block_number, SESSION_REVEAL)
+            elif self._commit_phase_timed_out(period) and not self._cancel_requested:
+                self._cancel_requested = True
+                self.requester.send_cancel()
+        if self.phase == SESSION_REVEAL and deadline is not None:
+            if period >= deadline + 1:
+                self._set_phase(block_number, SESSION_EVALUATE)
+                self._evaluate()
+        if self.phase == SESSION_EVALUATE and deadline is not None:
+            if period >= deadline + 2 and not self._finalize_sent:
+                self._finalize_sent = True
+                self._set_phase(block_number, SESSION_FINALIZE)
+                self.requester.send_finalize()
+
+    def _commit_phase_timed_out(self, period: int) -> bool:
+        after = self.config.cancel_after
+        # The contract only accepts cancellations from period 2 on; a
+        # cancel submitted now executes at this same period number.
+        return (
+            after is not None
+            and period >= 2
+            and period - self.arrival_period >= after
+        )
+
+    def _evaluate(self) -> None:
+        mode = self.config.evaluation
+        if mode == "none":
+            return
+        if mode == "batched":
+            self.actions = self.requester.evaluate_all_batched()
+        elif mode == "sequential":
+            self.actions = self.requester.evaluate_all()
+        else:
+            raise ProtocolError("unknown evaluation mode: %r" % mode)
+
+    def _set_phase(self, block_number: int, phase: str) -> None:
+        self.phase = phase
+        self.history.append((block_number, phase))
+
+    # ------------------------------------------------------------------
+    # Outcome
+    # ------------------------------------------------------------------
+
+    def receipts(self):
+        """Every receipt this task's contract produced, in chain order."""
+        return [
+            receipt
+            for block in self.chain.blocks
+            for receipt in block.receipts
+            if receipt.transaction.contract == self.contract_name
+        ]
+
+    def outcome(self) -> ProtocolOutcome:
+        """The finished session, packaged like the lock-step driver's."""
+        contract = self.chain.contract(self.contract_name)
+        receipts = self.receipts()
+        return ProtocolOutcome(
+            chain=self.chain,
+            swarm=self.swarm,
+            requester=self.requester,
+            workers=self.workers,
+            contract=contract,
+            actions=self.actions,
+            gas=gas_report_from_receipts(receipts),
+            receipts=receipts,
+        )
+
+
+@dataclass
+class BlockTrace:
+    """What one engine step looked like (the CLI's per-block trace)."""
+
+    block_number: int
+    period: int
+    transactions: int
+    events: List[Tuple[str, str]] = field(default_factory=list)  # (task, event)
+    phases: Dict[str, str] = field(default_factory=dict)  # task -> phase
+
+
+class SessionEngine:
+    """Pumps the clock and routes each block's events to its sessions.
+
+    One engine owns one chain (and its Swarm store) and any number of
+    concurrent sessions at arbitrary offsets: tasks may arrive
+    mid-stream (:meth:`publish_session` between steps), and each
+    :meth:`step` mines exactly one block — empty if nobody acted — then
+    delivers the block's events to every session whose contract emitted
+    them.  Same-phase sessions therefore share blocks, which is what
+    collapses N tasks to five blocks and routes all of a task's quality
+    rejections through one batched verification.
+    """
+
+    def __init__(
+        self,
+        chain: Optional[Chain] = None,
+        swarm: Optional[SwarmStore] = None,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        if chain is not None and scheduler is not None:
+            raise ProtocolError("pass a scheduler or a chain, not both")
+        self.chain = chain if chain is not None else Chain(scheduler=scheduler)
+        self.swarm = swarm if swarm is not None else SwarmStore()
+        self.sessions: List[HITSession] = []
+        self._by_address: Dict[Address, HITSession] = {}
+        self.trace: List[BlockTrace] = []
+        # The engine's own cursor: each step polls only the events that
+        # appeared since the last one (including any deployment blocks
+        # sealed between steps), never rescanning the log.
+        self._subscription = self.chain.subscribe()
+
+    # ------------------------------------------------------------------
+    # Session registration
+    # ------------------------------------------------------------------
+
+    def publish_session(
+        self,
+        requester: RequesterClient,
+        contract_name: Optional[str] = None,
+        config: Optional[SessionConfig] = None,
+    ) -> HITSession:
+        """Publish the requester's task now and register its session."""
+        receipt = requester.publish(contract_name=contract_name)
+        if not receipt.succeeded:
+            raise ProtocolError("publish failed: %s" % receipt.revert_reason)
+        return self.register(requester, config=config)
+
+    def register(
+        self,
+        requester: RequesterClient,
+        config: Optional[SessionConfig] = None,
+    ) -> HITSession:
+        """Adopt an already-published task (e.g. from a batched deploy)."""
+        session = HITSession(self.chain, self.swarm, requester, config=config)
+        self.sessions.append(session)
+        self._by_address[session.contract_address] = session
+        return session
+
+    # ------------------------------------------------------------------
+    # The pump
+    # ------------------------------------------------------------------
+
+    def step(self) -> Block:
+        """Mine one block and deliver its events to the sessions."""
+        block = self.chain.mine_block()
+        period = self.chain.clock.period
+        routed: Dict[Address, List[EventRecord]] = {}
+        for record in self._subscription.poll():
+            routed.setdefault(record.event.contract, []).append(record)
+        trace = BlockTrace(block.number, period, len(block.transactions))
+        for session in self.sessions:
+            if session.finished:
+                continue
+            records = routed.get(session.contract_address, [])
+            session.on_block(block.number, period, records)
+            trace.events.extend(
+                (session.contract_name, record.event.name) for record in records
+            )
+            trace.phases[session.contract_name] = session.phase
+        self.trace.append(trace)
+        return block
+
+    def active_sessions(self) -> List[HITSession]:
+        return [session for session in self.sessions if not session.finished]
+
+    @property
+    def all_done(self) -> bool:
+        return not self.active_sessions()
+
+    def run(self, max_blocks: int = 256) -> int:
+        """Step until every session settles; returns the blocks mined.
+
+        Raises :class:`ProtocolError` if sessions are still open after
+        ``max_blocks`` — an unfilled task with no ``cancel_after`` is
+        the usual culprit.
+        """
+        mined = 0
+        while not self.all_done:
+            if mined >= max_blocks:
+                raise ProtocolError(
+                    "%d sessions still open after %d blocks"
+                    % (len(self.active_sessions()), mined)
+                )
+            self.step()
+            mined += 1
+        return mined

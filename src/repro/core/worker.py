@@ -65,6 +65,8 @@ class WorkerClient:
         self.discovered: Optional[DiscoveredTask] = None
         self.ciphertext_bytes: Optional[bytes] = None
         self.blinding_key: Optional[bytes] = None
+        self._commit_requested = False
+        self._commit_confirmed = False
 
     # ------------------------------------------------------------------
     # Discovery
@@ -116,6 +118,35 @@ class WorkerClient:
         assert self.discovered is not None
         ciphertexts = self.discovered.public_key.encrypt_vector(list(answers))
         return b"".join(c.to_bytes() for c in ciphertexts)
+
+    # ------------------------------------------------------------------
+    # Reactive step function (the session engine's hook)
+    # ------------------------------------------------------------------
+
+    def on_event(self, event) -> List[str]:
+        """React to one chain event of this worker's task.
+
+        The worker-side half of the event-driven life cycle: the method
+        updates the worker's observed view of the contract and returns
+        the protocol steps that just became due (``"commit"`` on the
+        task's publication, ``"reveal"`` once every slot committed and
+        this worker's own commit was confirmed on-chain).  The caller —
+        normally a :class:`~repro.core.session.HITSession` — decides
+        *when* to submit each step, which is where straggler and dropout
+        adversaries plug in.
+        """
+        steps: List[str] = []
+        if event.name == "published":
+            if self.discovered is not None and not self._commit_requested:
+                self._commit_requested = True
+                steps.append("commit")
+        elif event.name == "committed":
+            if event.payload["worker"] == self.address:
+                self._commit_confirmed = True
+        elif event.name == "all_committed":
+            if self._commit_confirmed:
+                steps.append("reveal")
+        return steps
 
     # ------------------------------------------------------------------
     # Phase 2-a: commit

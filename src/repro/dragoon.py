@@ -8,10 +8,10 @@ story: one chain + Swarm instance, per-requester long-lived keys, and a
 task registry, so a downstream user can run many HITs the way the
 deployed system at the paper's ropsten address did.
 
-Batch API and throughput
-------------------------
+Execution paths and throughput
+------------------------------
 
-Two execution paths are offered:
+Three execution paths are offered:
 
 * :meth:`Dragoon.run_task` — one task, one block per protocol phase
   (five blocks per task), sequential ``evaluate`` transactions, one
@@ -26,6 +26,12 @@ Two execution paths are offered:
   transaction whose VPKE proofs the contract verifies in a single
   random-linear-combination check
   (:func:`repro.crypto.vpke.verify_decryption_batch`).
+* :meth:`Dragoon.serve` — the general service loop over the session
+  engine (:class:`repro.core.session.SessionEngine`): tasks arrive at
+  arbitrary block offsets mid-stream, each runs its own event-driven
+  phase state machine, and same-phase sessions share blocks (and the
+  batched verification paths) automatically.  ``run_hits_batch`` is the
+  special case where every task arrives at once.
 
 Precomputation knobs
 --------------------
@@ -51,13 +57,43 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.chain.chain import Chain
 from repro.chain.network import Scheduler
 from repro.core.hit_contract import HITContract
-from repro.core.protocol import GasReport, ProtocolOutcome
+from repro.core.protocol import (
+    GasReport,
+    ProtocolOutcome,
+    gas_report_from_receipts,
+)
 from repro.core.requester import RequesterClient
+from repro.core.session import (
+    HITSession,
+    SessionConfig,
+    SessionEngine,
+    WorkerPolicy,
+)
 from repro.core.task import HITTask
 from repro.core.worker import WorkerClient
 from repro.errors import ProtocolError
 from repro.ledger.accounts import Address
 from repro.storage.swarm import SwarmStore
+
+
+@dataclass
+class TaskArrival:
+    """One task joining a :meth:`Dragoon.serve` run mid-stream.
+
+    ``at_block`` counts engine steps from the start of the serve loop
+    (0 = published before the first block of the run).  ``worker_policies``
+    maps worker *indexes* to :class:`~repro.core.session.WorkerPolicy`
+    adversaries — stragglers and dropouts; unmapped workers are honest.
+    """
+
+    at_block: int
+    requester_label: str
+    task: HITTask
+    worker_answers: Sequence[Sequence[int]]
+    worker_labels: Optional[Sequence[str]] = None
+    worker_policies: Optional[Dict[int, WorkerPolicy]] = None
+    evaluation: str = "batched"
+    cancel_after: Optional[int] = None
 
 
 @dataclass
@@ -82,6 +118,7 @@ class Dragoon:
     def __init__(self, scheduler: Optional[Scheduler] = None) -> None:
         self.chain = Chain(scheduler=scheduler)
         self.swarm = SwarmStore()
+        self.engine = SessionEngine(chain=self.chain, swarm=self.swarm)
         self._requester_keys: Dict[str, int] = {}
         self._task_counter = itertools.count()
         self.tasks: Dict[str, TaskHandle] = {}
@@ -235,94 +272,124 @@ class Dragoon:
         """Run N tasks through five *shared* blocks (batched throughput).
 
         ``specs`` holds ``(requester_label, task, worker_answers)``
-        triples.  All tasks publish in one block, then all workers'
-        commits share a block, then all reveals, then all evaluations
-        (each task's quality rejections in one ``evaluate_batch``
-        transaction), then all finalizations — so a batch of N tasks
-        advances the chain by 5 blocks instead of ~5N and verifies all
-        of a task's mismatch proofs in a single batched check.
+        triples.  A thin wrapper over :meth:`serve` with every task
+        arriving at block 0: all tasks publish in one block, then all
+        workers' commits share a block, then all reveals, then all
+        evaluations (each task's quality rejections in one
+        ``evaluate_batch`` transaction), then all finalizations — so a
+        batch of N tasks advances the chain by 5 blocks instead of ~5N
+        and verifies all of a task's mismatch proofs in a single
+        batched check.
         """
         if not specs:
             return []
-        handles = self.publish_tasks_batch(
-            [(label, task) for label, task, _ in specs]
+        return self.serve(
+            [
+                TaskArrival(0, label, task, worker_answers)
+                for label, task, worker_answers in specs
+            ]
         )
 
-        for handle, (_, _, worker_answers) in zip(handles, specs):
-            for index, answers in enumerate(worker_answers):
-                label = "%s/worker-%d" % (handle.contract_name, index)
-                self.submit_answers(handle, label, answers)
-        self.chain.mine_block()  # all tasks' commits
+    def serve(
+        self,
+        arrivals: Sequence[TaskArrival],
+        max_blocks: Optional[int] = None,
+    ) -> List[ProtocolOutcome]:
+        """The service loop: accept task arrivals mid-stream, settle all.
 
-        for handle in handles:
-            for worker in handle.workers:
-                worker.send_reveal()
-        self.chain.mine_block()  # all tasks' reveals
-
-        actions_by_handle = []
-        for handle in handles:
-            actions_by_handle.append(handle.requester.evaluate_all_batched())
-        self.chain.mine_block()  # all goldens + batched rejections
-
-        for handle in handles:
-            handle.requester.send_finalize()
-        self.chain.mine_block()  # all finalizations
-
-        outcomes: List[ProtocolOutcome] = []
-        for handle, actions in zip(handles, actions_by_handle):
-            handle.finished = True
-            contract = self.chain.contract(handle.contract_name)
-            assert isinstance(contract, HITContract)
-            outcomes.append(
-                ProtocolOutcome(
-                    chain=self.chain,
-                    swarm=self.swarm,
-                    requester=handle.requester,
-                    workers=handle.workers,
-                    contract=contract,
-                    actions=actions,
-                    gas=self._gas_report_for(handle),
-                )
+        Each engine step mines one block; arrivals due at that step are
+        published first (same-step arrivals share one deployment block
+        via :meth:`Chain.deploy_many`), their sessions registered, and
+        their workers enrolled, so a task entering at block 7 commits
+        while earlier tasks are revealing or evaluating.  Outcomes are
+        returned in ``arrivals`` order once every session settled.
+        """
+        if not arrivals:
+            return []
+        by_offset: Dict[int, List[int]] = {}  # step -> indexes in ``arrivals``
+        for index, arrival in enumerate(arrivals):
+            if arrival.at_block < 0:
+                raise ProtocolError("arrivals cannot predate the serve loop")
+            by_offset.setdefault(arrival.at_block, []).append(index)
+        horizon = max(by_offset) + 1
+        if max_blocks is None:
+            # Leave room for the slowest configured cancellation timeout
+            # on top of the settlement slack.
+            max_blocks = horizon + 64 + max(
+                arrival.cancel_after or 0 for arrival in arrivals
             )
+
+        sessions: Dict[int, HITSession] = {}  # index in ``arrivals`` -> session
+        step = 0
+        while True:
+            due = by_offset.get(step, ())
+            if due:
+                sessions.update(
+                    zip(due, self._admit([arrivals[index] for index in due]))
+                )
+            if step >= horizon and self.engine.all_done:
+                break
+            if step >= max_blocks:
+                raise ProtocolError(
+                    "service loop still busy after %d blocks" % step
+                )
+            self.engine.step()
+            step += 1
+
+        outcomes = []
+        for index in range(len(arrivals)):
+            session = sessions[index]
+            self.tasks[session.contract_name].finished = True
+            outcomes.append(session.outcome())
         return outcomes
+
+    def _admit(self, arrivals: Sequence[TaskArrival]) -> List[HITSession]:
+        """Publish one step's arrivals (sharing a single deployment block)
+        and enroll their sessions and workers."""
+        handles = self.publish_tasks_batch(
+            [(arrival.requester_label, arrival.task) for arrival in arrivals]
+        )
+        sessions: List[HITSession] = []
+        for arrival, handle in zip(arrivals, handles):
+            session = self.engine.register(
+                handle.requester,
+                config=SessionConfig(
+                    evaluation=arrival.evaluation,
+                    cancel_after=arrival.cancel_after,
+                ),
+            )
+            labels = list(
+                arrival.worker_labels
+                if arrival.worker_labels is not None
+                else [
+                    "%s/worker-%d" % (handle.contract_name, index)
+                    for index in range(len(arrival.worker_answers))
+                ]
+            )
+            if len(labels) != len(arrival.worker_answers):
+                raise ProtocolError("worker label count mismatch")
+            policies = arrival.worker_policies or {}
+            for index, (label, answers) in enumerate(
+                zip(labels, arrival.worker_answers)
+            ):
+                worker = WorkerClient(
+                    label, self.chain, self.swarm, answers=list(answers)
+                )
+                session.add_worker(worker, policy=policies.get(index))
+                handle.workers.append(worker)
+            sessions.append(session)
+        return sessions
 
     def _gas_report_for(self, handle: TaskHandle) -> GasReport:
         """Reconstruct the per-operation gas ledger from receipts."""
-        gas = GasReport()
-        for block in self.chain.blocks:
-            for receipt in block.receipts:
-                if receipt.transaction.contract != handle.contract_name:
-                    continue
-                if not receipt.succeeded:
-                    continue
-                method = receipt.transaction.method
-                sender = receipt.transaction.sender.label
-                if method == "__deploy__":
-                    gas.publish = receipt.gas_used
-                elif method == "commit":
-                    gas.commits[sender] = receipt.gas_used
-                elif method == "reveal":
-                    gas.reveals[sender] = receipt.gas_used
-                elif method == "golden":
-                    gas.golden += receipt.gas_used
-                elif method in ("evaluate", "outrange"):
-                    target = receipt.transaction.args[0]
-                    gas.rejections[target.label or target.hex()] = receipt.gas_used
-                elif method == "evaluate_batch":
-                    # Equal amortized shares; the division remainder goes
-                    # to the first worker so the report sums to the
-                    # receipt's actual gas.
-                    rejections = receipt.transaction.args[0]
-                    share, remainder = divmod(
-                        receipt.gas_used, max(1, len(rejections))
-                    )
-                    for position, (target, _, _, _) in enumerate(rejections):
-                        gas.rejections[target.label or target.hex()] = (
-                            share + (remainder if position == 0 else 0)
-                        )
-                elif method == "finalize":
-                    gas.finalize = receipt.gas_used
-        return gas
+        return gas_report_from_receipts(
+            [
+                receipt
+                for block in self.chain.blocks
+                for receipt in block.receipts
+                if receipt.transaction.contract == handle.contract_name
+            ]
+        )
 
     # ------------------------------------------------------------------
     # Observation

@@ -45,6 +45,23 @@ def test_incentives_command(capsys):
     assert "naive transparent chain" in out
 
 
+def test_serve_command(capsys):
+    assert main(["serve", "--tasks", "3", "--stagger", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Session engine trace" in out
+    assert "all_committed" in out
+    assert "finalized" in out
+    assert "req-2=done" in out
+    assert "settled 3 tasks: 3 workers paid, 3 rejected" in out
+
+
+def test_serve_command_simultaneous_arrivals(capsys):
+    """Stagger 0: the batched five-block schedule, straight from serve."""
+    assert main(["serve", "--tasks", "2", "--stagger", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "chain height: 5 blocks" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

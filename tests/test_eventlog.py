@@ -1,0 +1,145 @@
+"""The chain event bus: log records, filters, cursor subscriptions.
+
+Clients of the session engine never see receipts — they watch the log.
+These tests pin the observation API the engine is built on: per-block
+attribution, filter semantics, cursor isolation, and the fact that an
+empty mempool still mines (time passes without traffic).
+"""
+
+from __future__ import annotations
+
+from repro.chain.chain import Chain
+from repro.chain.contract import CallContext, Contract
+from repro.chain.eventlog import EventFilter, EventLog, EventRecord
+from repro.chain.transactions import Event
+from repro.ledger.accounts import Address
+
+
+class Beeper(Contract):
+    """Emits one ``beep`` event per poke."""
+
+    code_size = 100
+
+    def on_deploy(self, ctx: CallContext) -> None:
+        self.emit(ctx, "deployed", payload={})
+
+    def poke(self, ctx: CallContext) -> None:
+        self.emit(ctx, "beep", payload={"from": ctx.sender})
+
+    def boop(self, ctx: CallContext) -> None:
+        self.emit(ctx, "boop", payload={"from": ctx.sender})
+
+
+def _chain_with_beeper(name: str = "beeper"):
+    chain = Chain()
+    user = chain.register_account("user", 0)
+    contract = Beeper(name)
+    chain.deploy(contract, user)
+    return chain, user, contract
+
+
+def test_events_carry_block_numbers():
+    chain, user, contract = _chain_with_beeper()
+    chain.send(user, "beeper", "poke")
+    chain.mine_block()
+    records = list(chain.event_log)
+    assert [r.event.name for r in records] == ["deployed", "beep"]
+    assert records[0].block_number == 0  # the deployment block
+    assert records[1].block_number == 1
+    assert [r.sequence for r in records] == [0, 1]
+
+
+def test_events_in_block():
+    chain, user, contract = _chain_with_beeper()
+    chain.send(user, "beeper", "poke")
+    chain.send(user, "beeper", "boop")
+    chain.mine_block()
+    names = [event.name for event in chain.events_in_block(1)]
+    assert names == ["beep", "boop"]
+    assert chain.events_in_block(99) == []
+
+
+def test_subscription_sees_only_new_events():
+    chain, user, contract = _chain_with_beeper()
+    subscription = chain.subscribe()  # starts at the log's current end
+    chain.send(user, "beeper", "poke")
+    chain.mine_block()
+    first = subscription.poll()
+    assert [r.event.name for r in first] == ["beep"]
+    assert subscription.poll() == []  # nothing new
+    chain.send(user, "beeper", "poke")
+    chain.mine_block()
+    assert [r.event.name for r in subscription.poll()] == ["beep"]
+
+
+def test_subscription_from_start_replays_history():
+    chain, user, contract = _chain_with_beeper()
+    chain.send(user, "beeper", "poke")
+    chain.mine_block()
+    subscription = chain.subscribe(from_start=True)
+    assert [r.event.name for r in subscription.poll()] == ["deployed", "beep"]
+
+
+def test_two_subscribers_have_independent_cursors():
+    chain, user, contract = _chain_with_beeper()
+    a = chain.subscribe(from_start=True)
+    b = chain.subscribe(from_start=True)
+    assert len(a.poll()) == 1  # the deployment event
+    chain.send(user, "beeper", "poke")
+    chain.mine_block()
+    assert [r.event.name for r in a.poll()] == ["beep"]
+    assert [r.event.name for r in b.poll()] == ["deployed", "beep"]
+
+
+def test_filter_by_name_and_contract():
+    chain, user, contract = _chain_with_beeper()
+    other = Beeper("other")
+    chain.deploy(other, user)
+    sub = chain.subscribe(
+        EventFilter.for_contract("beeper", names={"beep"}), from_start=True
+    )
+    chain.send(user, "beeper", "poke")
+    chain.send(user, "other", "poke")
+    chain.send(user, "beeper", "boop")
+    chain.mine_block()
+    records = sub.poll()
+    assert len(records) == 1
+    assert records[0].event.contract == contract.address
+    assert records[0].event.name == "beep"
+
+
+def test_filter_by_topic():
+    address = Address.from_label("topical")
+    log = EventLog()
+    log.append(0, Event(address, "x", topics=(b"t1",)))
+    log.append(0, Event(address, "x", topics=(b"t2",)))
+    records = log.since(0, EventFilter(topic=b"t2"))
+    assert len(records) == 1
+    assert records[0].event.topics == (b"t2",)
+
+
+def test_reverted_transaction_emits_nothing():
+    chain, user, contract = _chain_with_beeper()
+    chain.send(user, "beeper", "no_such_method")
+    chain.mine_block()
+    assert chain.events_in_block(1) == []
+
+
+def test_empty_mempool_still_mines_and_advances_time():
+    """Time passes without traffic: deadlines can expire on a quiet chain."""
+    chain = Chain()
+    period_before = chain.clock.period
+    block = chain.mine_block()
+    assert block.transactions == ()
+    assert chain.height == 1
+    assert chain.clock.period == period_before + 1
+    assert chain.events_in_block(block.number) == []
+
+
+def test_events_list_view_matches_log():
+    chain, user, contract = _chain_with_beeper()
+    chain.send(user, "beeper", "poke")
+    chain.mine_block()
+    assert [e.name for e in chain.events] == [
+        r.event.name for r in chain.event_log
+    ]

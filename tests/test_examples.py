@@ -20,6 +20,7 @@ EXPECTED_SNIPPETS = {
     "consensus_labels.py": "homomorphic aggregation",
     "anonymous_workers.py": "never learned which ring members",
     "task_marketplace.py": "recommendations for a 95%-accurate worker",
+    "staggered_marketplace.py": "rejected at the Fig. 4 deadline",
 }
 
 

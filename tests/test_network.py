@@ -83,6 +83,69 @@ def test_delay_unknown_transaction():
         pool.delay(_tx("ghost"))
 
 
+def test_delayed_transaction_reenters_ahead_of_hostile_scheduler():
+    """The delayed message is back in the deliverable list *before* the
+    rushing adversary picks an order — it can be reordered like any
+    other pending message, but never withheld from the drain."""
+    pool = Mempool()
+    a, b, c = _tx("a"), _tx("b"), _tx("c")
+    for tx in (a, b, c):
+        pool.submit(tx)
+    pool.delay(a)
+    seen = []
+
+    def hostile(pending):
+        seen.extend(pending)
+        return list(reversed(pending))
+
+    ordered = pool.drain(RushingScheduler(hostile))
+    assert a in seen  # the adversary was shown the delayed message
+    assert seen[0] is a  # ... at the head of the deliverable list
+    assert ordered == [c, b, a]  # and could still reorder it
+
+
+def test_delaying_twice_violates_synchrony():
+    """Synchrony bounds delay to one period: once delayed, the message is
+    no longer pending, so a second delay is rejected."""
+    pool = Mempool()
+    tx = _tx("a")
+    pool.submit(tx)
+    pool.delay(tx)
+    with pytest.raises(ChainError):
+        pool.delay(tx)
+    # After the drain delivers it, it cannot be delayed retroactively.
+    assert pool.drain() == [tx]
+    with pytest.raises(ChainError):
+        pool.delay(tx)
+
+
+def test_delaying_bystander_keeps_requester_nonce_order():
+    """Fig. 4's evaluate phase: delaying another sender's message between
+    the requester's ``golden`` and ``evaluate`` cannot swap them.
+
+    The adversary delays a worker transaction and then schedules it
+    between the requester's two messages while reversing them; per-sender
+    nonce order is restored after the permutation, so ``golden`` still
+    lands first and the ``evaluate`` it authorizes stays valid."""
+    pool = Mempool()
+    requester = Address.from_label("requester")
+    golden = Transaction(sender=requester, contract="hit", method="golden")
+    evaluate = Transaction(sender=requester, contract="hit", method="evaluate")
+    bystander = _tx("worker")
+    for tx in (golden, evaluate, bystander):
+        pool.submit(tx)
+    pool.delay(bystander)
+
+    def wedge(pending):
+        # evaluate first, the delayed bystander in between, golden last.
+        return [evaluate, bystander, golden]
+
+    ordered = pool.drain(RushingScheduler(wedge))
+    methods = [t.method for t in ordered if t.sender == requester]
+    assert methods == ["golden", "evaluate"]
+    assert ordered[1] is bystander  # the adversary kept the wedge slot
+
+
 def test_pending_view_is_copy():
     pool = Mempool()
     tx = _tx("a")

@@ -1,0 +1,391 @@
+"""The event-driven session engine: FSMs, staggering, stragglers, dropouts.
+
+Complements the lock-step suites (which now run *through* the engine via
+the ``run_hit`` wrapper) by exercising what the engine newly enables:
+sessions at arbitrary block offsets, worker-side adversaries against the
+Fig. 4 deadlines, unfilled-task cancellation, and the per-block trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import run_hit
+from repro.core.requester import RequesterClient
+from repro.core.session import (
+    SESSION_CANCELLED,
+    SESSION_COMMIT,
+    SESSION_DONE,
+    SESSION_EVALUATE,
+    SESSION_REVEAL,
+    DropScheduler,
+    SessionConfig,
+    SessionEngine,
+    StragglerScheduler,
+)
+from repro.core.worker import WorkerClient
+from repro.dragoon import Dragoon, TaskArrival
+from repro.errors import ProtocolError
+from tests.helpers import small_task
+
+GOOD = [0] * 10
+BAD = [1] * 10
+
+
+def _single_session(config=None, answers=(GOOD, BAD), task=None):
+    engine = SessionEngine()
+    requester = RequesterClient(
+        "requester", task or small_task(), engine.chain, engine.swarm
+    )
+    session = engine.publish_session(requester, config=config)
+    for index, sheet in enumerate(answers):
+        session.add_worker(
+            WorkerClient(
+                "worker-%d" % index, engine.chain, engine.swarm, answers=sheet
+            )
+        )
+    return engine, session
+
+
+# ---------------------------------------------------------------------------
+# The lock-step equivalence (the refactor changed nothing observable)
+# ---------------------------------------------------------------------------
+
+
+def test_engine_reproduces_lock_step_run_exactly():
+    engine, session = _single_session()
+    engine.run()
+    baseline = run_hit(small_task(), [GOOD, BAD])
+    outcome = session.outcome()
+    assert outcome.payments() == baseline.payments()
+    assert outcome.verdicts() == baseline.verdicts()
+    assert engine.chain.height == baseline.chain.height == 5
+    # Identical per-block transaction schedule.
+    for ours, theirs in zip(engine.chain.blocks, baseline.chain.blocks):
+        assert [
+            (t.sender.label, t.method) for t in ours.transactions
+        ] == [(t.sender.label, t.method) for t in theirs.transactions]
+    # ... and the same gas ledger shape (exact gas wobbles by a few
+    # calldata bytes run-to-run: ElGamal randomness changes the
+    # zero-byte count EIP-2028 prices).
+    for attribute in ("commits", "reveals", "rejections"):
+        assert set(getattr(outcome.gas, attribute)) == set(
+            getattr(baseline.gas, attribute)
+        )
+    assert outcome.gas.total == pytest.approx(baseline.gas.total, rel=1e-3)
+
+
+def test_session_phase_history_follows_fig4():
+    engine, session = _single_session()
+    engine.run()
+    phases = [phase for _, phase in session.history]
+    assert phases == ["commit", "reveal", "evaluate", "finalize", "done"]
+    assert session.phase == SESSION_DONE
+
+
+def test_run_raises_when_sessions_cannot_settle():
+    task = small_task(num_workers=2)
+    engine, session = _single_session(answers=[GOOD], task=task)
+    # Only one of two slots ever commits; no cancel_after configured.
+    with pytest.raises(ProtocolError):
+        engine.run(max_blocks=8)
+    assert session.phase == SESSION_COMMIT
+
+
+def test_run_hit_returns_unfinished_outcome_for_unfillable_task():
+    """Like the scripted driver of old: a misbehaving worker_cls that
+    never lands its commit gets its five blocks, then the outcome —
+    nobody paid, nothing finalized — not an exception."""
+
+    class SilentWorker(WorkerClient):
+        def send_commit(self):
+            return None  # never reaches the mempool
+
+    outcome = run_hit(small_task(), [GOOD, GOOD], worker_cls=SilentWorker)
+    assert outcome.chain.height == 5
+    assert outcome.payments() == {"worker-0": 0, "worker-1": 0}
+    assert not outcome.contract.is_finalized()
+
+
+# ---------------------------------------------------------------------------
+# Worker-side adversaries against the Fig. 4 deadlines
+# ---------------------------------------------------------------------------
+
+
+def test_dropout_after_commit_forfeits_payment():
+    engine = SessionEngine()
+    requester = RequesterClient(
+        "requester", small_task(), engine.chain, engine.swarm
+    )
+    session = engine.publish_session(requester)
+    honest = session.add_worker(
+        WorkerClient("honest", engine.chain, engine.swarm, answers=GOOD)
+    )
+    ghost = session.add_worker(
+        WorkerClient("ghost", engine.chain, engine.swarm, answers=GOOD),
+        policy=DropScheduler("reveal"),
+    )
+    engine.run()
+    outcome = session.outcome()
+    assert outcome.payment_of(honest) == 50
+    assert outcome.payment_of(ghost) == 0
+    assert outcome.verdicts()["ghost"] is None  # never revealed, never judged
+    assert ("ghost", "reveal") in session.dropped
+    # The dropout's B/K share is refunded to the requester at finalize.
+    assert engine.chain.ledger.balance_of(requester.address) == 50
+
+
+def test_late_reveal_is_rejected_and_refunded():
+    engine = SessionEngine()
+    requester = RequesterClient(
+        "requester", small_task(), engine.chain, engine.swarm
+    )
+    session = engine.publish_session(requester)
+    punctual = session.add_worker(
+        WorkerClient("punctual", engine.chain, engine.swarm, answers=GOOD)
+    )
+    tardy = session.add_worker(
+        WorkerClient("tardy", engine.chain, engine.swarm, answers=GOOD),
+        policy=StragglerScheduler(reveal=1),
+    )
+    engine.run()
+    outcome = session.outcome()
+    assert outcome.payment_of(punctual) == 50
+    assert outcome.payment_of(tardy) == 0
+    late = [
+        receipt
+        for receipt in outcome.receipts
+        if receipt.transaction.method == "reveal" and not receipt.succeeded
+    ]
+    assert len(late) == 1
+    assert "phase" in late[0].revert_reason
+    # The burned gas shows up as a dynamic operation in the report.
+    assert outcome.gas.extras == {"late-reveal:tardy": late[0].gas_used}
+    assert outcome.gas.total > 0
+    assert engine.chain.ledger.balance_of(requester.address) == 50
+
+
+def test_late_commit_stalls_the_reveal_window_not_the_task():
+    """A straggling commit just opens the reveal window later: the Fig. 4
+    deadline chain is relative to the last commit, not to publication."""
+    engine = SessionEngine()
+    requester = RequesterClient(
+        "requester", small_task(), engine.chain, engine.swarm
+    )
+    session = engine.publish_session(requester)
+    session.add_worker(
+        WorkerClient("early", engine.chain, engine.swarm, answers=GOOD)
+    )
+    session.add_worker(
+        WorkerClient("late", engine.chain, engine.swarm, answers=GOOD),
+        policy=StragglerScheduler(commit=2),
+    )
+    blocks = engine.run()
+    outcome = session.outcome()
+    assert outcome.payments() == {"early": 50, "late": 50}
+    assert blocks == 4 + 2  # two extra blocks waiting for the late commit
+
+
+def test_unfilled_task_cancels_and_refunds_the_budget():
+    engine = SessionEngine()
+    requester = RequesterClient(
+        "requester", small_task(), engine.chain, engine.swarm
+    )
+    session = engine.publish_session(
+        requester, config=SessionConfig(cancel_after=3)
+    )
+    session.add_worker(
+        WorkerClient("only", engine.chain, engine.swarm, answers=GOOD)
+    )  # the second slot never arrives
+    engine.run(max_blocks=16)
+    assert session.phase == SESSION_CANCELLED
+    assert engine.chain.ledger.balance_of(requester.address) == 100
+    gas = session.outcome().gas
+    assert list(gas.extras) == ["cancel:requester"]
+    assert gas.extras["cancel:requester"] > 0
+
+
+def test_reverted_cancel_does_not_mislabel_a_settled_task():
+    """A straggling commit fills the task in the very block that carries
+    the cancel: the cancel reverts, the task runs to completion, and the
+    session reports DONE (the terminal phase follows the event that
+    actually arrived, not the cancel attempt)."""
+    dragoon = Dragoon()
+    (outcome,) = dragoon.serve(
+        [
+            TaskArrival(
+                0, "req", small_task(), [GOOD, BAD],
+                worker_policies={1: StragglerScheduler(commit=2)},
+                cancel_after=2,
+            )
+        ]
+    )
+    session = dragoon.engine.sessions[0]
+    assert session.phase == SESSION_DONE
+    assert outcome.contract.is_finalized()
+    assert sorted(outcome.payments().values()) == [0, 50]
+    cancels = [
+        receipt
+        for receipt in outcome.receipts
+        if receipt.transaction.method == "cancel"
+    ]
+    assert len(cancels) == 1 and not cancels[0].succeeded
+
+
+def test_serve_honors_slow_cancel_timeouts():
+    """A cancel_after beyond the default settlement slack still fires
+    instead of tripping the service loop's block bound."""
+    dragoon = Dragoon()
+    (outcome,) = dragoon.serve(
+        [
+            TaskArrival(
+                0, "req", small_task(), [GOOD, GOOD],
+                worker_policies={
+                    0: DropScheduler("commit"),
+                    1: DropScheduler("commit"),
+                },
+                cancel_after=70,
+            )
+        ]
+    )
+    assert dragoon.engine.sessions[0].phase == SESSION_CANCELLED
+    assert dragoon.chain.ledger.balance_of(outcome.requester.address) == 100
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: staggered arrivals sharing one chain
+# ---------------------------------------------------------------------------
+
+
+def test_two_sessions_at_different_offsets_interleave():
+    engine = SessionEngine()
+    first_requester = RequesterClient(
+        "alice", small_task(), engine.chain, engine.swarm
+    )
+    first = engine.publish_session(first_requester)
+    for index, sheet in enumerate([GOOD, BAD]):
+        first.add_worker(
+            WorkerClient("a%d" % index, engine.chain, engine.swarm, answers=sheet)
+        )
+    engine.step()  # first task's commits land; second task arrives now
+    second_requester = RequesterClient(
+        "bob", small_task(), engine.chain, engine.swarm
+    )
+    second = engine.publish_session(second_requester)
+    for index, sheet in enumerate([GOOD, GOOD]):
+        second.add_worker(
+            WorkerClient("b%d" % index, engine.chain, engine.swarm, answers=sheet)
+        )
+    engine.run()
+    assert first.outcome().payments() == {"a0": 50, "a1": 0}
+    assert second.outcome().payments() == {"b0": 50, "b1": 50}
+    # While the second task commits, the first is already revealing.
+    mid_phases = [
+        trace.phases for trace in engine.trace if len(trace.phases) == 2
+    ]
+    assert any(
+        phases[first.contract_name] != phases[second.contract_name]
+        for phases in mid_phases
+    )
+
+
+def test_eight_staggered_sessions_with_dropout_and_late_reveal():
+    """The acceptance scenario: >= 8 concurrent sessions, staggered
+    starts, one dropout, one late reveal, all settled to correct Fig. 4
+    verdicts in far fewer blocks than lock-step sequential execution."""
+    dragoon = Dragoon()
+    arrivals = []
+    for index in range(8):
+        policies = {}
+        if index == 3:
+            policies = {1: DropScheduler("reveal")}  # the dropout
+        elif index == 5:
+            policies = {1: StragglerScheduler(reveal=1)}  # the late reveal
+        arrivals.append(
+            TaskArrival(
+                at_block=index // 2,  # two arrivals per block, four waves
+                requester_label="req-%d" % index,
+                task=small_task(),
+                worker_answers=[GOOD, GOOD if index in (3, 5) else BAD],
+                worker_policies=policies,
+            )
+        )
+    outcomes = dragoon.serve(arrivals)
+    assert len(outcomes) == 8
+    for index, outcome in enumerate(outcomes):
+        first, second = outcome.workers
+        assert outcome.payment_of(first) == 50, "task %d" % index
+        assert outcome.payment_of(second) == 0, "task %d" % index
+        verdict = outcome.contract.verdict_of(second.address)
+        if index in (3, 5):
+            # Dropped or late reveal: never adjudicated, simply unpaid;
+            # the slot's share went back to the requester.
+            assert verdict is None
+            assert (
+                dragoon.chain.ledger.balance_of(outcome.requester.address) == 50
+            )
+        else:
+            assert verdict == "rejected-quality"
+        assert outcome.contract.is_finalized()
+    # Eight tasks in far fewer blocks than 8 lock-step runs (5 each).
+    assert dragoon.chain.height < 8 * 5
+    # Everyone's session reached DONE through the engine.
+    assert dragoon.engine.all_done
+
+
+def test_staggered_batch_evaluations_share_blocks():
+    """Same-phase sessions land their evaluate_batch txs in one block."""
+    dragoon = Dragoon()
+    arrivals = [
+        TaskArrival(0, "r%d" % index, small_task(), [GOOD, BAD])
+        for index in range(3)
+    ]
+    dragoon.serve(arrivals)
+    evaluate_blocks = {
+        receipt.block_number
+        for block in dragoon.chain.blocks
+        for receipt in block.receipts
+        if receipt.transaction.method == "evaluate_batch"
+    }
+    assert len(evaluate_blocks) == 1
+
+
+def test_engine_trace_records_events_and_phases():
+    engine, session = _single_session()
+    engine.run()
+    assert [trace.block_number for trace in engine.trace] == [1, 2, 3, 4]
+    event_names = [
+        name for trace in engine.trace for _, name in trace.events
+    ]
+    assert "all_committed" in event_names
+    assert "finalized" in event_names
+    assert engine.trace[0].phases[session.contract_name] == SESSION_REVEAL
+    assert engine.trace[-1].phases[session.contract_name] == SESSION_DONE
+
+
+def test_mid_phase_arrival_keeps_earlier_session_untouched():
+    """A task arriving while another evaluates changes nothing for it."""
+    baseline = run_hit(small_task(), [GOOD, BAD])
+    dragoon = Dragoon()
+    outcomes = dragoon.serve(
+        [
+            TaskArrival(0, "first", small_task(), [GOOD, BAD],
+                        evaluation="sequential"),
+            TaskArrival(3, "second", small_task(), [GOOD, GOOD]),
+        ]
+    )
+    assert sorted(outcomes[0].payments().values()) == sorted(
+        baseline.payments().values()
+    )
+    assert outcomes[0].gas.total == pytest.approx(baseline.gas.total, rel=1e-2)
+    assert all(paid == 50 for paid in outcomes[1].payments().values())
+
+
+def test_silent_requester_session_defaults_to_paying_everyone():
+    engine, session = _single_session(
+        config=SessionConfig(evaluation="none"), answers=(BAD, BAD)
+    )
+    engine.run()
+    outcome = session.outcome()
+    assert outcome.payments() == {"worker-0": 50, "worker-1": 50}
+    assert engine.chain.ledger.balance_of(session.requester.address) == 0
