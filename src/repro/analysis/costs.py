@@ -88,6 +88,19 @@ def build_handling_fee_table(
     else:
         add("Verify PoQoEA to reject an answer", 0)
 
+    # Dynamic operations (timeout refunds, deadline-missed submissions)
+    # appear as their own rows whenever a run actually recorded any, so
+    # scenario reports price the unscripted gas too.  Rows are labelled
+    # by source run, keeping labels unique (``HandlingFeeTable.row``
+    # looks rows up by name) and totals honest when both runs recorded
+    # the same operation.
+    labelled = [("Dynamic: %s", gas_best)]
+    if gas_worst is not None:
+        labelled.append(("Dynamic, worst-case: %s", gas_worst))
+    for label_format, source_report in labelled:
+        for operation in sorted(source_report.extras):
+            add(label_format % operation, source_report.extras[operation])
+
     add("Overall (best-case: reject no submission)", gas_best.total)
     if gas_worst is not None:
         add("Overall (worst-case: reject all submissions)", gas_worst.total)
@@ -109,5 +122,10 @@ def gas_summary(gas: GasReport, pricing: GasPricing = PAPER_PRICING) -> Dict[str
         )
         or "none",
         "finalize": "%dk" % (gas.finalize // 1000),
+        "extras": ", ".join(
+            "%s: %dk" % (operation, cost // 1000)
+            for operation, cost in sorted(gas.extras.items())
+        )
+        or "none",
         "total": "%dk gas ($%.2f)" % (gas.total // 1000, pricing.to_usd(gas.total)),
     }

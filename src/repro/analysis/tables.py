@@ -60,3 +60,30 @@ def format_bytes(num_bytes: float) -> str:
 def format_gas(gas: int) -> str:
     """Gas in the paper's '~NNNk' style."""
     return "~%dk" % round(gas / 1000.0)
+
+
+def render_gas_extras(
+    extras: "dict[str, int]",
+    pricing=None,
+    title: str = "Dynamic operations (GasReport.extras)",
+) -> str:
+    """Render the dynamic-operation gas ledger as a table.
+
+    ``extras`` is :attr:`repro.core.protocol.GasReport.extras` (or an
+    aggregation of several reports): timeout-cancel refunds, gas burned
+    on deadline-missing submissions, and any other unscripted operation
+    a session recorded.  Returns a one-line note when empty so reports
+    always say whether dynamic gas occurred.  ``pricing`` (a
+    :class:`repro.chain.gas.GasPricing`) adds a USD column.
+    """
+    if not extras:
+        return "%s: none" % title
+    rows = []
+    for operation in sorted(extras):
+        gas = extras[operation]
+        row = [operation, format_gas(gas)]
+        if pricing is not None:
+            row.append("$%.2f" % pricing.to_usd(gas))
+        rows.append(row)
+    headers = ["operation", "gas"] + (["usd"] if pricing is not None else [])
+    return render_table(headers, rows, title=title)

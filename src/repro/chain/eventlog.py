@@ -15,6 +15,7 @@ transaction already paid ``charge_log``) and cannot influence execution.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional
 
@@ -72,34 +73,53 @@ class EventFilter:
 
 
 class EventLog:
-    """Append-only record of every successfully emitted event."""
+    """Append-only record of every successfully emitted event.
+
+    Sequence numbers are global and never reused, but the *storage* can
+    be compacted: long-running simulations call :meth:`prune` to drop
+    records that every live subscription has already consumed, so an
+    open-ended serve loop holds memory proportional to its in-flight
+    traffic, not its whole history.  Pruned records disappear from the
+    full-log views (:meth:`__iter__`, :meth:`in_block`,
+    ``Chain.events``); cursors keep their absolute positions.
+    """
 
     def __init__(self) -> None:
         self._records: List[EventRecord] = []
+        #: Sequence number of ``_records[0]`` (> 0 once pruned).
+        self._base = 0
+        self._subscriptions: "weakref.WeakSet[Subscription]" = weakref.WeakSet()
 
     def append(self, block_number: int, event: Event) -> EventRecord:
         """Record one emitted event (called by the chain, never clients)."""
-        record = EventRecord(len(self._records), block_number, event)
+        record = EventRecord(len(self), block_number, event)
         self._records.append(record)
         return record
 
     def __len__(self) -> int:
-        return len(self._records)
+        """One past the highest sequence number ever assigned."""
+        return self._base + len(self._records)
 
     def __iter__(self) -> Iterator[EventRecord]:
+        """The *retained* records, oldest first (pruned ones are gone)."""
         return iter(self._records)
+
+    @property
+    def pruned(self) -> int:
+        """How many records have been dropped from storage so far."""
+        return self._base
 
     def since(
         self, cursor: int, filter: Optional[EventFilter] = None
     ) -> List[EventRecord]:
-        """All records at sequence >= ``cursor`` that pass the filter."""
-        records = self._records[cursor:]
+        """All retained records at sequence >= ``cursor`` passing the filter."""
+        records = self._records[max(0, cursor - self._base):]
         if filter is None:
             return list(records)
         return [record for record in records if filter.matches(record.event)]
 
     def in_block(self, block_number: int) -> List[EventRecord]:
-        """The records emitted by block ``block_number``, in log order."""
+        """The retained records emitted by block ``block_number``."""
         return [
             record
             for record in self._records
@@ -110,9 +130,33 @@ class EventLog:
         self, filter: Optional[EventFilter] = None, from_start: bool = False
     ) -> "Subscription":
         """Open a cursor; by default it starts at the log's current end."""
-        return Subscription(
-            self, filter, cursor=0 if from_start else len(self._records)
+        subscription = Subscription(
+            self, filter, cursor=self._base if from_start else len(self)
         )
+        self._subscriptions.add(subscription)
+        return subscription
+
+    def prune(self, through: Optional[int] = None) -> int:
+        """Drop records every live subscription has already consumed.
+
+        Returns how many records were dropped.  The safe floor is the
+        minimum cursor across live subscriptions (a garbage-collected
+        subscription no longer pins anything); pass ``through`` to drop
+        less — only records below that sequence number.  Pruning never
+        touches records a live cursor still has to deliver, so
+        :meth:`Subscription.poll` semantics are unaffected.
+        """
+        floor = min(
+            (subscription.cursor for subscription in self._subscriptions),
+            default=len(self),
+        )
+        if through is not None:
+            floor = min(floor, through)
+        drop = min(max(0, floor - self._base), len(self._records))
+        if drop:
+            del self._records[:drop]
+            self._base += drop
+        return drop
 
 
 class Subscription:

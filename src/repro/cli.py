@@ -8,8 +8,11 @@ Downstream users drive the library from the shell::
     python -m repro.cli audit                # reputation demo
     python -m repro.cli incentives           # strategy utilities
     python -m repro.cli serve --tasks 4      # staggered session engine
+    python -m repro.cli simulate --preset poisson --seed 7   # workload sim
 
-Each subcommand prints a compact, self-explanatory report.
+Each subcommand prints a compact, self-explanatory report.  ``serve``
+and ``simulate`` are seeded and run under deterministic entropy, so the
+same invocation prints the same bytes every time.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from typing import List, Optional
 
 from repro.analysis.costs import build_handling_fee_table, mturk_handling_fee
 from repro.analysis.incentives import IncentiveParameters, strategy_profile
-from repro.analysis.tables import render_table
+from repro.analysis.tables import render_gas_extras, render_table
 from repro.chain.gas import PAPER_PRICING
 from repro.core.protocol import run_hit
 from repro.core.task import (
@@ -85,6 +88,7 @@ def _cmd_fees(args: argparse.Namespace) -> int:
     ]
     print(render_table(["operation", "gas", "usd"], rows,
                        title="Table III reproduction (best case)"))
+    print(render_gas_extras(outcome.gas.extras, pricing=PAPER_PRICING))
     print("MTurk fee for the same task: $%.2f" % mturk_handling_fee(20.0, 4))
     return 0
 
@@ -138,28 +142,52 @@ def _cmd_incentives(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Run N staggered tasks through the session engine; trace each block."""
+    """Run N staggered tasks through the session engine; trace each block.
+
+    Seeded end to end: worker answer sheets are sampled at fixed
+    accuracies (0.95 / 0.30) from ``--seed``, and the whole run executes
+    under deterministic entropy, so the same invocation prints the same
+    trace — gas included.
+    """
+    from repro.core.session import StragglerScheduler
     from repro.core.task import HITTask, TaskParameters
+    from repro.crypto.rng import deterministic_entropy
     from repro.dragoon import Dragoon, TaskArrival
+    from repro.sim.seeding import derive_seed
 
     def tiny():
         parameters = TaskParameters(10, 100, 2, (0, 1), 2, 3)
         return HITTask(parameters, ["q%d" % i for i in range(10)],
                        [0, 1, 2], [0, 0, 0], [0] * 10)
 
-    good, bad = [0] * 10, [1] * 10
-    arrivals = [
-        TaskArrival(
-            at_block=index * args.stagger,
-            requester_label="req-%d" % index,
-            task=tiny(),
-            worker_answers=[good, bad],
-            worker_labels=["t%d/w0" % index, "t%d/w1" % index],
+    arrivals = []
+    for index in range(args.tasks):
+        task = tiny()
+        answers = [
+            sample_worker_answers(
+                task, accuracy, seed=derive_seed(args.seed, index, slot)
+            )
+            for slot, accuracy in enumerate((0.95, 0.30))
+        ]
+        # The first --stragglers tasks get a worker who reveals one
+        # period late: the Fig. 4 deadline rejects it and the burned
+        # gas lands in GasReport.extras.
+        policies = (
+            {0: StragglerScheduler(reveal=1)} if index < args.stragglers else None
         )
-        for index in range(args.tasks)
-    ]
+        arrivals.append(
+            TaskArrival(
+                at_block=index * args.stagger,
+                requester_label="req-%d" % index,
+                task=task,
+                worker_answers=answers,
+                worker_labels=["t%d/w0" % index, "t%d/w1" % index],
+                worker_policies=policies,
+            )
+        )
     dragoon = Dragoon()
-    outcomes = dragoon.serve(arrivals)
+    with deterministic_entropy(args.seed):
+        outcomes = dragoon.serve(arrivals)
 
     rows = []
     for trace in dragoon.engine.trace:
@@ -188,6 +216,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     print("settled %d tasks: %d workers paid, %d rejected"
           % (len(outcomes), paid, 2 * len(outcomes) - paid))
+    extras: dict = {}
+    for outcome in outcomes:
+        for operation, gas in outcome.gas.extras.items():
+            extras[operation] = extras.get(operation, 0) + gas
+    print(render_gas_extras(extras, pricing=PAPER_PRICING))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    """Run a seeded marketplace workload scenario; print its report."""
+    from repro.sim import SCENARIO_PRESETS, preset, run_scenario
+
+    scenario = preset(args.preset, seed=args.seed, tasks=args.tasks)
+    report = run_scenario(scenario)
+    report.check_invariants()
+
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["tasks published", report.tasks_published],
+            ["tasks settled", report.tasks_settled],
+            ["tasks cancelled", report.tasks_cancelled],
+            ["blocks", report.blocks],
+            ["blocks per task", "%.2f" % report.blocks_per_task],
+            ["settled per block", "%.2f" % report.settled_per_block],
+            ["transactions", report.total_transactions],
+            ["total gas", "%dk" % (report.total_gas // 1000)],
+            ["gas per settled task",
+             "%dk" % (int(report.gas_per_settled_task) // 1000)],
+            ["peak mempool depth", report.peak_mempool_depth],
+            ["enrollments", report.enrollments],
+            ["dropped worker steps", report.dropped_steps],
+        ],
+        title="Scenario %r (seed %d)" % (scenario.name, scenario.seed),
+    ))
+    latency = report.commit_to_finalize
+    print("commit->finalize latency: min %s, mean %s, max %s blocks"
+          % (latency["min"], latency["mean"], latency["max"]))
+    print(render_gas_extras(report.gas_extras, pricing=PAPER_PRICING))
+    top = sorted(
+        report.worker_earnings.items(), key=lambda pair: (-pair[1], pair[0])
+    )[:5]
+    print(render_table(
+        ["worker", "coins earned"], top, title="Top earners",
+    ))
+    if args.json:
+        print(report.to_json())
     return 0
 
 
@@ -221,7 +296,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of arriving tasks (default 4)")
     serve.add_argument("--stagger", type=int, default=1,
                        help="blocks between consecutive arrivals (default 1)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for worker-answer sampling and all "
+                       "protocol randomness (default 0; same seed, "
+                       "same output)")
+    serve.add_argument("--stragglers", type=int, default=0,
+                       help="give the first N tasks a worker who reveals "
+                       "one period late (default 0)")
     serve.set_defaults(func=_cmd_serve)
+    simulate = sub.add_parser(
+        "simulate",
+        help="run a seeded marketplace workload scenario (repro.sim) "
+        "and print its SimulationReport",
+    )
+    simulate.add_argument(
+        "--preset", default="poisson",
+        help="scenario preset: poisson, burst, diurnal, closed-loop, "
+        "adversarial (default poisson)",
+    )
+    simulate.add_argument("--seed", type=int, default=0,
+                          help="scenario seed (default 0)")
+    simulate.add_argument("--tasks", type=int, default=None,
+                          help="resize the preset to ~N tasks")
+    simulate.add_argument("--json", action="store_true",
+                          help="also print the canonical JSON report")
+    simulate.set_defaults(func=_cmd_simulate)
     return parser
 
 

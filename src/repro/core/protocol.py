@@ -112,8 +112,8 @@ class ProtocolOutcome:
         return {w.label: self.contract.verdict_of(w.address) for w in self.workers}
 
 
-def gas_report_from_receipts(receipts: Sequence[Receipt]) -> GasReport:
-    """Rebuild the per-operation gas ledger of one task from its receipts.
+def fold_receipt(gas: GasReport, receipt: Receipt) -> GasReport:
+    """Fold one receipt into a task's gas ledger (see the batch helper).
 
     Successful scripted operations fill the report's fixed Table III
     slots; an ``evaluate_batch`` receipt is amortized into equal
@@ -122,42 +122,53 @@ def gas_report_from_receipts(receipts: Sequence[Receipt]) -> GasReport:
     per-session operations go to :meth:`GasReport.record`: a successful
     ``cancel`` (the unfilled-task refund) and the gas burned by
     commits/reveals that reverted against their Fig. 4 phase deadline.
+
+    Exposed separately from :func:`gas_report_from_receipts` so
+    streaming consumers — the simulation metrics pipeline folds each
+    block's receipts as they seal — share the exact slotting rules.
     """
+    method = receipt.transaction.method
+    sender = receipt.transaction.sender.label
+    if not receipt.succeeded:
+        # Only deadline misses are a protocol-level operation worth
+        # ledgering; other reverts (duplicate commitment, bad
+        # opening) stay out of the totals, as they always have.
+        if method in ("commit", "reveal") and (
+            "only valid in phase" in receipt.revert_reason
+        ):
+            gas.record("late-%s:%s" % (method, sender), receipt.gas_used)
+        return gas
+    if method == "__deploy__":
+        gas.publish = receipt.gas_used
+    elif method == "commit":
+        gas.commits[sender] = gas.commits.get(sender, 0) + receipt.gas_used
+    elif method == "reveal":
+        gas.reveals[sender] = gas.reveals.get(sender, 0) + receipt.gas_used
+    elif method == "golden":
+        gas.golden += receipt.gas_used
+    elif method in ("evaluate", "outrange"):
+        target = receipt.transaction.args[0]
+        gas.rejections[target.label or target.hex()] = receipt.gas_used
+    elif method == "evaluate_batch":
+        rejections = receipt.transaction.args[0]
+        share, remainder = divmod(receipt.gas_used, max(1, len(rejections)))
+        for position, (target, _, _, _) in enumerate(rejections):
+            gas.rejections[target.label or target.hex()] = (
+                share + (remainder if position == 0 else 0)
+            )
+    elif method == "finalize":
+        gas.finalize = receipt.gas_used
+    elif method == "cancel":
+        gas.record("cancel:%s" % sender, receipt.gas_used)
+    return gas
+
+
+def gas_report_from_receipts(receipts: Sequence[Receipt]) -> GasReport:
+    """Rebuild the per-operation gas ledger of one task from its receipts
+    (the slotting rules live in :func:`fold_receipt`)."""
     gas = GasReport()
     for receipt in receipts:
-        method = receipt.transaction.method
-        sender = receipt.transaction.sender.label
-        if not receipt.succeeded:
-            # Only deadline misses are a protocol-level operation worth
-            # ledgering; other reverts (duplicate commitment, bad
-            # opening) stay out of the totals, as they always have.
-            if method in ("commit", "reveal") and (
-                "only valid in phase" in receipt.revert_reason
-            ):
-                gas.record("late-%s:%s" % (method, sender), receipt.gas_used)
-            continue
-        if method == "__deploy__":
-            gas.publish = receipt.gas_used
-        elif method == "commit":
-            gas.commits[sender] = gas.commits.get(sender, 0) + receipt.gas_used
-        elif method == "reveal":
-            gas.reveals[sender] = gas.reveals.get(sender, 0) + receipt.gas_used
-        elif method == "golden":
-            gas.golden += receipt.gas_used
-        elif method in ("evaluate", "outrange"):
-            target = receipt.transaction.args[0]
-            gas.rejections[target.label or target.hex()] = receipt.gas_used
-        elif method == "evaluate_batch":
-            rejections = receipt.transaction.args[0]
-            share, remainder = divmod(receipt.gas_used, max(1, len(rejections)))
-            for position, (target, _, _, _) in enumerate(rejections):
-                gas.rejections[target.label or target.hex()] = (
-                    share + (remainder if position == 0 else 0)
-                )
-        elif method == "finalize":
-            gas.finalize = receipt.gas_used
-        elif method == "cancel":
-            gas.record("cancel:%s" % sender, receipt.gas_used)
+        fold_receipt(gas, receipt)
     return gas
 
 

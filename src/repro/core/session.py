@@ -297,6 +297,23 @@ class HITSession:
                 self._set_phase(block_number, SESSION_FINALIZE)
                 self.requester.send_finalize()
 
+    def scheduled_until(self) -> Optional[int]:
+        """The latest clock period at which this session still expects
+        self-scheduled progress: a policy-deferred worker step, or a
+        pending ``cancel_after`` timeout on an unfilled commit phase.
+        ``None`` when nothing is scheduled — a session idle past this
+        period is genuinely stuck, not waiting.
+        """
+        dues = [due for due, _, _, _ in self._deferred]
+        if (
+            self.phase == SESSION_COMMIT
+            and not self._cancel_requested
+            and self.config.cancel_after is not None
+        ):
+            # The cancel fires no earlier than period 2 (contract rule).
+            dues.append(max(2, self.arrival_period + self.config.cancel_after))
+        return max(dues) if dues else None
+
     def _commit_phase_timed_out(self, period: int) -> bool:
         after = self.config.cancel_after
         # The contract only accepts cancellations from period 2 on; a
@@ -451,19 +468,30 @@ class SessionEngine:
     def all_done(self) -> bool:
         return not self.active_sessions()
 
+    def describe_stuck(self, limit: int = 8) -> str:
+        """Name the unfinished sessions and their phases (error messages)."""
+        active = self.active_sessions()
+        shown = ", ".join(
+            "%s (phase=%s)" % (session.contract_name, session.phase)
+            for session in active[:limit]
+        )
+        if len(active) > limit:
+            shown += ", ... %d more" % (len(active) - limit)
+        return shown or "none"
+
     def run(self, max_blocks: int = 256) -> int:
         """Step until every session settles; returns the blocks mined.
 
-        Raises :class:`ProtocolError` if sessions are still open after
-        ``max_blocks`` — an unfilled task with no ``cancel_after`` is
-        the usual culprit.
+        Raises :class:`ProtocolError` naming the stuck sessions if they
+        are still open after ``max_blocks`` — an unfilled task with no
+        ``cancel_after`` is the usual culprit.
         """
         mined = 0
         while not self.all_done:
             if mined >= max_blocks:
                 raise ProtocolError(
-                    "%d sessions still open after %d blocks"
-                    % (len(self.active_sessions()), mined)
+                    "%d sessions still open after %d blocks: %s"
+                    % (len(self.active_sessions()), mined, self.describe_stuck())
                 )
             self.step()
             mined += 1

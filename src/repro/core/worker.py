@@ -77,7 +77,16 @@ class WorkerClient:
         events = self.chain.events_named("published", contract_name)
         if not events:
             raise ProtocolError("no published task on contract %s" % contract_name)
-        payload = events[0].payload
+        return self.discover_from_event(contract_name, events[0])
+
+    def discover_from_event(self, contract_name: str, event) -> DiscoveredTask:
+        """Discover a task from a ``published`` event already in hand.
+
+        What a subscribed client does: it saw the event on the bus and
+        needs no log rescan — which also keeps discovery working on a
+        chain whose event log has been pruned (long simulation runs).
+        """
+        payload = event.payload
         blob = self.swarm.get(payload["task_digest"])
         description = json.loads(blob.decode("utf-8"))
         pubkey = ElGamalPublicKey(G1Point.from_bytes(payload["pubkey"]))

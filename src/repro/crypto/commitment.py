@@ -34,7 +34,9 @@ class Commitment:
 
 def generate_key() -> bytes:
     """A fresh 32-byte blinding key."""
-    return secrets.token_bytes(KEY_BYTES)
+    from repro.crypto.rng import entropy
+
+    return entropy.token_bytes(KEY_BYTES)
 
 
 def commit(

@@ -429,9 +429,16 @@ def msm(points: Sequence["G1Point"], scalars: Sequence[int]) -> "G1Point":
 
 
 def random_scalar() -> int:
-    """A uniformly random non-zero scalar in [1, CURVE_ORDER)."""
+    """A uniformly random non-zero scalar in [1, CURVE_ORDER).
+
+    Drawn from :data:`repro.crypto.rng.entropy`, so a simulation running
+    under :func:`repro.crypto.rng.deterministic_entropy` gets the same
+    scalars every run.
+    """
+    from repro.crypto.rng import entropy
+
     while True:
-        value = secrets.randbelow(CURVE_ORDER)
+        value = entropy.randbelow(CURVE_ORDER)
         if value != 0:
             return value
 

@@ -181,5 +181,7 @@ def keygen(secret: Optional[int] = None) -> Tuple[ElGamalPublicKey, ElGamalSecre
 
 def random_ciphertext() -> Ciphertext:
     """A ciphertext of a random message under a random key (for tests)."""
+    from repro.crypto.rng import entropy
+
     pk, _ = keygen()
-    return pk.encrypt(secrets.randbelow(2**16))
+    return pk.encrypt(entropy.randbelow(2**16))

@@ -1,0 +1,74 @@
+"""The crypto layer's entropy source — swappable for deterministic runs.
+
+Every random draw the protocol makes (ElGamal encryption randomness,
+commitment blinding keys, simulated sigma-protocol transcripts, batch
+verification weights, fresh secret keys) flows through the module-level
+:data:`entropy` object.  By default it draws from the operating system
+via :mod:`secrets`, exactly as before.
+
+The workload simulator (:mod:`repro.sim`) needs more: a seeded
+:class:`~repro.sim.scenario.Scenario` run must be byte-for-byte
+reproducible, *including gas* — and gas depends on the zero-byte count
+of ciphertext calldata (EIP-2028 pricing), i.e. on the encryption
+randomness itself.  :func:`deterministic_entropy` therefore swaps a
+seeded PRNG in for the duration of a run::
+
+    with deterministic_entropy(seed=7):
+        report = run_scenario(scenario)   # same seed -> same bytes
+
+This is a simulation device, not a cryptographic mode: never run with
+deterministic entropy when the secrets matter.
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+class EntropySource:
+    """OS entropy by default; a seeded PRNG in deterministic mode."""
+
+    def __init__(self) -> None:
+        self._rng: Optional[random.Random] = None
+
+    @property
+    def deterministic(self) -> bool:
+        return self._rng is not None
+
+    def randbelow(self, bound: int) -> int:
+        """A uniform integer in [0, bound)."""
+        if self._rng is not None:
+            return self._rng.randrange(bound)
+        return secrets.randbelow(bound)
+
+    def getrandbits(self, bits: int) -> int:
+        if self._rng is not None:
+            return self._rng.getrandbits(bits)
+        return secrets.randbits(bits)
+
+    def token_bytes(self, length: int) -> bytes:
+        if self._rng is not None:
+            return self._rng.randbytes(length)
+        return secrets.token_bytes(length)
+
+
+#: The process-wide entropy source every crypto module draws from.
+entropy = EntropySource()
+
+
+@contextmanager
+def deterministic_entropy(seed: int) -> Iterator[None]:
+    """Route all crypto randomness through a PRNG seeded with ``seed``.
+
+    Nests safely: the previous source (OS entropy or an outer seeded
+    PRNG) is restored on exit, even on error.
+    """
+    previous = entropy._rng
+    entropy._rng = random.Random(seed)
+    try:
+        yield
+    finally:
+        entropy._rng = previous

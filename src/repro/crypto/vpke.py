@@ -163,8 +163,10 @@ def simulate_proof(
     call on true statements; the forged proof is indistinguishable from an
     honest one.
     """
+    from repro.crypto.rng import entropy
+
     ro = oracle if oracle is not None else default_oracle()
-    challenge = secrets.randbelow(CURVE_ORDER)
+    challenge = entropy.randbelow(CURVE_ORDER)
     response = random_scalar()
     claim_point = _claim_point(claim)
 
@@ -241,9 +243,11 @@ def fold_dh_checks(
     scalars: "list[int]" = []
     generator_scalar = 0
     pubkey_scalar = 0
+    from repro.crypto.rng import entropy
+
     for claim, ciphertext, commitment_a, commitment_b, challenge, response in checks:
-        dec_weight = secrets.randbits(128) | 1
-        key_weight = secrets.randbits(128) | 1
+        dec_weight = entropy.getrandbits(128) | 1
+        key_weight = entropy.getrandbits(128) | 1
         points.extend(
             (
                 _claim_point(claim),

@@ -51,8 +51,9 @@ table).
 from __future__ import annotations
 
 import itertools
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.chain.chain import Chain
 from repro.chain.network import Scheduler
@@ -292,60 +293,155 @@ class Dragoon:
 
     def serve(
         self,
-        arrivals: Sequence[TaskArrival],
+        arrivals: Iterable[TaskArrival],
         max_blocks: Optional[int] = None,
     ) -> List[ProtocolOutcome]:
         """The service loop: accept task arrivals mid-stream, settle all.
+
+        ``arrivals`` may be any iterable — a materialized sequence or an
+        *open-ended generator* (e.g. a Poisson process from
+        :mod:`repro.sim.arrivals`).  Nothing is precomputed: arrivals
+        are pulled lazily as their block comes up, so neither the
+        stream's length nor its horizon needs to be known.  A sequence
+        may list arrivals in any order (outcomes come back in the
+        sequence's order); a lazy iterator must yield them in
+        non-decreasing ``at_block`` order (outcomes in arrival order).
 
         Each engine step mines one block; arrivals due at that step are
         published first (same-step arrivals share one deployment block
         via :meth:`Chain.deploy_many`), their sessions registered, and
         their workers enrolled, so a task entering at block 7 commits
-        while earlier tasks are revealing or evaluating.  Outcomes are
-        returned in ``arrivals`` order once every session settled.
-        """
-        if not arrivals:
-            return []
-        by_offset: Dict[int, List[int]] = {}  # step -> indexes in ``arrivals``
-        for index, arrival in enumerate(arrivals):
-            if arrival.at_block < 0:
-                raise ProtocolError("arrivals cannot predate the serve loop")
-            by_offset.setdefault(arrival.at_block, []).append(index)
-        horizon = max(by_offset) + 1
-        if max_blocks is None:
-            # Leave room for the slowest configured cancellation timeout
-            # on top of the settlement slack.
-            max_blocks = horizon + 64 + max(
-                arrival.cancel_after or 0 for arrival in arrivals
-            )
+        while earlier tasks are revealing or evaluating.  The loop ends
+        at *quiescence*: stream exhausted, every session terminal, and
+        the mempool drained.
 
-        sessions: Dict[int, HITSession] = {}  # index in ``arrivals`` -> session
+        With ``max_blocks=None`` the stall bound adapts to the load: it
+        scales with the number of in-flight sessions and defers to any
+        self-scheduled future work (policy-delayed steps, pending
+        ``cancel_after`` timeouts, a far-off next arrival).  A stalled
+        loop raises :class:`ProtocolError` naming the stuck sessions
+        and their phases.
+        """
+        stream: Iterator[Tuple[int, TaskArrival]]
+        if isinstance(arrivals, SequenceABC):
+            for arrival in arrivals:
+                if arrival.at_block < 0:
+                    raise ProtocolError(
+                        "arrivals cannot predate the serve loop"
+                    )
+            stream = iter(
+                sorted(enumerate(arrivals), key=lambda pair: pair[1].at_block)
+            )
+        else:
+            stream = iter(enumerate(arrivals))
+
+        sessions: Dict[int, HITSession] = {}  # arrival index -> session
+        pending = next(stream, None)
+        if pending is None:
+            return []
+        period0 = self.chain.clock.period  # period == period0 + step below
         step = 0
+        last_progress = 0
+        progress_mark = (0, 0)
         while True:
-            due = by_offset.get(step, ())
+            due: List[Tuple[int, TaskArrival]] = []
+            while pending is not None and pending[1].at_block <= step:
+                if pending[1].at_block < 0:
+                    raise ProtocolError(
+                        "arrivals cannot predate the serve loop"
+                    )
+                if pending[1].at_block < step:
+                    raise ProtocolError(
+                        "arrival stream must be ordered by at_block "
+                        "(got block %d after the loop reached block %d)"
+                        % (pending[1].at_block, step)
+                    )
+                due.append(pending)
+                pending = next(stream, None)
             if due:
+                admitted = self.admit([arrival for _, arrival in due])
                 sessions.update(
-                    zip(due, self._admit([arrivals[index] for index in due]))
+                    zip((index for index, _ in due), admitted)
                 )
-            if step >= horizon and self.engine.all_done:
+            if (
+                pending is None
+                and self.engine.all_done
+                and not len(self.chain.mempool)
+            ):
                 break
-            if step >= max_blocks:
+            bound = (
+                max_blocks
+                if max_blocks is not None
+                else self._stall_bound(last_progress, pending, period0)
+            )
+            # A non-empty mempool is imminent work (it mines next step),
+            # never a stall — e.g. the cancel transaction a timed-out
+            # session just submitted.
+            if step >= bound and not len(self.chain.mempool):
                 raise ProtocolError(
-                    "service loop still busy after %d blocks" % step
+                    "service loop stalled at block %d with %d open "
+                    "session(s): %s"
+                    % (
+                        step,
+                        len(self.engine.active_sessions()),
+                        self.engine.describe_stuck(),
+                    )
                 )
             self.engine.step()
             step += 1
+            # Progress = a new admission or any session's phase moving;
+            # history lengths only ever grow, so the pair is a cheap
+            # monotone fingerprint.
+            mark = (
+                len(sessions),
+                sum(len(session.history) for session in sessions.values()),
+            )
+            if mark != progress_mark:
+                progress_mark = mark
+                last_progress = step
 
         outcomes = []
-        for index in range(len(arrivals)):
+        for index in sorted(sessions):
             session = sessions[index]
             self.tasks[session.contract_name].finished = True
             outcomes.append(session.outcome())
         return outcomes
 
-    def _admit(self, arrivals: Sequence[TaskArrival]) -> List[HITSession]:
+    def _stall_bound(
+        self,
+        last_progress: int,
+        pending: Optional[Tuple[int, TaskArrival]],
+        period0: int,
+    ) -> int:
+        """The step past which an idle service loop counts as stuck.
+
+        Anchored at the latest of: the last observed progress, every
+        active session's self-scheduled work (converted from clock
+        periods to loop steps), and the next arrival's block.  The
+        slack on top scales with the number of in-flight sessions —
+        a deeper pipeline legitimately takes longer to drain than the
+        old flat ``horizon + 64`` allowance assumed.
+        """
+        active = self.engine.active_sessions()
+        horizon = last_progress
+        for session in active:
+            until = session.scheduled_until()
+            if until is not None:
+                horizon = max(horizon, until - period0)
+        if pending is not None:
+            horizon = max(horizon, pending[1].at_block)
+        return horizon + 16 + 4 * len(active)
+
+    def admit(self, arrivals: Sequence[TaskArrival]) -> List[HITSession]:
         """Publish one step's arrivals (sharing a single deployment block)
-        and enroll their sessions and workers."""
+        and enroll their sessions and workers.
+
+        The building block :meth:`serve` (and the simulation runner in
+        :mod:`repro.sim.runner`) uses between engine steps; an arrival
+        with no ``worker_answers`` is admitted unstaffed — its workers
+        join later (e.g. a :class:`repro.sim.population.WorkerPopulation`
+        enrolling through the marketplace).
+        """
         handles = self.publish_tasks_batch(
             [(arrival.requester_label, arrival.task) for arrival in arrivals]
         )

@@ -1,0 +1,72 @@
+"""repro.sim — the marketplace workload simulation subsystem.
+
+Turns the PR 2 session engine into a load generator and telemetry rig:
+
+* :mod:`repro.sim.arrivals` — seeded arrival processes (Poisson, burst,
+  diurnal, closed-loop republish) emitting lazy ``TaskArrival`` streams;
+* :mod:`repro.sim.population` — stochastic worker populations that pick
+  tasks by expected utility through the marketplace, with adversary
+  fractions riding the existing session policies;
+* :mod:`repro.sim.metrics` — an event-bus collector for throughput,
+  latency, gas (fixed slots + extras), earnings, and mempool depth;
+* :mod:`repro.sim.scenario` — declarative scenarios and named presets;
+* :mod:`repro.sim.runner` — wires it all into the engine and returns a
+  reproducible :class:`~repro.sim.runner.SimulationReport`.
+
+Quick start::
+
+    from repro.sim import preset, run_scenario
+
+    report = run_scenario(preset("poisson", seed=7))
+    print(report.to_json())
+"""
+
+from repro.sim.arrivals import (
+    ArrivalProcess,
+    BurstArrivals,
+    ClosedLoopArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    default_task_factory,
+)
+from repro.sim.metrics import LatencyStats, MetricsCollector
+from repro.sim.population import (
+    PopulationSpec,
+    WorkerAgent,
+    WorkerPopulation,
+    sample_accuracy,
+)
+from repro.sim.runner import SimulationReport, SimulationRun, run_scenario
+from repro.sim.scenario import (
+    SCENARIO_PRESETS,
+    Scenario,
+    TaskTemplate,
+    make_arrival_process,
+    preset,
+)
+from repro.sim.seeding import derive_rng, derive_seed
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstArrivals",
+    "DiurnalArrivals",
+    "ClosedLoopArrivals",
+    "default_task_factory",
+    "MetricsCollector",
+    "LatencyStats",
+    "WorkerPopulation",
+    "WorkerAgent",
+    "PopulationSpec",
+    "sample_accuracy",
+    "Scenario",
+    "TaskTemplate",
+    "SCENARIO_PRESETS",
+    "preset",
+    "make_arrival_process",
+    "SimulationReport",
+    "SimulationRun",
+    "run_scenario",
+    "derive_seed",
+    "derive_rng",
+]

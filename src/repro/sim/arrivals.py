@@ -1,0 +1,337 @@
+"""Seeded arrival processes: lazy, open-ended streams of task arrivals.
+
+The paper evaluates Dragoon on hand-picked schedules; real marketplace
+load is a *process*.  Each class here is a deterministic (seeded)
+stochastic process emitting :class:`~repro.dragoon.TaskArrival`s in
+non-decreasing ``at_block`` order, pulled lazily — nothing precomputes
+a horizon, which is exactly the contract :meth:`Dragoon.serve` offers
+its generator callers and the simulation runner exploits for open-ended
+runs.
+
+Two consumption styles:
+
+* iterate the process (``Dragoon.serve(PoissonArrivals(...))``) — works
+  for the self-contained processes whose future does not depend on the
+  run (Poisson, burst, diurnal);
+* pull block by block with :meth:`ArrivalProcess.due` — what
+  :class:`~repro.sim.runner.SimulationRunner` does, and the only way to
+  drive :class:`ClosedLoopArrivals`, whose republish decisions feed
+  back from settlements.
+
+Arrivals are *staffed* when the process is given worker accuracies
+(answers sampled from the task's ground truth, seeded), or *unstaffed*
+(``worker_answers=[]``) when a
+:class:`~repro.sim.population.WorkerPopulation` will enroll workers
+rationally through the marketplace instead.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Callable, Deque, Iterator, List, Optional, Sequence
+
+from dataclasses import dataclass
+
+from repro.core.task import HITTask, TaskParameters, sample_worker_answers
+from repro.dragoon import TaskArrival
+from repro.errors import ProtocolError
+from repro.sim.seeding import derive_rng, derive_seed
+
+#: Builds the ``index``-th task of a stream from a private PRNG.
+TaskFactory = Callable[[int, random.Random], HITTask]
+
+
+@dataclass(frozen=True)
+class TaskTemplate:
+    """The shape every synthesized task in a stream shares (ground
+    truth and gold positions are still drawn per task)."""
+
+    num_questions: int = 10
+    num_golds: int = 3
+    num_workers: int = 2
+    quality_threshold: int = 2
+    budget: int = 100
+
+    def build(self, index: int, rng: random.Random) -> HITTask:
+        ground_truth = [rng.randrange(2) for _ in range(self.num_questions)]
+        gold_indexes = sorted(
+            rng.sample(range(self.num_questions), self.num_golds)
+        )
+        parameters = TaskParameters(
+            num_questions=self.num_questions,
+            budget=self.budget,
+            num_workers=self.num_workers,
+            answer_range=(0, 1),
+            quality_threshold=self.quality_threshold,
+            num_golds=self.num_golds,
+        )
+        return HITTask(
+            parameters,
+            [
+                "task %d, question %d" % (index, i)
+                for i in range(self.num_questions)
+            ],
+            gold_indexes,
+            [ground_truth[i] for i in gold_indexes],
+            ground_truth,
+        )
+
+
+def default_task_factory(index: int, rng: random.Random) -> HITTask:
+    """A compact marketplace task: 10 binary questions, 3 golds, 2 slots.
+
+    Ground truth (and therefore the gold answers) is drawn from ``rng``,
+    so every task in a stream is distinct but the stream is reproducible.
+    """
+    return TaskTemplate().build(index, rng)
+
+
+class ArrivalProcess:
+    """Base class: a seeded lazy stream with one-arrival lookahead.
+
+    Subclasses implement :meth:`_generate`, yielding ``(index,
+    at_block)`` placements in non-decreasing ``at_block`` order; the
+    base class turns placements into full arrivals (task synthesis,
+    optional staffing) and offers both the iterator and the pull API.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        task_factory: Optional[TaskFactory] = None,
+        staffing: Optional[Sequence[float]] = None,
+        requester_prefix: str = "req",
+        evaluation: str = "batched",
+        cancel_after: Optional[int] = None,
+    ) -> None:
+        self.seed = seed
+        self.task_factory = task_factory or default_task_factory
+        self.staffing = list(staffing) if staffing is not None else None
+        self.requester_prefix = requester_prefix
+        self.evaluation = evaluation
+        self.cancel_after = cancel_after
+        self._rng = derive_rng(seed, type(self).__name__)
+        self._placements: Optional[Iterator] = None
+        self._lookahead: Optional[TaskArrival] = None
+        self._done = False
+
+    # -- subclass hook --------------------------------------------------------
+
+    def _generate(self) -> Iterator:
+        """Yield ``(index, at_block)`` placements, ``at_block`` sorted."""
+        raise NotImplementedError
+
+    # -- arrival synthesis ----------------------------------------------------
+
+    def _make(self, index: int, at_block: int) -> TaskArrival:
+        task = self.task_factory(index, derive_rng(self.seed, "task", index))
+        answers: List[List[int]] = []
+        if self.staffing is not None:
+            slots = task.parameters.num_workers
+            accuracies = [
+                self.staffing[slot % len(self.staffing)]
+                for slot in range(slots)
+            ]
+            answers = [
+                sample_worker_answers(
+                    task,
+                    accuracy,
+                    seed=derive_seed(self.seed, "answers", index, slot),
+                )
+                for slot, accuracy in enumerate(accuracies)
+            ]
+        return TaskArrival(
+            at_block=at_block,
+            requester_label="%s-%d" % (self.requester_prefix, index),
+            task=task,
+            worker_answers=answers,
+            evaluation=self.evaluation,
+            cancel_after=self.cancel_after,
+        )
+
+    # -- the stream -----------------------------------------------------------
+
+    def _peek(self) -> Optional[TaskArrival]:
+        if self._lookahead is None and not self._done:
+            if self._placements is None:
+                self._placements = self._generate()
+            placement = next(self._placements, None)
+            if placement is None:
+                self._done = True
+            else:
+                self._lookahead = self._make(*placement)
+        return self._lookahead
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the stream has no further arrivals to emit."""
+        return self._peek() is None
+
+    def due(self, step: int) -> List[TaskArrival]:
+        """Pull every not-yet-delivered arrival with ``at_block <= step``."""
+        ready: List[TaskArrival] = []
+        while True:
+            arrival = self._peek()
+            if arrival is None or arrival.at_block > step:
+                break
+            ready.append(arrival)
+            self._lookahead = None
+        return ready
+
+    def __iter__(self) -> Iterator[TaskArrival]:
+        while True:
+            arrival = self._peek()
+            if arrival is None:
+                return
+            self._lookahead = None
+            yield arrival
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless traffic: exponential inter-arrival gaps at ``rate``
+    tasks per block, quantized to block numbers."""
+
+    def __init__(self, rate: float, tasks: int, **kwargs) -> None:
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        super().__init__(**kwargs)
+        self.rate = rate
+        self.tasks = tasks
+
+    def _generate(self) -> Iterator:
+        clock = 0.0
+        for index in range(self.tasks):
+            clock += self._rng.expovariate(self.rate)
+            yield index, int(clock)
+
+
+class BurstArrivals(ArrivalProcess):
+    """Flash crowds: ``burst_size`` simultaneous arrivals every ``gap``
+    blocks, ``bursts`` times — the worst case for block sharing and the
+    best case for batched verification."""
+
+    def __init__(self, burst_size: int, gap: int, bursts: int, **kwargs) -> None:
+        if burst_size <= 0 or bursts <= 0:
+            raise ValueError("bursts must contain at least one task")
+        if gap < 0:
+            raise ValueError("burst gap cannot be negative")
+        super().__init__(**kwargs)
+        self.burst_size = burst_size
+        self.gap = gap
+        self.bursts = bursts
+
+    def _generate(self) -> Iterator:
+        index = 0
+        for burst in range(self.bursts):
+            for _ in range(self.burst_size):
+                yield index, burst * self.gap
+                index += 1
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """A day/night cycle: per-block Poisson counts whose intensity
+    swings sinusoidally between ``base_rate`` (midnight) and
+    ``peak_rate`` (noon) over ``day_length`` blocks."""
+
+    def __init__(
+        self,
+        base_rate: float,
+        peak_rate: float,
+        day_length: int,
+        tasks: int,
+        **kwargs,
+    ) -> None:
+        if base_rate < 0 or peak_rate < base_rate:
+            raise ValueError("need 0 <= base_rate <= peak_rate")
+        if day_length <= 0:
+            raise ValueError("day_length must be positive")
+        super().__init__(**kwargs)
+        self.base_rate = base_rate
+        self.peak_rate = peak_rate
+        self.day_length = day_length
+        self.tasks = tasks
+
+    def _rate_at(self, block: int) -> float:
+        phase = 2.0 * math.pi * (block % self.day_length) / self.day_length
+        swing = 0.5 * (1.0 - math.cos(phase))  # 0 at midnight, 1 at noon
+        return self.base_rate + (self.peak_rate - self.base_rate) * swing
+
+    def _poisson(self, rate: float) -> int:
+        # Knuth's method — fine at the per-block rates a chain can carry.
+        threshold = math.exp(-rate)
+        count, product = 0, 1.0
+        while True:
+            product *= self._rng.random()
+            if product <= threshold:
+                return count
+            count += 1
+
+    def _generate(self) -> Iterator:
+        index, block = 0, 0
+        while index < self.tasks:
+            for _ in range(self._poisson(self._rate_at(block))):
+                if index >= self.tasks:
+                    break
+                yield index, block
+                index += 1
+            block += 1
+
+
+class ClosedLoopArrivals(ArrivalProcess):
+    """Republish-on-settlement: the feedback regime.
+
+    ``initial`` tasks arrive at block 0; every time the runner reports a
+    settlement (:meth:`notify_settled`), the requester republishes a
+    fresh task ``republish_delay`` blocks later, until ``max_tasks``
+    have been issued.  Because the future of the stream depends on the
+    run itself, this process cannot be drained by plain iteration — it
+    must be pulled via :meth:`due` by a driver that feeds settlements
+    back (the simulation runner does)."""
+
+    def __init__(
+        self,
+        initial: int,
+        republish_delay: int,
+        max_tasks: int,
+        **kwargs,
+    ) -> None:
+        if initial <= 0:
+            raise ValueError("the closed loop needs at least one seed task")
+        if republish_delay < 1:
+            raise ValueError("republish_delay must be at least one block")
+        if max_tasks < initial:
+            raise ValueError("max_tasks cannot be below the initial batch")
+        super().__init__(**kwargs)
+        self.republish_delay = republish_delay
+        self.max_tasks = max_tasks
+        self._pending: Deque[TaskArrival] = deque(
+            self._make(index, 0) for index in range(initial)
+        )
+        self._issued = initial
+
+    def notify_settled(self, at_block: int) -> None:
+        """One task settled at ``at_block``: schedule its replacement."""
+        if self._issued >= self.max_tasks:
+            return
+        self._pending.append(
+            self._make(self._issued, at_block + self.republish_delay)
+        )
+        self._issued += 1
+
+    @property
+    def exhausted(self) -> bool:
+        return self._issued >= self.max_tasks and not self._pending
+
+    def due(self, step: int) -> List[TaskArrival]:
+        ready: List[TaskArrival] = []
+        while self._pending and self._pending[0].at_block <= step:
+            ready.append(self._pending.popleft())
+        return ready
+
+    def __iter__(self) -> Iterator[TaskArrival]:
+        raise ProtocolError(
+            "a closed-loop process needs settlement feedback — drive it "
+            "through repro.sim.runner, not by iteration"
+        )

@@ -1,0 +1,232 @@
+"""The simulation runner: population + arrivals + metrics → the engine.
+
+:func:`run_scenario` is the marketplace in a loop.  Per block:
+
+1. pull the arrivals due now from the (possibly open-ended) arrival
+   process and admit them through :meth:`Dragoon.admit` — same-step
+   arrivals share one deployment block, exactly as in ``serve``;
+2. let the population observe the bus and enroll idle agents into the
+   open listings they rationally prefer (commits land next block);
+3. sample the mempool and pump the engine one block;
+4. feed settlements back (closed-loop republish) and, on long runs,
+   prune the event log — every consumer here is cursor-based.
+
+The loop ends at quiescence (arrivals exhausted, sessions terminal,
+mempool drained) and packages a :class:`SimulationReport`.  The whole
+run executes under :func:`repro.crypto.rng.deterministic_entropy`, so a
+seeded scenario is byte-for-byte reproducible — including gas, which
+depends on encryption randomness through calldata byte pricing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.session import HITSession
+from repro.crypto.rng import deterministic_entropy
+from repro.dragoon import Dragoon
+from repro.errors import ProtocolError
+from repro.sim.arrivals import ClosedLoopArrivals
+from repro.sim.metrics import MetricsCollector
+from repro.sim.population import WorkerPopulation
+from repro.sim.scenario import Scenario, make_arrival_process
+
+
+@dataclass
+class SimulationReport:
+    """The structured outcome of one scenario run.
+
+    Everything here is plain data; :meth:`to_json` is canonical (sorted
+    keys), so two runs of the same seeded scenario must produce the
+    same bytes — the reproducibility contract the tests pin.
+    """
+
+    scenario: str
+    seed: int
+    blocks: int
+    tasks_published: int
+    tasks_settled: int
+    tasks_cancelled: int
+    total_transactions: int
+    total_gas: int
+    gas_per_settled_task: float
+    gas_extras: Dict[str, int]
+    blocks_per_task: float
+    settled_per_block: float
+    commit_to_finalize: Dict[str, object]
+    publish_to_finalize: Dict[str, object]
+    worker_earnings: Dict[str, int]
+    peak_mempool_depth: int
+    enrollments: int
+    declined_enrollments: int
+    dropped_steps: int
+    events_pruned: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "blocks": self.blocks,
+            "tasks_published": self.tasks_published,
+            "tasks_settled": self.tasks_settled,
+            "tasks_cancelled": self.tasks_cancelled,
+            "total_transactions": self.total_transactions,
+            "total_gas": self.total_gas,
+            "gas_per_settled_task": round(self.gas_per_settled_task, 2),
+            "gas_extras": dict(sorted(self.gas_extras.items())),
+            "blocks_per_task": round(self.blocks_per_task, 4),
+            "settled_per_block": round(self.settled_per_block, 4),
+            "commit_to_finalize": self.commit_to_finalize,
+            "publish_to_finalize": self.publish_to_finalize,
+            "worker_earnings": dict(sorted(self.worker_earnings.items())),
+            "peak_mempool_depth": self.peak_mempool_depth,
+            "enrollments": self.enrollments,
+            "declined_enrollments": self.declined_enrollments,
+            "dropped_steps": self.dropped_steps,
+            "events_pruned": self.events_pruned,
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization (the byte-for-byte comparison form)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def check_invariants(self) -> None:
+        """Raise unless the accounting closes (the CI smoke gate)."""
+        if self.tasks_settled + self.tasks_cancelled != self.tasks_published:
+            raise ProtocolError(
+                "unsettled tasks: %d published, %d settled + %d cancelled"
+                % (self.tasks_published, self.tasks_settled, self.tasks_cancelled)
+            )
+        if self.tasks_published == 0:
+            raise ProtocolError("the scenario issued no tasks")
+        if self.blocks <= 0:
+            raise ProtocolError("no blocks mined")
+        if self.total_gas <= 0:
+            raise ProtocolError("no gas metered")
+        histogram_total = sum(
+            self.commit_to_finalize.get("histogram", {}).values()  # type: ignore[union-attr]
+        )
+        if histogram_total > self.tasks_settled:
+            raise ProtocolError("latency histogram exceeds settled tasks")
+        if any(earning < 0 for earning in self.worker_earnings.values()):
+            raise ProtocolError("negative worker earnings")
+
+
+@dataclass
+class SimulationRun:
+    """The report plus the live objects, for tests that want to poke."""
+
+    report: SimulationReport
+    dragoon: Dragoon
+    population: WorkerPopulation
+    collector: MetricsCollector
+    sessions: Dict[str, HITSession] = field(default_factory=dict)
+
+
+def run_scenario(scenario: Scenario, keep_objects: bool = False):
+    """Run one scenario to quiescence; return its :class:`SimulationReport`
+    (or a :class:`SimulationRun` when ``keep_objects``)."""
+    with deterministic_entropy(scenario.seed):
+        run = _run(scenario)
+    return run if keep_objects else run.report
+
+
+def _run(scenario: Scenario) -> SimulationRun:
+    dragoon = Dragoon()
+    engine = dragoon.engine
+    process = make_arrival_process(scenario)
+    population = WorkerPopulation(
+        scenario.population, dragoon.chain, dragoon.swarm, seed=scenario.seed
+    )
+    collector = MetricsCollector(dragoon.chain)
+    sessions: Dict[str, HITSession] = {}
+    settled_reported = 0
+    events_pruned = 0
+
+    step = 0
+    while True:
+        due = process.due(step)
+        if due:
+            for session in dragoon.admit(due):
+                sessions[session.contract_name] = session
+                population.register_task(
+                    session.contract_name,
+                    dragoon.tasks[session.contract_name].requester.task,
+                )
+        # The population sees everything up to and including this
+        # step's deployments, then fills slots; commits mine next block.
+        population.observe()
+        population.enroll(sessions)
+        collector.before_step()
+        block = engine.step()
+        collector.on_block(block)
+        step += 1
+
+        # Closed-loop feedback: every newly settled task republishes.
+        if isinstance(process, ClosedLoopArrivals):
+            newly_settled = (
+                collector.tasks_settled
+                + collector.tasks_cancelled
+                - settled_reported
+            )
+            for _ in range(newly_settled):
+                process.notify_settled(step)
+            settled_reported += newly_settled
+
+        if scenario.prune_every and step % scenario.prune_every == 0:
+            events_pruned += dragoon.chain.event_log.prune()
+
+        if (
+            process.exhausted
+            and engine.all_done
+            and not len(dragoon.chain.mempool)
+        ):
+            # One last drain so terminal events reach every consumer.
+            population.observe()
+            break
+        if step >= scenario.max_blocks:
+            raise ProtocolError(
+                "scenario %r still busy after %d blocks: %s"
+                % (scenario.name, step, engine.describe_stuck())
+            )
+
+    dropped = sum(len(session.dropped) for session in sessions.values())
+    report = SimulationReport(
+        scenario=scenario.name,
+        seed=scenario.seed,
+        blocks=dragoon.chain.height,
+        tasks_published=collector.tasks_published,
+        tasks_settled=collector.tasks_settled,
+        tasks_cancelled=collector.tasks_cancelled,
+        total_transactions=collector.total_transactions,
+        total_gas=collector.total_gas,
+        gas_per_settled_task=collector.gas_per_settled_task(),
+        gas_extras=collector.extras_total(),
+        blocks_per_task=(
+            dragoon.chain.height / collector.tasks_published
+            if collector.tasks_published
+            else 0.0
+        ),
+        settled_per_block=(
+            collector.tasks_settled / dragoon.chain.height
+            if dragoon.chain.height
+            else 0.0
+        ),
+        commit_to_finalize=collector.commit_to_finalize.to_dict(),
+        publish_to_finalize=collector.publish_to_finalize.to_dict(),
+        worker_earnings=population.earnings(),
+        peak_mempool_depth=collector.peak_mempool_depth,
+        enrollments=population.enrollments,
+        declined_enrollments=population.declined,
+        dropped_steps=dropped,
+        events_pruned=events_pruned,
+    )
+    return SimulationRun(
+        report=report,
+        dragoon=dragoon,
+        population=population,
+        collector=collector,
+        sessions=sessions,
+    )

@@ -1,0 +1,26 @@
+"""Deterministic seed derivation for the simulation layer.
+
+Every stochastic component of a scenario (arrival process, task
+synthesis, population accuracies, answer sampling) owns a private
+:class:`random.Random` whose seed is *derived* from the scenario seed
+plus a component tag.  Derivation goes through SHA-256, never through
+``hash()`` — Python salts string hashing per process, which would break
+the byte-for-byte reproducibility the simulator promises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(seed: int, *tags: object) -> int:
+    """A stable 64-bit sub-seed for ``(seed, tags...)``."""
+    material = ":".join([str(seed)] + [str(tag) for tag in tags])
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def derive_rng(seed: int, *tags: object) -> random.Random:
+    """A private PRNG seeded with :func:`derive_seed`."""
+    return random.Random(derive_seed(seed, *tags))

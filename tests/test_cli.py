@@ -29,6 +29,8 @@ def test_fees_command(capsys):
     out = capsys.readouterr().out
     assert "Table III" in out
     assert "MTurk" in out
+    # A clean run records no dynamic operations — and says so.
+    assert "Dynamic operations (GasReport.extras): none" in out
 
 
 def test_audit_command(capsys):
@@ -60,6 +62,55 @@ def test_serve_command_simultaneous_arrivals(capsys):
     assert main(["serve", "--tasks", "2", "--stagger", "0"]) == 0
     out = capsys.readouterr().out
     assert "chain height: 5 blocks" in out
+
+
+def test_serve_command_is_seeded_and_reproducible(capsys):
+    """Same --seed, same bytes — answer sampling and protocol randomness
+    both run off the seed."""
+    assert main(["serve", "--tasks", "3", "--seed", "11"]) == 0
+    first = capsys.readouterr().out
+    assert main(["serve", "--tasks", "3", "--seed", "11"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    assert main(["serve", "--tasks", "3", "--seed", "12"]) == 0
+    other_seed = capsys.readouterr().out
+    assert other_seed != first
+
+
+def test_serve_command_stragglers_surface_extras(capsys):
+    """--stragglers makes a reveal miss its deadline; the burned gas is
+    rendered from GasReport.extras instead of vanishing."""
+    assert main(["serve", "--tasks", "3", "--stragglers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "late-reveal:t0/w0" in out
+    assert "Dynamic operations" in out
+
+
+def test_simulate_command(capsys):
+    assert main(["simulate", "--preset", "poisson", "--seed", "3",
+                 "--tasks", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "Scenario 'poisson' (seed 3)" in out
+    assert "tasks settled" in out
+    assert "commit->finalize latency" in out
+    assert "Top earners" in out
+
+
+def test_simulate_command_json_is_reproducible(capsys):
+    argv = ["simulate", "--preset", "burst", "--seed", "5", "--tasks", "6",
+            "--json"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    assert capsys.readouterr().out == first
+    assert '"tasks_published"' in first
+
+
+def test_simulate_command_rejects_unknown_preset():
+    from repro.errors import ProtocolError
+
+    with pytest.raises(ProtocolError):
+        main(["simulate", "--preset", "nope"])
 
 
 def test_unknown_command_rejected():

@@ -143,3 +143,95 @@ def test_events_list_view_matches_log():
     assert [e.name for e in chain.events] == [
         r.event.name for r in chain.event_log
     ]
+
+
+# ---------------------------------------------------------------------------
+# Pruning (cursor draining for long simulation runs)
+# ---------------------------------------------------------------------------
+
+
+def test_prune_drops_only_consumed_records():
+    chain, user, contract = _chain_with_beeper()
+    sub = chain.subscribe(from_start=True)
+    chain.send(user, "beeper", "poke")
+    chain.mine_block()
+    assert len(sub.poll()) == 2  # deployed + beep: cursor at the end
+    chain.send(user, "beeper", "boop")
+    chain.mine_block()
+    # The boop is unconsumed, so it must survive the prune.
+    dropped = chain.event_log.prune()
+    assert dropped == 2
+    assert chain.event_log.pruned == 2
+    assert [r.event.name for r in chain.event_log] == ["boop"]
+    assert [r.event.name for r in sub.poll()] == ["boop"]
+
+
+def test_prune_preserves_global_sequence_numbers():
+    chain, user, contract = _chain_with_beeper()
+    sub = chain.subscribe(from_start=True)
+    chain.send(user, "beeper", "poke")
+    chain.mine_block()
+    sub.poll()
+    chain.event_log.prune()
+    chain.send(user, "beeper", "boop")
+    chain.mine_block()
+    (record,) = sub.poll()
+    assert record.sequence == 2  # numbering never restarts
+    assert len(chain.event_log) == 3  # one past the highest sequence
+
+
+def test_prune_respects_the_slowest_live_cursor():
+    chain, user, contract = _chain_with_beeper()
+    fast = chain.subscribe(from_start=True)
+    slow = chain.subscribe(from_start=True)
+    chain.send(user, "beeper", "poke")
+    chain.mine_block()
+    fast.poll()
+    assert chain.event_log.prune() == 0  # slow still owes 2 records
+    assert [r.event.name for r in slow.poll()] == ["deployed", "beep"]
+    assert chain.event_log.prune() == 2
+
+
+def test_prune_through_bound():
+    log = EventLog()
+    address = Address.from_label("topical")
+    for index in range(4):
+        log.append(index, Event(address, "e%d" % index))
+    assert log.prune(through=2) == 2  # no subscribers: bound decides
+    assert [r.event.name for r in log] == ["e2", "e3"]
+    assert log.since(0) == log.since(2)  # pre-prune cursors see retained
+
+
+def test_dead_subscriptions_do_not_pin_the_log():
+    chain, user, contract = _chain_with_beeper()
+    sub = chain.subscribe(from_start=True)  # never polled, then dropped
+    del sub
+    chain.send(user, "beeper", "poke")
+    chain.mine_block()
+    assert chain.event_log.prune() == 2
+    assert list(chain.event_log) == []
+
+
+def test_session_engine_survives_pruning_between_steps():
+    """The engine's own cursor keeps working across pruning — the
+    property long open-ended serve runs rely on."""
+    from repro.core.requester import RequesterClient
+    from repro.core.session import SessionEngine
+    from repro.core.worker import WorkerClient
+    from tests.helpers import small_task
+
+    engine = SessionEngine()
+    requester = RequesterClient(
+        "requester", small_task(), engine.chain, engine.swarm
+    )
+    session = engine.publish_session(requester)
+    for index in range(2):
+        session.add_worker(
+            WorkerClient("w%d" % index, engine.chain, engine.swarm,
+                         answers=[0] * 10)
+        )
+    while not session.finished:
+        engine.step()
+        engine.chain.event_log.prune()
+    assert session.outcome().payments() == {"w0": 50, "w1": 50}
+    assert engine.chain.event_log.pruned > 0

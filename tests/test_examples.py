@@ -21,6 +21,7 @@ EXPECTED_SNIPPETS = {
     "anonymous_workers.py": "never learned which ring members",
     "task_marketplace.py": "recommendations for a 95%-accurate worker",
     "staggered_marketplace.py": "rejected at the Fig. 4 deadline",
+    "simulated_marketplace.py": "reports identical byte for byte",
 }
 
 

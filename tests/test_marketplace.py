@@ -96,3 +96,112 @@ def test_slots_accounting(busy_system):
     ][0]
     assert refreshed.slots_taken == 1
     assert refreshed.slots_remaining == 1
+
+
+# ---------------------------------------------------------------------------
+# Consistency under the session engine (queried mid-serve, between blocks)
+# ---------------------------------------------------------------------------
+
+
+def _engine_with_sessions(answer_sets):
+    """Staggered sessions driven by hand so tests can query the
+    marketplace between blocks."""
+    from repro.core.requester import RequesterClient
+    from repro.core.session import SessionEngine
+    from repro.core.worker import WorkerClient
+
+    engine = SessionEngine()
+    sessions = []
+    for index, answers in enumerate(answer_sets):
+        requester = RequesterClient(
+            "req-%d" % index, small_task(), engine.chain, engine.swarm
+        )
+        session = engine.publish_session(requester)
+        for slot, sheet in enumerate(answers):
+            session.add_worker(
+                WorkerClient("m%d-%d" % (index, slot), engine.chain,
+                             engine.swarm, answers=sheet)
+            )
+        sessions.append(session)
+    return engine, sessions
+
+
+def test_listings_stay_consistent_between_engine_steps():
+    """At every block boundary of a serve-style run, each listing's
+    slots_taken must equal the contract's actual committed count and
+    is_open must mirror remaining capacity."""
+    from repro.core.hit_contract import HITContract
+    from repro.core.marketplace import TaskMarketplace
+
+    engine, sessions = _engine_with_sessions([[GOOD, BAD], [GOOD, GOOD]])
+    market = TaskMarketplace(engine.chain)
+    checked = 0
+    while not all(session.finished for session in sessions):
+        engine.step()
+        for listing in market.listings(include_closed=True):
+            contract = engine.chain.contract(listing.contract_name)
+            assert isinstance(contract, HITContract)
+            committed = len(contract.committed_workers())
+            assert listing.slots_taken == committed
+            assert listing.slots_remaining == (
+                listing.parameters.num_workers - committed
+            )
+            assert listing.is_open == (listing.slots_remaining > 0)
+            checked += 1
+    assert checked > 0
+
+
+def test_listing_closes_the_block_commits_fill_it():
+    from repro.core.marketplace import TaskMarketplace
+
+    engine, sessions = _engine_with_sessions([[GOOD, BAD]])
+    market = TaskMarketplace(engine.chain)
+    # Published but not yet mined: both slots still read open.
+    (listing,) = market.listings()
+    assert listing.slots_taken == 0 and listing.is_open
+    engine.step()  # both queued commits land in this block
+    assert market.listings() == []  # full tasks drop out of the open view
+    (closed,) = market.listings(include_closed=True)
+    assert closed.slots_taken == 2 and not closed.is_open
+
+
+def test_midstream_arrival_is_listed_while_earlier_tasks_progress():
+    """A task published between steps shows up open immediately, while
+    the earlier (already full) session is excluded — the worker's view
+    a population polls every block."""
+    from repro.core.marketplace import TaskMarketplace
+    from repro.core.requester import RequesterClient
+
+    engine, sessions = _engine_with_sessions([[GOOD, BAD]])
+    market = TaskMarketplace(engine.chain)
+    engine.step()  # first task fills
+    late_requester = RequesterClient(
+        "latecomer", small_task(), engine.chain, engine.swarm
+    )
+    engine.publish_session(late_requester)
+    open_listings = market.listings()
+    assert [l.requester.label for l in open_listings] == ["latecomer"]
+    assert open_listings[0].slots_taken == 0
+    # The full first task is only visible on request.
+    assert len(market.listings(include_closed=True)) == 2
+
+
+def test_recommendations_track_remaining_slots_mid_serve():
+    """recommend() only offers tasks that still have room as the serve
+    run advances block by block."""
+    from repro.core.marketplace import TaskMarketplace
+
+    # First task gets both its commits queued; second only one of two.
+    engine, sessions = _engine_with_sessions([[GOOD, BAD], [GOOD]])
+    market = TaskMarketplace(engine.chain)
+    names_before = {
+        l.contract_name for l in market.recommend(worker_accuracy=0.95)
+    }
+    assert len(names_before) == 2
+    engine.step()  # queued commits land: task 0 fills, task 1 half-fills
+    recommended = market.recommend(worker_accuracy=0.95)
+    assert [l.contract_name for l in recommended] == [
+        sessions[1].contract_name
+    ]
+    assert recommended[0].slots_taken == 1
+    assert recommended[0].slots_remaining == 1

@@ -1,0 +1,301 @@
+"""The workload simulation subsystem: arrivals, population, metrics, runner.
+
+Covers the reproducibility contract (a seeded scenario is byte-for-byte
+stable), the open-ended serve path (generators, no precomputed
+horizon), rational population behaviour, the closed-loop feedback
+regime, and the report invariants the CI ``sim-smoke`` lane gates on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dragoon import Dragoon
+from repro.errors import ProtocolError
+from repro.sim import (
+    BurstArrivals,
+    ClosedLoopArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    PopulationSpec,
+    SCENARIO_PRESETS,
+    Scenario,
+    TaskTemplate,
+    preset,
+    run_scenario,
+)
+
+
+def tiny(name: str, seed: int = 3, tasks: int = 6, **overrides) -> Scenario:
+    """A preset shrunk to test size (seconds, not minutes)."""
+    scenario = preset(name, seed=seed, tasks=tasks)
+    if overrides:
+        from dataclasses import replace
+
+        scenario = replace(scenario, **overrides)
+    return scenario
+
+
+# ---------------------------------------------------------------------------
+# Arrival processes
+# ---------------------------------------------------------------------------
+
+
+def test_poisson_arrivals_are_seeded_and_ordered():
+    first = [a.at_block for a in PoissonArrivals(rate=0.5, tasks=10, seed=1)]
+    again = [a.at_block for a in PoissonArrivals(rate=0.5, tasks=10, seed=1)]
+    other = [a.at_block for a in PoissonArrivals(rate=0.5, tasks=10, seed=2)]
+    assert first == again
+    assert first != other
+    assert first == sorted(first)
+    assert len(first) == 10
+
+
+def test_arrival_tasks_are_distinct_but_reproducible():
+    stream = list(PoissonArrivals(rate=1.0, tasks=3, seed=5))
+    golds = [tuple(a.task.gold_answers) for a in stream]
+    again = [
+        tuple(a.task.gold_answers)
+        for a in PoissonArrivals(rate=1.0, tasks=3, seed=5)
+    ]
+    assert golds == again
+    truths = {tuple(a.task.ground_truth) for a in stream}
+    assert len(truths) > 1  # ground truth is drawn per task
+
+
+def test_staffed_arrivals_sample_answers():
+    (arrival,) = list(
+        PoissonArrivals(rate=1.0, tasks=1, seed=4, staffing=(1.0, 0.0))
+    )
+    perfect, hopeless = arrival.worker_answers
+    assert list(perfect) == arrival.task.ground_truth
+    assert all(
+        answer != truth
+        for answer, truth in zip(hopeless, arrival.task.ground_truth)
+    )
+
+
+def test_burst_arrivals_shape():
+    blocks = [a.at_block for a in BurstArrivals(burst_size=3, gap=7, bursts=2, seed=0)]
+    assert blocks == [0, 0, 0, 7, 7, 7]
+
+
+def test_diurnal_arrivals_emit_exactly_n_tasks():
+    stream = list(
+        DiurnalArrivals(base_rate=0.2, peak_rate=1.5, day_length=8, tasks=9, seed=2)
+    )
+    assert len(stream) == 9
+    blocks = [a.at_block for a in stream]
+    assert blocks == sorted(blocks)
+
+
+def test_closed_loop_requires_a_driver():
+    process = ClosedLoopArrivals(initial=2, republish_delay=2, max_tasks=4, seed=0)
+    with pytest.raises(ProtocolError):
+        list(process)
+    assert [a.at_block for a in process.due(0)] == [0, 0]
+    assert not process.exhausted  # two more tasks may still be issued
+    process.notify_settled(5)
+    process.notify_settled(5)
+    assert [a.at_block for a in process.due(7)] == [7, 7]
+    assert process.exhausted
+
+
+def test_arrival_pull_and_iteration_agree():
+    by_iteration = [
+        a.at_block for a in PoissonArrivals(rate=0.7, tasks=8, seed=9)
+    ]
+    process = PoissonArrivals(rate=0.7, tasks=8, seed=9)
+    by_pull = []
+    step = 0
+    while not process.exhausted:
+        by_pull.extend(a.at_block for a in process.due(step))
+        step += 1
+    assert by_pull == by_iteration
+
+
+# ---------------------------------------------------------------------------
+# Open-ended serve (the generator path)
+# ---------------------------------------------------------------------------
+
+
+def test_serve_accepts_a_generator_without_precomputed_horizon():
+    process = PoissonArrivals(rate=1.0, tasks=12, seed=3, staffing=(0.95, 0.30))
+    dragoon = Dragoon()
+    outcomes = dragoon.serve(iter(process))  # a plain iterator: no len()
+    assert len(outcomes) == 12
+    assert all(outcome.contract.is_finalized() for outcome in outcomes)
+    # Outcomes come back in arrival order.
+    labels = [outcome.requester.label for outcome in outcomes]
+    assert labels == ["req-%d" % index for index in range(12)]
+
+
+def test_serve_rejects_unordered_generator():
+    from repro.core.task import HITTask, TaskParameters
+    from repro.dragoon import TaskArrival
+
+    def task():
+        parameters = TaskParameters(10, 100, 2, (0, 1), 2, 3)
+        return HITTask(parameters, ["q%d" % i for i in range(10)],
+                       [0, 1, 2], [0, 0, 0], [0] * 10)
+
+    good = [0] * 10
+
+    def unordered():
+        yield TaskArrival(4, "late", task(), [good, good])
+        yield TaskArrival(1, "early", task(), [good, good])
+
+    with pytest.raises(ProtocolError, match="ordered by at_block"):
+        Dragoon().serve(unordered())
+
+
+def test_serve_stall_error_names_stuck_sessions():
+    from repro.core.task import HITTask, TaskParameters
+    from repro.dragoon import TaskArrival
+
+    parameters = TaskParameters(10, 100, 2, (0, 1), 2, 3)
+    task = HITTask(parameters, ["q%d" % i for i in range(10)],
+                   [0, 1, 2], [0, 0, 0], [0] * 10)
+    # One of two slots never fills and no cancel_after is configured.
+    arrival = TaskArrival(0, "req", task, [[0] * 10])
+    with pytest.raises(ProtocolError) as excinfo:
+        Dragoon().serve([arrival])
+    message = str(excinfo.value)
+    assert "hit:req:0" in message
+    assert "phase=commit" in message
+
+
+def test_serve_sorts_materialized_sequences():
+    """A list may arrive unsorted; outcomes keep the list's order."""
+    from repro.core.task import HITTask, TaskParameters
+    from repro.dragoon import TaskArrival
+
+    def task():
+        parameters = TaskParameters(10, 100, 2, (0, 1), 2, 3)
+        return HITTask(parameters, ["q%d" % i for i in range(10)],
+                       [0, 1, 2], [0, 0, 0], [0] * 10)
+
+    good, bad = [0] * 10, [1] * 10
+    arrivals = [
+        TaskArrival(3, "second", task(), [good, bad]),
+        TaskArrival(0, "first", task(), [good, good]),
+    ]
+    outcomes = Dragoon().serve(arrivals)
+    assert [outcome.requester.label for outcome in outcomes] == [
+        "second", "first",
+    ]
+    assert all(outcome.contract.is_finalized() for outcome in outcomes)
+
+
+# ---------------------------------------------------------------------------
+# Scenario runs: reproducibility and invariants
+# ---------------------------------------------------------------------------
+
+
+def test_seeded_scenario_is_byte_for_byte_reproducible():
+    first = run_scenario(tiny("poisson")).to_json()
+    second = run_scenario(tiny("poisson")).to_json()
+    assert first == second
+    assert run_scenario(tiny("poisson", seed=4)).to_json() != first
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_PRESETS))
+def test_preset_invariants(name):
+    report = run_scenario(tiny(name))
+    report.check_invariants()
+    assert report.tasks_published > 0
+    assert report.tasks_settled + report.tasks_cancelled == report.tasks_published
+    assert report.total_transactions > 0
+    # Settled coins actually reached worker accounts.
+    assert sum(report.worker_earnings.values()) > 0
+
+
+def test_adversarial_scenario_records_extras_and_drops():
+    report = run_scenario(tiny("adversarial", tasks=10))
+    report.check_invariants()
+    assert report.dropped_steps > 0  # dropouts refused their reveals
+    assert "late-reveal" in report.gas_extras  # stragglers burned gas
+
+
+def test_closed_loop_scenario_republishes_to_its_cap():
+    report = run_scenario(tiny("closed-loop", tasks=8))
+    report.check_invariants()
+    assert report.tasks_published == 8
+
+
+def test_pruning_does_not_change_the_economics():
+    pruned = run_scenario(tiny("poisson", tasks=8, prune_every=4))
+    unpruned = run_scenario(tiny("poisson", tasks=8, prune_every=0))
+    assert pruned.events_pruned > 0
+    assert unpruned.events_pruned == 0
+    assert pruned.tasks_settled == unpruned.tasks_settled
+    assert pruned.total_gas == unpruned.total_gas
+    assert pruned.worker_earnings == unpruned.worker_earnings
+    assert pruned.commit_to_finalize == unpruned.commit_to_finalize
+
+
+def test_aggressive_pruning_survives_late_enrollment():
+    """A tiny population frees up long after tasks publish; enrollment
+    must not depend on pruned 'published' log records (agents discover
+    from the event they already hold)."""
+    scenario = tiny(
+        "poisson",
+        seed=2,
+        tasks=12,
+        population=PopulationSpec(size=3, accuracy=("uniform", 0.80, 0.98)),
+        prune_every=1,
+    )
+    report = run_scenario(scenario)
+    report.check_invariants()
+    assert report.events_pruned > 0
+    assert report.tasks_settled + report.tasks_cancelled == 12
+
+
+def test_report_transaction_count_includes_deployment_blocks():
+    run = run_scenario(tiny("poisson", tasks=5), keep_objects=True)
+    on_chain = sum(
+        len(block.transactions) for block in run.dragoon.chain.blocks
+    )
+    assert run.report.total_transactions == on_chain
+
+
+def test_hopeless_population_declines_and_tasks_cancel():
+    """Rational choice: agents whose expected utility is negative never
+    enroll, so unfilled tasks fall back to the requester's timeout."""
+    scenario = tiny(
+        "poisson",
+        tasks=3,
+        population=PopulationSpec(size=6, accuracy=("point", 0.15)),
+        cancel_after=4,
+    )
+    report = run_scenario(scenario)
+    report.check_invariants()
+    assert report.enrollments == 0
+    assert report.declined_enrollments > 0
+    assert report.tasks_cancelled == report.tasks_published
+    assert sum(report.worker_earnings.values()) == 0
+
+
+def test_simulation_run_exposes_live_objects():
+    run = run_scenario(tiny("poisson", tasks=4), keep_objects=True)
+    run.report.check_invariants()
+    assert run.dragoon.engine.all_done
+    assert len(run.sessions) == run.report.tasks_published
+    # The population's ledger view agrees with the metrics pipeline's.
+    assert sum(run.population.earnings().values()) == sum(
+        run.report.worker_earnings.values()
+    )
+
+
+def test_scenario_template_controls_task_shape():
+    scenario = tiny(
+        "burst",
+        tasks=4,
+        task=TaskTemplate(num_questions=6, num_golds=2,
+                          quality_threshold=2, num_workers=2, budget=80),
+    )
+    run = run_scenario(scenario, keep_objects=True)
+    run.report.check_invariants()
+    any_task = next(iter(run.dragoon.tasks.values())).requester.task
+    assert any_task.parameters.num_questions == 6
+    assert any_task.parameters.reward_per_worker == 40
