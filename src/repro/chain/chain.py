@@ -46,6 +46,34 @@ class Chain:
         self.event_log = EventLog()
         self.gas_by_sender: Dict[Address, int] = {}
         self._contracts: Dict[str, Contract] = {}
+        #: Optional persistence sink (see :mod:`repro.store`): when set,
+        #: every sealed block is journalled to its write-ahead log.
+        self.store = None
+
+    # -- persistence --------------------------------------------------------------
+
+    def attach_store(self, store) -> None:
+        """Journal every block this chain seals to ``store``'s WAL.
+
+        The store captures a baseline of the current state immediately,
+        then receives one :meth:`~repro.store.nodestore.NodeStore.on_block`
+        callback per sealed block (mined *or* deployment) with the chain
+        already advanced — which is what lets a crash recover by
+        replaying WAL records on top of the last snapshot."""
+        self.store = store
+        if store is not None:
+            store.on_attach(self)
+
+    def _notify_store(self, block: Block) -> None:
+        if self.store is not None:
+            self.store.on_block(self, block)
+
+    def __getstate__(self) -> dict:
+        """Checkpoint pickling carries the chain state, never the store
+        (open file handles); :meth:`attach_store` re-wires on resume."""
+        state = dict(self.__dict__)
+        state["store"] = None
+        return state
 
     @property
     def events(self) -> List[Event]:
@@ -134,7 +162,8 @@ class Chain:
         can reference the contract before it exists).
         """
         receipt = self._execute_deployment(contract, deployer, args, payload, value)
-        self._seal_block([receipt.transaction], [receipt])
+        block = self._seal_block([receipt.transaction], [receipt])
+        self._notify_store(block)
         return receipt
 
     def deploy_many(
@@ -166,9 +195,10 @@ class Chain:
             self._execute_deployment(contract, deployer, args, payload, 0)
             for contract, deployer, args, payload in deployments
         ]
-        self._seal_block(
+        block = self._seal_block(
             [receipt.transaction for receipt in receipts], receipts
         )
+        self._notify_store(block)
         return receipts
 
     def contract(self, name: str) -> Contract:
@@ -216,6 +246,7 @@ class Chain:
         receipts = [self._execute(transaction) for transaction in ordered]
         block = self._seal_block(ordered, receipts)
         self.clock.advance()
+        self._notify_store(block)
         return block
 
     def mine_until_idle(self, max_blocks: int = 64) -> List[Block]:

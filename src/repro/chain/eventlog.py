@@ -90,6 +90,23 @@ class EventLog:
         self._base = 0
         self._subscriptions: "weakref.WeakSet[Subscription]" = weakref.WeakSet()
 
+    def __getstate__(self) -> dict:
+        """Pickle support (checkpoint/resume): weak references cannot be
+        pickled, so live subscriptions travel as a strong list and the
+        weak set is rebuilt on restore.  Subscriptions are shared with
+        their owners through the pickle memo, so a restored session's
+        cursor and the restored log agree on position."""
+        state = dict(self.__dict__)
+        state["_subscriptions"] = list(self._subscriptions)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        subscriptions = state.pop("_subscriptions")
+        self.__dict__.update(state)
+        self._subscriptions = weakref.WeakSet()
+        for subscription in subscriptions:
+            self._subscriptions.add(subscription)
+
     def append(self, block_number: int, event: Event) -> EventRecord:
         """Record one emitted event (called by the chain, never clients)."""
         record = EventRecord(len(self), block_number, event)

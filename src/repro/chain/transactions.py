@@ -2,14 +2,65 @@
 
 from __future__ import annotations
 
-import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.crypto.keccak import keccak256
 from repro.ledger.accounts import Address
 
-_TX_COUNTER = itertools.count()
+
+class _NonceCounter:
+    """The process-wide transaction nonce source.
+
+    A plain counter rather than :func:`itertools.count` so persistence
+    can *read* and *set* the position: a resumed node must hand out the
+    same nonces the uninterrupted run would have (nonces feed
+    ``tx_hash`` and therefore block hashes and the ``state_root``).
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self.position = start
+
+    def take(self) -> int:
+        value = self.position
+        self.position += 1
+        return value
+
+
+_TX_COUNTER = _NonceCounter()
+
+
+def _draw_nonce() -> int:
+    return _TX_COUNTER.take()
+
+
+def nonce_position() -> int:
+    """The nonce the next transaction will be stamped with."""
+    return _TX_COUNTER.position
+
+
+def set_nonce_position(position: int) -> None:
+    """Fast-forward the nonce counter (checkpoint restore)."""
+    _TX_COUNTER.position = position
+
+
+@contextmanager
+def scoped_tx_nonces(start: int = 0) -> Iterator[None]:
+    """Run with a private nonce counter starting at ``start``.
+
+    Seeded simulations run under this scope so two runs of the same
+    scenario — in the same process or across processes — stamp
+    identical nonces, which is what makes their block hashes and
+    ``state_root`` comparable byte for byte.  Nests safely.
+    """
+    global _TX_COUNTER
+    previous = _TX_COUNTER
+    _TX_COUNTER = _NonceCounter(start)
+    try:
+        yield
+    finally:
+        _TX_COUNTER = previous
 
 
 @dataclass(frozen=True)
@@ -52,7 +103,7 @@ class Transaction:
     args: Tuple[Any, ...] = ()
     value: int = 0
     gas_limit: int = 30_000_000
-    nonce: int = field(default_factory=lambda: next(_TX_COUNTER))
+    nonce: int = field(default_factory=_draw_nonce)
 
     def tx_hash(self) -> bytes:
         material = (

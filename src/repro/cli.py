@@ -10,6 +10,16 @@ Downstream users drive the library from the shell::
     python -m repro.cli serve --tasks 4      # staggered session engine
     python -m repro.cli simulate --preset poisson --seed 7   # workload sim
 
+    # A marketplace instance that lives across invocations:
+    python -m repro.cli node init --state-dir ./mainnet
+    python -m repro.cli serve --tasks 4 --state-dir ./mainnet
+    python -m repro.cli node status --state-dir ./mainnet
+
+    # Checkpoint a long simulation and resume it after a kill:
+    python -m repro.cli simulate --preset diurnal --seed 7 \
+        --state-dir ./sim --checkpoint-every 16
+    python -m repro.cli node resume --state-dir ./sim
+
 Each subcommand prints a compact, self-explanatory report.  ``serve``
 and ``simulate`` are seeded and run under deterministic entropy, so the
 same invocation prints the same bytes every time.
@@ -185,9 +195,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 worker_policies=policies,
             )
         )
-    dragoon = Dragoon()
+    store = None
+    if getattr(args, "state_dir", None):
+        from repro.store import NodeStore
+
+        if NodeStore.exists(args.state_dir):
+            store = NodeStore.open(args.state_dir)
+            chain, meta = store.load(apply_runtime=True)
+            dragoon = Dragoon(chain=chain)
+            dragoon.restore_node_state(meta["extra"])
+            dragoon.attach_store(store)
+            print("resumed node at height %d (state_root %s...)"
+                  % (chain.height, meta["state_root"].hex()[:16]))
+            # Long-lived requesters may have spent earlier budgets; top
+            # them up so this run's publishes can freeze B.  After
+            # attach_store, so the mints land in the next block's WAL
+            # record and crash recovery sees them.
+            for arrival in arrivals:
+                dragoon.ensure_funds(
+                    arrival.requester_label, arrival.task.parameters.budget
+                )
+        else:
+            store = NodeStore.init(args.state_dir)
+            dragoon = Dragoon()
+            dragoon.attach_store(store)
+    else:
+        dragoon = Dragoon()
     with deterministic_entropy(args.seed):
         outcomes = dragoon.serve(arrivals)
+    if store is not None:
+        root = store.save(dragoon.chain, extra=dragoon.node_state())
+        print("node state saved to %s (height %d, state_root %s...)"
+              % (args.state_dir, dragoon.chain.height, root.hex()[:16]))
 
     rows = []
     for trace in dragoon.engine.trace:
@@ -229,7 +268,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim import SCENARIO_PRESETS, preset, run_scenario
 
     scenario = preset(args.preset, seed=args.seed, tasks=args.tasks)
-    report = run_scenario(scenario)
+    store = None
+    if args.state_dir:
+        from repro.store import NodeStore
+
+        if NodeStore.exists(args.state_dir):
+            print("error: %s already holds node state — a scenario runs "
+                  "from genesis; pick a fresh --state-dir or `node resume` "
+                  "the existing one" % args.state_dir, file=sys.stderr)
+            return 2
+        store = NodeStore.init(args.state_dir)
+    elif args.checkpoint_every:
+        print("error: --checkpoint-every needs --state-dir", file=sys.stderr)
+        return 2
+    try:
+        report = run_scenario(
+            scenario, store=store, checkpoint_every=args.checkpoint_every
+        )
+    except BaseException:
+        # A killed run with checkpoints is exactly what `node resume`
+        # is for — keep it.  But a directory holding nothing resumable
+        # would only block the identical retry with "already holds
+        # node state", so clean it up.
+        if store is not None and not store.manifest().get("checkpoints"):
+            import shutil
+
+            shutil.rmtree(args.state_dir, ignore_errors=True)
+        raise
     report.check_invariants()
 
     print(render_table(
@@ -261,8 +326,86 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(render_table(
         ["worker", "coins earned"], top, title="Top earners",
     ))
+    _emit_report(report, args)
+    if store is not None:
+        print("node state saved to %s" % args.state_dir)
+    return 0
+
+
+def _emit_report(report, args: argparse.Namespace) -> None:
+    """The shared --json/--out tail of the report-producing commands."""
     if args.json:
         print(report.to_json())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print("report written to %s" % args.out)
+
+
+def _cmd_node_init(args: argparse.Namespace) -> int:
+    """Create a fresh node state directory (genesis snapshot)."""
+    from repro.dragoon import Dragoon
+    from repro.store import NodeStore
+
+    dragoon = Dragoon()
+    for grant in args.fund or []:
+        label, _, coins = grant.partition("=")
+        if not coins.isdigit():
+            print("error: --fund takes label=coins, got %r" % grant,
+                  file=sys.stderr)
+            return 2
+        dragoon.fund(label, int(coins))
+    store = NodeStore.init(
+        args.state_dir, chain=dragoon.chain, extra=dragoon.node_state()
+    )
+    manifest = store.manifest()
+    print("initialized node state at %s" % args.state_dir)
+    print("  height     : %d" % manifest["height"])
+    print("  state_root : %s" % manifest["state_root"])
+    return 0
+
+
+def _cmd_node_status(args: argparse.Namespace) -> int:
+    """Load (snapshot + WAL replay) and report the node's state."""
+    from repro.store import NodeStore
+
+    status = NodeStore.open(args.state_dir).status()
+    rows = [
+        ["height", status["height"]],
+        ["snapshot height", status["snapshot_height"]],
+        ["WAL records replayed", status["wal_records"]],
+        ["state root", status["state_root"][:32] + "..."],
+        ["accounts", status["accounts"]],
+        ["contracts", status["contracts"]],
+        ["events (total)", status["events"]],
+        ["events pruned", status["events_pruned"]],
+        ["total gas", "%dk" % (status["total_gas"] // 1000)],
+        ["checkpoints", ", ".join(map(str, status["checkpoints"])) or "-"],
+    ]
+    print(render_table(["field", "value"], rows,
+                       title="Node %s" % args.state_dir))
+    return 0
+
+
+def _cmd_node_resume(args: argparse.Namespace) -> int:
+    """Resume an interrupted simulation checkpoint to completion."""
+    from repro.sim.runner import resume_scenario
+
+    report = resume_scenario(args.state_dir, step=args.step)
+    report.check_invariants()
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["tasks published", report.tasks_published],
+            ["tasks settled", report.tasks_settled],
+            ["tasks cancelled", report.tasks_cancelled],
+            ["blocks", report.blocks],
+            ["total gas", "%dk" % (report.total_gas // 1000)],
+        ],
+        title="Resumed scenario %r (seed %d)" % (report.scenario, report.seed),
+    ))
+    _emit_report(report, args)
     return 0
 
 
@@ -303,6 +446,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--stragglers", type=int, default=0,
                        help="give the first N tasks a worker who reveals "
                        "one period late (default 0)")
+    serve.add_argument("--state-dir", default=None,
+                       help="persist the node here: an existing state dir "
+                       "is resumed (the marketplace lives across "
+                       "invocations), a fresh one is initialized")
     serve.set_defaults(func=_cmd_serve)
     simulate = sub.add_parser(
         "simulate",
@@ -320,7 +467,48 @@ def build_parser() -> argparse.ArgumentParser:
                           help="resize the preset to ~N tasks")
     simulate.add_argument("--json", action="store_true",
                           help="also print the canonical JSON report")
+    simulate.add_argument("--out", default=None, metavar="FILE",
+                          help="write the canonical JSON report to FILE")
+    simulate.add_argument("--state-dir", default=None,
+                          help="persist chain state (WAL + snapshots) to "
+                          "this fresh directory")
+    simulate.add_argument("--checkpoint-every", type=int, default=0,
+                          metavar="N",
+                          help="write a resumable checkpoint every N blocks "
+                          "(requires --state-dir; resume with `node resume`)")
     simulate.set_defaults(func=_cmd_simulate)
+
+    node = sub.add_parser(
+        "node",
+        help="manage a persistent node state directory "
+        "(init / status / resume)",
+    )
+    node_sub = node.add_subparsers(dest="node_command", required=True)
+    node_init = node_sub.add_parser(
+        "init", help="create a fresh state directory (genesis snapshot)"
+    )
+    node_init.add_argument("--state-dir", required=True)
+    node_init.add_argument("--fund", action="append", metavar="LABEL=COINS",
+                           help="open a funded account (repeatable)")
+    node_init.set_defaults(func=_cmd_node_init)
+    node_status = node_sub.add_parser(
+        "status", help="load (snapshot + WAL replay) and report the state"
+    )
+    node_status.add_argument("--state-dir", required=True)
+    node_status.set_defaults(func=_cmd_node_status)
+    node_resume = node_sub.add_parser(
+        "resume",
+        help="resume an interrupted simulation checkpoint to completion",
+    )
+    node_resume.add_argument("--state-dir", required=True)
+    node_resume.add_argument("--step", type=int, default=None,
+                             help="resume from this checkpoint step "
+                             "(default: the latest)")
+    node_resume.add_argument("--json", action="store_true",
+                             help="also print the canonical JSON report")
+    node_resume.add_argument("--out", default=None, metavar="FILE",
+                             help="write the canonical JSON report to FILE")
+    node_resume.set_defaults(func=_cmd_node_resume)
     return parser
 
 

@@ -50,7 +50,6 @@ table).
 
 from __future__ import annotations
 
-import itertools
 from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -116,13 +115,53 @@ class Dragoon:
     tasks may be interleaved on the same chain.
     """
 
-    def __init__(self, scheduler: Optional[Scheduler] = None) -> None:
-        self.chain = Chain(scheduler=scheduler)
-        self.swarm = SwarmStore()
+    def __init__(
+        self,
+        scheduler: Optional[Scheduler] = None,
+        chain: Optional[Chain] = None,
+        swarm: Optional[SwarmStore] = None,
+    ) -> None:
+        if chain is not None and scheduler is not None:
+            raise ProtocolError("pass a scheduler or a restored chain, not both")
+        self.chain = chain if chain is not None else Chain(scheduler=scheduler)
+        self.swarm = swarm if swarm is not None else SwarmStore()
         self.engine = SessionEngine(chain=self.chain, swarm=self.swarm)
         self._requester_keys: Dict[str, int] = {}
-        self._task_counter = itertools.count()
+        self._task_serial = 0
         self.tasks: Dict[str, TaskHandle] = {}
+
+    # ------------------------------------------------------------------
+    # Persistence (see repro.store.nodestore)
+    # ------------------------------------------------------------------
+
+    def _next_task_serial(self) -> int:
+        value = self._task_serial
+        self._task_serial += 1
+        return value
+
+    def node_state(self) -> Dict[str, object]:
+        """The facade-level durable state: long-lived requester keys and
+        the task-name serial (contract names must keep advancing across
+        process restarts — the chain rejects duplicate names)."""
+        return {
+            "requester_keys": dict(self._requester_keys),
+            "task_serial": self._task_serial,
+        }
+
+    def restore_node_state(self, state: Dict[str, object]) -> None:
+        self._requester_keys = dict(state.get("requester_keys", {}))
+        self._task_serial = int(state.get("task_serial", 0))
+
+    def attach_store(self, store) -> None:
+        """Journal this deployment to ``store`` — chain *and* facade.
+
+        Beyond :meth:`Chain.attach_store`, this wires
+        :meth:`node_state` as the store's extra provider, so requester
+        keys and the task serial ride every WAL record and snapshot: a
+        crash at any block recovers the facade, not just the chain.
+        """
+        store.extra_provider = self.node_state
+        self.chain.attach_store(store)
 
     # ------------------------------------------------------------------
     # Identities
@@ -131,6 +170,20 @@ class Dragoon:
     def fund(self, label: str, coins: int) -> Address:
         """Open (or top up awareness of) an account with ``coins``."""
         return self.chain.register_account(label, coins)
+
+    def ensure_funds(self, label: str, coins: int) -> Address:
+        """Top ``label`` up to at least ``coins`` (minting the difference).
+
+        The cross-invocation path of a persistent node: a requester who
+        spent her budget in an earlier run needs a deposit before she
+        can publish again, where a fresh in-memory run would have opened
+        her account pre-funded.
+        """
+        address = self.chain.register_account(label, coins)
+        balance = self.chain.ledger.balance_of(address)
+        if balance < coins:
+            self.chain.ledger.mint(address, coins - balance, memo="top-up")
+        return address
 
     def _requester_secret(self, label: str) -> int:
         """The requester's long-lived key (created on first use)."""
@@ -158,7 +211,7 @@ class Dragoon:
             else self.chain.ledger.balance_of(Address.from_label(requester_label)),
             secret=self._requester_secret(requester_label),
         )
-        name = "hit:%s:%d" % (requester_label, next(self._task_counter))
+        name = "hit:%s:%d" % (requester_label, self._next_task_serial())
         receipt = requester.publish(contract_name=name)
         if not receipt.succeeded:
             raise ProtocolError("publish failed: %s" % receipt.revert_reason)
@@ -249,7 +302,7 @@ class Dragoon:
                 ),
                 secret=self._requester_secret(requester_label),
             )
-            name = "hit:%s:%d" % (requester_label, next(self._task_counter))
+            name = "hit:%s:%d" % (requester_label, self._next_task_serial())
             contract, args, payload = requester.prepare_publish(contract_name=name)
             deployments.append((contract, requester.address, args, payload))
             clients.append(requester)

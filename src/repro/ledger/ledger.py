@@ -100,6 +100,22 @@ class Ledger:
         self._balances[party] += amount
         self._entries.append(LedgerEntry("pay", contract, party, amount, memo))
 
+    def mint(self, address: Address, amount: int, memo: str = "") -> None:
+        """Mint ``amount`` fresh coins into an existing account.
+
+        ``open_account`` mints only at creation; a *persistent* node
+        (see :mod:`repro.store`) carries balances across runs, so a
+        long-lived requester needs a deposit path to fund new tasks
+        after earlier budgets were spent.  Logged like the opening mint.
+        """
+        if address not in self._balances:
+            raise UnknownAccount("no such account: %s" % address)
+        if amount < 0:
+            raise InsufficientFunds("cannot mint a negative amount")
+        if amount:
+            self._balances[address] += amount
+            self._entries.append(LedgerEntry("mint", None, address, amount, memo))
+
     # -- plain transfers and fees ------------------------------------------------
 
     def transfer(self, source: Address, destination: Address, amount: int, memo: str = "") -> None:

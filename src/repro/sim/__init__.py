@@ -36,7 +36,13 @@ from repro.sim.population import (
     WorkerPopulation,
     sample_accuracy,
 )
-from repro.sim.runner import SimulationReport, SimulationRun, run_scenario
+from repro.sim.runner import (
+    InterruptedRun,
+    SimulationReport,
+    SimulationRun,
+    resume_scenario,
+    run_scenario,
+)
 from repro.sim.scenario import (
     SCENARIO_PRESETS,
     Scenario,
@@ -64,8 +70,10 @@ __all__ = [
     "SCENARIO_PRESETS",
     "preset",
     "make_arrival_process",
+    "InterruptedRun",
     "SimulationReport",
     "SimulationRun",
+    "resume_scenario",
     "run_scenario",
     "derive_seed",
     "derive_rng",

@@ -116,6 +116,30 @@ class ArrivalProcess:
         self._placements: Optional[Iterator] = None
         self._lookahead: Optional[TaskArrival] = None
         self._done = False
+        self._pulled = 0  # placements drawn from the generator so far
+
+    # -- persistence ----------------------------------------------------------
+    #
+    # The lazy placement stream is a generator — unpicklable — but it is
+    # a *deterministic* function of the seed: the same process with the
+    # same seed emits the same placements.  A checkpoint therefore
+    # stores only how many placements have been drawn, and restore
+    # fast-forwards a fresh generator (and with it the private PRNG) to
+    # the same position.  The one-arrival lookahead travels by value.
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_placements"] = None
+        state["_rng"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._rng = derive_rng(self.seed, type(self).__name__)
+        if self._pulled and not self._done:
+            self._placements = self._generate()
+            for _ in range(self._pulled):
+                next(self._placements)
 
     # -- subclass hook --------------------------------------------------------
 
@@ -161,6 +185,7 @@ class ArrivalProcess:
             if placement is None:
                 self._done = True
             else:
+                self._pulled += 1
                 self._lookahead = self._make(*placement)
         return self._lookahead
 

@@ -13,22 +13,40 @@
 
 The loop ends at quiescence (arrivals exhausted, sessions terminal,
 mempool drained) and packages a :class:`SimulationReport`.  The whole
-run executes under :func:`repro.crypto.rng.deterministic_entropy`, so a
-seeded scenario is byte-for-byte reproducible — including gas, which
-depends on encryption randomness through calldata byte pricing.
+run executes under :func:`repro.crypto.rng.deterministic_entropy` *and*
+:func:`repro.chain.transactions.scoped_tx_nonces`, so a seeded scenario
+is byte-for-byte reproducible — report, gas, and final ``state_root``
+alike.
+
+Checkpoint/resume (PR 4)
+------------------------
+
+Long scenarios can persist through a :class:`~repro.store.NodeStore`:
+pass ``store=`` (the chain journals every block to its WAL) and
+``checkpoint_every=N`` (every N engine steps the runner snapshots the
+canonical chain state and pickles the live continuation — sessions,
+population, arrival process, collector — next to it).  A killed run
+(``interrupt_after=`` simulates the kill deterministically) resumes
+with :func:`resume_scenario`, which restores the continuation, verifies
+it against the snapshot ``state_root``, re-enters the loop with the
+entropy stream and nonce counter exactly where they stopped, and
+produces a report byte-for-byte identical to the uninterrupted run's —
+the round-trip property ``tests/test_persistence.py`` pins for every
+preset scenario.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
+from repro.chain.transactions import scoped_tx_nonces
 from repro.core.session import HITSession
 from repro.crypto.rng import deterministic_entropy
 from repro.dragoon import Dragoon
 from repro.errors import ProtocolError
-from repro.sim.arrivals import ClosedLoopArrivals
+from repro.sim.arrivals import ArrivalProcess, ClosedLoopArrivals
 from repro.sim.metrics import MetricsCollector
 from repro.sim.population import WorkerPopulation
 from repro.sim.scenario import Scenario, make_arrival_process
@@ -125,29 +143,158 @@ class SimulationRun:
     sessions: Dict[str, HITSession] = field(default_factory=dict)
 
 
-def run_scenario(scenario: Scenario, keep_objects: bool = False):
+@dataclass
+class InterruptedRun:
+    """A run stopped at a checkpoint (the simulated kill).
+
+    Hand the state directory to :func:`resume_scenario` to continue it;
+    the resumed run's report is byte-for-byte what the uninterrupted
+    run would have produced.
+    """
+
+    state_dir: str
+    step: int
+    scenario: str
+    seed: int
+
+
+@dataclass
+class _Continuation:
+    """Everything the loop needs to pick up mid-stream (pickled whole).
+
+    The object graph is shared: sessions, population, collector, and
+    the engine all reference ``dragoon.chain`` (and its event log and
+    cursors), and pickling preserves that sharing — a restored
+    continuation is the same machine, paused.
+    """
+
+    scenario: Scenario
+    dragoon: Dragoon
+    process: ArrivalProcess
+    population: WorkerPopulation
+    collector: MetricsCollector
+    sessions: Dict[str, HITSession]
+    settled_reported: int
+    events_pruned: int
+    step: int
+    checkpoint_every: int
+
+
+def run_scenario(
+    scenario: Scenario,
+    keep_objects: bool = False,
+    store=None,
+    checkpoint_every: int = 0,
+    interrupt_after: Optional[int] = None,
+) -> Union[SimulationReport, SimulationRun, InterruptedRun]:
     """Run one scenario to quiescence; return its :class:`SimulationReport`
-    (or a :class:`SimulationRun` when ``keep_objects``)."""
-    with deterministic_entropy(scenario.seed):
-        run = _run(scenario)
+    (or a :class:`SimulationRun` when ``keep_objects``).
+
+    With ``store`` (a :class:`~repro.store.NodeStore`) every block is
+    journalled to the WAL; add ``checkpoint_every=N`` to snapshot a
+    resumable continuation every N engine steps.  ``interrupt_after=M``
+    stops the run at step M right after writing a checkpoint there and
+    returns an :class:`InterruptedRun` — the deterministic stand-in for
+    ``kill -9`` that the resume tests and the example build on.
+    """
+    if (checkpoint_every or interrupt_after is not None) and store is None:
+        raise ProtocolError("checkpointing needs a NodeStore (pass store=...)")
+    with scoped_tx_nonces(), deterministic_entropy(scenario.seed):
+        dragoon = Dragoon()
+        if store is not None:
+            dragoon.attach_store(store)
+        continuation = _Continuation(
+            scenario=scenario,
+            dragoon=dragoon,
+            process=make_arrival_process(scenario),
+            population=WorkerPopulation(
+                scenario.population, dragoon.chain, dragoon.swarm,
+                seed=scenario.seed,
+            ),
+            collector=MetricsCollector(dragoon.chain),
+            sessions={},
+            settled_reported=0,
+            events_pruned=0,
+            step=0,
+            checkpoint_every=checkpoint_every,
+        )
+        run = _loop(continuation, store, interrupt_after)
+    if isinstance(run, InterruptedRun):
+        return run
     return run if keep_objects else run.report
 
 
-def _run(scenario: Scenario) -> SimulationRun:
-    dragoon = Dragoon()
-    engine = dragoon.engine
-    process = make_arrival_process(scenario)
-    population = WorkerPopulation(
-        scenario.population, dragoon.chain, dragoon.swarm, seed=scenario.seed
-    )
-    collector = MetricsCollector(dragoon.chain)
-    sessions: Dict[str, HITSession] = {}
-    settled_reported = 0
-    events_pruned = 0
+def resume_scenario(
+    state_dir: str,
+    step: Optional[int] = None,
+    keep_objects: bool = False,
+    interrupt_after: Optional[int] = None,
+) -> Union[SimulationReport, SimulationRun, InterruptedRun]:
+    """Continue a checkpointed scenario from ``state_dir`` to completion.
 
-    step = 0
+    Loads the latest (or the requested) checkpoint, verifies the
+    pickled chain against the canonical snapshot's ``state_root``,
+    restores the entropy stream and nonce counter to their recorded
+    positions, and re-enters the loop.  Checkpointing continues at the
+    cadence the original run used.
+    """
+    from repro.store import NodeStore
+
+    store = NodeStore.open(state_dir)
+    envelope, _entry = store.load_checkpoint(step)
+    continuation: _Continuation = envelope["payload"]["continuation"]
+    runtime = envelope["runtime"]
+    continuation.dragoon.attach_store(store)
+    with scoped_tx_nonces(runtime["nonce_position"]), deterministic_entropy(
+        continuation.scenario.seed, state=runtime["rng"]
+    ):
+        # Re-align the canonical layer to the checkpoint being resumed:
+        # the manifest may point at a *later* snapshot (a later
+        # checkpoint, or the original run's final save), and journalling
+        # the resumed tail on top of that would leave the directory
+        # unloadable if this process dies mid-resume.
+        store.save(continuation.dragoon.chain)
+        run = _loop(continuation, store, interrupt_after)
+    if isinstance(run, InterruptedRun):
+        return run
+    return run if keep_objects else run.report
+
+
+def _checkpoint(store, continuation: _Continuation) -> None:
+    store.checkpoint(
+        continuation.dragoon.chain,
+        continuation.step,
+        {
+            "chain": continuation.dragoon.chain,
+            "continuation": continuation,
+            "scenario": continuation.scenario.name,
+            "seed": continuation.scenario.seed,
+        },
+    )
+
+
+def _loop(
+    continuation: _Continuation, store, interrupt_after: Optional[int]
+) -> Union[SimulationRun, InterruptedRun]:
+    """Advance the marketplace one block at a time until quiescence.
+
+    Checkpointing sits between the block advance and the quiescence
+    check, so a resumed continuation re-enters exactly where the
+    original would have continued — and writing a checkpoint never
+    consumes entropy or nonces, which is what keeps a checkpointed
+    run's trajectory identical to an unobserved one.
+    """
+    state = continuation
+    scenario = state.scenario
+    dragoon = state.dragoon
+    engine = dragoon.engine
+    process = state.process
+    population = state.population
+    collector = state.collector
+    sessions = state.sessions
+
     while True:
-        due = process.due(step)
+        due = process.due(state.step)
         if due:
             for session in dragoon.admit(due):
                 sessions[session.contract_name] = session
@@ -162,21 +309,24 @@ def _run(scenario: Scenario) -> SimulationRun:
         collector.before_step()
         block = engine.step()
         collector.on_block(block)
-        step += 1
+        state.step += 1
 
         # Closed-loop feedback: every newly settled task republishes.
         if isinstance(process, ClosedLoopArrivals):
             newly_settled = (
                 collector.tasks_settled
                 + collector.tasks_cancelled
-                - settled_reported
+                - state.settled_reported
             )
             for _ in range(newly_settled):
-                process.notify_settled(step)
-            settled_reported += newly_settled
+                process.notify_settled(state.step)
+            state.settled_reported += newly_settled
 
-        if scenario.prune_every and step % scenario.prune_every == 0:
-            events_pruned += dragoon.chain.event_log.prune()
+        if scenario.prune_every and state.step % scenario.prune_every == 0:
+            dropped = dragoon.chain.event_log.prune()
+            state.events_pruned += dropped
+            if dropped and store is not None:
+                store.note_prune(dragoon.chain)
 
         if (
             process.exhausted
@@ -186,11 +336,39 @@ def _run(scenario: Scenario) -> SimulationRun:
             # One last drain so terminal events reach every consumer.
             population.observe()
             break
-        if step >= scenario.max_blocks:
+
+        # Checkpoint (and the simulated kill) only *after* the
+        # quiescence check: a checkpoint written at the run's final
+        # step would make the resumed loop mine one extra empty block
+        # the uninterrupted run never saw, breaking byte-for-byte.
+        if (
+            store is not None
+            and state.checkpoint_every
+            and state.step % state.checkpoint_every == 0
+        ):
+            _checkpoint(store, state)
+
+        if interrupt_after is not None and state.step >= interrupt_after:
+            if not (
+                state.checkpoint_every
+                and state.step % state.checkpoint_every == 0
+            ):
+                _checkpoint(store, state)
+            return InterruptedRun(
+                state_dir=store.state_dir,
+                step=state.step,
+                scenario=scenario.name,
+                seed=scenario.seed,
+            )
+
+        if state.step >= scenario.max_blocks:
             raise ProtocolError(
                 "scenario %r still busy after %d blocks: %s"
-                % (scenario.name, step, engine.describe_stuck())
+                % (scenario.name, state.step, engine.describe_stuck())
             )
+
+    if store is not None:
+        store.save(dragoon.chain)
 
     dropped = sum(len(session.dropped) for session in sessions.values())
     report = SimulationReport(
@@ -221,7 +399,7 @@ def _run(scenario: Scenario) -> SimulationRun:
         enrollments=population.enrollments,
         declined_enrollments=population.declined,
         dropped_steps=dropped,
-        events_pruned=events_pruned,
+        events_pruned=state.events_pruned,
     )
     return SimulationRun(
         report=report,

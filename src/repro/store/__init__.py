@@ -1,0 +1,53 @@
+"""repro.store — persistent node state: codec, WAL, snapshots, resume.
+
+Everything the in-process node knows — blocks, transactions, receipts,
+events, the ledger, deployed-contract storage, the event log with its
+compaction base, and the deterministic entropy position — can be made
+durable and brought back:
+
+* :mod:`repro.store.codec` — the canonical, versioned byte encoding of
+  the whole chain state and the 32-byte ``state_root`` over it;
+* :mod:`repro.store.blockstore` — the append-only block WAL (physical
+  per-block effect records) and atomic snapshot files;
+* :mod:`repro.store.nodestore` — :class:`~repro.store.nodestore.NodeStore`,
+  the state-directory manager: journal via ``chain.attach_store``,
+  ``save``/``load`` snapshots, and checkpoint/resume continuations for
+  :func:`repro.sim.runner.run_scenario`.
+
+Quick start::
+
+    from repro.store import NodeStore
+
+    store = NodeStore.init("./mainnet")      # once
+    chain, meta = store.load()               # every later invocation
+    chain.attach_store(store)                # journal new blocks
+    ...
+    store.save(chain)                        # snapshot + WAL reset
+"""
+
+from repro.store.blockstore import BlockStore, StoreError, load_snapshot, save_snapshot
+from repro.store.codec import (
+    CodecError,
+    SCHEMA_VERSION,
+    decode,
+    decode_chain_state,
+    encode,
+    encode_chain_state,
+    state_root,
+)
+from repro.store.nodestore import NodeStore
+
+__all__ = [
+    "BlockStore",
+    "CodecError",
+    "NodeStore",
+    "SCHEMA_VERSION",
+    "StoreError",
+    "decode",
+    "decode_chain_state",
+    "encode",
+    "encode_chain_state",
+    "load_snapshot",
+    "save_snapshot",
+    "state_root",
+]

@@ -116,3 +116,88 @@ def test_simulate_command_rejects_unknown_preset():
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_simulate_out_writes_the_canonical_report(tmp_path, capsys):
+    out_file = str(tmp_path / "report.json")
+    assert main(["simulate", "--preset", "poisson", "--seed", "3",
+                 "--tasks", "4", "--out", out_file]) == 0
+    capsys.readouterr()
+    import json
+
+    report = json.loads(open(out_file).read())
+    assert report["scenario"] == "poisson"
+    assert report["seed"] == 3
+    assert report["tasks_published"] == 4
+    assert report["total_gas"] > 0
+
+
+def test_node_init_and_status(tmp_path, capsys):
+    state_dir = str(tmp_path / "node")
+    assert main(["node", "init", "--state-dir", state_dir,
+                 "--fund", "alice=500"]) == 0
+    out = capsys.readouterr().out
+    assert "initialized node state" in out
+    assert "state_root" in out
+    assert main(["node", "status", "--state-dir", state_dir]) == 0
+    out = capsys.readouterr().out
+    assert "height" in out and "state root" in out
+
+
+def test_node_init_refuses_an_initialized_directory(tmp_path):
+    from repro.store import StoreError
+
+    state_dir = str(tmp_path / "node")
+    assert main(["node", "init", "--state-dir", state_dir]) == 0
+    with pytest.raises(StoreError):
+        main(["node", "init", "--state-dir", state_dir])
+
+
+def test_serve_state_dir_keeps_the_marketplace_alive(tmp_path, capsys):
+    """Two serve invocations share one chain: height accumulates and
+    the task-name serial never collides."""
+    state_dir = str(tmp_path / "node")
+    assert main(["serve", "--tasks", "2", "--state-dir", state_dir]) == 0
+    first = capsys.readouterr().out
+    assert "node state saved" in first
+    assert main(["serve", "--tasks", "2", "--seed", "9",
+                 "--state-dir", state_dir]) == 0
+    second = capsys.readouterr().out
+    assert "resumed node at height 7" in second
+    assert "settled 2 tasks" in second
+    assert main(["node", "status", "--state-dir", state_dir]) == 0
+    status = capsys.readouterr().out
+    assert "| 14" in status  # both runs' blocks on one chain
+
+
+def test_simulate_checkpoint_and_node_resume(tmp_path, capsys):
+    state_dir = str(tmp_path / "sim")
+    assert main(["simulate", "--preset", "poisson", "--seed", "7",
+                 "--tasks", "4", "--state-dir", state_dir,
+                 "--checkpoint-every", "5", "--json"]) == 0
+    first = capsys.readouterr().out
+    assert "node state saved" in first
+    assert main(["node", "resume", "--state-dir", state_dir,
+                 "--json"]) == 0
+    resumed = capsys.readouterr().out
+    assert "Resumed scenario 'poisson' (seed 7)" in resumed
+    # The resumed-from-checkpoint report matches the original run's.
+    def json_block(text):
+        return text[text.index("{") : text.rindex("}") + 1]
+
+    assert json_block(resumed) == json_block(first)
+
+
+def test_simulate_checkpoint_every_requires_state_dir(capsys):
+    assert main(["simulate", "--preset", "poisson", "--tasks", "2",
+                 "--checkpoint-every", "4"]) == 2
+    assert "--state-dir" in capsys.readouterr().err
+
+
+def test_simulate_refuses_an_existing_state_dir(tmp_path, capsys):
+    state_dir = str(tmp_path / "node")
+    assert main(["node", "init", "--state-dir", state_dir]) == 0
+    capsys.readouterr()
+    assert main(["simulate", "--preset", "poisson", "--tasks", "2",
+                 "--state-dir", state_dir]) == 2
+    assert "already holds node state" in capsys.readouterr().err

@@ -22,6 +22,7 @@ EXPECTED_SNIPPETS = {
     "task_marketplace.py": "recommendations for a 95%-accurate worker",
     "staggered_marketplace.py": "rejected at the Fig. 4 deadline",
     "simulated_marketplace.py": "reports identical byte for byte",
+    "resumable_marketplace.py": "all three paths agree on the final state_root",
 }
 
 

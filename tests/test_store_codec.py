@@ -1,0 +1,197 @@
+"""The canonical codec: round trips, determinism, and schema guards.
+
+The codec is the floor the whole persistence subsystem stands on: if
+two encodings of the same state could differ, ``state_root`` stops
+being an integrity anchor; if a round trip could lose a field, a
+restored node silently diverges.  These tests pin both properties at
+the value layer and at the whole-chain layer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.transactions import scoped_tx_nonces
+from repro.core.task import HITTask, TaskParameters
+from repro.crypto.curve import G1Point
+from repro.crypto.elgamal import keygen
+from repro.crypto.poqoea import MismatchEntry, QualityProof
+from repro.crypto.rng import deterministic_entropy
+from repro.crypto.vpke import DecryptionProof
+from repro.dragoon import Dragoon
+from repro.ledger.accounts import Address
+from repro.store import codec
+from repro.store.codec import CodecError, decode, encode
+
+
+def tiny_task() -> HITTask:
+    parameters = TaskParameters(10, 100, 2, (0, 1), 2, 3)
+    return HITTask(
+        parameters,
+        ["q%d" % i for i in range(10)],
+        [0, 1, 2],
+        [0, 0, 0],
+        [0] * 10,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Value layer
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        1,
+        -1,
+        2**80,
+        -(2**80),
+        3.5,
+        b"",
+        b"\x00\xff" * 16,
+        "",
+        "unicode: ✓",
+        [],
+        [1, [2, [3]]],
+        (),
+        (1, "two", b"three"),
+        {},
+        {"a": 1, "b": [2, 3], 5: None},
+        {b"bytes-key": {"nested": (True, False)}},
+    ],
+    ids=repr,
+)
+def test_plain_values_round_trip(value):
+    assert decode(encode(value)) == value
+
+
+def test_round_trip_preserves_container_types():
+    assert type(decode(encode((1, 2)))) is tuple
+    assert type(decode(encode([1, 2]))) is list
+    assert decode(encode(True)) is True
+    assert decode(encode(1)) == 1 and decode(encode(1)) is not True
+
+
+def test_dict_encoding_keeps_iteration_order():
+    forward = {"a": 1, "b": 2}
+    backward = {"b": 2, "a": 1}
+    assert encode(forward) != encode(backward)
+    assert list(decode(encode(backward))) == ["b", "a"]
+
+
+def test_encoding_is_deterministic():
+    value = {"k": [1, b"x", ("y", None)], "j": -7}
+    assert encode(value) == encode(value)
+
+
+def test_typed_values_round_trip():
+    address = Address.from_label("alice")
+    parameters = tiny_task().parameters
+    point = G1Point.generator() * 12345
+    with deterministic_entropy(1):
+        public_key, secret_key = keygen()
+        ciphertext = public_key.encrypt(1)
+    proof = DecryptionProof(point, point * 3, 42)
+    quality = QualityProof((MismatchEntry(2, 1, proof), MismatchEntry(4, point, proof)))
+    for value in (address, parameters, point, ciphertext, proof, quality):
+        decoded = decode(encode(value))
+        assert type(decoded) is type(value)
+        assert decoded == value
+
+
+def test_unencodable_value_raises():
+    with pytest.raises(CodecError):
+        encode(object())
+    with pytest.raises(CodecError):
+        encode({1, 2})  # sets have no canonical order
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(CodecError):
+        decode(encode(1) + b"\x00")
+
+
+def test_truncated_input_rejected():
+    blob = encode({"key": b"\x01" * 40})
+    with pytest.raises(CodecError):
+        decode(blob[:-5])
+
+
+# ---------------------------------------------------------------------------
+# Whole-chain schema
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def settled_chain():
+    """A chain that ran one full HIT (every record type populated)."""
+    with scoped_tx_nonces(), deterministic_entropy(7):
+        dragoon = Dragoon()
+        dragoon.fund("alice", 500)
+        dragoon.run_task("alice", tiny_task(), [[0] * 10, [1] * 10])
+    return dragoon.chain
+
+
+def test_chain_state_round_trips(settled_chain):
+    blob = codec.encode_chain_state(settled_chain)
+    restored = codec.decode_chain_state(blob)
+    assert restored.height == settled_chain.height
+    assert codec.encode_chain_state(restored) == blob
+    assert codec.state_root(restored) == codec.state_root(settled_chain)
+
+
+def test_restored_chain_preserves_observable_state(settled_chain):
+    restored = codec.decode_chain_state(
+        codec.encode_chain_state(settled_chain)
+    )
+    assert restored.clock.period == settled_chain.clock.period
+    assert restored.total_gas == settled_chain.total_gas
+    assert len(restored.event_log) == len(settled_chain.event_log)
+    assert [r.event.name for r in restored.event_log] == [
+        r.event.name for r in settled_chain.event_log
+    ]
+    assert restored.ledger.total_supply() == settled_chain.ledger.total_supply()
+    contract_name = next(iter(settled_chain._contracts))
+    assert (
+        restored.contract(contract_name).storage
+        == settled_chain.contract(contract_name).storage
+    )
+    # Block hashes survive: transactions (nonces included) round-trip.
+    assert [b.block_hash() for b in restored.blocks] == [
+        b.block_hash() for b in settled_chain.blocks
+    ]
+
+
+def test_state_root_reflects_every_layer(settled_chain):
+    """Touching any state layer must move the root."""
+    baseline = codec.state_root(settled_chain)
+    data = codec.chain_state_to_data(settled_chain)
+
+    mutated = dict(data)
+    mutated["period"] = data["period"] + 1
+    assert codec.keccak256(codec.encode(mutated)) != baseline
+
+    contract = codec.decode_chain_state(codec.encode(data))
+    contract.ledger._balances[next(iter(contract.ledger._balances))] += 1
+    assert codec.state_root(contract) != baseline
+
+
+def test_schema_version_is_enforced(settled_chain):
+    data = codec.chain_state_to_data(settled_chain)
+    data["schema"] = codec.SCHEMA_VERSION + 1
+    with pytest.raises(CodecError):
+        codec.chain_from_data(data)
+
+
+def test_unregistered_scheduler_is_refused():
+    from repro.chain.chain import Chain
+    from repro.chain.network import RushingScheduler
+
+    chain = Chain(scheduler=RushingScheduler(lambda pending: list(pending)))
+    with pytest.raises(CodecError):
+        codec.chain_state_to_data(chain)
