@@ -1,0 +1,185 @@
+"""What the RPC boundary costs: requests/sec and added latency.
+
+The same staggered 8-session scenario (2 workers per task, stagger 1 —
+the ``bench_session_engine`` workload) runs three ways:
+
+* **in-process** — clients hold the :class:`Chain` object directly (the
+  pre-RPC deployment story, the floor);
+* **loopback RPC** — full JSON + canonical-codec wire encoding, no
+  socket (what the encoding itself costs);
+* **HTTP RPC** — a real localhost socket through the stdlib server
+  (what one-step-from-deployment costs).
+
+The equivalence contract rides along: all three paths must settle the
+same tasks with identical payments.  A ``chain_head`` micro-benchmark
+prices a single round trip on each transport.
+
+Reproduce the table with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_rpc.py -s -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.tables import render_table
+from repro.chain.chain import Chain
+from repro.chain.transactions import scoped_tx_nonces
+from repro.core.requester import RequesterClient
+from repro.core.task import HITTask, TaskParameters
+from repro.core.worker import WorkerClient
+from repro.crypto.rng import deterministic_entropy
+from repro.rpc import (
+    HitSpec,
+    HttpTransport,
+    LoopbackTransport,
+    RpcChain,
+    RpcHttpServer,
+    RpcNode,
+    RpcRequesterClient,
+    RpcSwarm,
+    RpcWorkerClient,
+    run_hits,
+)
+from repro.storage.swarm import SwarmStore
+
+from bench_helpers import emit, pick
+
+NUM_TASKS = pick(8, 3)
+HEAD_CALLS = pick(2000, 50)
+SEED = 11
+GOOD = [0] * 10
+BAD = [1] * 10
+
+
+def _task() -> HITTask:
+    parameters = TaskParameters(10, 100, 2, (0, 1), 2, 3)
+    return HITTask(parameters, ["q%d" % i for i in range(10)],
+                   [0, 1, 2], [0, 0, 0], [0] * 10)
+
+
+def _specs():
+    return [
+        HitSpec(index, "req-%d" % index, _task(), [GOOD, BAD])
+        for index in range(NUM_TASKS)
+    ]
+
+
+def _run_in_process():
+    chain, swarm = Chain(), SwarmStore()
+    with scoped_tx_nonces(), deterministic_entropy(SEED):
+        outcomes = run_hits(
+            chain, swarm, _specs(),
+            lambda label, task: RequesterClient(label, task, chain, swarm),
+            lambda label, answers: WorkerClient(label, chain, swarm,
+                                                answers=answers),
+        )
+    # Materialized eagerly: payments are ledger reads, and the RPC
+    # variants' servers are torn down before the comparison runs.
+    return [outcome.payments() for outcome in outcomes], chain.height, None
+
+
+def _run_over(transport):
+    with scoped_tx_nonces(), deterministic_entropy(SEED):
+        outcomes = run_hits(
+            RpcChain(transport), RpcSwarm(transport), _specs(),
+            lambda label, task: RpcRequesterClient(label, task, transport),
+            lambda label, answers: RpcWorkerClient(label, transport,
+                                                   answers=answers),
+        )
+    return (
+        [outcome.payments() for outcome in outcomes],
+        RpcChain(transport).height,
+        transport.requests_sent,
+    )
+
+
+def test_rpc_boundary_cost():
+    rows = []
+    results = []
+
+    start = time.perf_counter()
+    payments, height, _ = _run_in_process()
+    base_elapsed = time.perf_counter() - start
+    results.append(payments)
+    rows.append(["in-process", height, "-", "%.2fs" % base_elapsed, "-", "-"])
+
+    start = time.perf_counter()
+    payments, loop_height, requests = _run_over(
+        LoopbackTransport(RpcNode())
+    )
+    elapsed = time.perf_counter() - start
+    results.append(payments)
+    rows.append([
+        "loopback rpc", loop_height, requests, "%.2fs" % elapsed,
+        "%.0f" % (requests / elapsed),
+        "%.2fms" % (1e3 * max(0.0, elapsed - base_elapsed) / requests),
+    ])
+
+    node = RpcNode()
+    with RpcHttpServer(node) as server:
+        transport = HttpTransport(server.url)
+        start = time.perf_counter()
+        payments, http_height, requests = _run_over(transport)
+        elapsed = time.perf_counter() - start
+        transport.close()
+    results.append(payments)
+    rows.append([
+        "http rpc (localhost)", http_height, requests, "%.2fs" % elapsed,
+        "%.0f" % (requests / elapsed),
+        "%.2fms" % (1e3 * max(0.0, elapsed - base_elapsed) / requests),
+    ])
+
+    emit(
+        "rpc_boundary",
+        render_table(
+            ["path", "blocks", "requests", "wall time", "req/s",
+             "added latency/req"],
+            rows,
+            title="%d staggered tasks (2 workers each): the RPC boundary"
+            % NUM_TASKS,
+        ),
+    )
+
+    # The equivalence bar: every path settles identically.
+    assert results[1] == results[0] and results[2] == results[0]
+    assert height == loop_height == http_height
+
+
+def test_head_request_throughput():
+    """A single tiny round trip, priced per transport."""
+    rows = []
+
+    node = RpcNode()
+    transport = LoopbackTransport(node)
+    chain = RpcChain(transport)
+    start = time.perf_counter()
+    for _ in range(HEAD_CALLS):
+        chain.rpc.call("chain_head")
+    elapsed = time.perf_counter() - start
+    rows.append(["loopback", HEAD_CALLS, "%.0f" % (HEAD_CALLS / elapsed),
+                 "%.3fms" % (1e3 * elapsed / HEAD_CALLS)])
+
+    node = RpcNode()
+    with RpcHttpServer(node) as server:
+        transport = HttpTransport(server.url)
+        chain = RpcChain(transport)
+        chain.rpc.call("chain_head")  # warm the keep-alive connection
+        start = time.perf_counter()
+        for _ in range(HEAD_CALLS):
+            chain.rpc.call("chain_head")
+        elapsed = time.perf_counter() - start
+        transport.close()
+    rows.append(["http (localhost)", HEAD_CALLS,
+                 "%.0f" % (HEAD_CALLS / elapsed),
+                 "%.3fms" % (1e3 * elapsed / HEAD_CALLS)])
+
+    emit(
+        "rpc_head_throughput",
+        render_table(
+            ["transport", "requests", "req/s", "latency"],
+            rows,
+            title="chain_head round trips",
+        ),
+    )

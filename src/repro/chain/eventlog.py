@@ -135,6 +135,16 @@ class EventLog:
             return list(records)
         return [record for record in records if filter.matches(record.event)]
 
+    def iter_since(self, cursor: int) -> Iterator[EventRecord]:
+        """Lazily iterate retained records at sequence >= ``cursor``.
+
+        The paged-read building block (the RPC server's ``chain_events``):
+        unlike :meth:`since` it copies nothing, so taking one page from a
+        long log costs the page, not the tail.
+        """
+        for index in range(max(0, cursor - self._base), len(self._records)):
+            yield self._records[index]
+
     def in_block(self, block_number: int) -> List[EventRecord]:
         """The retained records emitted by block ``block_number``."""
         return [

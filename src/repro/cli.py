@@ -20,6 +20,9 @@ Downstream users drive the library from the shell::
         --state-dir ./sim --checkpoint-every 16
     python -m repro.cli node resume --state-dir ./sim
 
+    # Serve the node to out-of-process clients over JSON-RPC:
+    python -m repro.cli node rpc-serve --state-dir ./mainnet --port 8545
+
 Each subcommand prints a compact, self-explanatory report.  ``serve``
 and ``simulate`` are seeded and run under deterministic entropy, so the
 same invocation prints the same bytes every time.
@@ -409,6 +412,59 @@ def _cmd_node_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_node_rpc_serve(args: argparse.Namespace) -> int:
+    """Serve a node's JSON-RPC front-end over HTTP until interrupted.
+
+    An existing ``--state-dir`` is resumed (snapshot + WAL replay); a
+    fresh one is initialized at genesis.  Every block mined through the
+    RPC surface is journalled to the WAL, and the final state is
+    snapshotted on shutdown, so the served marketplace lives across
+    invocations exactly like ``serve --state-dir``.
+    """
+    from repro.rpc.server import RpcHttpServer, RpcNode
+    from repro.rpc.wire import PROTOCOL_VERSION
+    from repro.store import NodeStore
+
+    if NodeStore.exists(args.state_dir):
+        store = NodeStore.open(args.state_dir)
+        chain, meta = store.load(apply_runtime=True)
+        print("resumed node at height %d (state_root %s...)"
+              % (chain.height, meta["state_root"].hex()[:16]), flush=True)
+    else:
+        store = NodeStore.init(args.state_dir)
+        chain, meta = store.load(apply_runtime=True)
+        print("initialized fresh node state in %s" % args.state_dir,
+              flush=True)
+    chain.attach_store(store)
+    node = RpcNode(chain=chain, store=store)
+    server = RpcHttpServer(node, host=args.host, port=args.port)
+    print("rpc node listening on http://%s:%d/rpc (%d methods, "
+          "protocol v%d) — Ctrl-C to stop"
+          % (server.host, server.port, len(node._methods), PROTOCOL_VERSION),
+          flush=True)
+
+    # SIGTERM shuts down as cleanly as Ctrl-C: a shell-backgrounded
+    # server (CI, process managers) starts with SIGINT ignored, so
+    # graceful stop must not depend on it.
+    import signal
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
+        server.shutdown()
+        root = store.save(chain)
+        print("node state saved to %s (height %d, state_root %s...)"
+              % (args.state_dir, chain.height, root.hex()[:16]), flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -509,6 +565,18 @@ def build_parser() -> argparse.ArgumentParser:
     node_resume.add_argument("--out", default=None, metavar="FILE",
                              help="write the canonical JSON report to FILE")
     node_resume.set_defaults(func=_cmd_node_resume)
+    node_rpc = node_sub.add_parser(
+        "rpc-serve",
+        help="serve this node's JSON-RPC front-end over HTTP "
+        "(out-of-process clients; see repro.rpc)",
+    )
+    node_rpc.add_argument("--state-dir", required=True)
+    node_rpc.add_argument("--host", default="127.0.0.1",
+                          help="bind address (default 127.0.0.1)")
+    node_rpc.add_argument("--port", type=int, default=8545,
+                          help="TCP port; 0 binds an ephemeral port and "
+                          "prints it (default 8545)")
+    node_rpc.set_defaults(func=_cmd_node_rpc_serve)
     return parser
 
 

@@ -109,6 +109,25 @@ class AnswerError(ProtocolError):
 
 
 # ---------------------------------------------------------------------------
+# RPC boundary
+# ---------------------------------------------------------------------------
+
+
+class RpcError(ReproError):
+    """A failure at the JSON-RPC boundary (see :mod:`repro.rpc`).
+
+    Raised client-side for transport problems and for server errors that
+    do not map back onto a concrete library exception; ``code`` carries
+    the JSON-RPC error code, ``data`` the server's structured detail.
+    """
+
+    def __init__(self, message: str, code: int = 0, data: object = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.data = data
+
+
+# ---------------------------------------------------------------------------
 # Baseline (generic zk-proof) layer
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,43 @@
+"""The JSON-RPC node boundary: out-of-process clients, one wire format.
+
+Layers (each importable on its own):
+
+* :mod:`repro.rpc.wire` — envelopes, value packing over the canonical
+  codec, and the error taxonomy mapped from :mod:`repro.errors`.
+* :mod:`repro.rpc.server` — :class:`RpcNode` (transport-agnostic method
+  registry around one chain) and :class:`RpcHttpServer` (stdlib
+  ``http.server`` skin; the CLI's ``node rpc-serve``).
+* :mod:`repro.rpc.client` — :class:`RpcChain`/:class:`RpcSwarm` proxies
+  plus :class:`RpcRequesterClient`/:class:`RpcWorkerClient`, the
+  in-process client classes re-based onto a transport.
+* :mod:`repro.rpc.harness` — drive one scenario against any front-end
+  (the equivalence-contract and benchmark workhorse).
+"""
+
+from repro.rpc.client import (
+    HttpTransport,
+    LoopbackTransport,
+    RpcChain,
+    RpcRequesterClient,
+    RpcSession,
+    RpcSwarm,
+    RpcWorkerClient,
+)
+from repro.rpc.harness import HitSpec, run_hits
+from repro.rpc.server import RpcHttpServer, RpcNode
+from repro.rpc.wire import PROTOCOL_VERSION
+
+__all__ = [
+    "HitSpec",
+    "HttpTransport",
+    "LoopbackTransport",
+    "PROTOCOL_VERSION",
+    "RpcChain",
+    "RpcHttpServer",
+    "RpcNode",
+    "RpcRequesterClient",
+    "RpcSession",
+    "RpcSwarm",
+    "RpcWorkerClient",
+    "run_hits",
+]

@@ -1,0 +1,519 @@
+"""Out-of-process clients: the in-process APIs, re-based on JSON-RPC.
+
+The design inverts nothing: :class:`RpcChain` implements the slice of
+the :class:`~repro.chain.chain.Chain` surface the protocol clients and
+the session engine actually touch (account registration, transaction
+submission, deployment, event subscription, ledger reads, block
+production), backed by RPC calls instead of attribute access.
+:class:`RpcRequesterClient` and :class:`RpcWorkerClient` are then the
+*same* classes as their in-process parents — every key, commitment,
+ciphertext, and proof is still produced client-side; only the chain
+boundary moved.  A :class:`~repro.core.session.SessionEngine`
+constructed over an :class:`RpcChain` therefore drives full HIT
+sessions over the wire, which is exactly what the equivalence contract
+in ``tests/rpc/`` pins: same receipts, same gas, same ``state_root`` as
+the in-process path, byte for byte.
+
+Transports are pluggable: :class:`LoopbackTransport` hands the encoded
+request straight to an in-process :class:`~repro.rpc.server.RpcNode`
+(every test still exercises the full parse/validate/dispatch pipeline),
+:class:`HttpTransport` speaks to a real socket via stdlib
+``http.client``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import urllib.parse
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.chain.blocks import Block
+from repro.chain.eventlog import EventFilter, EventRecord
+from repro.chain.transactions import Event, Receipt, Transaction
+from repro.core.requester import RequesterClient
+from repro.core.worker import WorkerClient
+from repro.errors import RpcError
+from repro.ledger.accounts import Address
+from repro.ledger.ledger import LedgerEntry
+from repro.store import codec
+from repro.rpc import wire
+
+#: One chain_events page requested by the client-side cursors.
+EVENT_PAGE = 256
+
+#: Methods a transport may transparently resend after a connection
+#: failure: pure reads, where a lost response costs nothing.  A failed
+#: *mutation* (tx_send, chain_mine, ...) must surface instead — the
+#: server may have processed it even though the response never arrived,
+#: and a blind resend would submit it twice.
+IDEMPOTENT_METHODS = frozenset(
+    {
+        "rpc_version",
+        "chain_head",
+        "chain_block",
+        "chain_events",
+        "chain_gas",
+        "chain_balance",
+        "chain_payments",
+        "chain_contract",
+        "chain_state_root",
+        "node_status",
+        "swarm_get",
+    }
+)
+
+
+# ---------------------------------------------------------------------------
+# Transports
+# ---------------------------------------------------------------------------
+
+
+class LoopbackTransport:
+    """In-memory transport: full wire encoding, no socket.
+
+    The fast path for tests and benchmarks — requests still round-trip
+    through JSON and the canonical codec, so an encoding bug cannot hide
+    behind shared memory.
+    """
+
+    def __init__(self, node) -> None:
+        self.node = node
+        self.requests_sent = 0
+
+    def request(self, raw: bytes, idempotent: bool = False) -> bytes:
+        self.requests_sent += 1
+        return self.node.handle(raw)
+
+    def close(self) -> None:
+        pass
+
+
+class HttpTransport:
+    """A persistent HTTP/1.1 connection to a node's ``/rpc`` endpoint."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise RpcError("HttpTransport needs an http://host:port URL")
+        self.url = url
+        self._path = parsed.path or "/rpc"
+        self._host = parsed.hostname
+        self._port = parsed.port or 80
+        self._timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+        self.requests_sent = 0
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+            self._connection.connect()
+            # Request headers and body go out as separate writes; without
+            # TCP_NODELAY, Nagle holds the second one for the server's
+            # delayed ACK (~40ms per round trip on Linux).
+            self._connection.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._connection
+
+    def request(self, raw: bytes, idempotent: bool = False) -> bytes:
+        self.requests_sent += 1
+        attempts = 2 if idempotent else 1
+        for attempt in range(attempts):
+            connection = self._connect()
+            try:
+                connection.request(
+                    "POST",
+                    self._path,
+                    body=raw,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                return response.read()
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                # A dropped keep-alive connection gets one reconnect —
+                # but only for pure reads: a mutation may already have
+                # executed server-side, and resending it blind would
+                # apply it twice.  Everything else surfaces as RpcError.
+                self.close()
+                if attempt == attempts - 1:
+                    raise RpcError(
+                        "rpc transport failure against %s: %s" % (self.url, exc)
+                    ) from exc
+        raise AssertionError("unreachable")
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+
+class RpcSession:
+    """Envelope bookkeeping over one transport: ids, errors, unwrapping."""
+
+    def __init__(self, transport) -> None:
+        self.transport = transport
+        self._next_id = 0
+
+    def call(self, method: str, /, **params: Any) -> Any:
+        self._next_id += 1
+        raw = self.transport.request(
+            wire.request(method, params or None, self._next_id),
+            idempotent=method in IDEMPOTENT_METHODS,
+        )
+        try:
+            envelope = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RpcError("unparseable rpc response: %s" % exc) from exc
+        if not isinstance(envelope, dict):
+            raise RpcError("rpc response must be a JSON object")
+        if "error" in envelope:
+            raise wire.error_to_exception(envelope["error"])
+        if "result" not in envelope:
+            raise RpcError("rpc response carries neither result nor error")
+        return envelope["result"]
+
+    def version(self) -> Dict[str, Any]:
+        """The server's version report, compatibility-checked."""
+        report = self.call("rpc_version")
+        if report.get("protocol") != wire.PROTOCOL_VERSION:
+            raise RpcError(
+                "server speaks rpc protocol %r, this client speaks %d"
+                % (report.get("protocol"), wire.PROTOCOL_VERSION)
+            )
+        if report.get("schema") != codec.SCHEMA_VERSION:
+            raise RpcError(
+                "server encodes value schema %r, this client reads %d"
+                % (report.get("schema"), codec.SCHEMA_VERSION)
+            )
+        return report
+
+
+# ---------------------------------------------------------------------------
+# The Chain mirror
+# ---------------------------------------------------------------------------
+
+
+class RemoteClock:
+    """Mirror of :class:`~repro.chain.clock.Clock`: ``period`` reads."""
+
+    def __init__(self, session: RpcSession) -> None:
+        self._session = session
+
+    @property
+    def period(self) -> int:
+        return self._session.call("chain_head")["period"]
+
+
+class RemoteLedger:
+    """Mirror of the ledger reads clients perform (balances, payments)."""
+
+    def __init__(self, session: RpcSession) -> None:
+        self._session = session
+
+    def balance_of(self, address: Address) -> int:
+        return self._session.call("chain_balance", address=wire.pack(address))[
+            "balance"
+        ]
+
+    def payments_to(self, address: Address) -> List[LedgerEntry]:
+        entries = wire.unpack(
+            self._session.call("chain_payments", address=wire.pack(address))[
+                "entries"
+            ]
+        )
+        return [codec.ledger_entry_from_data(item) for item in entries]
+
+
+class RemoteSubscription:
+    """A client-held cursor over the node's event log.
+
+    Unlike an in-process :class:`~repro.chain.eventlog.Subscription`,
+    the node does not know this cursor exists — compaction
+    (``node_prune``) can outrun it, in which case the next poll raises
+    a :class:`~repro.errors.ChainError` naming the gap rather than
+    silently skipping events (pinned by ``tests/rpc/test_rpc_events.py``).
+    """
+
+    def __init__(
+        self,
+        session: RpcSession,
+        filter: Optional[EventFilter],
+        cursor: int,
+    ) -> None:
+        self._session = session
+        self.filter = filter
+        self.cursor = cursor
+
+    def _filter_params(self) -> Dict[str, Any]:
+        params: Dict[str, Any] = {}
+        if self.filter is not None:
+            if self.filter.contract is not None:
+                params["contract"] = wire.pack(self.filter.contract)
+            if self.filter.names is not None:
+                params["names"] = sorted(self.filter.names)
+            if self.filter.topic is not None:
+                params["topic"] = self.filter.topic.hex()
+        return params
+
+    def poll(self) -> List[EventRecord]:
+        """New matching records since the last poll (pages to the head)."""
+        records: List[EventRecord] = []
+        while True:
+            page = self._session.call(
+                "chain_events",
+                cursor=self.cursor,
+                limit=EVENT_PAGE,
+                **self._filter_params(),
+            )
+            records.extend(
+                EventRecord(
+                    sequence=item["sequence"],
+                    block_number=item["block"],
+                    event=codec.event_from_data(wire.unpack(item["event"])),
+                )
+                for item in page["records"]
+            )
+            self.cursor = page["cursor"]
+            if page["cursor"] >= page["head"]:
+                return records
+
+
+class RpcChain:
+    """The :class:`~repro.chain.chain.Chain` surface, spoken over RPC.
+
+    Implements exactly the slice the protocol clients and the session
+    engine use; anything else (mempool introspection, store attachment)
+    is the node's business, not a remote client's.
+    """
+
+    def __init__(self, transport) -> None:
+        self.rpc = RpcSession(transport)
+        self.clock = RemoteClock(self.rpc)
+        self.ledger = RemoteLedger(self.rpc)
+
+    # -- accounts ---------------------------------------------------------------
+
+    def register_account(self, label: str, balance: int = 0) -> Address:
+        result = self.rpc.call("tx_register", label=label, balance=balance)
+        return wire.unpack(result["address"])
+
+    # -- transaction submission -------------------------------------------------
+
+    def send(
+        self,
+        sender: Address,
+        contract: str,
+        method: str,
+        args: Tuple[Any, ...] = (),
+        payload: bytes = b"",
+        value: int = 0,
+    ) -> Transaction:
+        result = self.rpc.call(
+            "tx_send",
+            sender=wire.pack(sender),
+            contract=contract,
+            method=method,
+            args=wire.pack(tuple(args)),
+            payload=payload.hex(),
+            value=value,
+        )
+        transaction = Transaction(
+            sender=sender,
+            contract=contract,
+            method=method,
+            payload=payload,
+            args=tuple(args),
+            value=value,
+            nonce=result["nonce"],
+        )
+        if transaction.tx_hash().hex() != result["tx_hash"]:
+            raise RpcError(
+                "node stamped tx %s but this client derives %s — the "
+                "transaction was altered in transit"
+                % (result["tx_hash"], transaction.tx_hash().hex())
+            )
+        return transaction
+
+    # -- contracts ----------------------------------------------------------------
+
+    def deploy(
+        self,
+        contract,
+        deployer: Address,
+        args: Tuple[Any, ...] = (),
+        payload: bytes = b"",
+        value: int = 0,
+    ) -> Receipt:
+        result = self.rpc.call(
+            "tx_deploy",
+            type=type(contract).__name__,
+            name=contract.name,
+            deployer=wire.pack(deployer),
+            args=wire.pack(tuple(args)),
+            payload=payload.hex(),
+            value=value,
+        )
+        return codec.receipt_from_data(wire.unpack(result["receipt"]))
+
+    def deploy_many(
+        self,
+        deployments: Iterable[Tuple[Any, Address, Tuple[Any, ...], bytes]],
+    ) -> List[Receipt]:
+        result = self.rpc.call(
+            "tx_deploy_many",
+            deployments=[
+                {
+                    "type": type(contract).__name__,
+                    "name": contract.name,
+                    "deployer": wire.pack(deployer),
+                    "args": wire.pack(tuple(args)),
+                    "payload": payload.hex(),
+                }
+                for contract, deployer, args, payload in deployments
+            ],
+        )
+        return [
+            codec.receipt_from_data(wire.unpack(item))
+            for item in result["receipts"]
+        ]
+
+    def contract(self, name: str):
+        """A point-in-time replica of the named contract.
+
+        The replica is a real instance of the contract's class
+        (resolved through :data:`repro.store.codec.CONTRACT_TYPES`)
+        with the node's current storage, so observation helpers like
+        ``HITContract.verdict_of`` work unchanged; it is *not* live —
+        refetch after mining to observe new state.
+        """
+        result = self.rpc.call("chain_contract", name=name)
+        contract = codec.CONTRACT_TYPES[result["type"]](result["name"])
+        contract.storage = wire.unpack(result["storage"])
+        return contract
+
+    # -- block production ---------------------------------------------------------
+
+    def mine_block(self) -> Block:
+        result = self.rpc.call("chain_mine")
+        return codec.block_from_data(wire.unpack(result["block"]))
+
+    # -- observation ---------------------------------------------------------------
+
+    def subscribe(
+        self, filter: Optional[EventFilter] = None, from_start: bool = False
+    ) -> RemoteSubscription:
+        head = self.rpc.call("chain_head")
+        cursor = head["events_pruned"] if from_start else head["events"]
+        return RemoteSubscription(self.rpc, filter, cursor)
+
+    def events_named(
+        self, name: str, contract: Optional[str] = None
+    ) -> List[Event]:
+        filter = (
+            EventFilter.for_contract(contract, names=[name])
+            if contract
+            else EventFilter(names=[name])
+        )
+        subscription = self.subscribe(filter, from_start=True)
+        return [record.event for record in subscription.poll()]
+
+    @property
+    def height(self) -> int:
+        return self.rpc.call("chain_head")["height"]
+
+    @property
+    def blocks(self) -> List[Block]:
+        """Every sealed block, fetched one RPC page at a time.
+
+        An observation convenience mirroring ``Chain.blocks`` for
+        outcome assembly (``HITSession.receipts``); event subscriptions
+        are the scalable read path.
+        """
+        return [
+            codec.block_from_data(
+                wire.unpack(self.rpc.call("chain_block", number=number)["block"])
+            )
+            for number in range(self.height)
+        ]
+
+    @property
+    def total_gas(self) -> int:
+        return self.rpc.call("chain_gas")["total"]
+
+    def state_root(self) -> bytes:
+        """The node's current canonical state root (integrity checks)."""
+        return bytes.fromhex(
+            self.rpc.call("chain_state_root")["state_root"]
+        )
+
+
+class RpcSwarm:
+    """Mirror of :class:`~repro.storage.swarm.SwarmStore` over the node's
+    gateway (real deployments talk to Swarm directly; the node proxies)."""
+
+    def __init__(self, transport) -> None:
+        self.rpc = RpcSession(transport)
+
+    def put(self, content: bytes) -> bytes:
+        return bytes.fromhex(
+            self.rpc.call("swarm_put", data=content.hex())["digest"]
+        )
+
+    def get(self, digest: bytes) -> bytes:
+        return bytes.fromhex(
+            self.rpc.call("swarm_get", digest=digest.hex())["data"]
+        )
+
+
+# ---------------------------------------------------------------------------
+# The protocol clients, re-based
+# ---------------------------------------------------------------------------
+
+
+class RpcRequesterClient(RequesterClient):
+    """A requester whose chain and Swarm live behind a node's RPC surface.
+
+    Identical protocol behaviour to the in-process parent — keys,
+    commitments, and proofs are produced locally; only submissions and
+    observations cross the wire.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        task,
+        transport,
+        balance: Optional[int] = None,
+        secret: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            label,
+            task,
+            RpcChain(transport),
+            RpcSwarm(transport),
+            balance=balance,
+            secret=secret,
+        )
+
+
+class RpcWorkerClient(WorkerClient):
+    """A worker whose chain and Swarm live behind a node's RPC surface."""
+
+    def __init__(
+        self,
+        label: str,
+        transport,
+        answers: Optional[List[int]] = None,
+        answer_strategy: Optional[Callable] = None,
+    ) -> None:
+        super().__init__(
+            label,
+            RpcChain(transport),
+            RpcSwarm(transport),
+            answers=answers,
+            answer_strategy=answer_strategy,
+        )

@@ -1,0 +1,648 @@
+"""The JSON-RPC node front-end: one loaded chain behind a request loop.
+
+:class:`RpcNode` is the transport-agnostic core — a method registry plus
+a single-writer lock around one :class:`~repro.chain.chain.Chain` (and
+its Swarm store and optional :class:`~repro.store.nodestore.NodeStore`).
+Every byte that reaches :meth:`RpcNode.handle` goes through the full
+parse → validate → dispatch pipeline, so the in-memory loopback
+transport used by fast tests exercises exactly the code paths a socket
+does; :class:`RpcHttpServer` adds the stdlib ``http.server`` skin for
+out-of-process clients (``node rpc-serve`` in the CLI).
+
+The method set (versioned by :data:`repro.rpc.wire.PROTOCOL_VERSION`):
+
+* **chain queries** — ``chain_head``, ``chain_block``, ``chain_events``
+  (cursor-based :class:`~repro.chain.eventlog.EventFilter` paging),
+  ``chain_gas``, ``chain_balance``, ``chain_payments``,
+  ``chain_contract``, ``chain_state_root``;
+* **transaction submission** — ``tx_register``, ``tx_deploy`` /
+  ``tx_deploy_many``, and ``tx_send`` (which carries the protocol's
+  ``commit`` / ``reveal`` / ``golden`` / ``evaluate`` /
+  ``evaluate_batch`` / ``outrange`` / ``finalize`` / ``cancel`` phase
+  messages), plus ``chain_mine`` to advance the clock;
+* **node admin** — ``rpc_version``, ``node_status``,
+  ``node_checkpoint``, ``node_prune``;
+* **swarm gateway** — ``swarm_put`` / ``swarm_get`` (task blobs are
+  off-chain content; the node proxies its content-addressed store).
+
+Safety contract (pinned by ``tests/rpc/test_rpc_fuzz.py``): a rejected
+request — malformed JSON, unknown method, wrong param types, oversized
+body, replayed nonce — never changes node state; ``state_root`` is
+byte-identical before and after.  Handlers therefore validate *every*
+param before touching the chain, and mutations go through chain methods
+whose revert semantics already guarantee atomicity.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.chain.chain import Chain
+from repro.chain.eventlog import EventFilter
+from repro.chain.transactions import Transaction, nonce_position
+from repro.errors import ChainError, InvalidTransaction, ReproError
+from repro.ledger.accounts import Address
+from repro.storage.swarm import SwarmStore
+from repro.store import codec
+from repro.store.blockstore import StoreError
+from repro.rpc import wire
+from repro.rpc.wire import WireError
+
+#: Default request-size cap; oversized bodies are rejected before parse.
+MAX_REQUEST_BYTES = 2 * 1024 * 1024
+#: Hard ceiling on one ``chain_events`` page.
+MAX_EVENT_PAGE = 512
+
+_MISSING = object()
+
+
+class _BadParams(Exception):
+    """Internal: a param failed validation (maps to INVALID_PARAMS)."""
+
+
+def _param(
+    params: Dict[str, Any],
+    name: str,
+    kinds: Tuple[type, ...],
+    default: Any = _MISSING,
+) -> Any:
+    """Fetch one JSON-level param with a strict type check."""
+    if name not in params:
+        if default is _MISSING:
+            raise _BadParams("missing param %r" % name)
+        return default
+    value = params[name]
+    # bool is an int subclass; an int-typed param must not accept True.
+    if isinstance(value, bool) and bool not in kinds:
+        raise _BadParams("param %r must be %s, got bool" % (name, kinds))
+    if not isinstance(value, kinds):
+        raise _BadParams(
+            "param %r must be %s, got %s"
+            % (name, "/".join(k.__name__ for k in kinds), type(value).__name__)
+        )
+    return value
+
+
+def _packed(
+    params: Dict[str, Any],
+    name: str,
+    expected: Optional[type] = None,
+    default: Any = _MISSING,
+) -> Any:
+    """Fetch one codec-packed param, optionally pinning its decoded type."""
+    text = _param(params, name, (str,), default=default)
+    if not isinstance(text, str):
+        return text  # the absent-param default (e.g. None)
+    try:
+        value = wire.unpack(text)
+    except WireError as exc:
+        raise _BadParams("param %r: %s" % (name, exc)) from None
+    if expected is not None and type(value) is not expected:
+        raise _BadParams(
+            "param %r must decode to %s, got %s"
+            % (name, expected.__name__, type(value).__name__)
+        )
+    return value
+
+
+def _hex_bytes(
+    params: Dict[str, Any], name: str, default: Any = _MISSING
+) -> Any:
+    """Fetch one plain-hex bytes param."""
+    text = _param(params, name, (str,), default=default)
+    if not isinstance(text, str):
+        return text
+    try:
+        return bytes.fromhex(text)
+    except ValueError:
+        raise _BadParams("param %r is not valid hex" % name) from None
+
+
+class RpcNode:
+    """One node — chain, swarm, optional store — behind a method registry.
+
+    All dispatch runs under a re-entrant lock: the chain is a
+    single-writer state machine and the HTTP transport is threaded, so
+    requests serialize here, exactly like transactions in a block.
+    """
+
+    def __init__(
+        self,
+        chain: Optional[Chain] = None,
+        swarm: Optional[SwarmStore] = None,
+        store=None,
+        max_request_bytes: int = MAX_REQUEST_BYTES,
+    ) -> None:
+        self.chain = chain if chain is not None else Chain()
+        self.swarm = swarm if swarm is not None else SwarmStore()
+        self.store = store
+        self.max_request_bytes = max_request_bytes
+        self.requests_served = 0
+        self.requests_rejected = 0
+        self._lock = threading.RLock()
+        self._methods: Dict[str, Callable[[Dict[str, Any]], Any]] = {
+            "rpc_version": self._rpc_version,
+            "chain_head": self._chain_head,
+            "chain_block": self._chain_block,
+            "chain_events": self._chain_events,
+            "chain_gas": self._chain_gas,
+            "chain_balance": self._chain_balance,
+            "chain_payments": self._chain_payments,
+            "chain_contract": self._chain_contract,
+            "chain_state_root": self._chain_state_root,
+            "chain_mine": self._chain_mine,
+            "tx_register": self._tx_register,
+            "tx_send": self._tx_send,
+            "tx_deploy": self._tx_deploy,
+            "tx_deploy_many": self._tx_deploy_many,
+            "node_status": self._node_status,
+            "node_checkpoint": self._node_checkpoint,
+            "node_prune": self._node_prune,
+            "swarm_put": self._swarm_put,
+            "swarm_get": self._swarm_get,
+        }
+
+    # ------------------------------------------------------------------
+    # The request pipeline
+    # ------------------------------------------------------------------
+
+    def note_rejected(self) -> None:
+        """Count a rejection decided outside :meth:`handle` (e.g. the
+        HTTP layer refusing an oversized body from its header alone)."""
+        with self._lock:
+            self.requests_rejected += 1
+
+    def handle(self, raw: bytes) -> bytes:
+        """One request in, one response out — never an exception."""
+        response, served = self._handle_raw(raw)
+        # Handler threads are concurrent; the counters are shared state
+        # like everything else on the node, so they mutate under the lock.
+        with self._lock:
+            if served:
+                self.requests_served += 1
+            else:
+                self.requests_rejected += 1
+        return response
+
+    def _handle_raw(self, raw: bytes) -> Tuple[bytes, bool]:
+        if len(raw) > self.max_request_bytes:
+            return wire.failure(
+                None,
+                wire.OVERSIZED_REQUEST,
+                "request of %d bytes exceeds the %d-byte cap"
+                % (len(raw), self.max_request_bytes),
+            ), False
+        try:
+            envelope = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return wire.failure(
+                None, wire.PARSE_ERROR, "parse error: %s" % exc
+            ), False
+
+        if not isinstance(envelope, dict):
+            return wire.failure(
+                None, wire.INVALID_REQUEST,
+                "request must be a single JSON object (batches unsupported)",
+            ), False
+        request_id = envelope.get("id")
+        if not (request_id is None or isinstance(request_id, (int, str))):
+            request_id = None
+        if envelope.get("jsonrpc") != "2.0":
+            return wire.failure(
+                request_id, wire.INVALID_REQUEST,
+                'request needs "jsonrpc": "2.0"',
+            ), False
+        method = envelope.get("method")
+        if not isinstance(method, str):
+            return wire.failure(
+                request_id, wire.INVALID_REQUEST, "method must be a string"
+            ), False
+        params = envelope.get("params", {})
+        if not isinstance(params, dict):
+            return wire.failure(
+                request_id, wire.INVALID_REQUEST, "params must be an object"
+            ), False
+        handler = self._methods.get(method)
+        if handler is None:
+            return wire.failure(
+                request_id, wire.METHOD_NOT_FOUND, "no method %r" % method
+            ), False
+        try:
+            with self._lock:
+                result = handler(params)
+        except _BadParams as exc:
+            return wire.failure(request_id, wire.INVALID_PARAMS, str(exc)), False
+        except ReproError as exc:
+            code, message, data = wire.exception_to_error(exc)
+            return wire.failure(request_id, code, message, data), False
+        except Exception as exc:  # a handler bug must not kill the server
+            return wire.failure(
+                request_id,
+                wire.INTERNAL_ERROR,
+                "internal error: %s: %s" % (type(exc).__name__, exc),
+            ), False
+        return wire.success(request_id, result), True
+
+    # ------------------------------------------------------------------
+    # Admin
+    # ------------------------------------------------------------------
+
+    def _rpc_version(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "protocol": wire.PROTOCOL_VERSION,
+            "schema": codec.SCHEMA_VERSION,
+            "methods": sorted(self._methods),
+        }
+
+    def _node_status(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        # No state_root here: hashing it re-encodes the entire chain
+        # under the node lock, which a routine status probe must not
+        # cost.  `chain_state_root` is the explicit, priced request.
+        chain = self.chain
+        return {
+            "state_dir": self.store.state_dir if self.store else None,
+            "height": chain.height,
+            "period": chain.clock.period,
+            "accounts": len(chain.registry),
+            "contracts": len(chain._contracts),
+            "events": len(chain.event_log),
+            "events_pruned": chain.event_log.pruned,
+            "mempool": len(chain.mempool),
+            "next_nonce": nonce_position(),
+            "total_gas": chain.total_gas,
+            "requests_served": self.requests_served,
+            "requests_rejected": self.requests_rejected,
+        }
+
+    def _node_checkpoint(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        if self.store is None:
+            raise StoreError(
+                "no state directory attached — start the node with one "
+                "(`node rpc-serve --state-dir ...`) to checkpoint"
+            )
+        root = self.store.save(self.chain)
+        return {"state_root": root.hex(), "height": self.chain.height}
+
+    def _node_prune(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        through = _param(params, "through", (int,), default=None)
+        dropped = self.chain.event_log.prune(through=through)
+        if dropped and self.store is not None:
+            self.store.note_prune(self.chain)
+        return {"dropped": dropped, "pruned": self.chain.event_log.pruned}
+
+    # ------------------------------------------------------------------
+    # Chain queries
+    # ------------------------------------------------------------------
+
+    def _chain_head(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        blocks = self.chain.blocks
+        return {
+            "height": self.chain.height,
+            "period": self.chain.clock.period,
+            "block_hash": blocks[-1].block_hash().hex() if blocks else None,
+            "events": len(self.chain.event_log),
+            "events_pruned": self.chain.event_log.pruned,
+        }
+
+    def _chain_block(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        number = _param(params, "number", (int,))
+        if not 0 <= number < self.chain.height:
+            raise ChainError(
+                "no block %d (height is %d)" % (number, self.chain.height)
+            )
+        return {"block": wire.pack(codec.block_to_data(self.chain.blocks[number]))}
+
+    def _chain_events(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        cursor = _param(params, "cursor", (int,), default=0)
+        limit = _param(params, "limit", (int,), default=MAX_EVENT_PAGE)
+        contract = _packed(params, "contract", Address, default=None)
+        names = _param(params, "names", (list,), default=None)
+        topic = _hex_bytes(params, "topic", default=None)
+        if cursor < 0:
+            raise _BadParams("cursor must be >= 0")
+        if not 1 <= limit <= MAX_EVENT_PAGE:
+            raise _BadParams("limit must be in 1..%d" % MAX_EVENT_PAGE)
+        if names is not None and not all(
+            isinstance(name, str) for name in names
+        ):
+            raise _BadParams("names must be a list of strings")
+        log = self.chain.event_log
+        if cursor < log.pruned:
+            # Refuse rather than silently resume past the gap: a reader
+            # whose cursor fell behind a compaction has *lost* events.
+            raise ChainError(
+                "cursor %d precedes the pruned base %d — events were "
+                "compacted away; restart from a fresh subscription"
+                % (cursor, log.pruned)
+            )
+        filter = (
+            None
+            if contract is None and names is None and topic is None
+            else EventFilter(contract=contract, names=names, topic=topic)
+        )
+        records: List[Dict[str, Any]] = []
+        next_cursor = cursor
+        exhausted = True
+        for record in log.iter_since(cursor):
+            if filter is not None and not filter.matches(record.event):
+                next_cursor = record.sequence + 1
+                continue
+            if len(records) == limit:
+                exhausted = False
+                break
+            records.append(
+                {
+                    "sequence": record.sequence,
+                    "block": record.block_number,
+                    "event": wire.pack(codec.event_to_data(record.event)),
+                }
+            )
+            next_cursor = record.sequence + 1
+        if exhausted:
+            next_cursor = len(log)
+        return {
+            "records": records,
+            "cursor": next_cursor,
+            "head": len(log),
+            "pruned": log.pruned,
+        }
+
+    def _chain_gas(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "total": self.chain.total_gas,
+            "by_sender": wire.pack(dict(self.chain.gas_by_sender)),
+        }
+
+    def _chain_balance(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        address = _packed(params, "address", Address)
+        return {"balance": self.chain.ledger.balance_of(address)}
+
+    def _chain_payments(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        address = _packed(params, "address", Address)
+        return {
+            "entries": wire.pack(
+                [
+                    codec.ledger_entry_to_data(entry)
+                    for entry in self.chain.ledger.payments_to(address)
+                ]
+            )
+        }
+
+    def _chain_contract(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        name = _param(params, "name", (str,))
+        contract = self.chain.contract(name)
+        return {
+            "type": type(contract).__name__,
+            "name": contract.name,
+            "address": wire.pack(contract.address),
+            "storage": wire.pack(contract.storage),
+        }
+
+    def _chain_state_root(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return {"state_root": codec.state_root(self.chain).hex()}
+
+    # ------------------------------------------------------------------
+    # Transaction submission
+    # ------------------------------------------------------------------
+
+    def _tx_register(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        label = _param(params, "label", (str,))
+        balance = _param(params, "balance", (int,), default=0)
+        if balance < 0:
+            raise _BadParams("balance must be >= 0")
+        address = self.chain.register_account(label, balance)
+        return {"address": wire.pack(address)}
+
+    def _tx_send(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        sender = _packed(params, "sender", Address)
+        contract = _param(params, "contract", (str,))
+        method = _param(params, "method", (str,))
+        args = _packed(params, "args", tuple, default=())
+        if not isinstance(args, tuple):
+            raise _BadParams("args must decode to a tuple")
+        payload = _hex_bytes(params, "payload", default=b"")
+        value = _param(params, "value", (int,), default=0)
+        nonce = _param(params, "nonce", (int,), default=None)
+        if value < 0:
+            raise _BadParams("value must be >= 0")
+        if method.startswith("_") or not method:
+            raise InvalidTransaction("method %r is not callable" % method)
+        if not self.chain.registry.is_granted(sender):
+            raise InvalidTransaction(
+                "sender %s is not a registered identity" % sender
+            )
+        if nonce is not None and nonce != nonce_position():
+            # Replay/gap protection: an explicit nonce must be exactly
+            # the next one this node will stamp.
+            raise InvalidTransaction(
+                "replayed or out-of-order nonce %d (next is %d)"
+                % (nonce, nonce_position())
+            )
+        transaction = self.chain.send(
+            sender, contract, method, args=args, payload=payload, value=value
+        )
+        return {
+            "nonce": transaction.nonce,
+            "tx_hash": transaction.tx_hash().hex(),
+        }
+
+    def _deployment_from_params(
+        self, params: Dict[str, Any]
+    ) -> Tuple[Any, Address, tuple, bytes]:
+        kind = _param(params, "type", (str,))
+        name = _param(params, "name", (str,))
+        deployer = _packed(params, "deployer", Address)
+        args = _packed(params, "args", tuple, default=())
+        payload = _hex_bytes(params, "payload", default=b"")
+        contract_cls = codec.CONTRACT_TYPES.get(kind)
+        if contract_cls is None:
+            raise InvalidTransaction(
+                "unknown contract type %r (deployable: %s)"
+                % (kind, ", ".join(sorted(codec.CONTRACT_TYPES)))
+            )
+        if not self.chain.registry.is_granted(deployer):
+            raise InvalidTransaction(
+                "deployer %s is not a registered identity" % deployer
+            )
+        return contract_cls(name), deployer, args, payload
+
+    def _tx_deploy(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        contract, deployer, args, payload = self._deployment_from_params(params)
+        value = _param(params, "value", (int,), default=0)
+        if value < 0:
+            raise _BadParams("value must be >= 0")
+        receipt = self.chain.deploy(
+            contract, deployer, args=args, payload=payload, value=value
+        )
+        return {"receipt": wire.pack(codec.receipt_to_data(receipt))}
+
+    def _tx_deploy_many(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        items = _param(params, "deployments", (list,))
+        if not items:
+            raise _BadParams("deployments must be a non-empty list")
+        deployments = []
+        for item in items:
+            if not isinstance(item, dict):
+                raise _BadParams("each deployment must be an object")
+            deployments.append(self._deployment_from_params(item))
+        receipts = self.chain.deploy_many(deployments)
+        return {
+            "receipts": [
+                wire.pack(codec.receipt_to_data(receipt)) for receipt in receipts
+            ]
+        }
+
+    def _chain_mine(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        block = self.chain.mine_block()
+        return {
+            "block": wire.pack(codec.block_to_data(block)),
+            "period": self.chain.clock.period,
+            "height": self.chain.height,
+        }
+
+    # ------------------------------------------------------------------
+    # Swarm gateway
+    # ------------------------------------------------------------------
+
+    def _swarm_put(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        data = _hex_bytes(params, "data")
+        return {"digest": self.swarm.put(data).hex()}
+
+    def _swarm_get(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        digest = _hex_bytes(params, "digest")
+        return {"data": self.swarm.get(digest).hex()}
+
+
+# ---------------------------------------------------------------------------
+# The HTTP transport skin
+# ---------------------------------------------------------------------------
+
+
+class _RpcRequestHandler(BaseHTTPRequestHandler):
+    """POST / or /rpc carries JSON-RPC; GET /health is a liveness probe."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "DragoonRpc/%d" % wire.PROTOCOL_VERSION
+    # Small request/response pairs on one keep-alive connection are the
+    # workload; Nagle + delayed ACK would add ~40ms to every round trip.
+    disable_nagle_algorithm = True
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # request logging stays out of stdout (the CLI owns it)
+
+    def _respond(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        node: RpcNode = self.server.node  # type: ignore[attr-defined]
+        if self.path not in ("/", "/rpc"):
+            self._respond(
+                404, wire.failure(None, wire.INVALID_REQUEST,
+                                  "no such endpoint %r" % self.path)
+            )
+            # The unread body would desync the next keep-alive request.
+            self.close_connection = True
+            return
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            length = -1
+        if length < 0:
+            self._respond(
+                411, wire.failure(None, wire.INVALID_REQUEST,
+                                  "a non-negative Content-Length is required")
+            )
+            self.close_connection = True
+            return
+        if length > node.max_request_bytes:
+            # Reject from the header alone — never buffer an oversized
+            # body into memory.
+            node.note_rejected()
+            self._respond(
+                413,
+                wire.failure(
+                    None, wire.OVERSIZED_REQUEST,
+                    "request of %d bytes exceeds the %d-byte cap"
+                    % (length, node.max_request_bytes),
+                ),
+            )
+            self.close_connection = True
+            return
+        raw = self.rfile.read(length)
+        self._respond(200, node.handle(raw))
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        node: RpcNode = self.server.node  # type: ignore[attr-defined]
+        if self.path != "/health":
+            self._respond(
+                404, wire.failure(None, wire.INVALID_REQUEST,
+                                  "no such endpoint %r" % self.path)
+            )
+            return
+        body = json.dumps(
+            {"ok": True, "height": node.chain.height,
+             "protocol": wire.PROTOCOL_VERSION}
+        ).encode("utf-8")
+        self._respond(200, body)
+
+
+class RpcHttpServer:
+    """A threaded localhost JSON-RPC server around one :class:`RpcNode`.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`).
+    Use as a context manager in tests; long-lived processes call
+    :meth:`serve_forever` (the CLI's ``node rpc-serve``).
+    """
+
+    def __init__(
+        self, node: RpcNode, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.node = node
+        self._httpd = ThreadingHTTPServer((host, port), _RpcRequestHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.node = node  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d/rpc" % (self.host, self.port)
+
+    def start(self) -> "RpcHttpServer":
+        """Serve on a daemon thread (tests, embedded use)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="rpc-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (the CLI)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "RpcHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

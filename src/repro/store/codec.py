@@ -323,6 +323,37 @@ def event_from_data(data: Dict[str, Any]) -> Event:
     )
 
 
+def receipt_to_data(receipt: Receipt) -> Dict[str, Any]:
+    """A standalone receipt with its transaction inlined.
+
+    Blocks encode receipts with a transaction *index* (the sealed
+    objects share identity); a receipt travelling alone — an RPC
+    ``tx_deploy`` response, a contract-test comparison — carries the
+    transaction itself.
+    """
+    return {
+        "transaction": transaction_to_data(receipt.transaction),
+        "status": receipt.status,
+        "gas_used": receipt.gas_used,
+        "gas_breakdown": receipt.gas_breakdown,
+        "events": [event_to_data(event) for event in receipt.events],
+        "revert_reason": receipt.revert_reason,
+        "block_number": receipt.block_number,
+    }
+
+
+def receipt_from_data(data: Dict[str, Any]) -> Receipt:
+    return Receipt(
+        transaction=transaction_from_data(data["transaction"]),
+        status=data["status"],
+        gas_used=data["gas_used"],
+        gas_breakdown=data["gas_breakdown"],
+        events=tuple(event_from_data(item) for item in data["events"]),
+        revert_reason=data["revert_reason"],
+        block_number=data["block_number"],
+    )
+
+
 def block_to_data(block: Block) -> Dict[str, Any]:
     """A block with receipts referencing transactions *by index* (the
     live objects share identity; the encoding shares the reference)."""

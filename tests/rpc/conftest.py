@@ -1,0 +1,72 @@
+"""Fixtures for the RPC boundary suite.
+
+``rpc_setup`` is parametrized over both transports, so every test that
+uses it runs once against the in-memory loopback (full wire encoding,
+no socket) and once against a real localhost HTTP socket — the CI
+``rpc`` lane relies on this to exercise the socket path without a
+separate harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.transactions import scoped_tx_nonces
+from repro.crypto.rng import deterministic_entropy
+from repro.rpc import (
+    HitSpec,
+    HttpTransport,
+    LoopbackTransport,
+    RpcChain,
+    RpcHttpServer,
+    RpcNode,
+    RpcRequesterClient,
+    RpcSwarm,
+    RpcWorkerClient,
+    run_hits,
+)
+from tests.helpers import small_task
+
+
+@pytest.fixture(params=["loopback", "http"])
+def rpc_setup(request):
+    """A fresh node plus a transport to it: ``(node, transport)``."""
+    node = RpcNode()
+    if request.param == "loopback":
+        yield node, LoopbackTransport(node)
+    else:
+        with RpcHttpServer(node) as server:
+            transport = HttpTransport(server.url)
+            yield node, transport
+            transport.close()
+
+
+@pytest.fixture
+def loopback_node():
+    """A fresh node behind loopback only (fuzz and paging tests)."""
+    node = RpcNode()
+    return node, LoopbackTransport(node)
+
+
+def rpc_client_factories(transport):
+    """The ``run_hits`` factories for the RPC front-end."""
+    return (
+        lambda label, task: RpcRequesterClient(label, task, transport),
+        lambda label, answers: RpcWorkerClient(
+            label, transport, answers=answers
+        ),
+    )
+
+
+def run_one_hit(transport, seed: int = 7, label: str = "alice"):
+    """One seeded two-worker HIT through RPC clients; returns outcomes."""
+    requester_factory, worker_factory = rpc_client_factories(transport)
+    specs = [HitSpec(0, label, small_task(), [[0] * 10, [1] * 10])]
+    with scoped_tx_nonces(), deterministic_entropy(seed):
+        return run_hits(
+            RpcChain(transport),
+            RpcSwarm(transport),
+            specs,
+            requester_factory,
+            worker_factory,
+        )

@@ -1,0 +1,134 @@
+"""Cursor-paged event reads under compaction: no skips, no duplicates.
+
+RPC readers hold *client-side* cursors — the node does not know they
+exist, so :meth:`EventLog.prune` can outrun them.  The contract pinned
+here: paging with a cursor that stays at or ahead of the prune base
+delivers every event exactly once, across page boundaries and across
+prunes; a cursor that falls *behind* the base errors loudly (events
+were compacted away) instead of silently resuming past the gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.eventlog import EventFilter
+from repro.errors import ChainError
+from repro.ledger.accounts import Address
+from repro.rpc import LoopbackTransport, RpcChain, RpcNode, wire
+from tests.rpc.conftest import run_one_hit
+
+
+@pytest.fixture
+def event_node():
+    """A node whose log holds one settled HIT's events, plus its client."""
+    node = RpcNode()
+    transport = LoopbackTransport(node)
+    run_one_hit(transport)
+    return node, RpcChain(transport)
+
+
+def all_sequences(chain: RpcChain) -> list:
+    subscription = chain.subscribe(from_start=True)
+    return [record.sequence for record in subscription.poll()]
+
+
+def page(chain: RpcChain, cursor: int, limit: int, **filters):
+    return chain.rpc.call(
+        "chain_events", cursor=cursor, limit=limit, **filters
+    )
+
+
+def test_paged_read_with_prune_mid_pagination(event_node):
+    node, chain = event_node
+    expected = all_sequences(chain)
+    assert len(expected) >= 8, "scenario produced too few events to page"
+
+    seen = []
+    cursor = 0
+    while True:
+        result = page(chain, cursor, limit=2)
+        seen.extend(item["sequence"] for item in result["records"])
+        cursor = result["cursor"]
+        # Compact everything this reader has consumed, *between* its
+        # pages — the exact interleaving a long-running node performs.
+        pruned = chain.rpc.call("node_prune", through=cursor)
+        assert pruned["pruned"] <= cursor
+        if cursor >= result["head"]:
+            break
+    assert seen == expected  # nothing skipped, nothing duplicated
+    assert node.chain.event_log.pruned == len(node.chain.event_log)
+
+
+def test_cursor_behind_the_prune_base_errors_loudly(event_node):
+    node, chain = event_node
+    head = len(node.chain.event_log)
+    assert chain.rpc.call("node_prune", through=head)["pruned"] == head
+    with pytest.raises(ChainError) as err:
+        page(chain, 0, limit=10)
+    assert "compacted away" in str(err.value)
+    # A cursor at the base (or ahead) still reads cleanly.
+    result = page(chain, head, limit=10)
+    assert result["records"] == [] and result["cursor"] == head
+
+
+def test_remote_subscription_resumes_across_prune(event_node):
+    node, chain = event_node
+    subscription = chain.subscribe(from_start=True)
+    first = subscription.poll()
+    assert first and subscription.cursor == len(node.chain.event_log)
+    # Prune what the subscription consumed; its next poll is unaffected.
+    chain.rpc.call("node_prune", through=subscription.cursor)
+    assert subscription.poll() == []
+    # New traffic lands after the base and is delivered exactly once.
+    run_one_hit(LoopbackTransport(node), seed=11, label="bob")
+    fresh = subscription.poll()
+    assert fresh
+    assert [record.sequence for record in fresh] == list(
+        range(len(node.chain.event_log) - len(fresh),
+              len(node.chain.event_log))
+    )
+    assert subscription.poll() == []
+
+
+def test_stale_subscription_raises_after_compaction(event_node):
+    node, chain = event_node
+    stale = chain.subscribe(from_start=True)  # cursor pinned at base 0
+    chain.rpc.call("node_prune", through=len(node.chain.event_log))
+    with pytest.raises(ChainError):
+        stale.poll()
+
+
+def test_filtered_paging_tracks_scanned_position(event_node):
+    node, chain = event_node
+    contract = Address.from_label("contract:hit:alice")
+    filtered = page(
+        chain, 0, limit=1,
+        contract=wire.pack(contract), names=["committed"],
+    )
+    assert len(filtered["records"]) == 1
+    # The next cursor sits just past the match — not at the head — so a
+    # second page picks up the second commit without rescanning.
+    second = page(
+        chain, filtered["cursor"], limit=1,
+        contract=wire.pack(contract), names=["committed"],
+    )
+    assert len(second["records"]) == 1
+    assert second["records"][0]["sequence"] > filtered["records"][0]["sequence"]
+    # Exhausting the filter advances the cursor to the head.
+    rest = page(
+        chain, second["cursor"], limit=100,
+        contract=wire.pack(contract), names=["committed"],
+    )
+    assert rest["records"] == []
+    assert rest["cursor"] == rest["head"]
+
+
+def test_events_named_matches_in_process_view(event_node):
+    node, chain = event_node
+    remote = chain.events_named("revealed", "hit:alice")
+    local = node.chain.events_named("revealed", "hit:alice")
+    assert len(remote) == len(local) == 2
+    assert [event.payload["worker"] for event in remote] == [
+        event.payload["worker"] for event in local
+    ]

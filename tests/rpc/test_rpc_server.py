@@ -1,0 +1,133 @@
+"""Method-level behaviour of the RPC node, over both transports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RpcError
+from repro.ledger.accounts import Address
+from repro.rpc import LoopbackTransport, RpcChain, RpcNode, RpcSwarm, wire
+from repro.store import NodeStore, codec
+from repro.storage.swarm import SwarmError
+from tests.rpc.conftest import run_one_hit
+
+
+def test_version_reports_protocol_schema_and_methods(rpc_setup):
+    node, transport = rpc_setup
+    chain = RpcChain(transport)
+    report = chain.rpc.version()  # raises on any mismatch
+    assert report["protocol"] == wire.PROTOCOL_VERSION
+    assert report["schema"] == codec.SCHEMA_VERSION
+    assert set(report["methods"]) == set(node._methods)
+    assert "chain_events" in report["methods"]
+
+
+def test_head_block_and_mining(rpc_setup):
+    node, transport = rpc_setup
+    chain = RpcChain(transport)
+    head = chain.rpc.call("chain_head")
+    assert head == {
+        "height": 0, "period": 0, "block_hash": None,
+        "events": 0, "events_pruned": 0,
+    }
+    block = chain.mine_block()
+    assert block.number == 0
+    assert chain.height == 1
+    assert chain.clock.period == 1
+    fetched = chain.blocks[0]
+    assert fetched.block_hash() == node.chain.blocks[0].block_hash()
+    with pytest.raises(Exception) as err:
+        chain.rpc.call("chain_block", number=7)
+    assert "no block 7" in str(err.value)
+
+
+def test_register_send_and_ledger_reads(rpc_setup):
+    node, transport = rpc_setup
+    chain = RpcChain(transport)
+    alice = chain.register_account("alice", 250)
+    assert alice == Address.from_label("alice")
+    assert chain.ledger.balance_of(alice) == 250
+    # Registration is idempotent, like the in-process registry.
+    again = chain.register_account("alice", 10)
+    assert again == alice
+    assert chain.ledger.balance_of(alice) == 250
+    assert chain.ledger.payments_to(alice) == []
+    assert chain.total_gas == 0
+
+
+def test_contract_replica_and_gas_after_a_hit(rpc_setup):
+    node, transport = rpc_setup
+    outcomes = run_one_hit(transport)
+    replica = RpcChain(transport).contract("hit:alice")
+    assert type(replica).__name__ == "HITContract"
+    assert replica.address == Address.from_label("contract:hit:alice")
+    assert replica.storage == node.chain.contract("hit:alice").storage
+    assert replica.verdict_of(outcomes[0].workers[1].address) is not None
+    gas = RpcChain(transport).rpc.call("chain_gas")
+    assert gas["total"] == node.chain.total_gas > 0
+    by_sender = wire.unpack(gas["by_sender"])
+    assert by_sender == node.chain.gas_by_sender
+
+
+def test_transaction_round_trip_preserves_hash(rpc_setup):
+    node, transport = rpc_setup
+    chain = RpcChain(transport)
+    outcomes = run_one_hit(transport, seed=3)
+    requester = outcomes[0].requester
+    transaction = chain.send(
+        requester.address, "hit:alice", "finalize", args=(), payload=b""
+    )
+    # The client-side reconstruction hashed identically to the node's
+    # stamp (send() verifies), and the mined receipt carries it.
+    block = chain.mine_block()
+    assert block.transactions[-1].tx_hash() == transaction.tx_hash()
+
+
+def test_swarm_gateway_round_trips_and_misses(rpc_setup):
+    _, transport = rpc_setup
+    swarm = RpcSwarm(transport)
+    digest = swarm.put(b"question blob")
+    assert swarm.get(digest) == b"question blob"
+    with pytest.raises(SwarmError):
+        swarm.get(b"\x00" * 32)
+
+
+def test_node_status_and_checkpoint_with_store(tmp_path):
+    store = NodeStore.init(str(tmp_path / "node"))
+    chain, _ = store.load(apply_runtime=False)
+    chain.attach_store(store)
+    node = RpcNode(chain=chain, store=store)
+    transport = LoopbackTransport(node)
+    rpc_chain = RpcChain(transport)
+    rpc_chain.register_account("alice", 50)
+    rpc_chain.mine_block()
+    status = rpc_chain.rpc.call("node_status")
+    assert status["state_dir"] == str(tmp_path / "node")
+    assert status["height"] == 1
+    assert status["accounts"] == 1
+    result = rpc_chain.rpc.call("node_checkpoint")
+    assert result["height"] == 1
+    # The snapshot on disk reaches the live chain's root.
+    reloaded, meta = NodeStore.open(str(tmp_path / "node")).load()
+    assert meta["state_root"].hex() == result["state_root"]
+    assert codec.state_root(reloaded) == codec.state_root(node.chain)
+
+
+def test_checkpoint_without_store_is_a_store_error():
+    node = RpcNode()
+    chain = RpcChain(LoopbackTransport(node))
+    with pytest.raises(Exception) as err:
+        chain.rpc.call("node_checkpoint")
+    assert "state directory" in str(err.value)
+
+
+def test_client_refuses_incompatible_server_version():
+    node = RpcNode()
+    transport = LoopbackTransport(node)
+    original = node._rpc_version
+    node._methods["rpc_version"] = lambda params: {
+        **original(params), "protocol": 999
+    }
+    with pytest.raises(RpcError) as err:
+        RpcChain(transport).rpc.version()
+    assert "protocol" in str(err.value)

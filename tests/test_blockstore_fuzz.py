@@ -1,0 +1,153 @@
+"""Byte-level WAL fuzz: recovery never loads a wrong state.
+
+The WAL's crash contract (module docstring of
+:mod:`repro.store.blockstore`): replay applies every *intact* record and
+stops cleanly at the first torn or corrupted one.  This test makes the
+contract exhaustive rather than anecdotal — the log of a small run is
+truncated at **every** byte offset and corrupted at **every** byte
+offset, and each damaged variant must land in exactly one of two
+outcomes:
+
+* a loud :class:`~repro.store.blockstore.StoreError` (unrecognizable
+  file, broken magic, schema violation surfaced by a decoded-but-wrong
+  record), or
+* a clean load whose ``state_root`` equals one of the **prefix** states
+  of the original run (snapshot + the first *k* records, for some k).
+
+Anything else — a load that succeeds with a root outside the prefix set
+— would be silent corruption, the one outcome recovery must never
+produce.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.chain.transactions import scoped_tx_nonces
+from repro.crypto.rng import deterministic_entropy
+from repro.store import NodeStore, codec
+from repro.store.blockstore import WAL_MAGIC, StoreError
+from repro.store.nodestore import WAL_NAME
+
+
+@pytest.fixture(scope="module")
+def walled_node(tmp_path_factory):
+    """A state dir whose WAL holds a few small block records, plus the
+    state roots of every replay prefix (0..N records)."""
+    state_dir = str(tmp_path_factory.mktemp("wal-fuzz") / "node")
+    with scoped_tx_nonces(), deterministic_entropy(42):
+        chain = Chain()
+        store = NodeStore.init(state_dir, chain=chain)
+        chain.attach_store(store)
+        chain.register_account("alice", 100)
+        chain.mine_block()
+        chain.register_account("bob", 55)
+        chain.ledger.mint(chain.registry.grant("alice"), 7, memo="fuzz")
+        chain.mine_block()
+        chain.mine_block()  # an empty block: time passes without traffic
+        store.wal.close()
+
+    wal_path = os.path.join(state_dir, WAL_NAME)
+    with open(wal_path, "rb") as handle:
+        original = handle.read()
+
+    # Prefix roots: replay 0, 1, ... N records on top of the snapshot.
+    records = list(NodeStore.open(state_dir).wal.records())
+    assert len(records) == 3, "fixture drifted: expected one WAL record per block"
+    prefix_roots = set()
+    for keep in range(len(records) + 1):
+        from repro.store.blockstore import apply_record, load_snapshot
+
+        manifest = NodeStore.open(state_dir).manifest()
+        prefix_chain, _ = load_snapshot(
+            os.path.join(state_dir, manifest["snapshot"])
+        )
+        for record in records[:keep]:
+            apply_record(prefix_chain, record)
+        prefix_roots.add(codec.state_root(prefix_chain))
+    assert len(prefix_roots) == len(records) + 1, (
+        "every prefix must be distinguishable for the fuzz to mean anything"
+    )
+    return state_dir, wal_path, original, prefix_roots
+
+
+def _load_outcome(state_dir: str, prefix_roots: set) -> str:
+    """Load the (damaged) state dir; classify the outcome."""
+    try:
+        chain, _ = NodeStore.open(state_dir).load()
+    except StoreError:
+        return "refused"
+    root = codec.state_root(chain)
+    assert root in prefix_roots, (
+        "recovery produced a state that is no prefix of the original run"
+    )
+    return "prefix"
+
+
+def test_truncation_at_every_offset_recovers_a_prefix_or_refuses(walled_node):
+    state_dir, wal_path, original, prefix_roots = walled_node
+    outcomes = {"refused": 0, "prefix": 0}
+    for cut in range(len(original) + 1):
+        with open(wal_path, "wb") as handle:
+            handle.write(original[:cut])
+        outcomes[_load_outcome(state_dir, prefix_roots)] += 1
+    with open(wal_path, "wb") as handle:
+        handle.write(original)
+    # Both documented behaviours genuinely occur: a cut *inside* the
+    # magic is refused (cut 0 is a legitimately empty WAL); anything
+    # past it replays the intact records and drops the torn tail.
+    assert outcomes["refused"] == len(WAL_MAGIC) - 1
+    assert outcomes["prefix"] == len(original) + 2 - len(WAL_MAGIC)
+
+
+def test_corruption_at_every_offset_never_loads_a_wrong_state(walled_node):
+    state_dir, wal_path, original, prefix_roots = walled_node
+    outcomes = {"refused": 0, "prefix": 0}
+    for offset in range(len(original)):
+        damaged = bytearray(original)
+        damaged[offset] ^= 0xFF
+        with open(wal_path, "wb") as handle:
+            handle.write(bytes(damaged))
+        outcomes[_load_outcome(state_dir, prefix_roots)] += 1
+    with open(wal_path, "wb") as handle:
+        handle.write(original)
+    # A flipped magic byte is refused; a flipped record byte (length,
+    # checksum, or payload) truncates replay to the records before it.
+    assert outcomes["refused"] == len(WAL_MAGIC)
+    assert outcomes["prefix"] == len(original) - len(WAL_MAGIC)
+
+
+def test_full_log_still_replays_to_the_final_state(walled_node):
+    """The fixture's undamaged WAL reaches the run's own final root."""
+    state_dir, wal_path, original, prefix_roots = walled_node
+    with open(wal_path, "wb") as handle:
+        handle.write(original)
+    chain, meta = NodeStore.open(state_dir).load()
+    assert meta["replayed"] == 3
+    assert codec.state_root(chain) in prefix_roots
+    assert chain.height == 3
+    assert chain.ledger.balance_of(chain.registry.grant("alice")) == 107
+
+
+def test_append_after_a_torn_tail_truncates_first(walled_node, tmp_path):
+    """The writer side of the same contract: appending to a WAL whose
+    tail is torn cuts the tear away so later records stay reachable."""
+    import shutil
+
+    state_dir, wal_path, original, _ = walled_node
+    with open(wal_path, "wb") as handle:
+        handle.write(original)
+    damaged_dir = str(tmp_path / "damaged")
+    shutil.copytree(state_dir, damaged_dir)
+    damaged_wal = os.path.join(damaged_dir, WAL_NAME)
+    with open(damaged_wal, "ab") as handle:
+        handle.write(b"\x00\x00\x01\x00TORN")  # half an append
+    store = NodeStore.open(damaged_dir)
+    assert len(store.wal) == 3  # the tear hides nothing before it
+    store.wal.append({"kind": "prune", "schema": codec.SCHEMA_VERSION,
+                      "event_base": 0})
+    store.wal.close()
+    assert len(list(store.wal.records())) == 4  # tear gone, append intact

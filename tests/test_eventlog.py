@@ -235,3 +235,30 @@ def test_session_engine_survives_pruning_between_steps():
         engine.chain.event_log.prune()
     assert session.outcome().payments() == {"w0": 50, "w1": 50}
     assert engine.chain.event_log.pruned > 0
+
+
+def test_paged_cursor_reads_survive_interleaved_pruning():
+    """RPC-style paged reads: a reader that pages `since(cursor)` in
+    small chunks and lets the log compact behind it sees every record
+    exactly once (the server-side loop in repro.rpc pins the same
+    semantics over the wire)."""
+    log = EventLog()
+    address = Address.from_label("pager")
+    for index in range(11):
+        log.append(index, Event(address, "e%d" % index))
+    expected = ["e%d" % index for index in range(11)]
+
+    seen = []
+    cursor = 0
+    while cursor < len(log):
+        chunk = log.since(cursor)[:3]  # one page
+        seen.extend(record.event.name for record in chunk)
+        cursor = chunk[-1].sequence + 1 if chunk else len(log)
+        log.prune(through=cursor)  # compaction chases the reader
+        assert log.pruned <= cursor
+    assert seen == expected
+    # The reader consumed everything, so the log is fully compacted ...
+    assert list(log) == []
+    # ... and a cursor that fell behind the base cannot recover the
+    # dropped records (the RPC layer turns this into a loud error).
+    assert [r.event.name for r in log.since(0)] == []
