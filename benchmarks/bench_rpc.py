@@ -12,7 +12,10 @@ the ``bench_session_engine`` workload) runs three ways:
 
 The equivalence contract rides along: all three paths must settle the
 same tasks with identical payments.  A ``chain_head`` micro-benchmark
-prices a single round trip on each transport.
+prices a single round trip on each transport, then again under
+concurrency and batching against both socket front-ends (threaded vs
+asyncio), and a fan-out benchmark prices server-push delivery to a
+hundred-plus subscribed clients — zero ``chain_events`` polls anywhere.
 
 Reproduce the table with::
 
@@ -21,6 +24,8 @@ Reproduce the table with::
 
 from __future__ import annotations
 
+import asyncio
+import threading
 import time
 
 from repro.analysis.tables import render_table
@@ -31,6 +36,8 @@ from repro.core.task import HITTask, TaskParameters
 from repro.core.worker import WorkerClient
 from repro.crypto.rng import deterministic_entropy
 from repro.rpc import (
+    AsyncRpcServer,
+    AsyncSubscription,
     HitSpec,
     HttpTransport,
     LoopbackTransport,
@@ -38,6 +45,7 @@ from repro.rpc import (
     RpcHttpServer,
     RpcNode,
     RpcRequesterClient,
+    RpcSession,
     RpcSwarm,
     RpcWorkerClient,
     run_hits,
@@ -48,6 +56,9 @@ from bench_helpers import emit, pick
 
 NUM_TASKS = pick(8, 3)
 HEAD_CALLS = pick(2000, 50)
+CONCURRENT_CLIENTS = pick(8, 4)
+BATCH_SIZE = pick(100, 10)
+SUBSCRIBERS = pick(128, 12)
 SEED = 11
 GOOD = [0] * 10
 BAD = [1] * 10
@@ -181,5 +192,167 @@ def test_head_request_throughput():
             ["transport", "requests", "req/s", "latency"],
             rows,
             title="chain_head round trips",
+        ),
+    )
+
+
+def _hammer_heads(url: str, calls: int) -> None:
+    transport = HttpTransport(url)
+    session = RpcSession(transport)
+    for _ in range(calls):
+        session.call("chain_head")
+    transport.close()
+
+
+def _serial_heads(url: str) -> float:
+    start = time.perf_counter()
+    _hammer_heads(url, HEAD_CALLS)
+    return time.perf_counter() - start
+
+
+def _concurrent_heads(url: str) -> float:
+    per_client = HEAD_CALLS // CONCURRENT_CLIENTS
+    threads = [
+        threading.Thread(target=_hammer_heads, args=(url, per_client))
+        for _ in range(CONCURRENT_CLIENTS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start, per_client * CONCURRENT_CLIENTS
+
+
+def _batched_heads(url: str) -> float:
+    transport = HttpTransport(url)
+    session = RpcSession(transport)
+    batch = [("chain_head", {})] * BATCH_SIZE
+    rounds = HEAD_CALLS // BATCH_SIZE
+    start = time.perf_counter()
+    for _ in range(rounds):
+        session.call_batch(batch)
+    elapsed = time.perf_counter() - start
+    transport.close()
+    return elapsed, rounds * BATCH_SIZE
+
+
+def test_concurrent_and_batched_head_throughput():
+    """The async front-end's scaling story against the threaded one.
+
+    The serial threaded row is the PR-5 deployment shape (one client,
+    one request per round trip); the concurrent rows exploit the node's
+    reader-writer lock, and the batch row amortizes round trips.  The
+    bar: batched requests through the asyncio front-end must beat the
+    serial threaded baseline by at least 2x.
+    """
+    rows = []
+    rates = {}
+    for label, server_cls in [
+        ("threaded", RpcHttpServer),
+        ("async", AsyncRpcServer),
+    ]:
+        node = RpcNode()
+        with server_cls(node) as server:
+            _hammer_heads(server.url, 5)  # warm up
+            elapsed = _serial_heads(server.url)
+            rates["%s serial" % label] = HEAD_CALLS / elapsed
+            rows.append(["%s, 1 client" % label, HEAD_CALLS,
+                         "%.0f" % (HEAD_CALLS / elapsed),
+                         "%.3fms" % (1e3 * elapsed / HEAD_CALLS)])
+            elapsed, calls = _concurrent_heads(server.url)
+            rates["%s concurrent" % label] = calls / elapsed
+            rows.append(["%s, %d clients" % (label, CONCURRENT_CLIENTS),
+                         calls, "%.0f" % (calls / elapsed),
+                         "%.3fms" % (1e3 * elapsed / calls)])
+            elapsed, calls = _batched_heads(server.url)
+            rates["%s batched" % label] = calls / elapsed
+            rows.append(["%s, batches of %d" % (label, BATCH_SIZE),
+                         calls, "%.0f" % (calls / elapsed),
+                         "%.3fms" % (1e3 * elapsed / calls)])
+
+    emit(
+        "rpc_head_scaling",
+        render_table(
+            ["front-end", "requests", "req/s", "latency"],
+            rows,
+            title="chain_head under concurrency and batching",
+        ),
+    )
+    assert rates["async batched"] >= 2 * rates["threaded serial"], (
+        "batched async %.0f req/s did not reach 2x the serial threaded "
+        "%.0f req/s" % (rates["async batched"], rates["threaded serial"])
+    )
+
+
+def test_subscription_fanout_pushes_without_polling():
+    """Server push to 100+ subscribed clients, one event loop, no polls.
+
+    Every subscriber opens one ``chain_subscribe`` stream and then
+    issues zero further requests — the asyncio front-end pushes each
+    event batch to all of them.  The bar: every subscriber sees the
+    whole log, and the node served exactly one request per subscriber
+    beyond the scenario itself.
+    """
+    node = RpcNode()
+    with AsyncRpcServer(node) as server:
+        transport = HttpTransport(server.url)
+        with scoped_tx_nonces(), deterministic_entropy(SEED):
+            run_hits(
+                RpcChain(transport), RpcSwarm(transport), _specs()[:3],
+                lambda label, task: RpcRequesterClient(label, task, transport),
+                lambda label, answers: RpcWorkerClient(label, transport,
+                                                       answers=answers),
+            )
+        served_by_scenario = node.requests_served
+        head = node.event_head(from_start=False)
+        transport.close()
+
+        async def subscribe_and_drain():
+            subscriptions = []
+            for _ in range(SUBSCRIBERS):
+                subscriptions.append(
+                    await AsyncSubscription.open(server.url, from_start=True)
+                )
+
+            async def drain(subscription):
+                count = 0
+                while subscription.cursor < head:
+                    count += len(await asyncio.wait_for(
+                        subscription.next_records(), timeout=30
+                    ))
+                return count
+
+            start = time.perf_counter()
+            counts = await asyncio.gather(
+                *[drain(subscription) for subscription in subscriptions]
+            )
+            elapsed = time.perf_counter() - start
+            for subscription in subscriptions:
+                await subscription.close()
+            return counts, elapsed
+
+        counts, elapsed = asyncio.run(subscribe_and_drain())
+        frames = server.pushed_frames
+
+    assert len(counts) == SUBSCRIBERS
+    assert all(count == head for count in counts), "a subscriber missed events"
+    # No polling: the node served one subscribe per client and nothing else.
+    assert node.requests_served == served_by_scenario + SUBSCRIBERS
+    delivered = sum(counts)
+    emit(
+        "rpc_subscription_fanout",
+        render_table(
+            ["metric", "value"],
+            [
+                ["subscribed clients", SUBSCRIBERS],
+                ["events in log", head],
+                ["events delivered", delivered],
+                ["pushed frames", frames],
+                ["chain_events polls", 0],
+                ["fan-out wall time", "%.2fs" % elapsed],
+                ["events/s delivered", "%.0f" % (delivered / elapsed)],
+            ],
+            title="server-push fan-out over one asyncio loop",
         ),
     )

@@ -420,8 +420,13 @@ def _cmd_node_rpc_serve(args: argparse.Namespace) -> int:
     RPC surface is journalled to the WAL, and the final state is
     snapshotted on shutdown, so the served marketplace lives across
     invocations exactly like ``serve --state-dir``.
+
+    ``--async`` swaps the thread-per-connection front-end for the
+    asyncio one (persistent connections and ``chain_subscribe``
+    server-push streams); ``--admin-token``/``--submit-token`` lock the
+    mutating method families behind envelope auth tokens.
     """
-    from repro.rpc.server import RpcHttpServer, RpcNode
+    from repro.rpc.server import RpcAuth, RpcHttpServer, RpcNode
     from repro.rpc.wire import PROTOCOL_VERSION
     from repro.store import NodeStore
 
@@ -436,16 +441,37 @@ def _cmd_node_rpc_serve(args: argparse.Namespace) -> int:
         print("initialized fresh node state in %s" % args.state_dir,
               flush=True)
     chain.attach_store(store)
-    node = RpcNode(chain=chain, store=store)
-    server = RpcHttpServer(node, host=args.host, port=args.port)
-    print("rpc node listening on http://%s:%d/rpc (%d methods, "
-          "protocol v%d) — Ctrl-C to stop"
-          % (server.host, server.port, len(node._methods), PROTOCOL_VERSION),
-          flush=True)
+    auth = None
+    if args.admin_token or args.submit_token:
+        auth = RpcAuth(
+            admin_tokens=tuple(args.admin_token),
+            submit_tokens=tuple(args.submit_token),
+        )
+    node = RpcNode(chain=chain, store=store, auth=auth)
+
+    def _announce(server) -> None:
+        print("rpc node listening on http://%s:%d/rpc (%d methods, "
+              "protocol v%d%s%s) — Ctrl-C to stop"
+              % (server.host, server.port, len(node._methods),
+                 PROTOCOL_VERSION,
+                 ", async" if args.use_async else "",
+                 ", auth" if auth is not None else ""),
+              flush=True)
+
+    if args.use_async:
+        from repro.rpc.aserver import AsyncRpcServer
+
+        server = AsyncRpcServer(
+            node, host=args.host, port=args.port, ready_callback=_announce
+        )
+    else:
+        server = RpcHttpServer(node, host=args.host, port=args.port)
+        _announce(server)
 
     # SIGTERM shuts down as cleanly as Ctrl-C: a shell-backgrounded
     # server (CI, process managers) starts with SIGINT ignored, so
-    # graceful stop must not depend on it.
+    # graceful stop must not depend on it.  (The async server installs
+    # its own loop-level handlers for both signals while it runs.)
     import signal
 
     def _terminate(signum, frame):
@@ -458,6 +484,8 @@ def _cmd_node_rpc_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         signal.signal(signal.SIGTERM, previous_sigterm)
+        # Both front-ends stop accepting and release the socket here —
+        # the snapshot below must be the last word on this state dir.
         server.shutdown()
         root = store.save(chain)
         print("node state saved to %s (height %d, state_root %s...)"
@@ -576,6 +604,19 @@ def build_parser() -> argparse.ArgumentParser:
     node_rpc.add_argument("--port", type=int, default=8545,
                           help="TCP port; 0 binds an ephemeral port and "
                           "prints it (default 8545)")
+    node_rpc.add_argument("--async", dest="use_async", action="store_true",
+                          help="serve with the asyncio front-end: "
+                          "persistent connections and chain_subscribe "
+                          "server-push event streams")
+    node_rpc.add_argument("--admin-token", action="append", default=[],
+                          metavar="TOKEN",
+                          help="auth token for admin methods (chain_mine, "
+                          "node_checkpoint, node_prune); admin tokens also "
+                          "cover submissions; repeatable")
+    node_rpc.add_argument("--submit-token", action="append", default=[],
+                          metavar="TOKEN",
+                          help="auth token for submission methods (tx_*, "
+                          "swarm_put); repeatable")
     node_rpc.set_defaults(func=_cmd_node_rpc_serve)
     return parser
 

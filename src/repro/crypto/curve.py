@@ -19,7 +19,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.crypto.field import CURVE_ORDER, FIELD_MODULUS, inv_mod, sqrt_mod
 from repro.crypto.keccak import keccak256
-from repro.errors import InvalidPoint, InvalidScalar
+from repro.errors import InvalidPoint, InvalidScalar, NonResidueError
 from repro.utils.serialization import decode_point, encode_point
 
 _P = FIELD_MODULUS
@@ -186,7 +186,13 @@ class G1Point:
 
     @classmethod
     def hash_to_group(cls, data: bytes) -> "G1Point":
-        """Deterministically map bytes to a curve point (try-and-increment)."""
+        """Deterministically map bytes to a curve point (try-and-increment).
+
+        Only a candidate x whose ``x^3 + b`` is a non-residue (~half of
+        them) sends the loop around again; any other exception out of the
+        lifting path is a real bug and propagates instead of presenting
+        as an infinite loop.
+        """
         counter = 0
         while True:
             candidate = int.from_bytes(
@@ -194,7 +200,7 @@ class G1Point:
             ) % _P
             try:
                 return cls.from_x(candidate, y_parity=0)
-            except Exception:
+            except NonResidueError:
                 counter += 1
 
     # -- accessors -----------------------------------------------------------

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Type
 
-from repro.errors import CryptoError
+from repro.errors import CryptoError, NonResidueError
 
 # BN-128 ("alt_bn128" in Ethereum): base-field modulus and group order.
 FIELD_MODULUS = 21888242871839275222246405745257275088696311157297823662689037894645226208583
@@ -42,7 +42,7 @@ def sqrt_mod(value: int, modulus: int) -> int:
     value %= modulus
     root = pow(value, (modulus + 1) // 4, modulus)
     if root * root % modulus != value:
-        raise CryptoError("value is not a quadratic residue")
+        raise NonResidueError("value is not a quadratic residue")
     return root
 
 

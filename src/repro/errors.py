@@ -29,6 +29,15 @@ class InvalidScalar(CryptoError):
     """A scalar is outside the valid range for the group order."""
 
 
+class NonResidueError(CryptoError):
+    """A field element has no square root (not a quadratic residue).
+
+    Raised by :func:`repro.crypto.field.sqrt_mod`; the *expected* failure
+    mode of try-and-increment hashing (``G1Point.hash_to_group``), which
+    catches exactly this class — any other exception out of the lifting
+    path is a genuine bug and must propagate."""
+
+
 class DecryptionError(CryptoError):
     """A ciphertext could not be decrypted to a plaintext in range."""
 

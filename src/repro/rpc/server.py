@@ -27,18 +27,37 @@ The method set (versioned by :data:`repro.rpc.wire.PROTOCOL_VERSION`):
 
 Safety contract (pinned by ``tests/rpc/test_rpc_fuzz.py``): a rejected
 request — malformed JSON, unknown method, wrong param types, oversized
-body, replayed nonce — never changes node state; ``state_root`` is
-byte-identical before and after.  Handlers therefore validate *every*
-param before touching the chain, and mutations go through chain methods
-whose revert semantics already guarantee atomicity.
+body, replayed nonce, missing auth token — never changes node state;
+``state_root`` is byte-identical before and after.  Handlers therefore
+validate *every* param before touching the chain, and mutations go
+through chain methods whose revert semantics already guarantee
+atomicity.
+
+Concurrency discipline: the chain is a single-writer state machine, so
+mutating methods serialize behind one exclusive lock — but pure reads
+(``chain_head``, balances, event pages) only need a *consistent* view,
+and they dominate a population-scale workload.  Dispatch therefore runs
+under a reader-writer lock (:class:`_RWLock`): any number of concurrent
+readers, writers exclusive, writers preferred so a read storm cannot
+starve block production.  Request counters are atomics so the hot path
+takes the node lock exactly once.
+
+Batch envelopes (JSON-RPC 2.0 arrays) are handled at this layer, so
+both front-ends — the threaded :class:`RpcHttpServer` here and the
+asyncio :class:`~repro.rpc.aserver.AsyncRpcServer` — accept them.
+Token authorization (:class:`RpcAuth`) guards admin methods
+(``chain_mine``, ``node_checkpoint``, ``node_prune``) and submissions
+(``tx_*``, ``swarm_put``); a node constructed without ``auth`` stays
+open, preserving the PR-5 behaviour for local tooling.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.chain.chain import Chain
 from repro.chain.eventlog import EventFilter
@@ -55,8 +74,127 @@ from repro.rpc.wire import WireError
 MAX_REQUEST_BYTES = 2 * 1024 * 1024
 #: Hard ceiling on one ``chain_events`` page.
 MAX_EVENT_PAGE = 512
+#: Hard ceiling on requests per batch envelope.
+MAX_BATCH_REQUESTS = 128
+
+#: Methods that only read node state: dispatched under the shared side
+#: of the node lock, so they never serialize behind each other.
+READ_METHODS = frozenset(
+    {
+        "rpc_version",
+        "chain_head",
+        "chain_block",
+        "chain_events",
+        "chain_gas",
+        "chain_balance",
+        "chain_payments",
+        "chain_contract",
+        "chain_state_root",
+        "node_status",
+        "swarm_get",
+    }
+)
+
+#: Methods only an admin token may call once auth is configured.
+ADMIN_METHODS = frozenset({"chain_mine", "node_checkpoint", "node_prune"})
+#: Methods a submit (or admin) token may call once auth is configured.
+SUBMIT_METHODS = frozenset(
+    {"tx_register", "tx_send", "tx_deploy", "tx_deploy_many", "swarm_put"}
+)
 
 _MISSING = object()
+
+
+class _RWLock:
+    """A writer-preferring reader-writer lock.
+
+    Readers share; a writer excludes everyone.  Waiting writers block
+    *new* readers, so a steady stream of cheap reads cannot starve block
+    production.  Not re-entrant — dispatch never nests lock scopes.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextlib.contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
+class _AtomicCounter:
+    """A lock-guarded counter: bumping it never touches the node lock."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def bump(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class RpcAuth:
+    """Token-based authorization for the node's guarded methods.
+
+    Two roles: **admin** tokens may call everything, including
+    ``chain_mine`` / ``node_checkpoint`` / ``node_prune``; **submit**
+    tokens may additionally-to-reads call the transaction-submission
+    methods (``tx_*``, ``swarm_put``).  Pure reads never need a token.
+    The token rides the envelope as a top-level ``"auth"`` member, so
+    every transport carries it identically.
+    """
+
+    def __init__(
+        self,
+        admin_tokens: Iterable[str] = (),
+        submit_tokens: Iterable[str] = (),
+    ) -> None:
+        self.admin_tokens = frozenset(admin_tokens)
+        self.submit_tokens = frozenset(submit_tokens)
+        if not (self.admin_tokens or self.submit_tokens):
+            raise ValueError("RpcAuth with no tokens would lock everyone out")
+
+    def permits(self, method: str, token: Optional[str]) -> bool:
+        if method in ADMIN_METHODS:
+            return token in self.admin_tokens
+        if method in SUBMIT_METHODS:
+            return token in self.admin_tokens or token in self.submit_tokens
+        return True
 
 
 class _BadParams(Exception):
@@ -121,12 +259,30 @@ def _hex_bytes(
         raise _BadParams("param %r is not valid hex" % name) from None
 
 
+def parse_event_filter(params: Dict[str, Any]):
+    """The shared ``contract``/``names``/``topic`` filter params.
+
+    Used by ``chain_events`` and by the async server's subscription
+    open; raises the same :class:`_BadParams` either way, so a bad
+    filter maps to ``INVALID_PARAMS`` on both paths.
+    """
+    contract = _packed(params, "contract", Address, default=None)
+    names = _param(params, "names", (list,), default=None)
+    topic = _hex_bytes(params, "topic", default=None)
+    if names is not None and not all(isinstance(name, str) for name in names):
+        raise _BadParams("names must be a list of strings")
+    if contract is None and names is None and topic is None:
+        return None
+    return EventFilter(contract=contract, names=names, topic=topic)
+
+
 class RpcNode:
     """One node — chain, swarm, optional store — behind a method registry.
 
-    All dispatch runs under a re-entrant lock: the chain is a
-    single-writer state machine and the HTTP transport is threaded, so
-    requests serialize here, exactly like transactions in a block.
+    Dispatch runs under a reader-writer lock: mutating methods hold it
+    exclusively (the chain is a single-writer state machine, so writes
+    serialize exactly like transactions in a block), while the read
+    methods in :data:`READ_METHODS` share it and proceed concurrently.
     """
 
     def __init__(
@@ -135,14 +291,17 @@ class RpcNode:
         swarm: Optional[SwarmStore] = None,
         store=None,
         max_request_bytes: int = MAX_REQUEST_BYTES,
+        auth: Optional[RpcAuth] = None,
     ) -> None:
         self.chain = chain if chain is not None else Chain()
         self.swarm = swarm if swarm is not None else SwarmStore()
         self.store = store
         self.max_request_bytes = max_request_bytes
-        self.requests_served = 0
-        self.requests_rejected = 0
-        self._lock = threading.RLock()
+        self.auth = auth
+        self._served = _AtomicCounter()
+        self._rejected = _AtomicCounter()
+        self._lock = _RWLock()
+        self._write_listeners: List[Callable[[], None]] = []
         self._methods: Dict[str, Callable[[Dict[str, Any]], Any]] = {
             "rpc_version": self._rpc_version,
             "chain_head": self._chain_head,
@@ -169,82 +328,167 @@ class RpcNode:
     # The request pipeline
     # ------------------------------------------------------------------
 
+    @property
+    def requests_served(self) -> int:
+        return self._served.value
+
+    @property
+    def requests_rejected(self) -> int:
+        return self._rejected.value
+
     def note_rejected(self) -> None:
         """Count a rejection decided outside :meth:`handle` (e.g. the
         HTTP layer refusing an oversized body from its header alone)."""
-        with self._lock:
-            self.requests_rejected += 1
+        self._rejected.bump()
+
+    def add_write_listener(self, listener: Callable[[], None]) -> None:
+        """Call ``listener`` after every successful mutating dispatch.
+
+        The async front-end hangs its subscription pump here, so pushes
+        are event-driven even when the write arrived through a
+        *different* front-end sharing this node.  Listeners run on the
+        dispatching thread, outside the lock — they must be cheap and
+        thread-safe (the async server's is ``call_soon_threadsafe``).
+        """
+        self._write_listeners.append(listener)
+
+    def _notify_write(self) -> None:
+        for listener in self._write_listeners:
+            try:
+                listener()
+            except Exception:
+                pass  # a dead listener must not fail the request
 
     def handle(self, raw: bytes) -> bytes:
-        """One request in, one response out — never an exception."""
-        response, served = self._handle_raw(raw)
-        # Handler threads are concurrent; the counters are shared state
-        # like everything else on the node, so they mutate under the lock.
-        with self._lock:
-            if served:
-                self.requests_served += 1
-            else:
-                self.requests_rejected += 1
-        return response
-
-    def _handle_raw(self, raw: bytes) -> Tuple[bytes, bool]:
+        """One request (or batch) in, one response out — never an exception."""
         if len(raw) > self.max_request_bytes:
+            self._rejected.bump()
             return wire.failure(
                 None,
                 wire.OVERSIZED_REQUEST,
                 "request of %d bytes exceeds the %d-byte cap"
                 % (len(raw), self.max_request_bytes),
-            ), False
+            )
         try:
             envelope = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            return wire.failure(
-                None, wire.PARSE_ERROR, "parse error: %s" % exc
-            ), False
+            self._rejected.bump()
+            return wire.failure(None, wire.PARSE_ERROR, "parse error: %s" % exc)
+        return wire.serialize(self.respond(envelope))
 
+    def respond(self, envelope: Any) -> Any:
+        """One parsed envelope — single or batch — to its response value.
+
+        The transport-independent core both front-ends call: the
+        threaded server hands it the parsed body, the asyncio server
+        calls it from an executor thread.  A batch (a JSON array) maps
+        to an array of responses in request order; each member counts
+        toward the served/rejected totals on its own.
+        """
+        if isinstance(envelope, list):
+            if not envelope:
+                self._rejected.bump()
+                return wire.error_value(
+                    None, wire.INVALID_REQUEST, "batch must not be empty"
+                )
+            if len(envelope) > MAX_BATCH_REQUESTS:
+                self._rejected.bump()
+                return wire.error_value(
+                    None,
+                    wire.INVALID_REQUEST,
+                    "batch of %d requests exceeds the %d-request cap"
+                    % (len(envelope), MAX_BATCH_REQUESTS),
+                )
+            return [self._respond_one(member) for member in envelope]
+        return self._respond_one(envelope)
+
+    def _respond_one(self, envelope: Any) -> Dict[str, Any]:
+        response, served = self._dispatch(envelope)
+        (self._served if served else self._rejected).bump()
+        return response
+
+    def _dispatch(self, envelope: Any) -> Tuple[Dict[str, Any], bool]:
         if not isinstance(envelope, dict):
-            return wire.failure(
+            return wire.error_value(
                 None, wire.INVALID_REQUEST,
-                "request must be a single JSON object (batches unsupported)",
+                "request must be a JSON object (or a batch of them)",
             ), False
         request_id = envelope.get("id")
         if not (request_id is None or isinstance(request_id, (int, str))):
             request_id = None
         if envelope.get("jsonrpc") != "2.0":
-            return wire.failure(
+            return wire.error_value(
                 request_id, wire.INVALID_REQUEST,
                 'request needs "jsonrpc": "2.0"',
             ), False
         method = envelope.get("method")
         if not isinstance(method, str):
-            return wire.failure(
+            return wire.error_value(
                 request_id, wire.INVALID_REQUEST, "method must be a string"
             ), False
         params = envelope.get("params", {})
         if not isinstance(params, dict):
-            return wire.failure(
+            return wire.error_value(
                 request_id, wire.INVALID_REQUEST, "params must be an object"
             ), False
         handler = self._methods.get(method)
         if handler is None:
-            return wire.failure(
+            return wire.error_value(
                 request_id, wire.METHOD_NOT_FOUND, "no method %r" % method
             ), False
+        token = envelope.get("auth")
+        if token is not None and not isinstance(token, str):
+            return wire.error_value(
+                request_id, wire.INVALID_REQUEST, "auth must be a string token"
+            ), False
+        if self.auth is not None and not self.auth.permits(method, token):
+            return wire.error_value(
+                request_id,
+                wire.UNAUTHORIZED,
+                "method %r needs an authorized token" % method,
+            ), False
+        is_read = method in READ_METHODS
+        lock = self._lock.read() if is_read else self._lock.write()
         try:
-            with self._lock:
+            with lock:
                 result = handler(params)
+            if not is_read:
+                self._notify_write()
         except _BadParams as exc:
-            return wire.failure(request_id, wire.INVALID_PARAMS, str(exc)), False
+            return wire.error_value(
+                request_id, wire.INVALID_PARAMS, str(exc)
+            ), False
         except ReproError as exc:
             code, message, data = wire.exception_to_error(exc)
-            return wire.failure(request_id, code, message, data), False
+            return wire.error_value(request_id, code, message, data), False
         except Exception as exc:  # a handler bug must not kill the server
-            return wire.failure(
+            return wire.error_value(
                 request_id,
                 wire.INTERNAL_ERROR,
                 "internal error: %s: %s" % (type(exc).__name__, exc),
             ), False
-        return wire.success(request_id, result), True
+        return wire.result_value(request_id, result), True
+
+    # -- the async front-end's read-side helpers -----------------------
+
+    def read_events(
+        self, filter, cursor: int, limit: int = MAX_EVENT_PAGE
+    ) -> Tuple[List[Any], int, int]:
+        """One filtered event page under the shared lock, for push.
+
+        Returns ``(records, next_cursor, head)`` where each record is
+        already wire-shaped (the same dicts ``chain_events`` returns).
+        Raises :class:`ChainError` if ``cursor`` fell behind the prune
+        base — the pushing server forwards that to the subscriber.
+        """
+        with self._lock.read():
+            return self._events_page(filter, cursor, limit)
+
+    def event_head(self, from_start: bool) -> int:
+        """The cursor a fresh subscription starts at (shared lock)."""
+        with self._lock.read():
+            log = self.chain.event_log
+            return log.pruned if from_start else len(log)
 
     # ------------------------------------------------------------------
     # Admin
@@ -318,17 +562,23 @@ class RpcNode:
     def _chain_events(self, params: Dict[str, Any]) -> Dict[str, Any]:
         cursor = _param(params, "cursor", (int,), default=0)
         limit = _param(params, "limit", (int,), default=MAX_EVENT_PAGE)
-        contract = _packed(params, "contract", Address, default=None)
-        names = _param(params, "names", (list,), default=None)
-        topic = _hex_bytes(params, "topic", default=None)
         if cursor < 0:
             raise _BadParams("cursor must be >= 0")
         if not 1 <= limit <= MAX_EVENT_PAGE:
             raise _BadParams("limit must be in 1..%d" % MAX_EVENT_PAGE)
-        if names is not None and not all(
-            isinstance(name, str) for name in names
-        ):
-            raise _BadParams("names must be a list of strings")
+        filter = parse_event_filter(params)
+        records, next_cursor, head = self._events_page(filter, cursor, limit)
+        return {
+            "records": records,
+            "cursor": next_cursor,
+            "head": head,
+            "pruned": self.chain.event_log.pruned,
+        }
+
+    def _events_page(
+        self, filter, cursor: int, limit: int
+    ) -> Tuple[List[Dict[str, Any]], int, int]:
+        """The paging loop itself; the caller holds (a side of) the lock."""
         log = self.chain.event_log
         if cursor < log.pruned:
             # Refuse rather than silently resume past the gap: a reader
@@ -338,11 +588,6 @@ class RpcNode:
                 "compacted away; restart from a fresh subscription"
                 % (cursor, log.pruned)
             )
-        filter = (
-            None
-            if contract is None and names is None and topic is None
-            else EventFilter(contract=contract, names=names, topic=topic)
-        )
         records: List[Dict[str, Any]] = []
         next_cursor = cursor
         exhausted = True
@@ -363,12 +608,7 @@ class RpcNode:
             next_cursor = record.sequence + 1
         if exhausted:
             next_cursor = len(log)
-        return {
-            "records": records,
-            "cursor": next_cursor,
-            "head": len(log),
-            "pruned": log.pruned,
-        }
+        return records, next_cursor, len(log)
 
     def _chain_gas(self, params: Dict[str, Any]) -> Dict[str, Any]:
         return {
@@ -609,6 +849,11 @@ class RpcHttpServer:
         self._httpd.daemon_threads = True
         self._httpd.node = node  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        # True while an accept loop may be running (either mode).  Guards
+        # shutdown(): BaseServer.shutdown() deadlocks if serve_forever
+        # was never entered, and server_close() under a live loop races
+        # the selector — so stop-the-loop must be mode-independent.
+        self._serving = threading.Event()
 
     @property
     def host(self) -> str:
@@ -624,6 +869,7 @@ class RpcHttpServer:
 
     def start(self) -> "RpcHttpServer":
         """Serve on a daemon thread (tests, embedded use)."""
+        self._serving.set()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, name="rpc-serve", daemon=True
         )
@@ -632,11 +878,27 @@ class RpcHttpServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown` (the CLI)."""
-        self._httpd.serve_forever()
+        self._serving.set()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            # The loop is down whether it returned (cross-thread
+            # shutdown()) or was blown out by KeyboardInterrupt; either
+            # way a later shutdown() must not wait on it again.
+            self._serving.clear()
 
     def shutdown(self) -> None:
-        if self._thread is not None:
+        """Stop the accept loop (in both modes) and close the socket.
+
+        Safe whichever way the server ran — :meth:`start`'s daemon
+        thread or :meth:`serve_forever` on the caller's thread — and
+        safe to call twice: the loop is stopped *before* the listening
+        socket closes, never under a still-running accept loop.
+        """
+        if self._serving.is_set():
             self._httpd.shutdown()
+            self._serving.clear()
+        if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
         self._httpd.server_close()

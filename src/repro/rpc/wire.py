@@ -22,9 +22,21 @@ code                      constant  meaning
 -32602                    INVALID_PARAMS     wrong param types/shapes
 -32603                    INTERNAL_ERROR     unexpected server fault
 -32001                    OVERSIZED_REQUEST  request exceeds the size cap
+-32002                    UNAUTHORIZED       method needs an auth token
 -32020 .. -32027          family codes       one per library error family
 -32000                    NODE_ERROR         other :class:`ReproError`
 ========================  =======  =====================================
+
+Batch envelopes and push frames
+-------------------------------
+
+A JSON array of request objects is a **batch**: the node answers with
+an array of responses in request order (``-32600`` for an empty one).
+Server-push subscriptions reuse the same codec: each pushed frame is a
+JSON-RPC *notification* (no ``id``) named :data:`PUSH_METHOD`, one
+frame per line of an ``application/x-ndjson`` stream, carrying the
+subscription id plus the same wire-shaped event records a
+``chain_events`` page returns.
 
 A family-coded error carries ``data = {"family", "kind"}`` where
 ``kind`` is the concrete exception class name; :func:`error_to_exception`
@@ -60,6 +72,10 @@ INVALID_PARAMS = -32602
 INTERNAL_ERROR = -32603
 NODE_ERROR = -32000
 OVERSIZED_REQUEST = -32001
+UNAUTHORIZED = -32002
+
+#: Method name of a server-push notification frame.
+PUSH_METHOD = "rpc_push"
 
 #: Library error families, most specific first (the server walks this
 #: list with ``isinstance``, so a subclass — e.g. ``OutOfGas`` — lands
@@ -119,8 +135,18 @@ def unpack(text: Any) -> Any:
 # -- envelopes ----------------------------------------------------------------
 
 
-def request(method: str, params: Optional[Dict[str, Any]], request_id: int) -> bytes:
-    """Serialize one JSON-RPC request."""
+def serialize(value: Any) -> bytes:
+    """One envelope value (or batch list of them) to wire bytes."""
+    return json.dumps(value, sort_keys=True).encode("utf-8")
+
+
+def request_value(
+    method: str,
+    params: Optional[Dict[str, Any]],
+    request_id: Any,
+    auth: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One JSON-RPC request as a value (batches collect these)."""
     envelope: Dict[str, Any] = {
         "jsonrpc": "2.0",
         "id": request_id,
@@ -128,24 +154,80 @@ def request(method: str, params: Optional[Dict[str, Any]], request_id: int) -> b
     }
     if params:
         envelope["params"] = params
-    return json.dumps(envelope, sort_keys=True).encode("utf-8")
+    if auth is not None:
+        envelope["auth"] = auth
+    return envelope
+
+
+def request(
+    method: str,
+    params: Optional[Dict[str, Any]],
+    request_id: int,
+    auth: Optional[str] = None,
+) -> bytes:
+    """Serialize one JSON-RPC request."""
+    return serialize(request_value(method, params, request_id, auth=auth))
+
+
+def result_value(request_id: Any, result: Any) -> Dict[str, Any]:
+    return {"jsonrpc": "2.0", "id": request_id, "result": result}
+
+
+def error_value(
+    request_id: Any, code: int, message: str, data: Any = None
+) -> Dict[str, Any]:
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if data is not None:
+        error["data"] = data
+    return {"jsonrpc": "2.0", "id": request_id, "error": error}
 
 
 def success(request_id: Any, result: Any) -> bytes:
-    return json.dumps(
-        {"jsonrpc": "2.0", "id": request_id, "result": result}, sort_keys=True
-    ).encode("utf-8")
+    return serialize(result_value(request_id, result))
 
 
 def failure(
     request_id: Any, code: int, message: str, data: Any = None
 ) -> bytes:
-    error: Dict[str, Any] = {"code": code, "message": message}
-    if data is not None:
-        error["data"] = data
-    return json.dumps(
-        {"jsonrpc": "2.0", "id": request_id, "error": error}, sort_keys=True
-    ).encode("utf-8")
+    return serialize(error_value(request_id, code, message, data))
+
+
+# -- server-push frames -------------------------------------------------------
+
+
+def push_value(
+    subscription_id: int, records: list, cursor: int, head: int
+) -> Dict[str, Any]:
+    """One push notification (no ``id`` — the server initiates it)."""
+    return {
+        "jsonrpc": "2.0",
+        "method": PUSH_METHOD,
+        "params": {
+            "subscription": subscription_id,
+            "records": records,
+            "cursor": cursor,
+            "head": head,
+        },
+    }
+
+
+def is_push(envelope: Any) -> bool:
+    """Is this parsed frame a server-push notification?"""
+    return (
+        isinstance(envelope, dict)
+        and envelope.get("method") == PUSH_METHOD
+        and "id" not in envelope
+    )
+
+
+def frame(value: Any) -> bytes:
+    """One NDJSON frame: the serialized envelope plus its newline.
+
+    ``json.dumps`` never emits a raw newline, so the delimiter is
+    unambiguous; a reader splits the stream on ``\\n`` and parses each
+    line on its own.
+    """
+    return serialize(value) + b"\n"
 
 
 def exception_to_error(exc: ReproError) -> Tuple[int, str, Dict[str, Any]]:

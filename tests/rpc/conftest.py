@@ -1,10 +1,11 @@
 """Fixtures for the RPC boundary suite.
 
-``rpc_setup`` is parametrized over both transports, so every test that
-uses it runs once against the in-memory loopback (full wire encoding,
-no socket) and once against a real localhost HTTP socket — the CI
-``rpc`` lane relies on this to exercise the socket path without a
-separate harness.
+``rpc_setup`` is parametrized over every front-end, so each test that
+uses it runs against the in-memory loopback (full wire encoding, no
+socket), a real localhost HTTP socket on the threaded server, and the
+same socket protocol on the asyncio server — the CI ``rpc`` and
+``rpc-async`` lanes rely on this to exercise all three paths without
+separate harnesses.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ import pytest
 from repro.chain.transactions import scoped_tx_nonces
 from repro.crypto.rng import deterministic_entropy
 from repro.rpc import (
+    AsyncRpcServer,
     HitSpec,
     HttpTransport,
     LoopbackTransport,
@@ -28,14 +30,19 @@ from repro.rpc import (
 from tests.helpers import small_task
 
 
-@pytest.fixture(params=["loopback", "http"])
+@pytest.fixture(params=["loopback", "http", "async"])
 def rpc_setup(request):
     """A fresh node plus a transport to it: ``(node, transport)``."""
     node = RpcNode()
     if request.param == "loopback":
         yield node, LoopbackTransport(node)
-    else:
+    elif request.param == "http":
         with RpcHttpServer(node) as server:
+            transport = HttpTransport(server.url)
+            yield node, transport
+            transport.close()
+    else:
+        with AsyncRpcServer(node) as server:
             transport = HttpTransport(server.url)
             yield node, transport
             transport.close()
@@ -46,6 +53,14 @@ def loopback_node():
     """A fresh node behind loopback only (fuzz and paging tests)."""
     node = RpcNode()
     return node, LoopbackTransport(node)
+
+
+@pytest.fixture
+def async_server():
+    """A fresh node served by the asyncio front-end: ``(node, server)``."""
+    node = RpcNode()
+    with AsyncRpcServer(node) as server:
+        yield node, server
 
 
 def rpc_client_factories(transport):

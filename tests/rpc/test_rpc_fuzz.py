@@ -92,8 +92,7 @@ def test_unparseable_bytes_are_parse_errors(raw):
 @pytest.mark.parametrize(
     "envelope",
     [
-        [],  # batch requests are unsupported
-        [{"jsonrpc": "2.0", "id": 1, "method": "chain_head"}],
+        [],  # an empty batch is an error per JSON-RPC 2.0
         42,
         "chain_head",
         None,
@@ -104,12 +103,80 @@ def test_unparseable_bytes_are_parse_errors(raw):
         {"jsonrpc": "2.0", "id": 1, "method": 5},
         {"jsonrpc": "2.0", "id": 1, "method": "chain_head", "params": [1]},
         {"jsonrpc": "2.0", "id": 1, "method": "chain_head", "params": "x"},
+        {"jsonrpc": "2.0", "id": 1, "method": "chain_head", "auth": 5},
     ],
 )
 def test_broken_envelopes_are_invalid_requests(envelope):
     node, _ = seeded_node()
     response = response_for(node, json.dumps(envelope).encode("utf-8"))
     assert response["error"]["code"] == wire.INVALID_REQUEST
+
+
+# ---------------------------------------------------------------------------
+# Batch envelopes
+# ---------------------------------------------------------------------------
+
+
+def test_batch_maps_requests_to_responses_in_order():
+    node, _ = seeded_node()
+    batch = [
+        {"jsonrpc": "2.0", "id": 1, "method": "chain_head"},
+        {"jsonrpc": "2.0", "id": 2, "method": "no_such_method"},
+        {"jsonrpc": "2.0", "id": 3, "method": "chain_gas"},
+        "not an object",
+    ]
+    before = codec.state_root(node.chain)
+    responses = json.loads(
+        node.handle(json.dumps(batch).encode("utf-8")).decode("utf-8")
+    )
+    assert isinstance(responses, list) and len(responses) == 4
+    assert responses[0]["id"] == 1 and "result" in responses[0]
+    assert responses[1]["error"]["code"] == wire.METHOD_NOT_FOUND
+    assert responses[2]["id"] == 3 and "result" in responses[2]
+    assert responses[3]["error"]["code"] == wire.INVALID_REQUEST
+    assert codec.state_root(node.chain) == before
+
+
+def test_batch_members_count_individually():
+    node, _ = seeded_node()
+    served, rejected = node.requests_served, node.requests_rejected
+    batch = [
+        {"jsonrpc": "2.0", "id": 1, "method": "chain_head"},
+        {"jsonrpc": "2.0", "id": 2, "method": "nope"},
+    ]
+    node.handle(json.dumps(batch).encode("utf-8"))
+    assert node.requests_served == served + 1
+    assert node.requests_rejected == rejected + 1
+
+
+def test_oversized_batch_is_one_invalid_request():
+    from repro.rpc.server import MAX_BATCH_REQUESTS
+
+    node, _ = seeded_node()
+    batch = [
+        {"jsonrpc": "2.0", "id": i, "method": "chain_head"}
+        for i in range(MAX_BATCH_REQUESTS + 1)
+    ]
+    response = response_for(node, json.dumps(batch).encode("utf-8"))
+    assert response["error"]["code"] == wire.INVALID_REQUEST
+    assert "cap" in response["error"]["message"]
+
+
+def test_batch_write_then_read_sees_the_write():
+    from repro.ledger.accounts import Address
+
+    node, _ = seeded_node()
+    batch = [
+        {"jsonrpc": "2.0", "id": 1, "method": "tx_register",
+         "params": {"label": "batcher", "balance": 7}},
+        {"jsonrpc": "2.0", "id": 2, "method": "chain_balance",
+         "params": {"address": wire.pack(Address.from_label("batcher"))}},
+    ]
+    responses = json.loads(
+        node.handle(json.dumps(batch).encode("utf-8")).decode("utf-8")
+    )
+    assert responses[0]["result"]
+    assert responses[1]["result"]["balance"] == 7
 
 
 # One settled node shared by the hypothesis-driven cases: building a HIT

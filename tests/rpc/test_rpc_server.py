@@ -131,3 +131,50 @@ def test_client_refuses_incompatible_server_version():
     with pytest.raises(RpcError) as err:
         RpcChain(transport).rpc.version()
     assert "protocol" in str(err.value)
+
+
+# ---------------------------------------------------------------------------
+# Server lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_shutdown_stops_a_serve_forever_server():
+    """Regression: ``shutdown()`` only worked after ``start()``.
+
+    In ``serve_forever()`` mode (the CLI path) ``self._thread`` is
+    None, and the old code skipped ``self._httpd.shutdown()`` entirely
+    — then called ``server_close()`` under a still-running accept
+    loop.  ``shutdown()`` must stop the loop in both modes.
+    """
+    import threading
+    import time
+
+    from repro.rpc import HttpTransport, RpcHttpServer
+
+    node = RpcNode()
+    server = RpcHttpServer(node)
+    runner = threading.Thread(target=server.serve_forever, daemon=True)
+    runner.start()
+    deadline = time.time() + 10
+    while not server._serving.is_set() and time.time() < deadline:
+        time.sleep(0.01)
+    assert server._serving.is_set(), "serve_forever never started serving"
+    # Prove it serves, then stop it from another thread — the exact
+    # shape of the CLI's SIGINT handler running shutdown() mid-serve.
+    transport = HttpTransport(server.url)
+    assert RpcChain(transport).height == 0
+    transport.close()
+    server.shutdown()
+    runner.join(timeout=10)
+    assert not runner.is_alive(), "serve_forever did not stop"
+    assert not server._serving.is_set()
+    server.shutdown()  # idempotent: a second call must not deadlock
+
+
+def test_shutdown_before_serving_does_not_deadlock():
+    """``BaseServer.shutdown()`` hangs if ``serve_forever`` never ran;
+    the wrapper must not (the CLI can die between bind and serve)."""
+    from repro.rpc import RpcHttpServer
+
+    server = RpcHttpServer(RpcNode())
+    server.shutdown()  # must return promptly, socket closed

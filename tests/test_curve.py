@@ -120,6 +120,45 @@ def test_hash_to_group_deterministic_and_on_curve():
     assert is_on_curve(a.affine)
 
 
+def test_hash_to_group_retries_only_on_non_residues(monkeypatch):
+    """Regression: the try-and-increment loop once swallowed *every*
+    exception, so a genuine fault in the lifting path (here injected
+    into the square root) presented as an infinite loop instead of an
+    error.  Only :class:`NonResidueError` may send the loop around."""
+    import repro.crypto.curve as curve_module
+
+    calls = []
+
+    def faulting_sqrt(value, modulus):
+        calls.append(value)
+        raise OSError("injected fault in the lifting path")
+
+    monkeypatch.setattr(curve_module, "sqrt_mod", faulting_sqrt)
+    with pytest.raises(OSError, match="injected fault"):
+        G1Point.hash_to_group(b"dragoon")
+    assert len(calls) == 1  # raised on the first candidate, no spin
+
+
+def test_hash_to_group_still_retries_past_real_non_residues(monkeypatch):
+    """The ~half of candidates with no square root must still retry."""
+    import repro.crypto.curve as curve_module
+    from repro.errors import NonResidueError
+
+    real_sqrt = curve_module.sqrt_mod
+    attempts = []
+
+    def counting_sqrt(value, modulus):
+        attempts.append(value)
+        if len(attempts) == 1:
+            raise NonResidueError("forced first-candidate miss")
+        return real_sqrt(value, modulus)
+
+    monkeypatch.setattr(curve_module, "sqrt_mod", counting_sqrt)
+    point = G1Point.hash_to_group(b"dragoon")
+    assert len(attempts) >= 2  # the loop went around
+    assert is_on_curve(point.affine)
+
+
 def test_points_hashable():
     assert len({G, G * 2, G + G}) == 2
 
