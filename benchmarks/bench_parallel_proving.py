@@ -1,0 +1,186 @@
+"""Parallel proving and the pipelined session engine — the PR-7 receipts.
+
+Two questions, each with a determinism check welded to the timing so a
+"fast but different" regression can never publish a number:
+
+* **Proving throughput** — a worker's commit-phase encryption and the
+  PoQoEA proof, dispatched through :class:`repro.parallel.ProverPool`
+  at 0/1/2/N processes.  ``procs=0`` runs the identical job code inline
+  and is the byte-reference; every pooled row must reproduce its output
+  exactly (per-job DRBG seeds make that possible).
+* **End-to-end pipelining** — ``Dragoon.serve`` over staggered tasks
+  with proof generation handed off asynchronously against block mining,
+  vs. the same workload fully serial.  The ``state_root`` must match
+  bit-for-bit across all pool sizes.
+
+Reproduce with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel_proving.py -s -q
+
+On a single-core host the pooled rows measure dispatch overhead, not
+speedup — the >= 2x acceptance bar only arms on >= 4 cores (full mode).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.tables import format_seconds, render_table
+from repro.chain.transactions import scoped_tx_nonces
+from repro.core.task import HITTask, TaskParameters
+from repro.crypto.elgamal import keygen
+from repro.crypto.rng import deterministic_entropy
+from repro.dragoon import Dragoon, TaskArrival
+from repro.parallel import ProverPool, VerifierPool
+from repro.store import codec
+from repro.utils.timing import best_of
+
+from bench_helpers import SMOKE, emit, pick
+
+SPEEDUP_BAR = 2.0
+CORES = os.cpu_count() or 1
+
+
+def _sweep():
+    """Pool sizes to compare: inline reference plus 1/2/4/N processes."""
+    if SMOKE:
+        return [0, 1]
+    return sorted({0, 1, 2, 4, CORES})
+
+
+def _bench_task(num_questions: int) -> HITTask:
+    parameters = TaskParameters(
+        num_questions=num_questions,
+        budget=100,
+        num_workers=2,
+        answer_range=(0, 1),
+        quality_threshold=2,
+        num_golds=3,
+    )
+    return HITTask(
+        parameters,
+        ["q%d" % i for i in range(num_questions)],
+        [0, 1, 2],
+        [0, 0, 0],
+        [0] * num_questions,
+    )
+
+
+def test_prover_pool_scaling_report(benchmark):
+    """Commit-phase proving jobs across pool sizes, byte-checked."""
+    num_answers = pick(64, 8)
+    pk, sk = keygen(secret=0xD12A600)
+    answers = [i % 2 for i in range(num_answers)]
+    golds = ([0, 2, 4], [0, 0, 0])
+
+    def workload(pool):
+        ciphertexts = pool.encrypt_vector(pk, answers)
+        quality, proof = pool.prove_quality(
+            sk, ciphertexts, golds[0], golds[1], range(2)
+        )
+        return [c.to_bytes() for c in ciphertexts], quality, codec.encode(proof)
+
+    rows = []
+    timings = {}
+    reference = None
+    for procs in _sweep():
+        with ProverPool(procs) as pool:
+
+            def seeded():
+                with deterministic_entropy(9):
+                    return workload(pool)
+
+            output = seeded()  # warm-up + byte check
+            elapsed, _ = best_of(seeded, repeats=pick(3, 1))
+        if reference is None:
+            reference = output
+        assert output == reference, (
+            "procs=%d diverged from inline reference" % procs
+        )
+        timings[procs] = elapsed
+        label = "inline (procs=0)" if procs == 0 else "ProverPool(%d)" % procs
+        rows.append(
+            [label, format_seconds(elapsed),
+             "%.2fx" % (timings[0] / max(elapsed, 1e-9))]
+        )
+    text = render_table(
+        ["Proving path", "Wall clock", "Speedup"],
+        rows,
+        title="Prover pool scaling: %d-answer commit + PoQoEA proof "
+        "(%d-core host)" % (num_answers, CORES),
+    )
+    emit("parallel_proving", text)
+
+    if not SMOKE and CORES >= 4:
+        best = min(t for p, t in timings.items() if p >= 4)
+        assert timings[0] / max(best, 1e-9) >= SPEEDUP_BAR, timings
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_pipelined_serve_report(benchmark):
+    """Staggered sessions, async proof handoff vs. serial — roots equal."""
+    import contextlib
+    import time
+
+    num_tasks = pick(4, 2)
+    num_questions = pick(16, 8)
+
+    def run(prover_procs):
+        prover = (
+            ProverPool(prover_procs) if prover_procs is not None else None
+        )
+        verifier = (
+            VerifierPool(prover_procs)
+            if prover_procs is not None and prover_procs > 0
+            else None
+        )
+        hooks = (
+            verifier.installed() if verifier is not None
+            else contextlib.nullcontext()
+        )
+        try:
+            with scoped_tx_nonces(), deterministic_entropy(21), hooks:
+                dragoon = Dragoon(prover_pool=prover)
+                arrivals = [
+                    TaskArrival(
+                        2 * index,
+                        "req-%d" % index,
+                        _bench_task(num_questions),
+                        [[0] * num_questions, [1] * num_questions],
+                    )
+                    for index in range(num_tasks)
+                ]
+                t0 = time.perf_counter()
+                dragoon.serve(arrivals)
+                elapsed = time.perf_counter() - t0
+                return codec.state_root(dragoon.chain), elapsed
+        finally:
+            if prover is not None:
+                prover.close()
+            if verifier is not None:
+                verifier.close()
+
+    rows = []
+    roots = {}
+    timings = {}
+    for procs in ([0, 1] if SMOKE else sorted({0, 2, CORES})):
+        root, elapsed = run(procs)
+        roots[procs] = root
+        timings[procs] = elapsed
+        label = "inline pools (procs=0)" if procs == 0 else "pools(%d)" % procs
+        rows.append(
+            [label, root.hex()[:16], format_seconds(elapsed),
+             "%.2fx" % (timings[0] / max(elapsed, 1e-9))]
+        )
+    assert len(set(roots.values())) == 1, "pooled state roots diverged"
+
+    text = render_table(
+        ["Engine path", "state_root[:8]", "Wall clock", "Speedup"],
+        rows,
+        title="Pipelined serve: %d staggered tasks, async commit handoff "
+        "(%d-core host)" % (num_tasks, CORES),
+    )
+    emit("parallel_serve", text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -198,6 +198,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 worker_policies=policies,
             )
         )
+    prover_pool = None
+    verifier_pool = None
+    if getattr(args, "prover_procs", None) is not None:
+        from repro.parallel import ProverPool
+
+        prover_pool = ProverPool(args.prover_procs)
+    if getattr(args, "verifier_procs", None) is not None:
+        from repro.parallel import VerifierPool
+
+        verifier_pool = VerifierPool(args.verifier_procs)
     store = None
     if getattr(args, "state_dir", None):
         from repro.store import NodeStore
@@ -205,7 +215,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if NodeStore.exists(args.state_dir):
             store = NodeStore.open(args.state_dir)
             chain, meta = store.load(apply_runtime=True)
-            dragoon = Dragoon(chain=chain)
+            dragoon = Dragoon(chain=chain, prover_pool=prover_pool)
             dragoon.restore_node_state(meta["extra"])
             dragoon.attach_store(store)
             print("resumed node at height %d (state_root %s...)"
@@ -220,12 +230,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 )
         else:
             store = NodeStore.init(args.state_dir)
-            dragoon = Dragoon()
+            dragoon = Dragoon(prover_pool=prover_pool)
             dragoon.attach_store(store)
     else:
-        dragoon = Dragoon()
-    with deterministic_entropy(args.seed):
-        outcomes = dragoon.serve(arrivals)
+        dragoon = Dragoon(prover_pool=prover_pool)
+    import contextlib
+
+    hooks = (
+        verifier_pool.installed()
+        if verifier_pool is not None
+        else contextlib.nullcontext()
+    )
+    try:
+        with deterministic_entropy(args.seed), hooks:
+            outcomes = dragoon.serve(arrivals)
+    finally:
+        if prover_pool is not None:
+            prover_pool.close()
+        if verifier_pool is not None:
+            verifier_pool.close()
     if store is not None:
         root = store.save(dragoon.chain, extra=dragoon.node_state())
         print("node state saved to %s (height %d, state_root %s...)"
@@ -271,6 +294,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim import SCENARIO_PRESETS, preset, run_scenario
 
     scenario = preset(args.preset, seed=args.seed, tasks=args.tasks)
+    if args.prover_procs is not None or args.verifier_procs is not None:
+        from dataclasses import replace
+
+        scenario = replace(
+            scenario,
+            prover_procs=args.prover_procs
+            if args.prover_procs is not None
+            else scenario.prover_procs,
+            verifier_procs=args.verifier_procs
+            if args.verifier_procs is not None
+            else scenario.verifier_procs,
+        )
     store = None
     if args.state_dir:
         from repro.store import NodeStore
@@ -447,7 +482,14 @@ def _cmd_node_rpc_serve(args: argparse.Namespace) -> int:
             admin_tokens=tuple(args.admin_token),
             submit_tokens=tuple(args.submit_token),
         )
-    node = RpcNode(chain=chain, store=store, auth=auth)
+    verifier_pool = None
+    if args.verifier_procs is not None:
+        from repro.parallel import VerifierPool
+
+        verifier_pool = VerifierPool(args.verifier_procs)
+    node = RpcNode(
+        chain=chain, store=store, auth=auth, verifier_pool=verifier_pool
+    )
 
     def _announce(server) -> None:
         print("rpc node listening on http://%s:%d/rpc (%d methods, "
@@ -487,6 +529,8 @@ def _cmd_node_rpc_serve(args: argparse.Namespace) -> int:
         # Both front-ends stop accepting and release the socket here —
         # the snapshot below must be the last word on this state dir.
         server.shutdown()
+        if verifier_pool is not None:
+            verifier_pool.close()
         root = store.save(chain)
         print("node state saved to %s (height %d, state_root %s...)"
               % (args.state_dir, chain.height, root.hex()[:16]), flush=True)
@@ -534,6 +578,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist the node here: an existing state dir "
                        "is resumed (the marketplace lives across "
                        "invocations), a fresh one is initialized")
+    serve.add_argument("--prover-procs", type=int, default=None, metavar="N",
+                       help="dispatch proving (answer encryption, proofs) "
+                       "to N pool processes; 0 runs the pool path inline "
+                       "(default: no pool, legacy serial path)")
+    serve.add_argument("--verifier-procs", type=int, default=None,
+                       metavar="N",
+                       help="chunk batched verification (MSM, pairings) "
+                       "across N pool processes (default: no pool)")
     serve.set_defaults(func=_cmd_serve)
     simulate = sub.add_parser(
         "simulate",
@@ -560,6 +612,15 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="N",
                           help="write a resumable checkpoint every N blocks "
                           "(requires --state-dir; resume with `node resume`)")
+    simulate.add_argument("--prover-procs", type=int, default=None,
+                          metavar="N",
+                          help="run the scenario with an N-process prover "
+                          "pool (0 = pool path inline; same bytes for any "
+                          "N, see repro.parallel)")
+    simulate.add_argument("--verifier-procs", type=int, default=None,
+                          metavar="N",
+                          help="run the scenario with an N-process verifier "
+                          "pool chunking batched MSM/pairing checks")
     simulate.set_defaults(func=_cmd_simulate)
 
     node = sub.add_parser(
@@ -617,6 +678,11 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="TOKEN",
                           help="auth token for submission methods (tx_*, "
                           "swarm_put); repeatable")
+    node_rpc.add_argument("--verifier-procs", type=int, default=None,
+                          metavar="N",
+                          help="verify batched proofs through an N-process "
+                          "pool during mutating dispatches; node_status "
+                          "then reports per-worker cache stats")
     node_rpc.set_defaults(func=_cmd_node_rpc_serve)
     return parser
 

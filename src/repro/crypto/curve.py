@@ -321,6 +321,8 @@ class FixedBaseTable:
 
 _FIXED_BASE_CACHE: dict = {}
 _FIXED_BASE_CACHE_LIMIT = 16
+_FIXED_BASE_CACHE_HITS = 0
+_FIXED_BASE_CACHE_MISSES = 0
 
 
 def configure_fixed_base_cache(limit: int) -> None:
@@ -344,16 +346,43 @@ def fixed_base_cache_info() -> Tuple[int, int]:
     return len(_FIXED_BASE_CACHE), _FIXED_BASE_CACHE_LIMIT
 
 
+def fixed_base_cache_stats() -> dict:
+    """Cache effectiveness counters for this process.
+
+    ``hits``/``misses`` count :func:`mul_fixed` lookups since process
+    start (or :func:`reset_fixed_base_cache_stats`).  Pool workers report
+    these through ``node_status`` so an operator can see whether the
+    initializer warm-up actually covers the hot bases.
+    """
+    return {
+        "population": len(_FIXED_BASE_CACHE),
+        "limit": _FIXED_BASE_CACHE_LIMIT,
+        "hits": _FIXED_BASE_CACHE_HITS,
+        "misses": _FIXED_BASE_CACHE_MISSES,
+    }
+
+
+def reset_fixed_base_cache_stats() -> None:
+    """Zero the hit/miss counters (the cache itself is untouched)."""
+    global _FIXED_BASE_CACHE_HITS, _FIXED_BASE_CACHE_MISSES
+    _FIXED_BASE_CACHE_HITS = 0
+    _FIXED_BASE_CACHE_MISSES = 0
+
+
 def mul_fixed(base: Affine, scalar: int) -> Affine:
     """Scalar multiplication with per-base precomputation (cached)."""
+    global _FIXED_BASE_CACHE_HITS, _FIXED_BASE_CACHE_MISSES
     if base is None:
         return None
     table = _FIXED_BASE_CACHE.get(base)
     if table is None:
+        _FIXED_BASE_CACHE_MISSES += 1
         if len(_FIXED_BASE_CACHE) >= _FIXED_BASE_CACHE_LIMIT:
             _FIXED_BASE_CACHE.clear()
         table = FixedBaseTable(base)
         _FIXED_BASE_CACHE[base] = table
+    else:
+        _FIXED_BASE_CACHE_HITS += 1
     return table.multiply(scalar)
 
 
@@ -419,6 +448,25 @@ def _msm_jacobian(points: Sequence[_Jacobian], scalars: Sequence[int]) -> _Jacob
     return result
 
 
+#: Optional parallel MSM backend (installed by
+#: :class:`repro.parallel.VerifierPool`).  Receives ``(points, reduced)``
+#: and returns a :class:`G1Point`, or ``None`` to fall through to the
+#: serial Pippenger pass (e.g. below its term threshold).
+_MSM_BACKEND = None
+
+
+def set_msm_backend(backend) -> None:
+    """Install (or with ``None`` remove) the parallel MSM backend.
+
+    The backend must compute exactly ``sum_i scalars[i] * points[i]`` —
+    :func:`msm` callers cannot observe which path ran.  Pool *worker*
+    processes never install one: jobs call :func:`_msm_jacobian`
+    directly, so a backend can never recurse into itself.
+    """
+    global _MSM_BACKEND
+    _MSM_BACKEND = backend
+
+
 def msm(points: Sequence["G1Point"], scalars: Sequence[int]) -> "G1Point":
     """Multi-scalar multiplication ``sum_i scalars[i] * points[i]``.
 
@@ -429,8 +477,13 @@ def msm(points: Sequence["G1Point"], scalars: Sequence[int]) -> "G1Point":
     """
     if len(points) != len(scalars):
         raise InvalidScalar("msm needs one scalar per point")
-    jacobians = [_to_jacobian(point.affine) for point in points]
     reduced = [scalar % CURVE_ORDER for scalar in scalars]
+    backend = _MSM_BACKEND
+    if backend is not None:
+        result = backend(points, reduced)
+        if result is not None:
+            return result
+    jacobians = [_to_jacobian(point.affine) for point in points]
     return G1Point(_from_jacobian(_msm_jacobian(jacobians, reduced)))
 
 

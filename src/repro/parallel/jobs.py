@@ -1,0 +1,174 @@
+"""Job functions executed inside pool worker processes.
+
+Every job has the same shape: ``fn(payload: bytes) -> bytes`` with both
+sides encoded by :mod:`repro.store.codec` — one picklable bytes object
+per direction, no live objects crossing the process boundary.  Jobs
+must stay module-level (spawn-compatible pickling) and must never call
+the backend-hooked entry points (:func:`repro.crypto.curve.msm`,
+:func:`repro.crypto.pairing.multi_pairing`): they go straight to the
+underlying primitives, so an installed parallel backend can never
+recurse into the pool that owns it.
+
+Jobs that consume randomness run under their own
+:class:`~repro.crypto.rng.DeterministicStream`, seeded by the parent
+via :func:`repro.crypto.rng.derive_job_seed` — the parent stream
+position stays a pure function of the dispatch sequence, which is what
+keeps pooled runs byte-identical across pool sizes and across
+checkpoint/resume.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+from repro.crypto import curve, pairing
+from repro.crypto.curve import (
+    GENERATOR,
+    G1Point,
+    _from_jacobian,
+    _jacobian_double,
+    _msm_jacobian,
+    _to_jacobian,
+    precompute_base,
+)
+from repro.crypto.elgamal import ElGamalPublicKey, ElGamalSecretKey
+from repro.crypto.pairing import cast_g1_to_fq12, miller_loop_raw, twist
+from repro.crypto.poqoea import prove_quality
+from repro.crypto.rng import deterministic_entropy, entropy
+from repro.crypto.tower import FQ2, FQ12
+from repro.crypto.vpke import prove_decryption
+from repro.store import codec
+
+
+def initialize_worker(cache_limit: int) -> None:
+    """Per-worker setup, run once when a pool process starts.
+
+    Clears any backend hooks and entropy stream inherited from a forked
+    parent (a worker must never dispatch back into a pool), applies the
+    parent's fixed-base cache limit, zeroes the hit/miss counters so
+    per-worker stats are meaningful, and warms the generator table —
+    the one base every job uses.
+    """
+    curve.set_msm_backend(None)
+    pairing.set_miller_backend(None)
+    entropy._stream = None
+    curve.configure_fixed_base_cache(cache_limit)
+    curve.reset_fixed_base_cache_stats()
+    precompute_base(GENERATOR)
+
+
+# ---------------------------------------------------------------------------
+# Verifier-side jobs: chunked MSM and Miller-loop products
+# ---------------------------------------------------------------------------
+
+
+def job_msm_chunk(payload: bytes) -> bytes:
+    """One Pippenger window-range of an MSM.
+
+    Payload: ``{"points": [G1Point...], "scalars": [int...], "lo": int,
+    "hi": int}``.  Computes ``sum_i ((s_i >> lo) & mask) * P_i`` and then
+    doubles ``lo`` times, so the parent combines chunks by plain point
+    addition: ``sum_c 2^lo_c * partial_c`` equals the full MSM exactly.
+    """
+    data = codec.decode(payload)
+    lo = data["lo"]
+    mask = (1 << (data["hi"] - lo)) - 1
+    jacobians = [_to_jacobian(point.affine) for point in data["points"]]
+    digits = [(scalar >> lo) & mask for scalar in data["scalars"]]
+    partial = _msm_jacobian(jacobians, digits)
+    for _ in range(lo):
+        partial = _jacobian_double(partial)
+    return codec.encode(G1Point(_from_jacobian(partial)))
+
+
+def job_miller_chunk(payload: bytes) -> bytes:
+    """The raw Miller-loop product over a slice of pairing pairs.
+
+    Payload: a list of ``(G1Point, g2)`` with ``g2`` either ``None`` or
+    ``((x0, x1), (y0, y1))`` integer Fp2 coefficients.  Returns the
+    twelve Fp12 coefficients of the partial product; the parent
+    multiplies partials and applies the single final exponentiation.
+    """
+    pairs = codec.decode(payload)
+    accumulator = FQ12.one()
+    for g1_point, g2_data in pairs:
+        if g2_data is None:
+            g2_point = None
+        else:
+            (x0, x1), (y0, y1) = g2_data
+            g2_point = (FQ2([x0, x1]), FQ2([y0, y1]))
+        accumulator = accumulator * miller_loop_raw(
+            twist(g2_point), cast_g1_to_fq12(g1_point)
+        )
+    return codec.encode(list(accumulator.coeffs))
+
+
+# ---------------------------------------------------------------------------
+# Prover-side jobs: encryption and proof generation under a derived seed
+# ---------------------------------------------------------------------------
+
+
+def job_encrypt_vector(payload: bytes) -> bytes:
+    """Encrypt an answer vector under a derived per-job DRBG seed."""
+    data = codec.decode(payload)
+    public_key = ElGamalPublicKey(data["key"])
+    with deterministic_entropy(data["seed"]):
+        ciphertexts = public_key.encrypt_vector(data["messages"])
+    return codec.encode(ciphertexts)
+
+
+def job_prove_decryption(payload: bytes) -> bytes:
+    """A VPKE verifiable-decryption proof for one ciphertext."""
+    data = codec.decode(payload)
+    secret_key = ElGamalSecretKey(data["secret"])
+    with deterministic_entropy(data["seed"]):
+        claim, proof = prove_decryption(
+            secret_key, data["ciphertext"], data["message_range"]
+        )
+    return codec.encode({"claim": claim, "proof": proof})
+
+
+def job_prove_quality(payload: bytes) -> bytes:
+    """A PoQoEA quality proof over a worker's encrypted answers."""
+    data = codec.decode(payload)
+    secret_key = ElGamalSecretKey(data["secret"])
+    with deterministic_entropy(data["seed"]):
+        quality, proof = prove_quality(
+            secret_key,
+            data["ciphertexts"],
+            data["gold_indexes"],
+            data["gold_answers"],
+            data["answer_range"],
+        )
+    return codec.encode({"quality": quality, "proof": proof})
+
+
+# ---------------------------------------------------------------------------
+# Introspection and fault-injection jobs
+# ---------------------------------------------------------------------------
+
+
+def job_cache_info(payload: bytes) -> bytes:
+    """This worker's fixed-base cache stats (for ``node_status``)."""
+    stats = dict(curve.fixed_base_cache_stats())
+    stats["pid"] = os.getpid()
+    return codec.encode(stats)
+
+
+def job_crash(payload: bytes) -> bytes:
+    """SIGKILL this worker mid-job (crash-tolerance tests only).
+
+    Payload: ``{"marker": path | None}``.  With a marker path the worker
+    dies only if the marker does not exist yet (and creates it first),
+    so a retry on a fresh worker succeeds — the clean-retry scenario.
+    With ``None`` every attempt dies, forcing ``ProofPoolError``.
+    """
+    data = codec.decode(payload)
+    marker = data["marker"]
+    if marker is None or not os.path.exists(marker):
+        if marker is not None:
+            with open(marker, "wb") as handle:
+                handle.write(b"crashed-once")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return codec.encode("survived")

@@ -62,6 +62,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 from repro.chain.chain import Chain
 from repro.chain.eventlog import EventFilter
 from repro.chain.transactions import Transaction, nonce_position
+from repro.crypto import curve
 from repro.errors import ChainError, InvalidTransaction, ReproError
 from repro.ledger.accounts import Address
 from repro.storage.swarm import SwarmStore
@@ -292,12 +293,21 @@ class RpcNode:
         store=None,
         max_request_bytes: int = MAX_REQUEST_BYTES,
         auth: Optional[RpcAuth] = None,
+        verifier_pool=None,
     ) -> None:
         self.chain = chain if chain is not None else Chain()
         self.swarm = swarm if swarm is not None else SwarmStore()
         self.store = store
         self.max_request_bytes = max_request_bytes
         self.auth = auth
+        #: Optional :class:`repro.parallel.VerifierPool`.  Mutating
+        #: dispatches install its MSM/Miller backends for their duration,
+        #: so the batched proof checks inside transaction execution
+        #: (``chain_mine`` running ``evaluate_batch``) fan out across the
+        #: pool's worker processes while the write lock is held by this
+        #: one dispatching thread — the lock serializes state mutation,
+        #: not the cryptography.  Reads never install hooks.
+        self.verifier_pool = verifier_pool
         self._served = _AtomicCounter()
         self._rejected = _AtomicCounter()
         self._lock = _RWLock()
@@ -451,7 +461,15 @@ class RpcNode:
         lock = self._lock.read() if is_read else self._lock.write()
         try:
             with lock:
-                result = handler(params)
+                if is_read or self.verifier_pool is None:
+                    result = handler(params)
+                else:
+                    # One writer at a time (the write lock guarantees
+                    # it), so scoping the process-wide backend hooks to
+                    # the dispatch is race-free — and keeps them out of
+                    # any other in-process user of the crypto layer.
+                    with self.verifier_pool.installed():
+                        result = handler(params)
             if not is_read:
                 self._notify_write()
         except _BadParams as exc:
@@ -506,7 +524,7 @@ class RpcNode:
         # under the node lock, which a routine status probe must not
         # cost.  `chain_state_root` is the explicit, priced request.
         chain = self.chain
-        return {
+        status = {
             "state_dir": self.store.state_dir if self.store else None,
             "height": chain.height,
             "period": chain.clock.period,
@@ -519,7 +537,15 @@ class RpcNode:
             "total_gas": chain.total_gas,
             "requests_served": self.requests_served,
             "requests_rejected": self.requests_rejected,
+            "fixed_base_cache": dict(curve.fixed_base_cache_stats()),
         }
+        if self.verifier_pool is not None:
+            # Pool shape and per-worker cache stats: the probe jobs run
+            # on the pool's own processes, not under this node's lock
+            # discipline, and warm the workers as a side effect.
+            status["verifier_pool"] = self.verifier_pool.status()
+            status["worker_caches"] = self.verifier_pool.worker_cache_info()
+        return status
 
     def _node_checkpoint(self, params: Dict[str, Any]) -> Dict[str, Any]:
         if self.store is None:

@@ -37,6 +37,7 @@ preset scenario.
 
 from __future__ import annotations
 
+import contextlib
 import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
@@ -46,6 +47,7 @@ from repro.core.session import HITSession
 from repro.crypto.rng import deterministic_entropy
 from repro.dragoon import Dragoon
 from repro.errors import ProtocolError
+from repro.parallel import ProverPool, VerifierPool
 from repro.sim.arrivals import ArrivalProcess, ClosedLoopArrivals
 from repro.sim.metrics import MetricsCollector
 from repro.sim.population import WorkerPopulation
@@ -178,6 +180,11 @@ class _Continuation:
     events_pruned: int
     step: int
     checkpoint_every: int
+    #: The scenario's verification pool (``None`` = serial).  Travels
+    #: with the continuation so a resumed run re-installs the same
+    #: hooks; only the pool's configuration pickles (the executor is
+    #: rebuilt lazily after restore).
+    verifier_pool: Optional[VerifierPool] = None
 
 
 def run_scenario(
@@ -200,7 +207,17 @@ def run_scenario(
     if (checkpoint_every or interrupt_after is not None) and store is None:
         raise ProtocolError("checkpointing needs a NodeStore (pass store=...)")
     with scoped_tx_nonces(), deterministic_entropy(scenario.seed):
-        dragoon = Dragoon()
+        prover_pool = (
+            ProverPool(scenario.prover_procs)
+            if scenario.prover_procs is not None
+            else None
+        )
+        verifier_pool = (
+            VerifierPool(scenario.verifier_procs)
+            if scenario.verifier_procs is not None
+            else None
+        )
+        dragoon = Dragoon(prover_pool=prover_pool)
         if store is not None:
             dragoon.attach_store(store)
         continuation = _Continuation(
@@ -217,6 +234,7 @@ def run_scenario(
             events_pruned=0,
             step=0,
             checkpoint_every=checkpoint_every,
+            verifier_pool=verifier_pool,
         )
         run = _loop(continuation, store, interrupt_after)
     if isinstance(run, InterruptedRun):
@@ -284,6 +302,41 @@ def _loop(
     consumes entropy or nonces, which is what keeps a checkpointed
     run's trajectory identical to an unobserved one.
     """
+    state = continuation
+    scenario = state.scenario
+    dragoon = state.dragoon
+    engine = dragoon.engine
+    process = state.process
+    population = state.population
+    collector = state.collector
+    sessions = state.sessions
+    # getattr: continuations checkpointed before pools existed restore
+    # without the field and must keep resuming on the serial path.
+    verifier_pool = getattr(state, "verifier_pool", None)
+
+    hooks = (
+        verifier_pool.installed()
+        if verifier_pool is not None
+        else contextlib.nullcontext()
+    )
+    try:
+        with hooks:
+            run = _loop_body(state, store, interrupt_after)
+    finally:
+        # Drop the pools' child processes at every exit (quiescence,
+        # interrupt, stall): the configuration survives, and any later
+        # use — a resumed continuation, a kept-objects test — rebuilds
+        # an executor lazily.
+        if verifier_pool is not None:
+            verifier_pool.close()
+        if getattr(dragoon, "prover_pool", None) is not None:
+            dragoon.prover_pool.close()
+    return run
+
+
+def _loop_body(
+    continuation: _Continuation, store, interrupt_after: Optional[int]
+) -> Union[SimulationRun, InterruptedRun]:
     state = continuation
     scenario = state.scenario
     dragoon = state.dragoon

@@ -1,0 +1,585 @@
+"""The parallel proving/verification pipeline (repro.parallel).
+
+Three contracts are pinned here:
+
+* **Exactness** — chunked MSM and Miller-loop products are the *same
+  function* as their serial spellings, not an approximation: pooled
+  results equal serial results point-for-point, and every batch
+  verifier returns the same boolean with the pool installed as without.
+* **Determinism** — proving jobs draw per-job DRBG seeds from the
+  parent stream at submission time, so a seeded run is byte-identical
+  whether jobs execute inline (``procs=0``) or on 1/2/N processes —
+  up through whole staggered-session and simulation runs
+  (``state_root`` and report JSON alike).
+* **Crash tolerance** — a SIGKILLed worker process costs a clean retry
+  or a loud :class:`ProofPoolError`, never a hang; node state is
+  untouched either way.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+
+import pytest
+
+from repro.crypto import curve, pairing
+from repro.crypto.curve import CURVE_ORDER, G1Point, random_scalar
+from repro.crypto.elgamal import keygen
+from repro.crypto.g2 import G2_GENERATOR
+from repro.crypto.pairing import pairing_check
+from repro.crypto.poqoea import (
+    prove_quality,
+    verify_quality,
+    verify_quality_proofs_batch,
+)
+from repro.crypto.rng import DeterministicStream, deterministic_entropy, entropy
+from repro.crypto.schnorr import (
+    chaum_pedersen_prove,
+    chaum_pedersen_verify_batch,
+    schnorr_prove,
+    schnorr_verify_batch,
+)
+from repro.crypto.sigma import run_interactive, verify_transcripts_batch
+from repro.crypto.vpke import prove_decryption, verify_decryption_batch
+from repro.errors import ProofPoolError
+from repro.parallel import ProverPool, VerifierPool
+from repro.parallel import jobs as pool_jobs
+from repro.parallel.pool import _bit_ranges, _split_even
+from repro.store import codec
+
+_G = G1Point.generator()
+
+
+@pytest.fixture
+def verifier_pool():
+    pool = VerifierPool(2, job_timeout=120)
+    yield pool
+    pool.close()
+
+
+@pytest.fixture
+def prover_pool():
+    pool = ProverPool(2, job_timeout=120)
+    yield pool
+    pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Chunking arithmetic
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("max_bits", [1, 2, 7, 254, 256])
+@pytest.mark.parametrize("chunks", [1, 2, 3, 8, 300])
+def test_bit_ranges_partition_exactly(max_bits, chunks):
+    ranges = _bit_ranges(max_bits, chunks)
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == max_bits
+    for (lo_a, hi_a), (lo_b, hi_b) in zip(ranges, ranges[1:]):
+        assert hi_a == lo_b  # contiguous, no gap, no overlap
+    assert len(ranges) <= max(1, min(chunks, max_bits))
+
+
+@pytest.mark.parametrize("count", [0, 1, 5, 8, 17])
+@pytest.mark.parametrize("chunks", [1, 2, 4])
+def test_split_even_preserves_order(count, chunks):
+    items = list(range(count))
+    slices = _split_even(items, chunks)
+    assert [x for chunk in slices for x in chunk] == items
+    if slices:
+        assert max(map(len, slices)) - min(map(len, slices)) <= 1
+
+
+# ---------------------------------------------------------------------------
+# Chunked MSM and Miller products are exact
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("procs", [0, 2])
+def test_msm_pooled_matches_serial(procs):
+    rng = random.Random(0xA11E1)
+    points = [_G * rng.randrange(1, CURVE_ORDER) for _ in range(9)]
+    scalars = [
+        0,  # zero digit in every window
+        1,
+        CURVE_ORDER - 1,  # all windows saturated
+        *[rng.randrange(CURVE_ORDER) for _ in range(6)],
+    ]
+    serial = curve.msm(points, scalars)
+    with VerifierPool(procs, job_timeout=120) as pool:
+        assert pool.msm(points, scalars) == serial
+
+
+def test_msm_all_zero_scalars(verifier_pool):
+    points = [_G, _G * 2]
+    assert verifier_pool.msm(points, [0, 0]) == G1Point.infinity()
+
+
+def test_msm_hook_respects_threshold(verifier_pool):
+    """Below ``min_msm_terms`` the hook declines and msm() stays serial."""
+    small = [_G * 3, _G * 5]
+    with verifier_pool.installed():
+        assert verifier_pool._msm_hook(small, [7, 11]) is None
+        assert curve.msm(small, [7, 11]) == _G * (3 * 7 + 5 * 11)
+
+
+def test_miller_product_pooled_matches_serial(verifier_pool):
+    from repro.baseline.groth16 import _g2_mul
+
+    secret = 0x5E17
+    # e(sG, H) * e(-G, sH) == 1: a real pairing identity.
+    pairs = [
+        (_G * secret, G2_GENERATOR),
+        (-_G, _g2_mul(G2_GENERATOR, secret)),
+    ]
+    assert pairing_check(pairs)
+    with verifier_pool.installed():
+        assert pairing_check(pairs)
+    serial = pairing.multi_pairing(pairs)
+    assert verifier_pool.miller_product(pairs) ** pairing._FINAL_EXPONENT == serial
+
+
+def test_worker_processes_never_inherit_hooks(verifier_pool):
+    """A forked worker clears inherited backends before running jobs.
+
+    If it didn't, a pooled MSM would recurse into the pool that owns it
+    and deadlock — this pins the initializer's reset.
+    """
+    with verifier_pool.installed():
+        points = [_G * scalar for scalar in range(1, 20)]
+        scalars = list(range(1, 20))
+        expected = sum(
+            (point * scalar for point, scalar in zip(points[1:], scalars[1:])),
+            points[0] * scalars[0],
+        )
+        assert curve.msm(points, scalars) == expected
+    assert verifier_pool.jobs_dispatched > 0  # the hook really engaged
+
+
+# ---------------------------------------------------------------------------
+# Every batch verifier: pooled == serial booleans
+# ---------------------------------------------------------------------------
+
+
+def _with_and_without(pool, check):
+    serial = check()
+    with pool.installed():
+        pooled = check()
+    assert pooled == serial
+    return serial
+
+
+@pytest.mark.parametrize("tamper", [False, True])
+def test_vpke_batch_pooled_equivalence(tamper, keypair, verifier_pool):
+    pk, sk = keypair
+    rng = random.Random(31 + tamper)
+    statements = []
+    for _ in range(5):
+        message = rng.randrange(2)
+        ciphertext = pk.encrypt(message)
+        claim, proof = prove_decryption(sk, ciphertext, range(2))
+        statements.append((claim, ciphertext, proof))
+    if tamper:
+        claim, ciphertext, proof = statements[2]
+        statements[2] = (1 - claim, ciphertext, proof)
+    result = _with_and_without(
+        verifier_pool, lambda: verify_decryption_batch(pk, statements)
+    )
+    assert result is not tamper
+
+
+@pytest.mark.parametrize("tamper", [False, True])
+def test_schnorr_batch_pooled_equivalence(tamper, verifier_pool):
+    statements = []
+    for _ in range(6):
+        secret = random_scalar()
+        statements.append((_G * secret, schnorr_prove(secret)))
+    if tamper:
+        public, proof = statements[0]
+        statements[0] = (public + _G, proof)
+    result = _with_and_without(
+        verifier_pool, lambda: schnorr_verify_batch(statements)
+    )
+    assert result is not tamper
+
+
+def test_chaum_pedersen_batch_pooled_equivalence(verifier_pool):
+    statements = []
+    for _ in range(4):
+        secret = random_scalar()
+        base_v = _G * random_scalar()
+        statements.append(
+            (
+                _G * secret,
+                base_v,
+                base_v * secret,
+                chaum_pedersen_prove(secret, base_v),
+            )
+        )
+    assert _with_and_without(
+        verifier_pool, lambda: chaum_pedersen_verify_batch(statements)
+    )
+
+
+def test_sigma_batch_pooled_equivalence(keypair, verifier_pool):
+    pk, sk = keypair
+    rng = random.Random(77)
+    statements = []
+    for _ in range(4):
+        message = rng.randrange(2)
+        ciphertext = pk.encrypt(message)
+        statements.append(
+            (message, ciphertext, run_interactive(sk, ciphertext, message))
+        )
+    assert _with_and_without(
+        verifier_pool, lambda: verify_transcripts_batch(pk, statements)
+    )
+
+
+def test_poqoea_batch_pooled_equivalence(keypair, verifier_pool):
+    pk, sk = keypair
+    gold_indexes, gold_answers = [0, 2, 4], [0, 1, 0]
+    statements = []
+    for answers in ([0, 1, 1, 0, 0], [1, 0, 0, 1, 1], [0, 0, 1, 1, 0]):
+        ciphertexts = pk.encrypt_vector(answers)
+        quality, proof = prove_quality(
+            sk, ciphertexts, gold_indexes, gold_answers, range(2)
+        )
+        statements.append((ciphertexts, quality, proof))
+    serial = verify_quality_proofs_batch(
+        pk, statements, gold_indexes, gold_answers
+    )
+    with verifier_pool.installed():
+        pooled = verify_quality_proofs_batch(
+            pk, statements, gold_indexes, gold_answers
+        )
+    assert pooled == serial
+    assert all(serial)
+    # Element-wise against the sequential verifier, pool installed.
+    with verifier_pool.installed():
+        for ciphertexts, quality, proof in statements:
+            assert verify_quality(
+                pk, ciphertexts, quality, proof, gold_indexes, gold_answers
+            )
+
+
+@pytest.mark.slow
+def test_groth16_batch_pooled_equivalence(verifier_pool):
+    from repro.baseline.groth16 import prove_system, verify, verify_batch
+    from repro.baseline.r1cs import ConstraintSystem, LinearCombination as LC
+
+    def cubic(x, out):
+        cs = ConstraintSystem()
+        out_var = cs.public_input("out", out)
+        x_var = cs.private_witness("x", x)
+        x2 = cs.mul(x_var, x_var)
+        x3 = cs.mul(x2, x_var)
+        cs.enforce(
+            LC.of(x3) + LC.of(x_var) + LC.constant(5),
+            LC.constant(1),
+            LC.of(out_var),
+        )
+        return cs
+
+    proof_a, public_a, vk = prove_system(cubic(3, 35))
+    instances = [(public_a, proof_a)]
+    serial = verify_batch(vk, instances)
+    with verifier_pool.installed():
+        pooled = verify_batch(vk, instances)
+        single = verify(vk, public_a, proof_a)
+    assert serial and pooled and single
+
+
+# ---------------------------------------------------------------------------
+# Prover pool: pooled proving is byte-identical to inline
+# ---------------------------------------------------------------------------
+
+
+def _pooled_vs_inline(factory):
+    with deterministic_entropy(11):
+        with ProverPool(0) as pool:
+            inline = factory(pool)
+    with deterministic_entropy(11):
+        with ProverPool(2, job_timeout=120) as pool:
+            pooled = factory(pool)
+    return inline, pooled
+
+
+def test_encrypt_vector_pooled_identical(keypair):
+    pk, _ = keypair
+    inline, pooled = _pooled_vs_inline(
+        lambda pool: pool.encrypt_vector(pk, [0, 1, 1, 0])
+    )
+    assert [c.to_bytes() for c in inline] == [c.to_bytes() for c in pooled]
+
+
+def test_prove_decryption_pooled_identical(keypair):
+    pk, sk = keypair
+    with deterministic_entropy(5):
+        ciphertext = pk.encrypt(1)
+
+    def factory(pool):
+        claim, proof = pool.prove_decryption(sk, ciphertext, range(2))
+        return claim, proof.to_bytes()
+
+    inline, pooled = _pooled_vs_inline(factory)
+    assert inline == pooled
+    assert inline[0] == 1
+
+
+def test_prove_quality_pooled_identical(keypair):
+    pk, sk = keypair
+    with deterministic_entropy(5):
+        ciphertexts = pk.encrypt_vector([0, 1, 0, 1])
+
+    def factory(pool):
+        quality, proof = pool.prove_quality(
+            sk, ciphertexts, [0, 1], [0, 0], range(2)
+        )
+        return quality, codec.encode(proof)
+
+    inline, pooled = _pooled_vs_inline(factory)
+    assert inline == pooled
+    assert inline[0] == 1  # one gold matches, one mismatches
+
+
+def test_job_seed_is_fixed_width_draw():
+    """Dispatch consumes exactly 32 stream bytes per job, any label.
+
+    That (not the label) is what makes the parent stream position a
+    pure function of the dispatch count — the resume-safety invariant.
+    """
+    def position(state):
+        return state["counter"] * 32 + state["offset"]
+
+    with deterministic_entropy(99):
+        seed_a = entropy.derive_job_seed(b"encrypt-vector")
+        mid = entropy.save_state()
+        seed_b = entropy.derive_job_seed(b"prove-quality")  # longer label
+        after = entropy.save_state()
+    assert position(after) - position(mid) == 32
+    assert seed_a != seed_b  # stream moved: distinct jobs, distinct seeds
+    with deterministic_entropy(99):
+        assert entropy.derive_job_seed(b"encrypt-vector") == seed_a
+
+
+def test_job_seeds_differ_by_label():
+    with deterministic_entropy(7):
+        seed_a = entropy.derive_job_seed(b"encrypt-vector")
+    with deterministic_entropy(7):
+        seed_b = entropy.derive_job_seed(b"prove-vpke")
+    assert seed_a != seed_b
+
+
+# ---------------------------------------------------------------------------
+# Crash tolerance: SIGKILL mid-job
+# ---------------------------------------------------------------------------
+
+
+def test_killed_worker_retries_cleanly(tmp_path):
+    marker = str(tmp_path / "crash-once")
+    with ProverPool(1, job_timeout=120) as pool:
+        job = pool._submit(
+            pool_jobs.job_crash, codec.encode({"marker": marker}), codec.decode
+        )
+        assert job.result() == "survived"
+        assert pool.retries == 1
+        # The rebuilt pool keeps serving real jobs.
+        pk, _ = keygen(secret=0xC0FFEE)
+        with deterministic_entropy(3):
+            assert len(pool.encrypt_vector(pk, [0, 1])) == 2
+
+
+def test_persistent_crash_raises_proof_pool_error():
+    with ProverPool(1, max_retries=1, job_timeout=120) as pool:
+        job = pool._submit(pool_jobs.job_crash, codec.encode({"marker": None}))
+        with pytest.raises(ProofPoolError, match="worker process died"):
+            job.result()
+        assert pool.retries == 1
+        # Recovery: the executor was rebuilt, not wedged.
+        pk, _ = keygen(secret=0xC0FFEE)
+        with deterministic_entropy(3):
+            assert len(pool.encrypt_vector(pk, [0, 1])) == 2
+
+
+def test_crash_leaves_chain_state_untouched(tiny_task):
+    """The fault-injection acceptance check: a dead worker process can
+    fail a *job*, never mutate the node — state_root is byte-identical
+    before and after the ProofPoolError."""
+    from repro.chain.chain import Chain
+
+    chain = Chain()
+    chain.register_account("alice", 100)
+    chain.mine_block()
+    before = codec.state_root(chain)
+    with ProverPool(1, max_retries=0, job_timeout=120) as pool:
+        job = pool._submit(pool_jobs.job_crash, codec.encode({"marker": None}))
+        with pytest.raises(ProofPoolError):
+            job.result()
+    assert codec.state_root(chain) == before
+
+
+# ---------------------------------------------------------------------------
+# Pool lifecycle: pickling, reuse, status
+# ---------------------------------------------------------------------------
+
+
+def test_pools_pickle_without_executor(prover_pool, keypair):
+    pk, _ = keypair
+    with deterministic_entropy(4):
+        prover_pool.encrypt_vector(pk, [1, 0])  # executor now live
+    clone = pickle.loads(pickle.dumps(prover_pool))
+    assert clone._executor is None
+    assert clone.procs == prover_pool.procs
+    assert clone.jobs_dispatched == prover_pool.jobs_dispatched
+    with deterministic_entropy(4):
+        assert len(clone.encrypt_vector(pk, [1, 0])) == 2  # lazy rebuild
+    clone.close()
+
+
+def test_pending_job_pickles_as_resolved_value(prover_pool, keypair):
+    pk, _ = keypair
+    with deterministic_entropy(4):
+        job = prover_pool.submit_encrypt_vector(pk, [1, 0])
+        expected = [c.to_bytes() for c in job.result()]
+    restored = pickle.loads(pickle.dumps(job))
+    assert [c.to_bytes() for c in restored.result()] == expected
+
+
+def test_pool_status_shape(verifier_pool):
+    status = verifier_pool.status()
+    assert status["kind"] == "verifier"
+    assert status["procs"] == 2
+    assert status["alive"] is False  # lazy: no job dispatched yet
+    assert status["jobs_dispatched"] == 0
+
+
+def test_worker_cache_warm_from_initializer(verifier_pool):
+    infos = verifier_pool.worker_cache_info()
+    assert infos  # at least one worker answered
+    for info in infos:
+        assert info["pid"] != os.getpid()
+        assert info["population"] >= 1  # generator table warmed at start
+
+
+def test_parent_cache_stats_count_hits_and_misses():
+    curve.reset_fixed_base_cache_stats()
+    base = _G * 0x51A7
+    assert base.mul_fixed(3) == base * 3  # first use: miss (table built)
+    assert base.mul_fixed(5) == base * 5  # second use: hit
+    stats = curve.fixed_base_cache_stats()
+    assert stats["misses"] >= 1
+    assert stats["hits"] >= 1
+    assert stats["population"] >= 1
+    assert stats["limit"] >= 1
+
+
+def test_inline_pool_needs_no_processes():
+    with ProverPool(0) as pool:
+        pk, _ = keygen(secret=0xFEED)
+        with deterministic_entropy(2):
+            ciphertexts = pool.encrypt_vector(pk, [0, 1, 1])
+        assert len(ciphertexts) == 3
+        assert pool._executor is None  # truly inline
+
+
+def test_negative_procs_rejected():
+    with pytest.raises(ValueError):
+        ProverPool(-1)
+
+
+# ---------------------------------------------------------------------------
+# End to end: engine handoff, simulation identity, RPC surface
+# ---------------------------------------------------------------------------
+
+
+def _staggered_serve(prover_pool, verifier_pool):
+    """Two overlapping sessions through Dragoon.serve; the second task
+    arrives while the first is mid-flight, so pooled runs exercise the
+    async commit handoff against live block mining."""
+    import contextlib
+
+    from repro.chain.transactions import scoped_tx_nonces
+    from repro.dragoon import Dragoon, TaskArrival
+    from tests.helpers import small_task
+
+    hooks = (
+        verifier_pool.installed()
+        if verifier_pool is not None
+        else contextlib.nullcontext()
+    )
+    with scoped_tx_nonces(), deterministic_entropy(17), hooks:
+        dragoon = Dragoon(prover_pool=prover_pool)
+        arrivals = [
+            TaskArrival(0, "req-a", small_task(), [[0] * 10, [1] * 10]),
+            TaskArrival(2, "req-b", small_task(), [[0] * 10, [0] * 10]),
+        ]
+        outcomes = dragoon.serve(arrivals)
+        paid = [
+            worker.was_paid()
+            for outcome in outcomes
+            for worker in outcome.workers
+        ]
+        return codec.state_root(dragoon.chain), paid
+
+
+@pytest.mark.slow
+def test_serve_pooled_byte_identical_to_inline():
+    """The acceptance check: pools on N processes reproduce the inline
+    run bit-for-bit — receipts, gas, and state_root all hash equal."""
+    with ProverPool(0) as prover:
+        inline_root, inline_paid = _staggered_serve(prover, None)
+    with ProverPool(2, job_timeout=300) as prover, VerifierPool(
+        2, job_timeout=300
+    ) as verifier:
+        pooled_root, pooled_paid = _staggered_serve(prover, verifier)
+    assert pooled_root == inline_root
+    assert pooled_paid == inline_paid
+    assert any(inline_paid)
+
+
+@pytest.mark.slow
+def test_simulation_pooled_report_identical():
+    from dataclasses import replace
+
+    from repro.sim import preset, run_scenario
+
+    scenario = preset("poisson", seed=3, tasks=3)
+    inline = run_scenario(
+        replace(scenario, prover_procs=0, verifier_procs=0)
+    ).to_json()
+    pooled = run_scenario(
+        replace(scenario, prover_procs=2, verifier_procs=2)
+    ).to_json()
+    assert pooled == inline
+
+
+def test_rpc_node_status_surfaces_pool_telemetry():
+    from repro.rpc import LoopbackTransport, RpcChain, RpcNode
+
+    with VerifierPool(1, job_timeout=120) as pool:
+        node = RpcNode(verifier_pool=pool)
+        chain = RpcChain(LoopbackTransport(node))
+        chain.register_account("alice", 10)
+        chain.mine_block()  # a write: dispatches under installed() hooks
+        status = chain.rpc.call("node_status")
+    cache = status["fixed_base_cache"]
+    assert set(cache) >= {"hits", "misses", "population", "limit"}
+    assert status["verifier_pool"]["kind"] == "verifier"
+    assert status["verifier_pool"]["procs"] == 1
+    for info in status["worker_caches"]:
+        assert info["pid"] != os.getpid()
+        assert info["population"] >= 1
+
+
+def test_rpc_node_status_without_pool_has_no_pool_keys():
+    from repro.rpc import LoopbackTransport, RpcChain, RpcNode
+
+    node = RpcNode()
+    chain = RpcChain(LoopbackTransport(node))
+    status = chain.rpc.call("node_status")
+    assert "fixed_base_cache" in status
+    assert "verifier_pool" not in status
+    assert "worker_caches" not in status
