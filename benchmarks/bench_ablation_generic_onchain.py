@@ -14,7 +14,6 @@ full-scale generic extrapolation lives in bench_table1.
 
 from __future__ import annotations
 
-import time
 
 import pytest
 
@@ -35,6 +34,7 @@ from bench_helpers import emit
 import sys, os
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
 from tests.helpers import small_task  # noqa: E402
+from repro.obs.tracing import span_clock
 
 GOOD = [0] * 10
 BAD = [1] * 10
@@ -86,9 +86,9 @@ def _run_generic_rejection():
     chain.mine_block()
 
     requester.send_golden()
-    prove_start = time.perf_counter()
+    prove_start = span_clock()
     snark_proof = prove(proving_key, qap, circuit.full_assignment())
-    prove_elapsed = time.perf_counter() - prove_start
+    prove_elapsed = span_clock() - prove_start
     publics = circuit.public_values()
     chain.send(
         requester.address, "generic-hit", "evaluate_generic",
@@ -111,9 +111,9 @@ def test_generic_vs_poqoea_rejection(benchmark):
 
     pk, sk = keygen(secret=0xAB5)
     ciphertexts = pk.encrypt_vector(BAD)
-    start = time.perf_counter()
+    start = span_clock()
     prove_quality(sk, ciphertexts, task.gold_indexes, task.gold_answers, [0, 1])
-    poqoea_prove = time.perf_counter() - start
+    poqoea_prove = span_clock() - start
 
     dragoon_gas = _run_dragoon_rejection()
     generic_gas, generic_prove = _run_generic_rejection()

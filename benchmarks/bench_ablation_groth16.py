@@ -8,7 +8,6 @@ on-chain despite the brutal proving cost.
 
 from __future__ import annotations
 
-import time
 
 import pytest
 
@@ -18,6 +17,7 @@ from repro.baseline.groth16 import prove, setup, verify
 from repro.baseline.qap import QAP
 
 from bench_helpers import SMOKE, emit, pick
+from repro.obs.tracing import span_clock
 
 SIZES = pick([8, 16, 32, 64], [4, 8])
 
@@ -41,18 +41,18 @@ def test_groth16_scaling_report(benchmark):
         system = multiplication_chain_circuit(size)
         qap = QAP.from_r1cs(system)
 
-        t0 = time.perf_counter()
+        t0 = span_clock()
         proving_key, verifying_key = setup(qap)
-        setup_time = time.perf_counter() - t0
+        setup_time = span_clock() - t0
 
         assignment = system.full_assignment()
-        t0 = time.perf_counter()
+        t0 = span_clock()
         proof = prove(proving_key, qap, assignment)
-        prove_times[size] = time.perf_counter() - t0
+        prove_times[size] = span_clock() - t0
 
-        t0 = time.perf_counter()
+        t0 = span_clock()
         ok = verify(verifying_key, system.public_values(), proof)
-        verify_times[size] = time.perf_counter() - t0
+        verify_times[size] = span_clock() - t0
         assert ok
 
         rows.append(

@@ -38,6 +38,7 @@ from repro.store import codec
 from repro.utils.timing import best_of
 
 from bench_helpers import SMOKE, emit, pick
+from repro.obs.tracing import span_clock
 
 SPEEDUP_BAR = 2.0
 CORES = os.cpu_count() or 1
@@ -152,9 +153,9 @@ def test_pipelined_serve_report(benchmark):
                     )
                     for index in range(num_tasks)
                 ]
-                t0 = time.perf_counter()
+                t0 = span_clock()
                 dragoon.serve(arrivals)
-                elapsed = time.perf_counter() - t0
+                elapsed = span_clock() - t0
                 return codec.state_root(dragoon.chain), elapsed
         finally:
             if prover is not None:

@@ -26,7 +26,6 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
-import time
 
 from repro.analysis.tables import render_table
 from repro.chain.transactions import scoped_tx_nonces
@@ -37,6 +36,7 @@ from repro.sim import preset, run_scenario
 from repro.store import NodeStore, encode_chain_state, state_root
 
 from bench_helpers import emit, pick
+from repro.obs.tracing import span_clock
 
 TASKS = pick(24, 5)
 SEED = 77
@@ -55,9 +55,9 @@ def _tiny_task() -> HITTask:
 
 
 def _timed(fn):
-    start = time.perf_counter()
+    start = span_clock()
     result = fn()
-    return result, time.perf_counter() - start
+    return result, span_clock() - start
 
 
 def test_persistence_throughput():

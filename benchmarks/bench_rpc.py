@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import asyncio
 import threading
-import time
 
 from repro.analysis.tables import render_table
 from repro.chain.chain import Chain
@@ -53,6 +52,7 @@ from repro.rpc import (
 from repro.storage.swarm import SwarmStore
 
 from bench_helpers import emit, pick
+from repro.obs.tracing import span_clock
 
 NUM_TASKS = pick(8, 3)
 HEAD_CALLS = pick(2000, 50)
@@ -110,17 +110,17 @@ def test_rpc_boundary_cost():
     rows = []
     results = []
 
-    start = time.perf_counter()
+    start = span_clock()
     payments, height, _ = _run_in_process()
-    base_elapsed = time.perf_counter() - start
+    base_elapsed = span_clock() - start
     results.append(payments)
     rows.append(["in-process", height, "-", "%.2fs" % base_elapsed, "-", "-"])
 
-    start = time.perf_counter()
+    start = span_clock()
     payments, loop_height, requests = _run_over(
         LoopbackTransport(RpcNode())
     )
-    elapsed = time.perf_counter() - start
+    elapsed = span_clock() - start
     results.append(payments)
     rows.append([
         "loopback rpc", loop_height, requests, "%.2fs" % elapsed,
@@ -131,9 +131,9 @@ def test_rpc_boundary_cost():
     node = RpcNode()
     with RpcHttpServer(node) as server:
         transport = HttpTransport(server.url)
-        start = time.perf_counter()
+        start = span_clock()
         payments, http_height, requests = _run_over(transport)
-        elapsed = time.perf_counter() - start
+        elapsed = span_clock() - start
         transport.close()
     results.append(payments)
     rows.append([
@@ -165,10 +165,10 @@ def test_head_request_throughput():
     node = RpcNode()
     transport = LoopbackTransport(node)
     chain = RpcChain(transport)
-    start = time.perf_counter()
+    start = span_clock()
     for _ in range(HEAD_CALLS):
         chain.rpc.call("chain_head")
-    elapsed = time.perf_counter() - start
+    elapsed = span_clock() - start
     rows.append(["loopback", HEAD_CALLS, "%.0f" % (HEAD_CALLS / elapsed),
                  "%.3fms" % (1e3 * elapsed / HEAD_CALLS)])
 
@@ -177,10 +177,10 @@ def test_head_request_throughput():
         transport = HttpTransport(server.url)
         chain = RpcChain(transport)
         chain.rpc.call("chain_head")  # warm the keep-alive connection
-        start = time.perf_counter()
+        start = span_clock()
         for _ in range(HEAD_CALLS):
             chain.rpc.call("chain_head")
-        elapsed = time.perf_counter() - start
+        elapsed = span_clock() - start
         transport.close()
     rows.append(["http (localhost)", HEAD_CALLS,
                  "%.0f" % (HEAD_CALLS / elapsed),
@@ -205,9 +205,9 @@ def _hammer_heads(url: str, calls: int) -> None:
 
 
 def _serial_heads(url: str) -> float:
-    start = time.perf_counter()
+    start = span_clock()
     _hammer_heads(url, HEAD_CALLS)
-    return time.perf_counter() - start
+    return span_clock() - start
 
 
 def _concurrent_heads(url: str) -> float:
@@ -216,12 +216,12 @@ def _concurrent_heads(url: str) -> float:
         threading.Thread(target=_hammer_heads, args=(url, per_client))
         for _ in range(CONCURRENT_CLIENTS)
     ]
-    start = time.perf_counter()
+    start = span_clock()
     for thread in threads:
         thread.start()
     for thread in threads:
         thread.join()
-    return time.perf_counter() - start, per_client * CONCURRENT_CLIENTS
+    return span_clock() - start, per_client * CONCURRENT_CLIENTS
 
 
 def _batched_heads(url: str) -> float:
@@ -229,10 +229,10 @@ def _batched_heads(url: str) -> float:
     session = RpcSession(transport)
     batch = [("chain_head", {})] * BATCH_SIZE
     rounds = HEAD_CALLS // BATCH_SIZE
-    start = time.perf_counter()
+    start = span_clock()
     for _ in range(rounds):
         session.call_batch(batch)
-    elapsed = time.perf_counter() - start
+    elapsed = span_clock() - start
     transport.close()
     return elapsed, rounds * BATCH_SIZE
 
@@ -323,11 +323,11 @@ def test_subscription_fanout_pushes_without_polling():
                     ))
                 return count
 
-            start = time.perf_counter()
+            start = span_clock()
             counts = await asyncio.gather(
                 *[drain(subscription) for subscription in subscriptions]
             )
-            elapsed = time.perf_counter() - start
+            elapsed = span_clock() - start
             for subscription in subscriptions:
                 await subscription.close()
             return counts, elapsed

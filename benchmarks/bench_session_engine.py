@@ -20,13 +20,13 @@ mode too.
 
 from __future__ import annotations
 
-import time
 
 from repro.analysis.tables import render_table
 from repro.core.task import HITTask, TaskParameters
 from repro.dragoon import Dragoon, TaskArrival
 
 from bench_helpers import emit, pick
+from repro.obs.tracing import span_clock
 
 NUM_TASKS = pick(8, 3)
 GOOD = [0] * 10
@@ -62,20 +62,20 @@ def _run_staggered(stagger: int) -> int:
 def test_staggered_arrivals_beat_lock_step():
     rows = []
 
-    start = time.perf_counter()
+    start = span_clock()
     lock_step_blocks = _run_lock_step()
     rows.append(["lock-step sequential", lock_step_blocks,
-                 "%.2fs" % (time.perf_counter() - start)])
+                 "%.2fs" % (span_clock() - start)])
 
-    start = time.perf_counter()
+    start = span_clock()
     staggered_blocks = _run_staggered(stagger=1)
     rows.append(["session engine, stagger 1", staggered_blocks,
-                 "%.2fs" % (time.perf_counter() - start)])
+                 "%.2fs" % (span_clock() - start)])
 
-    start = time.perf_counter()
+    start = span_clock()
     batched_blocks = _run_staggered(stagger=0)
     rows.append(["session engine, simultaneous", batched_blocks,
-                 "%.2fs" % (time.perf_counter() - start)])
+                 "%.2fs" % (span_clock() - start)])
 
     emit(
         "session_engine_throughput",

@@ -21,12 +21,12 @@ Reproduce the table with::
 
 from __future__ import annotations
 
-import time
 
 from repro.analysis.tables import render_table
 from repro.sim import preset, run_scenario
 
 from bench_helpers import emit, pick
+from repro.obs.tracing import span_clock
 
 TASKS = pick(24, 6)
 SEED = 2020
@@ -39,9 +39,9 @@ def test_arrival_regimes_blocks_per_task():
     reports = {}
     for name in REGIMES:
         scenario = preset(name, seed=SEED, tasks=TASKS)
-        start = time.perf_counter()
+        start = span_clock()
         report = run_scenario(scenario)
-        elapsed = time.perf_counter() - start
+        elapsed = span_clock() - start
         report.check_invariants()
         reports[name] = report
         rows.append([

@@ -26,6 +26,31 @@ from repro.chain.transactions import Event, Receipt, Transaction
 from repro.errors import ChainError, ContractError, OutOfGas
 from repro.ledger.accounts import Address, Registry
 from repro.ledger.ledger import Ledger
+from repro.obs import registry as _obs
+from repro.obs.tracing import span_clock as _span_clock, trace_span
+
+_BLOCKS_MINED = _obs.REGISTRY.counter(
+    "chain_blocks_mined_total", "Blocks sealed by mine_block"
+)
+_TXS_EXECUTED = _obs.REGISTRY.counter(
+    "chain_txs_executed_total", "Transactions executed, by outcome",
+    labelnames=("status",),
+)
+_GAS_USED = _obs.REGISTRY.counter(
+    "chain_gas_used_total", "Gas charged across all executed transactions"
+)
+_EVENTS_EMITTED = _obs.REGISTRY.counter(
+    "chain_events_emitted_total", "Events appended to the chain event log"
+)
+_CHAIN_HEIGHT = _obs.REGISTRY.gauge(
+    "chain_height", "Blocks sealed on the most recently mined chain"
+)
+_MEMPOOL_DEPTH = _obs.REGISTRY.gauge(
+    "chain_mempool_depth", "Pending transactions after the last mine"
+)
+_MINE_SECONDS = _obs.REGISTRY.histogram(
+    "chain_mine_block_seconds", "Wall-clock duration of mine_block"
+)
 
 
 class Chain:
@@ -242,11 +267,23 @@ class Chain:
         logic (reveal windows, timeout refunds) run against a quiet
         chain.
         """
-        ordered = self.mempool.drain(self.scheduler)
-        receipts = [self._execute(transaction) for transaction in ordered]
-        block = self._seal_block(ordered, receipts)
-        self.clock.advance()
-        self._notify_store(block)
+        started = _span_clock()
+        with trace_span("chain.mine_block", height=len(self.blocks)) as span:
+            ordered = self.mempool.drain(self.scheduler)
+            receipts = [self._execute(transaction) for transaction in ordered]
+            block = self._seal_block(ordered, receipts)
+            self.clock.advance()
+            self._notify_store(block)
+            span.set(txs=len(ordered))
+        _BLOCKS_MINED.inc()
+        _CHAIN_HEIGHT.set(len(self.blocks))
+        _MEMPOOL_DEPTH.set(len(self.mempool))
+        for receipt in receipts:
+            _TXS_EXECUTED.inc(status="ok" if receipt.status else "reverted")
+            _GAS_USED.inc(receipt.gas_used)
+            if receipt.status:
+                _EVENTS_EMITTED.inc(len(receipt.events))
+        _MINE_SECONDS.observe(_span_clock() - started)
         return block
 
     def mine_until_idle(self, max_blocks: int = 64) -> List[Block]:

@@ -31,6 +31,7 @@ same invocation prints the same bytes every time.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -44,6 +45,13 @@ from repro.core.task import (
     make_street_parking_task,
     sample_worker_answers,
 )
+from repro.obs.logging import add_logging_flags, configure_logging, get_logger
+from repro.obs.tracing import trace_to
+
+#: Every line the CLI emits goes through the structured logger: the
+#: default human rendering is byte-identical to the old print() output,
+#: and --log-json swaps in one-JSON-object-per-line for machine readers.
+_log = get_logger("cli")
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -57,7 +65,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         [w.label, outcome.payment_of(w), outcome.contract.verdict_of(w.address)]
         for w in outcome.workers
     ]
-    print(render_table(["worker", "paid", "verdict"], rows, title="Demo HIT"))
+    _log.info(render_table(["worker", "paid", "verdict"], rows, title="Demo HIT"))
     return 0
 
 
@@ -78,15 +86,19 @@ def _cmd_imagenet(args: argparse.Namespace) -> int:
         ]
         for i, w in enumerate(outcome.workers)
     ]
-    print(
+    _log.info(
         render_table(
             ["worker", "accuracy", "gold quality", "paid"],
             rows,
             title="ImageNet HIT (paper SVI policy)",
         )
     )
-    print("total gas: %dk ($%.2f)" % (
-        outcome.gas.total // 1000, PAPER_PRICING.to_usd(outcome.gas.total)))
+    _log.info(
+        "total gas: %dk ($%.2f)" % (
+            outcome.gas.total // 1000, PAPER_PRICING.to_usd(outcome.gas.total)
+        ),
+        gas=outcome.gas.total,
+    )
     return 0
 
 
@@ -99,10 +111,10 @@ def _cmd_fees(args: argparse.Namespace) -> int:
         [row.operation, "~%dk" % (row.gas // 1000), "$%.2f" % row.usd]
         for row in table.rows
     ]
-    print(render_table(["operation", "gas", "usd"], rows,
-                       title="Table III reproduction (best case)"))
-    print(render_gas_extras(outcome.gas.extras, pricing=PAPER_PRICING))
-    print("MTurk fee for the same task: $%.2f" % mturk_handling_fee(20.0, 4))
+    _log.info(render_table(["operation", "gas", "usd"], rows,
+                           title="Table III reproduction (best case)"))
+    _log.info(render_gas_extras(outcome.gas.extras, pricing=PAPER_PRICING))
+    _log.info("MTurk fee for the same task: $%.2f" % mturk_handling_fee(20.0, 4))
     return 0
 
 
@@ -133,8 +145,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         ]
         for label, reputation in sorted(reputations.items())
     ]
-    print(render_table(["requester", "tasks", "rejection rate", "flags"],
-                       rows, title="Requester reputations (public audit)"))
+    _log.info(render_table(["requester", "tasks", "rejection rate", "flags"],
+                           rows, title="Requester reputations (public audit)"))
     return 0
 
 
@@ -147,10 +159,10 @@ def _cmd_incentives(args: argparse.Namespace) -> int:
              "$%+.2f" % o.expected_utility]
             for o in strategy_profile(params, naive_chain=naive)
         ]
-        print(render_table(
+        _log.info(render_table(
             ["strategy", "P[paid]", "E[reward]", "cost", "E[utility]"],
             rows, title="Worker strategies on %s" % world))
-        print()
+        _log.info("")
     return 0
 
 
@@ -218,8 +230,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             dragoon = Dragoon(chain=chain, prover_pool=prover_pool)
             dragoon.restore_node_state(meta["extra"])
             dragoon.attach_store(store)
-            print("resumed node at height %d (state_root %s...)"
-                  % (chain.height, meta["state_root"].hex()[:16]))
+            _log.info(
+                "resumed node at height %d (state_root %s...)"
+                % (chain.height, meta["state_root"].hex()[:16]),
+                height=chain.height,
+                state_dir=args.state_dir,
+            )
             # Long-lived requesters may have spent earlier budgets; top
             # them up so this run's publishes can freeze B.  After
             # attach_store, so the mints land in the next block's WAL
@@ -234,8 +250,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             dragoon.attach_store(store)
     else:
         dragoon = Dragoon(prover_pool=prover_pool)
-    import contextlib
-
     hooks = (
         verifier_pool.installed()
         if verifier_pool is not None
@@ -251,8 +265,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             verifier_pool.close()
     if store is not None:
         root = store.save(dragoon.chain, extra=dragoon.node_state())
-        print("node state saved to %s (height %d, state_root %s...)"
-              % (args.state_dir, dragoon.chain.height, root.hex()[:16]))
+        _log.info(
+            "node state saved to %s (height %d, state_root %s...)"
+            % (args.state_dir, dragoon.chain.height, root.hex()[:16]),
+            state_dir=args.state_dir,
+            height=dragoon.chain.height,
+        )
 
     rows = []
     for trace in dragoon.engine.trace:
@@ -267,25 +285,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             [trace.block_number, trace.period, trace.transactions,
              events or "-", phases or "-"]
         )
-    print(render_table(
+    _log.info(render_table(
         ["block", "period", "txs", "events", "session phases"],
         rows,
         title="Session engine trace (%d tasks, stagger %d)"
         % (args.tasks, args.stagger),
     ))
-    print("chain height: %d blocks (lock-step sequential would need ~%d)"
-          % (dragoon.chain.height, 5 * args.tasks))
+    _log.info(
+        "chain height: %d blocks (lock-step sequential would need ~%d)"
+        % (dragoon.chain.height, 5 * args.tasks),
+        height=dragoon.chain.height,
+    )
     paid = sum(
         1 for outcome in outcomes
         for value in outcome.payments().values() if value > 0
     )
-    print("settled %d tasks: %d workers paid, %d rejected"
-          % (len(outcomes), paid, 2 * len(outcomes) - paid))
+    _log.info(
+        "settled %d tasks: %d workers paid, %d rejected"
+        % (len(outcomes), paid, 2 * len(outcomes) - paid),
+        settled=len(outcomes),
+        paid=paid,
+    )
     extras: dict = {}
     for outcome in outcomes:
         for operation, gas in outcome.gas.extras.items():
             extras[operation] = extras.get(operation, 0) + gas
-    print(render_gas_extras(extras, pricing=PAPER_PRICING))
+    _log.info(render_gas_extras(extras, pricing=PAPER_PRICING))
     return 0
 
 
@@ -311,13 +336,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         from repro.store import NodeStore
 
         if NodeStore.exists(args.state_dir):
-            print("error: %s already holds node state — a scenario runs "
-                  "from genesis; pick a fresh --state-dir or `node resume` "
-                  "the existing one" % args.state_dir, file=sys.stderr)
+            _log.error(
+                "error: %s already holds node state — a scenario runs "
+                "from genesis; pick a fresh --state-dir or `node resume` "
+                "the existing one" % args.state_dir,
+                state_dir=args.state_dir,
+            )
             return 2
         store = NodeStore.init(args.state_dir)
     elif args.checkpoint_every:
-        print("error: --checkpoint-every needs --state-dir", file=sys.stderr)
+        _log.error("error: --checkpoint-every needs --state-dir")
         return 2
     try:
         report = run_scenario(
@@ -335,7 +363,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         raise
     report.check_invariants()
 
-    print(render_table(
+    _log.info(render_table(
         ["metric", "value"],
         [
             ["tasks published", report.tasks_published],
@@ -355,30 +383,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         title="Scenario %r (seed %d)" % (scenario.name, scenario.seed),
     ))
     latency = report.commit_to_finalize
-    print("commit->finalize latency: min %s, mean %s, max %s blocks"
-          % (latency["min"], latency["mean"], latency["max"]))
-    print(render_gas_extras(report.gas_extras, pricing=PAPER_PRICING))
+    _log.info("commit->finalize latency: min %s, mean %s, max %s blocks"
+              % (latency["min"], latency["mean"], latency["max"]))
+    _log.info(render_gas_extras(report.gas_extras, pricing=PAPER_PRICING))
     top = sorted(
         report.worker_earnings.items(), key=lambda pair: (-pair[1], pair[0])
     )[:5]
-    print(render_table(
+    _log.info(render_table(
         ["worker", "coins earned"], top, title="Top earners",
     ))
     _emit_report(report, args)
     if store is not None:
-        print("node state saved to %s" % args.state_dir)
+        _log.info("node state saved to %s" % args.state_dir,
+                  state_dir=args.state_dir)
     return 0
 
 
 def _emit_report(report, args: argparse.Namespace) -> None:
     """The shared --json/--out tail of the report-producing commands."""
     if args.json:
+        # The canonical JSON report is program output, not a log line:
+        # it must stay byte-identical under any logging mode.
         print(report.to_json())
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(report.to_json())
             handle.write("\n")
-        print("report written to %s" % args.out)
+        _log.info("report written to %s" % args.out, out=args.out)
 
 
 def _cmd_node_init(args: argparse.Namespace) -> int:
@@ -390,17 +421,17 @@ def _cmd_node_init(args: argparse.Namespace) -> int:
     for grant in args.fund or []:
         label, _, coins = grant.partition("=")
         if not coins.isdigit():
-            print("error: --fund takes label=coins, got %r" % grant,
-                  file=sys.stderr)
+            _log.error("error: --fund takes label=coins, got %r" % grant)
             return 2
         dragoon.fund(label, int(coins))
     store = NodeStore.init(
         args.state_dir, chain=dragoon.chain, extra=dragoon.node_state()
     )
     manifest = store.manifest()
-    print("initialized node state at %s" % args.state_dir)
-    print("  height     : %d" % manifest["height"])
-    print("  state_root : %s" % manifest["state_root"])
+    _log.info("initialized node state at %s" % args.state_dir,
+              state_dir=args.state_dir)
+    _log.info("  height     : %d" % manifest["height"])
+    _log.info("  state_root : %s" % manifest["state_root"])
     return 0
 
 
@@ -421,8 +452,8 @@ def _cmd_node_status(args: argparse.Namespace) -> int:
         ["total gas", "%dk" % (status["total_gas"] // 1000)],
         ["checkpoints", ", ".join(map(str, status["checkpoints"])) or "-"],
     ]
-    print(render_table(["field", "value"], rows,
-                       title="Node %s" % args.state_dir))
+    _log.info(render_table(["field", "value"], rows,
+                           title="Node %s" % args.state_dir))
     return 0
 
 
@@ -432,7 +463,7 @@ def _cmd_node_resume(args: argparse.Namespace) -> int:
 
     report = resume_scenario(args.state_dir, step=args.step)
     report.check_invariants()
-    print(render_table(
+    _log.info(render_table(
         ["metric", "value"],
         [
             ["tasks published", report.tasks_published],
@@ -468,13 +499,17 @@ def _cmd_node_rpc_serve(args: argparse.Namespace) -> int:
     if NodeStore.exists(args.state_dir):
         store = NodeStore.open(args.state_dir)
         chain, meta = store.load(apply_runtime=True)
-        print("resumed node at height %d (state_root %s...)"
-              % (chain.height, meta["state_root"].hex()[:16]), flush=True)
+        _log.info(
+            "resumed node at height %d (state_root %s...)"
+            % (chain.height, meta["state_root"].hex()[:16]),
+            height=chain.height,
+            state_dir=args.state_dir,
+        )
     else:
         store = NodeStore.init(args.state_dir)
         chain, meta = store.load(apply_runtime=True)
-        print("initialized fresh node state in %s" % args.state_dir,
-              flush=True)
+        _log.info("initialized fresh node state in %s" % args.state_dir,
+                  state_dir=args.state_dir)
     chain.attach_store(store)
     auth = None
     if args.admin_token or args.submit_token:
@@ -492,13 +527,16 @@ def _cmd_node_rpc_serve(args: argparse.Namespace) -> int:
     )
 
     def _announce(server) -> None:
-        print("rpc node listening on http://%s:%d/rpc (%d methods, "
-              "protocol v%d%s%s) — Ctrl-C to stop"
-              % (server.host, server.port, len(node._methods),
-                 PROTOCOL_VERSION,
-                 ", async" if args.use_async else "",
-                 ", auth" if auth is not None else ""),
-              flush=True)
+        _log.info(
+            "rpc node listening on http://%s:%d/rpc (%d methods, "
+            "protocol v%d%s%s) — Ctrl-C to stop"
+            % (server.host, server.port, len(node._methods),
+               PROTOCOL_VERSION,
+               ", async" if args.use_async else "",
+               ", auth" if auth is not None else ""),
+            host=server.host,
+            port=server.port,
+        )
 
     if args.use_async:
         from repro.rpc.aserver import AsyncRpcServer
@@ -532,8 +570,12 @@ def _cmd_node_rpc_serve(args: argparse.Namespace) -> int:
         if verifier_pool is not None:
             verifier_pool.close()
         root = store.save(chain)
-        print("node state saved to %s (height %d, state_root %s...)"
-              % (args.state_dir, chain.height, root.hex()[:16]), flush=True)
+        _log.info(
+            "node state saved to %s (height %d, state_root %s...)"
+            % (args.state_dir, chain.height, root.hex()[:16]),
+            state_dir=args.state_dir,
+            height=chain.height,
+        )
     return 0
 
 
@@ -586,6 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="chunk batched verification (MSM, pairings) "
                        "across N pool processes (default: no pool)")
+    add_logging_flags(serve)
     serve.set_defaults(func=_cmd_serve)
     simulate = sub.add_parser(
         "simulate",
@@ -621,6 +664,7 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="N",
                           help="run the scenario with an N-process verifier "
                           "pool chunking batched MSM/pairing checks")
+    add_logging_flags(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
     node = sub.add_parser(
@@ -683,6 +727,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="verify batched proofs through an N-process "
                           "pool during mutating dispatches; node_status "
                           "then reports per-worker cache stats")
+    add_logging_flags(node_rpc)
     node_rpc.set_defaults(func=_cmd_node_rpc_serve)
     return parser
 
@@ -690,7 +735,20 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    configure_logging(
+        level=getattr(args, "log_level", "info"),
+        json_mode=getattr(args, "log_json", False),
+    )
+    # --trace scopes a JSONL span tracer to the whole command: every
+    # block mine, session phase, pool job, and RPC dispatch inside lands
+    # in the file; the run's outputs stay byte-identical either way.
+    tracing = (
+        trace_to(args.trace)
+        if getattr(args, "trace", None)
+        else contextlib.nullcontext()
+    )
+    with tracing:
+        return args.func(args)
 
 
 if __name__ == "__main__":

@@ -49,7 +49,33 @@ from repro.core.requester import EvaluationAction, RequesterClient
 from repro.core.worker import WorkerClient
 from repro.errors import ProtocolError
 from repro.ledger.accounts import Address
+from repro.obs import registry as _obs
+from repro.obs.tracing import get_tracer, span_clock, trace_span
 from repro.storage.swarm import SwarmStore
+
+_PHASE_TRANSITIONS = _obs.REGISTRY.counter(
+    "session_phase_transitions_total",
+    "Session phase transitions, labeled by the phase entered",
+    labelnames=("phase",),
+)
+_PHASE_SECONDS = _obs.REGISTRY.histogram(
+    "session_phase_seconds",
+    "Wall-clock time a session spent in each phase before leaving it",
+    labelnames=("phase",),
+)
+_DROPPED_STEPS = _obs.REGISTRY.counter(
+    "session_dropped_steps_total",
+    "Worker steps a scheduling policy refused to send",
+)
+_ENGINE_STEPS = _obs.REGISTRY.counter(
+    "engine_steps_total", "SessionEngine.step invocations"
+)
+_ENGINE_STEP_SECONDS = _obs.REGISTRY.histogram(
+    "engine_step_seconds", "Wall-clock duration of one engine step"
+)
+_SESSIONS_ACTIVE = _obs.REGISTRY.gauge(
+    "sessions_active", "Registered sessions not yet in a terminal phase"
+)
 
 # Client-side session phases.  COMMIT/REVEAL/EVALUATE mirror the
 # contract's effective phases; FINALIZE covers "window closed, settlement
@@ -181,6 +207,9 @@ class HITSession:
         ]
         #: (worker_label, step) pairs a policy refused to send.
         self.dropped: List[Tuple[str, str]] = []
+        #: span_clock() at the last phase entry — observability only,
+        #: never an input to protocol decisions.
+        self._phase_entered = span_clock()
         self._policies: Dict[str, WorkerPolicy] = {}
         self._deferred: List[Tuple[int, str, str, Callable[[], object]]] = []
         self._cancel_requested = False
@@ -254,6 +283,7 @@ class HITSession:
         due = period if policy is None else policy.schedule(step, period)
         if due is None:
             self.dropped.append((worker.label, step))
+            _DROPPED_STEPS.inc()
             return
         submit = worker.send_commit if step == "commit" else worker.send_reveal
         if due <= period:
@@ -365,7 +395,26 @@ class HITSession:
             raise ProtocolError("unknown evaluation mode: %r" % mode)
 
     def _set_phase(self, block_number: int, phase: str) -> None:
+        now = span_clock()
+        entered = getattr(self, "_phase_entered", now)
+        _PHASE_SECONDS.observe(now - entered, phase=self.phase)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                "session.phase",
+                entered,
+                now,
+                parent=tracer.current_span_id(),
+                attrs={
+                    "task": self.contract_name,
+                    "phase": self.phase,
+                    "next": phase,
+                    "block": block_number,
+                },
+            )
         self.phase = phase
+        self._phase_entered = now
+        _PHASE_TRANSITIONS.inc(phase=phase)
         self.history.append((block_number, phase))
 
     # ------------------------------------------------------------------
@@ -485,28 +534,36 @@ class SessionEngine:
 
     def step(self) -> Block:
         """Mine one block and deliver its events to the sessions."""
-        # Collect the proving jobs dispatched while the previous block's
-        # events were delivered — their transactions enter the mempool
-        # now, in dispatch order, and ride the block mined right after
-        # (the same one a synchronous submission would have ridden).
-        for session in self.sessions:
-            session.drain_async_steps()
-        block = self.chain.mine_block()
-        period = self.chain.clock.period
-        routed: Dict[Address, List[EventRecord]] = {}
-        for record in self._subscription.poll():
-            routed.setdefault(record.event.contract, []).append(record)
-        trace = BlockTrace(block.number, period, len(block.transactions))
-        for session in self.sessions:
-            if session.finished:
-                continue
-            records = routed.get(session.contract_address, [])
-            session.on_block(block.number, period, records)
-            trace.events.extend(
-                (session.contract_name, record.event.name) for record in records
-            )
-            trace.phases[session.contract_name] = session.phase
-        self.trace.append(trace)
+        started = span_clock()
+        with trace_span("engine.step", sessions=len(self.sessions)) as span:
+            # Collect the proving jobs dispatched while the previous
+            # block's events were delivered — their transactions enter
+            # the mempool now, in dispatch order, and ride the block
+            # mined right after (the same one a synchronous submission
+            # would have ridden).
+            for session in self.sessions:
+                session.drain_async_steps()
+            block = self.chain.mine_block()
+            period = self.chain.clock.period
+            routed: Dict[Address, List[EventRecord]] = {}
+            for record in self._subscription.poll():
+                routed.setdefault(record.event.contract, []).append(record)
+            trace = BlockTrace(block.number, period, len(block.transactions))
+            for session in self.sessions:
+                if session.finished:
+                    continue
+                records = routed.get(session.contract_address, [])
+                session.on_block(block.number, period, records)
+                trace.events.extend(
+                    (session.contract_name, record.event.name)
+                    for record in records
+                )
+                trace.phases[session.contract_name] = session.phase
+            self.trace.append(trace)
+            span.set(block=block.number)
+        _ENGINE_STEPS.inc()
+        _SESSIONS_ACTIVE.set(len(self.active_sessions()))
+        _ENGINE_STEP_SECONDS.observe(span_clock() - started)
         return block
 
     def active_sessions(self) -> List[HITSession]:

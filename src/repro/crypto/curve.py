@@ -20,7 +20,38 @@ from typing import Optional, Sequence, Tuple
 from repro.crypto.field import CURVE_ORDER, FIELD_MODULUS, inv_mod, sqrt_mod
 from repro.crypto.keccak import keccak256
 from repro.errors import InvalidPoint, InvalidScalar, NonResidueError
+from repro.obs import registry as _obs
 from repro.utils.serialization import decode_point, encode_point
+
+# Hot-path counters + scrape-time cache gauges.  Instruments only count;
+# they never feed the DRBG or any codec input, so seeded runs are
+# byte-identical with or without a scrape.
+_MSM_CALLS = _obs.REGISTRY.counter(
+    "msm_calls_total", "Multi-scalar multiplications performed"
+)
+_MSM_TERMS = _obs.REGISTRY.counter(
+    "msm_terms_total", "Scalar/point terms summed across all MSM calls"
+)
+_obs.REGISTRY.gauge(
+    "fixed_base_cache_population",
+    "Fixed-base window tables currently cached",
+    sampler=lambda: len(_FIXED_BASE_CACHE),
+)
+_obs.REGISTRY.gauge(
+    "fixed_base_cache_limit",
+    "Configured fixed-base table cache capacity",
+    sampler=lambda: _FIXED_BASE_CACHE_LIMIT,
+)
+_obs.REGISTRY.counter(
+    "fixed_base_cache_hits_total",
+    "mul_fixed lookups served from a cached table",
+    sampler=lambda: _FIXED_BASE_CACHE_HITS,
+)
+_obs.REGISTRY.counter(
+    "fixed_base_cache_misses_total",
+    "mul_fixed lookups that had to build a table",
+    sampler=lambda: _FIXED_BASE_CACHE_MISSES,
+)
 
 _P = FIELD_MODULUS
 _B = 3
@@ -477,6 +508,8 @@ def msm(points: Sequence["G1Point"], scalars: Sequence[int]) -> "G1Point":
     """
     if len(points) != len(scalars):
         raise InvalidScalar("msm needs one scalar per point")
+    _MSM_CALLS.inc()
+    _MSM_TERMS.inc(len(points))
     reduced = [scalar % CURVE_ORDER for scalar in scalars]
     backend = _MSM_BACKEND
     if backend is not None:

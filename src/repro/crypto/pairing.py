@@ -24,6 +24,14 @@ from repro.crypto.field import CURVE_ORDER, FIELD_MODULUS
 from repro.crypto.g2 import Point, point_add, point_double
 from repro.crypto.tower import FQ2, FQ12
 from repro.errors import InvalidPoint
+from repro.obs import registry as _obs
+
+_PAIRING_CALLS = _obs.REGISTRY.counter(
+    "pairing_calls_total", "multi_pairing evaluations (one final exp each)"
+)
+_PAIRING_PAIRS = _obs.REGISTRY.counter(
+    "pairing_pairs_total", "(G1, G2) pairs folded into Miller products"
+)
 
 _P = FIELD_MODULUS
 
@@ -150,6 +158,8 @@ def multi_pairing(pairs: "list[tuple[G1Point, Point]]") -> FQ12:
     verification rides on: ``k`` pairings cost ``k`` Miller loops plus a
     single final exponentiation instead of ``k``.
     """
+    _PAIRING_CALLS.inc()
+    _PAIRING_PAIRS.inc(len(pairs))
     backend = _MILLER_BACKEND
     if backend is not None:
         raw = backend(pairs)

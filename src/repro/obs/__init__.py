@@ -1,0 +1,65 @@
+"""Unified observability: metrics registry, span tracer, structured logs.
+
+Three coordinated pieces, one determinism contract — observability only
+*observes*; it never feeds the DRBG, the codec, or ``state_root``:
+
+* :mod:`repro.obs.registry` — counters / gauges / histograms every layer
+  registers into, scraped as Prometheus text via ``GET /metrics`` and as
+  plain data via the ``node_metrics`` RPC method;
+* :mod:`repro.obs.tracing` — JSONL span traces (``--trace FILE``) with
+  explicit clocks and cross-process worker spans;
+* :mod:`repro.obs.logging` — the stdlib-logging structured logger behind
+  the CLI (``--log-json`` / ``--log-level``).
+"""
+
+from repro.obs.logging import (
+    StructuredLogger,
+    add_logging_flags,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    REGISTRY,
+    render_prometheus,
+)
+from repro.obs.tracing import (
+    NullTracer,
+    SPAN_SCHEMA_VERSION,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span_clock,
+    trace_span,
+    trace_to,
+)
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "MetricError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "render_prometheus",
+    "SPAN_SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "span_clock",
+    "get_tracer",
+    "set_tracer",
+    "trace_to",
+    "trace_span",
+    "StructuredLogger",
+    "configure_logging",
+    "get_logger",
+    "add_logging_flags",
+]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 import signal
+import time
 
 from repro.crypto import curve, pairing
 from repro.crypto.curve import (
@@ -147,6 +148,33 @@ def job_prove_quality(payload: bytes) -> bytes:
 # ---------------------------------------------------------------------------
 # Introspection and fault-injection jobs
 # ---------------------------------------------------------------------------
+
+
+def job_traced(payload: bytes) -> bytes:
+    """Run a named job under a worker-side span, shipping the span home.
+
+    Payload: ``{"fn": job_name, "inner": bytes}``.  The named job runs
+    unchanged on its inner payload; the result rides back as
+    ``{"raw": inner_result, "span": {fn, start, end, pid}}`` with the
+    worker's own monotonic clock readings.  The parent pool unwraps the
+    envelope, re-parents the span under the submit-side ``pool.job``
+    span, and hands decoders the identical inner bytes an untraced run
+    would have produced — tracing never changes job results.
+    """
+    data = codec.decode(payload)
+    name = data["fn"]
+    if not name.startswith("job_") or name == "job_traced":
+        raise ValueError("not a traceable job: %r" % name)
+    fn = globals()[name]
+    start = time.perf_counter()
+    raw = fn(data["inner"])
+    end = time.perf_counter()
+    return codec.encode(
+        {
+            "raw": raw,
+            "span": {"fn": name, "start": start, "end": end, "pid": os.getpid()},
+        }
+    )
 
 
 def job_cache_info(payload: bytes) -> bytes:

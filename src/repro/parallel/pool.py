@@ -30,8 +30,24 @@ from repro.crypto.curve import CURVE_ORDER, G1Point
 from repro.crypto.rng import entropy
 from repro.crypto.tower import FQ2, FQ12
 from repro.errors import InvalidPoint, ProofPoolError
+from repro.obs import registry as _obs
+from repro.obs.tracing import get_tracer, span_clock
 from repro.parallel import jobs
 from repro.store import codec
+
+_POOL_JOBS = _obs.REGISTRY.counter(
+    "pool_jobs_total", "Jobs dispatched, by pool kind", labelnames=("kind",)
+)
+_POOL_RETRIES = _obs.REGISTRY.counter(
+    "pool_retries_total",
+    "Jobs re-run after a worker process died, by pool kind",
+    labelnames=("kind",),
+)
+_POOL_JOB_SECONDS = _obs.REGISTRY.histogram(
+    "pool_job_seconds",
+    "Submit-to-collect wall time per job, by pool kind",
+    labelnames=("kind",),
+)
 
 _UNSET = object()
 
@@ -47,7 +63,10 @@ class PoolJob:
     point.  Collection retries transparently through the owning pool.
     """
 
-    __slots__ = ("_pool", "_fn", "_payload", "_decoder", "_future", "_raw", "_value")
+    __slots__ = (
+        "_pool", "_fn", "_payload", "_decoder", "_future", "_raw", "_value",
+        "_submitted", "_trace_parent",
+    )
 
     def __init__(
         self,
@@ -63,6 +82,10 @@ class PoolJob:
         self._future = None
         self._raw = _UNSET
         self._value = _UNSET
+        #: Observability bookkeeping: span_clock() at submission and the
+        #: span active then (the ``pool.job`` span's parent at collect).
+        self._submitted = 0.0
+        self._trace_parent = None
 
     def result(self) -> Any:
         if self._value is _UNSET:
@@ -85,6 +108,8 @@ class PoolJob:
         self._future = None
         self._raw = _UNSET
         self._value = state["value"]
+        self._submitted = 0.0
+        self._trace_parent = None
 
 
 class _ProcessPool:
@@ -163,10 +188,31 @@ class _ProcessPool:
         payload: bytes,
         decoder: Optional[Callable[[bytes], Any]] = None,
     ) -> PoolJob:
+        tracer = get_tracer()
+        if tracer.enabled and self.procs > 0 and fn is not jobs.job_traced:
+            # Ship the job under the tracing envelope: the worker times
+            # itself and its span rides home inside the framed result.
+            # Wrapping happens *after* the caller encoded the payload
+            # (and drew any per-job seed), so the parent entropy stream
+            # is untouched by tracing.
+            payload = codec.encode({"fn": fn.__name__, "inner": payload})
+            fn = jobs.job_traced
         job = PoolJob(self, fn, payload, decoder)
+        job._submitted = span_clock()
+        job._trace_parent = tracer.current_span_id()
         self.jobs_dispatched += 1
+        _POOL_JOBS.inc(kind=self.kind)
         if self.procs == 0:
-            job._raw = fn(payload)
+            if tracer.enabled:
+                with tracer.span(
+                    "pool.job", fn=fn.__name__, kind=self.kind, inline=True
+                ):
+                    job._raw = fn(payload)
+            else:
+                job._raw = fn(payload)
+            _POOL_JOB_SECONDS.observe(
+                span_clock() - job._submitted, kind=self.kind
+            )
             return job
         try:
             job._future = self._ensure_executor().submit(fn, payload)
@@ -185,8 +231,8 @@ class _ProcessPool:
         while True:
             try:
                 raw = future.result(timeout=self.job_timeout)
-                job._raw = raw
-                return raw
+                job._raw = self._finish(job, raw)
+                return job._raw
             except _WORKER_FAILURES as failure:
                 self._discard_executor()
                 if attempts >= self.max_retries:
@@ -202,7 +248,44 @@ class _ProcessPool:
                     ) from failure
                 attempts += 1
                 self.retries += 1
+                _POOL_RETRIES.inc(kind=self.kind)
                 future = self._ensure_executor().submit(job._fn, job._payload)
+
+    def _finish(self, job: PoolJob, raw: bytes) -> bytes:
+        """Collection-time bookkeeping; unwraps the tracing envelope.
+
+        Unwrapping keys off how the job was *dispatched* (``job_traced``),
+        not the tracer's current state, so a job collected after its
+        tracer was uninstalled still hands its decoder the inner bytes.
+        """
+        collected = span_clock()
+        _POOL_JOB_SECONDS.observe(collected - job._submitted, kind=self.kind)
+        if job._fn is not jobs.job_traced:
+            return raw
+        envelope = codec.decode(raw)
+        shipped = envelope["span"]
+        tracer = get_tracer()
+        if tracer.enabled:
+            # The submit→collect span in the parent's clock domain, then
+            # the worker's own measurement re-parented beneath it.  The
+            # worker's timestamps are its process-local monotonic clock —
+            # not comparable to the parent's — hence the domain marker.
+            parent = tracer.emit(
+                "pool.job",
+                job._submitted,
+                collected,
+                parent=job._trace_parent,
+                attrs={"fn": shipped["fn"], "kind": self.kind},
+            )
+            tracer.emit(
+                "pool.job.worker",
+                shipped["start"],
+                shipped["end"],
+                parent=parent,
+                attrs={"fn": shipped["fn"], "pid": shipped["pid"]},
+                clock="worker",
+            )
+        return envelope["raw"]
 
     def run_jobs(
         self,

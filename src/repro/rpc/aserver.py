@@ -47,12 +47,22 @@ from itertools import count
 from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.errors import ReproError
+from repro.obs import registry as _obs
+from repro.obs.registry import render_prometheus
 from repro.rpc import wire
 from repro.rpc.server import (
+    METRICS_CONTENT_TYPE,
     READ_METHODS,
     RpcNode,
     _BadParams,
     parse_event_filter,
+)
+
+_SUBSCRIBERS = _obs.REGISTRY.gauge(
+    "rpc_subscribers", "Open push subscriptions on the async front-end"
+)
+_PUSH_FRAMES = _obs.REGISTRY.counter(
+    "rpc_push_frames_total", "Event notification frames pushed to subscribers"
 )
 
 #: Method the async front-end adds on top of the node registry.
@@ -368,6 +378,15 @@ class AsyncRpcServer:
         return verb, path, headers, body
 
     async def _respond_health(self, writer, path: str) -> bool:
+        if path == "/metrics":
+            # Auth-exempt like /health: a read-only operational surface
+            # carrying counts and durations, never payloads or tokens.
+            await self._respond(
+                writer, 200,
+                render_prometheus().encode("utf-8"),
+                content_type=METRICS_CONTENT_TYPE,
+            )
+            return True
         if path != "/health":
             await self._respond(
                 writer, 404,
@@ -388,18 +407,23 @@ class AsyncRpcServer:
         return True
 
     async def _respond(
-        self, writer, status: int, body: bytes, close: bool = False
+        self,
+        writer,
+        status: int,
+        body: bytes,
+        close: bool = False,
+        content_type: str = "application/json",
     ) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   411: "Length Required", 413: "Payload Too Large",
                   431: "Request Header Fields Too Large"}.get(status, "Error")
         head = (
             "HTTP/1.1 %d %s\r\n"
-            "Content-Type: application/json\r\n"
+            "Content-Type: %s\r\n"
             "Content-Length: %d\r\n"
             "%s"
             "\r\n" % (
-                status, reason, len(body),
+                status, reason, content_type, len(body),
                 "Connection: close\r\n" if close else "",
             )
         )
@@ -465,6 +489,7 @@ class AsyncRpcServer:
         )))
         await writer.drain()
         self._subscribers.add(subscriber)
+        _SUBSCRIBERS.inc()
         self.node._served.bump()
         eof_task = asyncio.create_task(self._drain_until_eof(reader))
         subscriber.wake.set()  # deliver anything already behind the cursor
@@ -483,7 +508,9 @@ class AsyncRpcServer:
                     break
         finally:
             subscriber.closed = True
-            self._subscribers.discard(subscriber)
+            if subscriber in self._subscribers:
+                self._subscribers.discard(subscriber)
+                _SUBSCRIBERS.dec()
             eof_task.cancel()
 
     async def _drain_until_eof(self, reader) -> None:
@@ -530,5 +557,6 @@ class AsyncRpcServer:
                 except (ConnectionError, OSError):
                     return False
                 self.pushed_frames += 1
+                _PUSH_FRAMES.inc()
             if cursor >= head:
                 return True

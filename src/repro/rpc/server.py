@@ -62,14 +62,66 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 from repro.chain.chain import Chain
 from repro.chain.eventlog import EventFilter
 from repro.chain.transactions import Transaction, nonce_position
-from repro.crypto import curve
 from repro.errors import ChainError, InvalidTransaction, ReproError
 from repro.ledger.accounts import Address
+from repro.obs import registry as _obs
+from repro.obs.registry import render_prometheus
+from repro.obs.tracing import span_clock, trace_span
 from repro.storage.swarm import SwarmStore
 from repro.store import codec
 from repro.store.blockstore import StoreError
 from repro.rpc import wire
 from repro.rpc.wire import WireError
+
+#: Prometheus text exposition content type (format v0.0.4).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_RPC_REQUESTS = _obs.REGISTRY.counter(
+    "rpc_requests_total",
+    "Successfully dispatched RPC requests, by method",
+    labelnames=("method",),
+)
+_RPC_REJECTED = _obs.REGISTRY.counter(
+    "rpc_rejected_total",
+    "RPC requests refused at any pipeline stage (parse, auth, params, error)",
+)
+_RPC_REQUEST_SECONDS = _obs.REGISTRY.histogram(
+    "rpc_request_seconds",
+    "Dispatch wall time (lock wait + handler) per served request",
+    labelnames=("method",),
+)
+
+
+def _bind_verifier_pool_gauges(pool) -> None:
+    """Point the pool-shape gauges at the live pool a node fronts.
+
+    Samplers pull at scrape time, so ``node_metrics`` and ``/metrics``
+    report the same pool ``node_status`` describes — one source of
+    truth, re-bound if a newer node wraps a newer pool.  With no pool
+    (``None``) the families still exist and read zero, so the scrape
+    surface is stable across node configurations.
+    """
+    _obs.REGISTRY.gauge(
+        "verifier_pool_procs",
+        "Worker processes configured on the node's verifier pool",
+    ).set_sampler(lambda: pool.procs if pool is not None else 0)
+    _obs.REGISTRY.gauge(
+        "verifier_pool_alive",
+        "Whether the node's verifier pool has a live executor (0/1)",
+    ).set_sampler(
+        lambda: 1 if pool is not None and pool._executor is not None else 0
+    )
+    _obs.REGISTRY.gauge(
+        "verifier_pool_jobs_dispatched",
+        "Jobs the node's verifier pool has dispatched over its lifetime",
+    ).set_sampler(lambda: pool.jobs_dispatched if pool is not None else 0)
+    _obs.REGISTRY.gauge(
+        "verifier_pool_retries",
+        "Jobs the node's verifier pool re-ran after a worker death",
+    ).set_sampler(lambda: pool.retries if pool is not None else 0)
+
+
+_bind_verifier_pool_gauges(None)
 
 #: Default request-size cap; oversized bodies are rejected before parse.
 MAX_REQUEST_BYTES = 2 * 1024 * 1024
@@ -92,6 +144,7 @@ READ_METHODS = frozenset(
         "chain_contract",
         "chain_state_root",
         "node_status",
+        "node_metrics",
         "swarm_get",
     }
 )
@@ -308,6 +361,7 @@ class RpcNode:
         #: one dispatching thread — the lock serializes state mutation,
         #: not the cryptography.  Reads never install hooks.
         self.verifier_pool = verifier_pool
+        _bind_verifier_pool_gauges(verifier_pool)
         self._served = _AtomicCounter()
         self._rejected = _AtomicCounter()
         self._lock = _RWLock()
@@ -328,6 +382,7 @@ class RpcNode:
             "tx_deploy": self._tx_deploy,
             "tx_deploy_many": self._tx_deploy_many,
             "node_status": self._node_status,
+            "node_metrics": self._node_metrics,
             "node_checkpoint": self._node_checkpoint,
             "node_prune": self._node_prune,
             "swarm_put": self._swarm_put,
@@ -415,6 +470,8 @@ class RpcNode:
     def _respond_one(self, envelope: Any) -> Dict[str, Any]:
         response, served = self._dispatch(envelope)
         (self._served if served else self._rejected).bump()
+        if not served:
+            _RPC_REJECTED.inc()
         return response
 
     def _dispatch(self, envelope: Any) -> Tuple[Dict[str, Any], bool]:
@@ -459,17 +516,20 @@ class RpcNode:
             ), False
         is_read = method in READ_METHODS
         lock = self._lock.read() if is_read else self._lock.write()
+        started = span_clock()
         try:
-            with lock:
-                if is_read or self.verifier_pool is None:
-                    result = handler(params)
-                else:
-                    # One writer at a time (the write lock guarantees
-                    # it), so scoping the process-wide backend hooks to
-                    # the dispatch is race-free — and keeps them out of
-                    # any other in-process user of the crypto layer.
-                    with self.verifier_pool.installed():
+            with trace_span("rpc.dispatch", method=method):
+                with lock:
+                    if is_read or self.verifier_pool is None:
                         result = handler(params)
+                    else:
+                        # One writer at a time (the write lock guarantees
+                        # it), so scoping the process-wide backend hooks
+                        # to the dispatch is race-free — and keeps them
+                        # out of any other in-process user of the crypto
+                        # layer.
+                        with self.verifier_pool.installed():
+                            result = handler(params)
             if not is_read:
                 self._notify_write()
         except _BadParams as exc:
@@ -485,6 +545,8 @@ class RpcNode:
                 wire.INTERNAL_ERROR,
                 "internal error: %s: %s" % (type(exc).__name__, exc),
             ), False
+        _RPC_REQUESTS.inc(method=method)
+        _RPC_REQUEST_SECONDS.observe(span_clock() - started, method=method)
         return wire.result_value(request_id, result), True
 
     # -- the async front-end's read-side helpers -----------------------
@@ -537,7 +599,21 @@ class RpcNode:
             "total_gas": chain.total_gas,
             "requests_served": self.requests_served,
             "requests_rejected": self.requests_rejected,
-            "fixed_base_cache": dict(curve.fixed_base_cache_stats()),
+            # Read through the registry's sampled gauges — the same
+            # source ``/metrics`` and ``node_metrics`` scrape, so the
+            # three surfaces can never disagree about the cache.
+            "fixed_base_cache": {
+                "population": int(
+                    _obs.REGISTRY.read("fixed_base_cache_population")
+                ),
+                "limit": int(_obs.REGISTRY.read("fixed_base_cache_limit")),
+                "hits": int(
+                    _obs.REGISTRY.read("fixed_base_cache_hits_total")
+                ),
+                "misses": int(
+                    _obs.REGISTRY.read("fixed_base_cache_misses_total")
+                ),
+            },
         }
         if self.verifier_pool is not None:
             # Pool shape and per-worker cache stats: the probe jobs run
@@ -546,6 +622,15 @@ class RpcNode:
             status["verifier_pool"] = self.verifier_pool.status()
             status["worker_caches"] = self.verifier_pool.worker_cache_info()
         return status
+
+    def _node_metrics(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Every registered metric family as plain data.
+
+        The structured twin of ``GET /metrics``: the same registry
+        snapshot (samplers invoked), shaped for RPC clients instead of a
+        Prometheus scraper.
+        """
+        return {"families": _obs.REGISTRY.collect()}
 
     def _node_checkpoint(self, params: Dict[str, Any]) -> Dict[str, Any]:
         if self.store is None:
@@ -799,9 +884,14 @@ class _RpcRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # request logging stays out of stdout (the CLI owns it)
 
-    def _respond(self, status: int, body: bytes) -> None:
+    def _respond(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -846,6 +936,13 @@ class _RpcRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         node: RpcNode = self.server.node  # type: ignore[attr-defined]
+        if self.path == "/metrics":
+            # The scrape is auth-exempt by design: like /health it is a
+            # read-only operational surface — metrics carry counts and
+            # durations, never chain payloads or tokens.
+            body = render_prometheus().encode("utf-8")
+            self._respond(200, body, content_type=METRICS_CONTENT_TYPE)
+            return
         if self.path != "/health":
             self._respond(
                 404, wire.failure(None, wire.INVALID_REQUEST,

@@ -29,6 +29,17 @@ from typing import Dict, List, Optional
 from repro.chain.blocks import Block
 from repro.chain.chain import Chain
 from repro.core.protocol import GasReport, fold_receipt
+from repro.obs import registry as _obs
+
+_SIM_PUBLISHED = _obs.REGISTRY.counter(
+    "sim_tasks_published_total", "Tasks the simulator observed published"
+)
+_SIM_SETTLED = _obs.REGISTRY.counter(
+    "sim_tasks_settled_total", "Tasks the simulator observed finalized"
+)
+_SIM_CANCELLED = _obs.REGISTRY.counter(
+    "sim_tasks_cancelled_total", "Tasks the simulator observed cancelled"
+)
 
 
 @dataclass
@@ -145,12 +156,14 @@ class MetricsCollector:
         if name == "published":
             sample.published += 1
             self.tasks_published += 1
+            _SIM_PUBLISHED.inc()
             self._published_block[address] = block_number
         elif name == "committed":
             self._first_commit_block.setdefault(address, block_number)
         elif name == "finalized":
             sample.settled += 1
             self.tasks_settled += 1
+            _SIM_SETTLED.inc()
             # pop, not get: a settled task's bookkeeping is done, so the
             # maps stay proportional to in-flight tasks on long runs.
             committed = self._first_commit_block.pop(address, None)
@@ -162,6 +175,7 @@ class MetricsCollector:
         elif name == "cancelled":
             sample.cancelled += 1
             self.tasks_cancelled += 1
+            _SIM_CANCELLED.inc()
             self._first_commit_block.pop(address, None)
             self._published_block.pop(address, None)
         elif name == "paid":

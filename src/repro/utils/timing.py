@@ -4,14 +4,19 @@ The paper's Table I reports both wall-clock proving time and peak memory.
 :class:`Stopwatch` measures elapsed time; :class:`MemoryMeter` measures peak
 heap allocation via :mod:`tracemalloc` (our analogue of the paper's
 peak-RSS figure; see DESIGN.md §6 for the caveat).
+
+Timers read :func:`repro.obs.tracing.span_clock` — the same clock every
+trace span records — so benchmark tables and ``--trace`` files agree on
+methodology by construction.
 """
 
 from __future__ import annotations
 
-import time
 import tracemalloc
 from dataclasses import dataclass, field
 from typing import Any, Callable, Tuple
+
+from repro.obs.tracing import span_clock
 
 
 class Stopwatch:
@@ -22,11 +27,11 @@ class Stopwatch:
         self._start = 0.0
 
     def __enter__(self) -> "Stopwatch":
-        self._start = time.perf_counter()
+        self._start = span_clock()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.elapsed = time.perf_counter() - self._start
+        self.elapsed = span_clock() - self._start
 
     @property
     def elapsed_ms(self) -> float:
@@ -96,7 +101,7 @@ def best_of(func: Callable[[], Any], repeats: int = 3) -> Tuple[float, Any]:
     best = float("inf")
     result = None
     for _ in range(max(1, repeats)):
-        start = time.perf_counter()
+        start = span_clock()
         result = func()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, span_clock() - start)
     return best, result

@@ -1,0 +1,188 @@
+"""Span tracer contract: JSONL schema, parent linkage, pool boundary."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+from repro.crypto.elgamal import keygen
+from repro.crypto.rng import deterministic_entropy
+from repro.obs.tracing import (
+    SPAN_SCHEMA_VERSION,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    trace_to,
+)
+from repro.parallel.pool import ProverPool
+from repro.store import codec
+
+RECORD_KEYS = {"v", "span", "parent", "name", "start", "end", "attrs"}
+
+
+def make_tracer():
+    """A tracer over a StringIO sink with a deterministic tick clock."""
+    sink = io.StringIO()
+    ticks = iter(float(i) for i in range(1000))
+    return Tracer(sink, clock=lambda: next(ticks)), sink
+
+
+def records_of(sink: io.StringIO):
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+# ---------------------------------------------------------------------------
+# Schema and nesting
+# ---------------------------------------------------------------------------
+
+
+def test_nested_spans_link_parent_to_child():
+    tracer, sink = make_tracer()
+    with tracer.span("outer", task="t"):
+        with tracer.span("inner"):
+            pass
+    inner, outer = records_of(sink)  # inner closes (and writes) first
+    assert inner["name"] == "inner" and outer["name"] == "outer"
+    assert inner["parent"] == outer["span"]
+    assert outer["parent"] is None
+    assert outer["attrs"] == {"task": "t"}
+    for record in (inner, outer):
+        assert record["v"] == SPAN_SCHEMA_VERSION
+        assert set(record) == RECORD_KEYS
+        assert record["end"] >= record["start"]
+
+
+def test_records_are_one_sorted_json_object_per_line():
+    tracer, sink = make_tracer()
+    with tracer.span("a", z=1, a=2):
+        pass
+    (line,) = sink.getvalue().splitlines()
+    assert line == json.dumps(json.loads(line), sort_keys=True)
+
+
+def test_span_ids_are_a_plain_counter():
+    tracer, sink = make_tracer()
+    for _ in range(3):
+        with tracer.span("tick"):
+            pass
+    assert [r["span"] for r in records_of(sink)] == [1, 2, 3]
+    assert tracer.spans_written == 3
+
+
+def test_exception_stamps_error_attr_and_pops_the_stack():
+    tracer, sink = make_tracer()
+    try:
+        with tracer.span("boom"):
+            raise ValueError("x")
+    except ValueError:
+        pass
+    (record,) = records_of(sink)
+    assert record["attrs"]["error"] == "ValueError"
+    assert tracer.current_span_id() is None
+
+
+def test_set_updates_attrs_mid_span():
+    tracer, sink = make_tracer()
+    with tracer.span("step") as span:
+        span.set(block=4)
+    (record,) = records_of(sink)
+    assert record["attrs"] == {"block": 4}
+
+
+def test_emit_writes_premeasured_spans_with_extra_top_level_keys():
+    tracer, sink = make_tracer()
+    parent = tracer.emit("pool.job", 1.0, 2.0, attrs={"kind": "prover"})
+    tracer.emit(
+        "pool.job.worker", 0.1, 0.9, parent=parent,
+        attrs={"pid": 1234}, clock="worker",
+    )
+    submit, worker = records_of(sink)
+    assert worker["parent"] == submit["span"]
+    assert worker["clock"] == "worker"
+    assert "clock" not in submit
+
+
+def test_current_span_id_tracks_the_implicit_stack():
+    tracer, _ = make_tracer()
+    assert tracer.current_span_id() is None
+    with tracer.span("outer") as outer:
+        assert tracer.current_span_id() == outer.id
+        with tracer.span("inner") as inner:
+            assert tracer.current_span_id() == inner.id
+        assert tracer.current_span_id() == outer.id
+    assert tracer.current_span_id() is None
+
+
+# ---------------------------------------------------------------------------
+# Installation: the process-global tracer
+# ---------------------------------------------------------------------------
+
+
+def test_default_tracer_is_a_disabled_noop():
+    tracer = get_tracer()
+    assert isinstance(tracer, NullTracer)
+    assert tracer.enabled is False
+    with tracer.span("ignored", x=1) as span:
+        span.set(y=2)  # absorbs the full surface
+    assert tracer.emit("ignored", 0.0, 1.0) is None
+    assert tracer.current_span_id() is None
+
+
+def test_trace_to_installs_writes_and_restores(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    before = get_tracer()
+    with trace_to(str(path)) as tracer:
+        assert get_tracer() is tracer
+        with tracer.span("only"):
+            pass
+    assert get_tracer() is before
+    (record,) = [json.loads(l) for l in path.read_text().splitlines()]
+    assert record["name"] == "only"
+
+
+# ---------------------------------------------------------------------------
+# The process boundary: worker spans ship home through the pool
+# ---------------------------------------------------------------------------
+
+
+def test_worker_spans_cross_the_pool_boundary(tmp_path):
+    path = tmp_path / "pool-trace.jsonl"
+    public_key, _secret = keygen(secret=0xBEEF)
+    with trace_to(str(path)):
+        with deterministic_entropy(99):
+            with ProverPool(1) as pool:
+                job = pool.submit_encrypt_vector(public_key, [0, 1, 1])
+                traced_result = job.result()
+    spans = [json.loads(l) for l in path.read_text().splitlines()]
+    (submit,) = [s for s in spans if s["name"] == "pool.job"]
+    (worker,) = [s for s in spans if s["name"] == "pool.job.worker"]
+    assert submit["attrs"]["fn"] == "job_encrypt_vector"
+    assert submit["attrs"]["kind"] == "prover"
+    # Linkage is exact even though the clocks are different domains.
+    assert worker["parent"] == submit["span"]
+    assert worker["clock"] == "worker"
+    assert worker["attrs"]["fn"] == "job_encrypt_vector"
+    assert worker["attrs"]["pid"] != os.getpid()
+
+    # Tracing never changes job results: the same seeded dispatch
+    # untraced produces byte-identical ciphertexts.
+    with deterministic_entropy(99):
+        with ProverPool(1) as pool:
+            plain_result = pool.submit_encrypt_vector(
+                public_key, [0, 1, 1]
+            ).result()
+    assert codec.encode(plain_result) == codec.encode(traced_result)
+
+
+def test_inline_pool_jobs_trace_without_an_envelope(tmp_path):
+    path = tmp_path / "inline-trace.jsonl"
+    public_key, _secret = keygen(secret=0xBEEF)
+    with trace_to(str(path)):
+        with deterministic_entropy(99):
+            with ProverPool(0) as pool:  # procs=0: runs in-process
+                pool.submit_encrypt_vector(public_key, [0, 1]).result()
+    spans = [json.loads(l) for l in path.read_text().splitlines()]
+    inline = [s for s in spans if s["name"] == "pool.job"]
+    assert inline and all(s["attrs"].get("inline") for s in inline)
+    assert not [s for s in spans if s["name"] == "pool.job.worker"]
