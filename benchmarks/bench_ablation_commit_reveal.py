@@ -15,7 +15,7 @@ from repro.analysis.tables import format_gas, render_table
 from repro.chain.gas import PAPER_PRICING, TX_BASE, calldata_cost
 from repro.core.protocol import run_hit
 
-from bench_helpers import SMOKE, bench_task, emit, imagenet_answer_sets
+from bench_helpers import SMOKE, bench_task, emit, imagenet_answer_sets, record
 
 
 @pytest.fixture(scope="module")
@@ -58,6 +58,19 @@ def test_commit_reveal_overhead_report(benchmark, outcome):
         "(per worker, ImageNet task)",
     )
     emit("ablation_commit_reveal", text)
+    record(
+        "ablation_commit_reveal",
+        {"workers": len(outcome.workers)},
+        {},
+        values={
+            "commit_gas": commit_gas,
+            "reveal_gas": reveal_gas,
+            "submit_gas": submit_gas,
+            "single_shot_gas": single_shot,
+            "overhead_gas": overhead,
+            "overhead_fraction": overhead_fraction,
+        },
+    )
 
     # The defence is cheap: commit is a small fraction of the submission
     # (at the paper's task size; the tiny smoke task has less to amortize).

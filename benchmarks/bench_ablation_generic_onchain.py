@@ -29,7 +29,7 @@ from repro.crypto.commitment import commit as make_commitment
 from repro.crypto.poqoea import prove_quality
 from repro.storage.swarm import SwarmStore
 
-from bench_helpers import emit
+from bench_helpers import emit, record
 
 import sys, os
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
@@ -133,6 +133,15 @@ def test_generic_vs_poqoea_rejection(benchmark):
         "end to end (same task, both contract variants)",
     )
     emit("ablation_generic_onchain", text)
+    record(
+        "ablation_generic_onchain",
+        {"task": "small", "workers": 2},
+        {"poqoea_prove": poqoea_prove, "groth16_prove": generic_prove},
+        values={
+            "dragoon_reject_gas": dragoon_gas,
+            "generic_reject_gas": generic_gas,
+        },
+    )
 
     # The paper's comparison must hold: PoQoEA rejections are cheaper
     # on-chain, and concrete proving is faster off-chain.

@@ -16,7 +16,7 @@ from repro.baseline.circuits import multiplication_chain_circuit
 from repro.baseline.groth16 import prove, setup, verify
 from repro.baseline.qap import QAP
 
-from bench_helpers import SMOKE, emit, pick
+from bench_helpers import SMOKE, emit, pick, record
 from repro.obs.tracing import span_clock
 
 SIZES = pick([8, 16, 32, 64], [4, 8])
@@ -37,13 +37,14 @@ def test_groth16_scaling_report(benchmark):
     rows = []
     prove_times = {}
     verify_times = {}
+    setup_times = {}
     for size in SIZES:
         system = multiplication_chain_circuit(size)
         qap = QAP.from_r1cs(system)
 
         t0 = span_clock()
         proving_key, verifying_key = setup(qap)
-        setup_time = span_clock() - t0
+        setup_time = setup_times[size] = span_clock() - t0
 
         assignment = system.full_assignment()
         t0 = span_clock()
@@ -70,6 +71,12 @@ def test_groth16_scaling_report(benchmark):
         "(pure-Python BN-128; verification is constant: 4 pairings)",
     )
     emit("ablation_groth16", text)
+    timings = {}
+    for size in SIZES:
+        timings["setup_%d" % size] = setup_times[size]
+        timings["prove_%d" % size] = prove_times[size]
+        timings["verify_%d" % size] = verify_times[size]
+    record("ablation_groth16", {"sizes": list(SIZES)}, timings)
 
     # Proving grows with the circuit; verification stays flat.
     # (Asserted only at full scale — tiny circuits are all noise.)

@@ -15,7 +15,7 @@ from repro.crypto.elgamal import keygen
 from repro.crypto.poqoea import prove_quality, verify_quality
 from repro.utils.timing import best_of
 
-from bench_helpers import SMOKE, emit, pick
+from bench_helpers import SMOKE, emit, pick, record
 
 NUM_QUESTIONS = pick(106, 40)
 
@@ -47,6 +47,7 @@ def test_poqoea_ablation_report(benchmark):
     vpke_gas = 6 * ECMUL + 3 * ECADD + keccak_cost(452)
     rows = []
     prove_times = {}
+    timings = {}
     for num_golds in pick((2, 4, 6, 8, 16, 32), (2, 4)):
         pk, sk, cts, gold_idx, gold_ans, rng = _statement(num_golds, 2)
         prove_time, (quality, proof) = best_of(
@@ -58,6 +59,8 @@ def test_poqoea_ablation_report(benchmark):
         )
         assert ok and quality == 0 and len(proof) == num_golds
         prove_times[num_golds] = prove_time
+        timings["prove_golds_%d" % num_golds] = prove_time
+        timings["verify_golds_%d" % num_golds] = verify_time
         rows.append(
             [
                 num_golds,
@@ -80,12 +83,19 @@ def test_poqoea_ablation_report(benchmark):
             lambda: prove_quality(sk, cts, gold_idx, gold_ans, rng), repeats=3
         )
         range_rows.append([range_size, format_seconds(prove_time), len(proof)])
+        timings["prove_range_%d" % range_size] = prove_time
     text += "\n\n" + render_table(
         ["|range|", "Prove", "Mismatch entries"],
         range_rows,
         title="Ablation A2b - PoQoEA proving vs option-range size (|G| = 6)",
     )
     emit("ablation_poqoea", text)
+    record(
+        "ablation_poqoea",
+        {"num_questions": NUM_QUESTIONS},
+        timings,
+        values={"vpke_gas_per_mismatch": vpke_gas},
+    )
 
     # Cost grows with |G| (one VPKE per mismatch): 32 golds should cost
     # clearly more than 2 (noise-tolerant factor; full sweep only).

@@ -14,7 +14,7 @@ from repro.chain.gas import PAPER_PRICING
 from repro.core.protocol import run_hit
 from repro.core.task import HITTask, TaskParameters
 
-from bench_helpers import SMOKE, emit, pick
+from bench_helpers import SMOKE, emit, pick, record
 
 SIZES = pick([10, 25, 50, 106, 200], [10, 25])
 
@@ -75,6 +75,14 @@ def test_scaling_report(benchmark):
         "(4 workers, 6 golds, no rejections)",
     )
     emit("ablation_scaling", text)
+    record(
+        "ablation_scaling",
+        {"sizes": list(SIZES), "workers": 4, "golds": 6},
+        {},
+        values={
+            "submit_gas_%d" % size: submits[size] for size in SIZES
+        },
+    )
 
     # Submit cost must scale ~linearly in N (per-question hash storage).
     span = SIZES[-1] - SIZES[0]

@@ -40,7 +40,7 @@ from repro.crypto.vpke import (
 )
 from repro.utils.timing import best_of
 
-from bench_helpers import SMOKE, emit, pick
+from bench_helpers import SMOKE, emit, pick, record
 from repro.obs.tracing import span_clock
 
 BATCH_SIZE = pick(16, 3)
@@ -175,6 +175,18 @@ def test_batch_verification_report(
         % BATCH_SIZE,
     )
     emit("batch_verification", text)
+    record(
+        "batch_verification",
+        {"batch_size": BATCH_SIZE},
+        {
+            "vpke_sequential": vpke_seq,
+            "vpke_batched": vpke_bat,
+            "schnorr_sequential": schnorr_seq,
+            "schnorr_batched": schnorr_bat,
+            "groth16_sequential": groth16_seq,
+            "groth16_batched": groth16_bat,
+        },
+    )
 
     if not SMOKE:
         assert speedups["VPKE decryption proofs"] >= SPEEDUP_BAR, speedups
@@ -229,6 +241,14 @@ def test_core_scaling_report(benchmark, vpke_batch):
         "(%d-core host)" % (BATCH_SIZE, cores),
     )
     emit("core_scaling_verification", text)
+    record(
+        "core_scaling_verification",
+        {"batch_size": BATCH_SIZE, "sweep": sweep},
+        dict(
+            {"serial": serial},
+            **{"pool_%d" % procs: timings[procs] for procs in timings},
+        ),
+    )
 
     if not SMOKE and cores >= 4:
         best = min(timings[p] for p in timings if p >= 4)
@@ -290,6 +310,12 @@ def test_multi_task_throughput_report(benchmark):
         title="Multi-task throughput: %d interleaved tasks" % num_tasks,
     )
     emit("batch_throughput", text)
+    record(
+        "batch_throughput",
+        {"tasks": num_tasks},
+        {"sequential": seq_time, "batched": bat_time},
+        values={"sequential_blocks": seq_blocks, "batched_blocks": bat_blocks},
+    )
 
     assert bat_blocks == 5
     assert bat_blocks < seq_blocks

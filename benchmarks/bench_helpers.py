@@ -16,10 +16,14 @@ immediately instead of at the next full benchmark campaign.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import List, Sequence, TypeVar
+from typing import Any, Dict, List, Sequence, TypeVar
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Version stamp on the machine-readable bench records.
+RECORD_SCHEMA_VERSION = 1
 
 #: Tiny-parameter mode for the tier-1 smoke run (see module docstring).
 SMOKE = os.environ.get("DRAGOON_BENCH_SMOKE") == "1"
@@ -54,6 +58,45 @@ def emit(name: str, text: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
         handle.write(text + "\n")
+
+
+def record(
+    name: str,
+    params: Dict[str, Any],
+    timings: Dict[str, float],
+    **extra: Any,
+) -> None:
+    """Persist the machine-readable twin of a bench table.
+
+    Writes ``benchmarks/results/<name>.json`` — bench name, parameters,
+    span-clock timings in seconds, and the host's cpu_count — the
+    record ``repro.reporting.render.fold_benches`` (and the ``report
+    sweep --bench-dir`` artifact path) consumes.  Pass unitless
+    numbers (gas figures, throughput counts) as a ``values`` mapping
+    via ``**extra``; they fold into the same table.  Like :func:`emit`,
+    smoke-mode records are not persisted, so tier-1 runs never clobber
+    full-size artifacts; set ``DRAGOON_BENCH_RESULTS=<dir>`` to redirect
+    records to another directory *and* persist them even in smoke mode
+    (CI uses this to exercise the folding path on tiny parameters).
+    """
+    results_dir = os.environ.get("DRAGOON_BENCH_RESULTS")
+    if SMOKE and not results_dir:
+        return
+    results_dir = results_dir or RESULTS_DIR
+    payload = {
+        "schema": RECORD_SCHEMA_VERSION,
+        "bench": name,
+        "smoke": SMOKE,
+        "params": params,
+        "timings": {label: float(value) for label, value in timings.items()},
+        "host": {"cpu_count": os.cpu_count()},
+    }
+    payload.update(extra)
+    os.makedirs(results_dir, exist_ok=True)
+    with open(
+        os.path.join(results_dir, name + ".json"), "w", encoding="utf-8"
+    ) as handle:
+        handle.write(json.dumps(payload, sort_keys=True, indent=2) + "\n")
 
 
 def imagenet_answer_sets(task, accuracies: Sequence[float]) -> List[List[int]]:

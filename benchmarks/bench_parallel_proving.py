@@ -37,7 +37,7 @@ from repro.parallel import ProverPool, VerifierPool
 from repro.store import codec
 from repro.utils.timing import best_of
 
-from bench_helpers import SMOKE, emit, pick
+from bench_helpers import SMOKE, emit, pick, record
 from repro.obs.tracing import span_clock
 
 SPEEDUP_BAR = 2.0
@@ -113,6 +113,14 @@ def test_prover_pool_scaling_report(benchmark):
         "(%d-core host)" % (num_answers, CORES),
     )
     emit("parallel_proving", text)
+    record(
+        "parallel_proving",
+        {"answers": num_answers},
+        {
+            ("inline" if procs == 0 else "pool_%d" % procs): elapsed
+            for procs, elapsed in timings.items()
+        },
+    )
 
     if not SMOKE and CORES >= 4:
         best = min(t for p, t in timings.items() if p >= 4)
@@ -184,4 +192,12 @@ def test_pipelined_serve_report(benchmark):
         "(%d-core host)" % (num_tasks, CORES),
     )
     emit("parallel_serve", text)
+    record(
+        "parallel_serve",
+        {"tasks": num_tasks, "questions": num_questions},
+        {
+            ("inline" if procs == 0 else "pool_%d" % procs): elapsed
+            for procs, elapsed in timings.items()
+        },
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

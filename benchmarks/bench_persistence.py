@@ -35,7 +35,7 @@ from repro.dragoon import Dragoon
 from repro.sim import preset, run_scenario
 from repro.store import NodeStore, encode_chain_state, state_root
 
-from bench_helpers import emit, pick
+from bench_helpers import emit, pick, record
 from repro.obs.tracing import span_clock
 
 TASKS = pick(24, 5)
@@ -121,6 +121,22 @@ def test_persistence_throughput():
                 title="Persistence throughput (%s, %d tasks, seed %d)"
                 % (SCENARIO, TASKS, SEED),
             ),
+        )
+        record(
+            "persistence_throughput",
+            {"scenario": SCENARIO, "tasks": TASKS, "seed": SEED},
+            {
+                "scenario_plain": plain_s,
+                "scenario_journalled": journal_s,
+                "snapshot_save": save_s,
+                "snapshot_load": load_s,
+                "wal_replay": replay_s,
+            },
+            values={
+                "blocks": blocks,
+                "state_bytes": len(encoded),
+                "wal_blocks": wal_blocks,
+            },
         )
     finally:
         shutil.rmtree(workdir, ignore_errors=True)

@@ -51,7 +51,7 @@ from repro.rpc import (
 )
 from repro.storage.swarm import SwarmStore
 
-from bench_helpers import emit, pick
+from bench_helpers import emit, pick, record
 from repro.obs.tracing import span_clock
 
 NUM_TASKS = pick(8, 3)
@@ -120,7 +120,7 @@ def test_rpc_boundary_cost():
     payments, loop_height, requests = _run_over(
         LoopbackTransport(RpcNode())
     )
-    elapsed = span_clock() - start
+    elapsed = loop_elapsed = span_clock() - start
     results.append(payments)
     rows.append([
         "loopback rpc", loop_height, requests, "%.2fs" % elapsed,
@@ -152,6 +152,13 @@ def test_rpc_boundary_cost():
             % NUM_TASKS,
         ),
     )
+    record(
+        "rpc_boundary",
+        {"tasks": NUM_TASKS},
+        {"in_process": base_elapsed, "loopback": loop_elapsed,
+         "http": elapsed},
+        values={"requests": requests},
+    )
 
     # The equivalence bar: every path settles identically.
     assert results[1] == results[0] and results[2] == results[0]
@@ -168,7 +175,7 @@ def test_head_request_throughput():
     start = span_clock()
     for _ in range(HEAD_CALLS):
         chain.rpc.call("chain_head")
-    elapsed = span_clock() - start
+    elapsed = loop_elapsed = span_clock() - start
     rows.append(["loopback", HEAD_CALLS, "%.0f" % (HEAD_CALLS / elapsed),
                  "%.3fms" % (1e3 * elapsed / HEAD_CALLS)])
 
@@ -193,6 +200,11 @@ def test_head_request_throughput():
             rows,
             title="chain_head round trips",
         ),
+    )
+    record(
+        "rpc_head_throughput",
+        {"calls": HEAD_CALLS},
+        {"loopback": loop_elapsed, "http": elapsed},
     )
 
 
@@ -279,6 +291,16 @@ def test_concurrent_and_batched_head_throughput():
             title="chain_head under concurrency and batching",
         ),
     )
+    record(
+        "rpc_head_scaling",
+        {"calls": HEAD_CALLS, "clients": CONCURRENT_CLIENTS,
+         "batch_size": BATCH_SIZE},
+        {},
+        values={
+            label.replace(" ", "_").replace(",", "") + "_rps": rate
+            for label, rate in rates.items()
+        },
+    )
     assert rates["async batched"] >= 2 * rates["threaded serial"], (
         "batched async %.0f req/s did not reach 2x the serial threaded "
         "%.0f req/s" % (rates["async batched"], rates["threaded serial"])
@@ -355,4 +377,14 @@ def test_subscription_fanout_pushes_without_polling():
             ],
             title="server-push fan-out over one asyncio loop",
         ),
+    )
+    record(
+        "rpc_subscription_fanout",
+        {"subscribers": SUBSCRIBERS},
+        {"fanout": elapsed},
+        values={
+            "events_in_log": head,
+            "events_delivered": delivered,
+            "pushed_frames": frames,
+        },
     )

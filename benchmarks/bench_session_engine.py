@@ -25,7 +25,7 @@ from repro.analysis.tables import render_table
 from repro.core.task import HITTask, TaskParameters
 from repro.dragoon import Dragoon, TaskArrival
 
-from bench_helpers import emit, pick
+from bench_helpers import emit, pick, record
 from repro.obs.tracing import span_clock
 
 NUM_TASKS = pick(8, 3)
@@ -64,18 +64,21 @@ def test_staggered_arrivals_beat_lock_step():
 
     start = span_clock()
     lock_step_blocks = _run_lock_step()
+    lock_step_s = span_clock() - start
     rows.append(["lock-step sequential", lock_step_blocks,
-                 "%.2fs" % (span_clock() - start)])
+                 "%.2fs" % lock_step_s])
 
     start = span_clock()
     staggered_blocks = _run_staggered(stagger=1)
+    staggered_s = span_clock() - start
     rows.append(["session engine, stagger 1", staggered_blocks,
-                 "%.2fs" % (span_clock() - start)])
+                 "%.2fs" % staggered_s])
 
     start = span_clock()
     batched_blocks = _run_staggered(stagger=0)
+    batched_s = span_clock() - start
     rows.append(["session engine, simultaneous", batched_blocks,
-                 "%.2fs" % (span_clock() - start)])
+                 "%.2fs" % batched_s])
 
     emit(
         "session_engine_throughput",
@@ -85,6 +88,17 @@ def test_staggered_arrivals_beat_lock_step():
             title="%d tasks (2 workers each): blocks of chain time"
             % NUM_TASKS,
         ),
+    )
+    record(
+        "session_engine_throughput",
+        {"tasks": NUM_TASKS},
+        {"lock_step": lock_step_s, "staggered": staggered_s,
+         "batched": batched_s},
+        values={
+            "lock_step_blocks": lock_step_blocks,
+            "staggered_blocks": staggered_blocks,
+            "batched_blocks": batched_blocks,
+        },
     )
 
     # The committed bar: pipelining beats lock-step, batching beats both.

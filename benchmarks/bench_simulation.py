@@ -25,7 +25,7 @@ from __future__ import annotations
 from repro.analysis.tables import render_table
 from repro.sim import preset, run_scenario
 
-from bench_helpers import emit, pick
+from bench_helpers import emit, pick, record
 from repro.obs.tracing import span_clock
 
 TASKS = pick(24, 6)
@@ -37,11 +37,12 @@ REGIMES = ["poisson", "burst", "diurnal", "closed-loop"]
 def test_arrival_regimes_blocks_per_task():
     rows = []
     reports = {}
+    timings = {}
     for name in REGIMES:
         scenario = preset(name, seed=SEED, tasks=TASKS)
         start = span_clock()
         report = run_scenario(scenario)
-        elapsed = span_clock() - start
+        elapsed = timings[name] = span_clock() - start
         report.check_invariants()
         reports[name] = report
         rows.append([
@@ -65,6 +66,14 @@ def test_arrival_regimes_blocks_per_task():
             "(seed %d; lock-step sequential would need 5 blocks/task)"
             % SEED,
         ),
+    )
+    record(
+        "simulation_regimes",
+        {"tasks": TASKS, "seed": SEED},
+        timings,
+        values={
+            "%s_blocks" % name: reports[name].blocks for name in REGIMES
+        },
     )
 
     # The committed bars, all deterministic under the fixed seed:

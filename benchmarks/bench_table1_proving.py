@@ -26,7 +26,7 @@ from repro.crypto.poqoea import prove_quality
 from repro.crypto.vpke import prove_decryption
 from repro.utils.timing import measure
 
-from bench_helpers import SMOKE, bench_task, emit, pick
+from bench_helpers import SMOKE, bench_task, emit, pick, record
 
 TASK = bench_task()
 RANGE = list(TASK.parameters.answer_range)
@@ -138,6 +138,25 @@ def test_table1_report(benchmark, setup_statement):
         samples,
     )
     emit("table1_proving", text)
+    record(
+        "table1_proving",
+        {"questions": TASK.parameters.num_questions,
+         "golds": TASK.parameters.num_golds},
+        {
+            "vpke_prove": vpke.elapsed_seconds,
+            "poqoea_prove": poqoea.elapsed_seconds,
+            "generic_vpke_model": generic_vpke.seconds,
+            "generic_poqoea_model": generic_poqoea.seconds,
+            "generic_vpke_paper": ref_vpke.seconds,
+            "generic_poqoea_paper": ref_poqoea.seconds,
+        },
+        values={
+            "vpke_peak_bytes": vpke.peak_bytes,
+            "poqoea_peak_bytes": poqoea.peak_bytes,
+            "generic_vpke_peak_bytes": generic_vpke.peak_bytes,
+            "generic_poqoea_peak_bytes": generic_poqoea.peak_bytes,
+        },
+    )
 
     # The paper's qualitative claims must hold in our reproduction:
     # concrete proving is orders of magnitude below generic proving.

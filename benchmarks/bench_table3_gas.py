@@ -31,6 +31,7 @@ from bench_helpers import (
     bench_task,
     emit,
     imagenet_answer_sets,
+    record,
 )
 
 PAPER_ROWS = {
@@ -97,6 +98,19 @@ def test_table3_report(benchmark, best_case_outcome, worst_case_outcome):
         % (mturk, best_usd, worst_usd, best_usd < mturk and worst_usd < mturk)
     )
     emit("table3_gas", text)
+    values = {
+        row.operation.split(" (")[0].lower().replace(" ", "_") + "_gas": row.gas
+        for row in table.rows
+        if not row.operation.startswith("Overall")
+    }
+    values["best_case_total_gas"] = best_case_outcome.gas.total
+    values["worst_case_total_gas"] = worst_case_outcome.gas.total
+    record(
+        "table3_gas",
+        {"workers": 4},
+        {},
+        values=values,
+    )
 
     # Shape assertions against the paper (within ~25% per row) only
     # make sense at the paper's task size, not on the smoke-mode task.
@@ -126,6 +140,14 @@ def test_table3_gas_breakdown(benchmark, best_case_outcome):
         title="Reveal-transaction gas breakdown (one worker, 106 ciphertexts)",
     )
     emit("table3_reveal_breakdown", text)
+    record(
+        "table3_reveal_breakdown",
+        {"workers": 4},
+        {},
+        values={
+            "%s_gas" % label: cost for label, cost in sorted(breakdown.items())
+        },
+    )
     # Storage of the per-question hashes dominates, as the paper expects.
     assert breakdown["sstore"] > breakdown["calldata"]
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -132,6 +132,21 @@ class ProofPoolError(ReproError):
 
 
 # ---------------------------------------------------------------------------
+# Reporting pipeline
+# ---------------------------------------------------------------------------
+
+
+class ReportError(ReproError):
+    """A failure in the telemetry analytics pipeline (:mod:`repro.reporting`).
+
+    Raised for unusable inputs the pipeline must not silently paper
+    over: a trace record with an unknown schema version, a metrics
+    snapshot that does not round-trip canonically, a sweep spec whose
+    axes name no known scenario knob, or report artifacts that disagree
+    with their manifest."""
+
+
+# ---------------------------------------------------------------------------
 # RPC boundary
 # ---------------------------------------------------------------------------
 

@@ -78,6 +78,31 @@ def _escape_label(value: str) -> str:
     )
 
 
+def _plain_number(value: Any) -> Any:
+    """Coerce a sample to a canonical plain number (int or float).
+
+    ``collect()`` snapshots travel: through JSON to ``node_metrics``
+    readers, through the canonical codec into report artifacts, and
+    across hosts for folding.  Bools become ints and exotic numerics
+    (a sampler returning e.g. a Fraction) become floats here, so a
+    snapshot always round-trips byte-identically — the exact-float
+    guarantee both ``json`` (shortest-repr) and the codec (packed
+    IEEE double) provide only for the plain types.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if type(value) is int or type(value) is float:
+        return value
+    if isinstance(value, int):
+        return int(value)
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise MetricError(
+            "metric values must be numbers, got %r" % (value,)
+        ) from None
+
+
 def _format_value(value: Any) -> str:
     if isinstance(value, bool):
         return "1" if value else "0"
@@ -349,14 +374,14 @@ class MetricsRegistry:
                         {
                             "labels": labels,
                             "buckets": buckets,
-                            "sum": child.sum,
+                            "sum": _plain_number(child.sum),
                             "count": child.count,
                         }
                     )
                 entry["samples"] = series
             else:
                 entry["samples"] = [
-                    {"labels": labels, "value": value}
+                    {"labels": labels, "value": _plain_number(value)}
                     for labels, value in family.samples()
                 ]
             snapshot.append(entry)

@@ -39,6 +39,7 @@ manager — cheap enough for the crypto hot path.
 
 from __future__ import annotations
 
+import atexit
 import contextlib
 import json
 import threading
@@ -232,7 +233,12 @@ class Tracer:
 
     def close(self) -> None:
         with self._lock:
-            self._sink.flush()
+            try:
+                self._sink.flush()
+            except ValueError:
+                # The sink was already closed (atexit firing after a
+                # normal trace_to unwind): nothing left to flush.
+                pass
 
 
 #: The process-global tracer; NullTracer unless a run installs one.
@@ -251,16 +257,29 @@ def set_tracer(tracer: Optional["Tracer | NullTracer"]) -> None:
 
 @contextlib.contextmanager
 def trace_to(path: str) -> Iterator[Tracer]:
-    """Trace everything inside the block to a JSONL file at ``path``."""
-    with open(path, "w", encoding="utf-8") as sink:
-        tracer = Tracer(sink)
-        previous = get_tracer()
-        set_tracer(tracer)
-        try:
-            yield tracer
-        finally:
-            set_tracer(previous)
-            tracer.close()
+    """Trace everything inside the block to a JSONL file at ``path``.
+
+    File lifecycle: the sink is **line-buffered**, so every finished
+    span reaches the OS as a complete line the moment it is emitted —
+    a ``kill -9`` mid-run loses at most the line being written (a torn
+    tail the analyzer tolerates), never a buffer of finished spans.
+    For the catchable ends (SIGINT/SIGTERM unwound as
+    :class:`KeyboardInterrupt` by the CLI, plain ``sys.exit``) the
+    ``finally`` below flushes and closes; an ``atexit`` hook backstops
+    interpreter exits that skip the context manager's unwind.
+    """
+    sink = open(path, "w", encoding="utf-8", buffering=1)
+    tracer = Tracer(sink)
+    previous = get_tracer()
+    set_tracer(tracer)
+    atexit.register(tracer.close)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+        tracer.close()
+        atexit.unregister(tracer.close)
+        sink.close()
 
 
 def trace_span(name: str, **attrs: Any):

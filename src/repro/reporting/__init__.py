@@ -1,0 +1,98 @@
+"""Telemetry analytics & reporting: traces → folds → sweeps → artifacts.
+
+The pipeline downstream of the PR-8 observability layer:
+
+* :mod:`repro.reporting.traces` — stream JSONL span files into
+  per-phase percentiles, critical paths, and pool utilization;
+* :mod:`repro.reporting.metricsfold` — diff/merge/project
+  ``MetricsRegistry.collect()`` snapshots;
+* :mod:`repro.reporting.sweep` — the declarative scenario-grid runner
+  with checkpoint/resume and process fan-out;
+* :mod:`repro.reporting.render` — deterministic CSV/Markdown/SVG
+  artifacts under ``reports/`` with a sha256 manifest.
+
+Everything that lands in ``reports/`` is byte-reproducible; see the
+reproducibility contract in :mod:`repro.reporting.sweep`.
+"""
+
+from repro.reporting.metricsfold import (
+    deterministic_projection,
+    diff_snapshots,
+    merge_snapshots,
+    read_snapshot,
+    snapshot_from_bytes,
+    snapshot_from_json,
+    snapshot_to_bytes,
+    snapshot_to_json,
+    write_snapshot,
+)
+from repro.reporting.render import (
+    fold_benches,
+    render_bar_svg,
+    render_csv,
+    render_markdown_table,
+    render_reports,
+    verify_manifest,
+)
+from repro.reporting.sweep import (
+    CELL_METRIC_PREFIXES,
+    SWEEP_AXES,
+    SweepSpec,
+    build_scenario,
+    cells,
+    grid_hash,
+    run_cell,
+    run_sweep,
+    spec_from_json,
+    spec_to_json,
+)
+from repro.reporting.traces import (
+    SpanStats,
+    TraceAnalysis,
+    TraceFile,
+    analyze,
+    analyze_file,
+    iter_spans,
+    percentile,
+    read_trace,
+)
+
+__all__ = [
+    # traces
+    "TraceFile",
+    "TraceAnalysis",
+    "SpanStats",
+    "read_trace",
+    "iter_spans",
+    "analyze",
+    "analyze_file",
+    "percentile",
+    # metricsfold
+    "snapshot_to_json",
+    "snapshot_from_json",
+    "snapshot_to_bytes",
+    "snapshot_from_bytes",
+    "write_snapshot",
+    "read_snapshot",
+    "diff_snapshots",
+    "merge_snapshots",
+    "deterministic_projection",
+    # sweep
+    "SweepSpec",
+    "SWEEP_AXES",
+    "CELL_METRIC_PREFIXES",
+    "spec_to_json",
+    "spec_from_json",
+    "grid_hash",
+    "cells",
+    "build_scenario",
+    "run_cell",
+    "run_sweep",
+    # render
+    "render_reports",
+    "fold_benches",
+    "verify_manifest",
+    "render_csv",
+    "render_markdown_table",
+    "render_bar_svg",
+]

@@ -1,0 +1,246 @@
+"""Folding ``MetricsRegistry.collect()`` snapshots across runs.
+
+A snapshot is the plain-data list the registry's ``collect()`` returns
+(and the ``node_metrics`` RPC method serves): one entry per family with
+``name``/``type``/``help`` and a ``samples`` list.  This module gives
+snapshots a life beyond one scrape:
+
+* **canonical IO** — :func:`snapshot_to_json` (sorted keys, exact float
+  round-trip via Python's shortest-repr) and :func:`snapshot_to_bytes`
+  (the :mod:`repro.store.codec` TLV encoding).  Both round-trip a
+  snapshot *identically*: the portability contract
+  ``tests/reporting/test_metricsfold.py`` pins, so folded reports are
+  byte-stable across hosts;
+* **diffing** — :func:`diff_snapshots` subtracts a "before" scrape from
+  an "after" scrape: counter deltas, histogram bucket/count/sum deltas,
+  gauges at their after-value.  This is how a sweep cell isolates its
+  own run from a process-global registry that earlier cells already
+  incremented;
+* **merging** — :func:`merge_snapshots` adds counters and histograms
+  across runs (mergeable because bucket edges are declared and fixed);
+  gauges keep the last value, which is documented, not profound;
+* **the deterministic projection** — :func:`deterministic_projection`
+  keeps what two identically seeded runs must agree on: counter values
+  and histogram *total counts*.  Gauges (scrape-time samplers reflect
+  host shape) and histogram buckets/sums (they bin wall-clock seconds)
+  are observations about *this* execution, so they stay out of the
+  byte-diffed report artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReportError
+from repro.store import codec
+
+__all__ = [
+    "snapshot_to_json",
+    "snapshot_from_json",
+    "snapshot_to_bytes",
+    "snapshot_from_bytes",
+    "write_snapshot",
+    "read_snapshot",
+    "diff_snapshots",
+    "merge_snapshots",
+    "deterministic_projection",
+]
+
+#: Version stamp on snapshot files written by :func:`write_snapshot`.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+def _check(snapshot: Any) -> List[Dict[str, Any]]:
+    if not isinstance(snapshot, list) or any(
+        not isinstance(family, dict) or "name" not in family
+        or "type" not in family or "samples" not in family
+        for family in snapshot
+    ):
+        raise ReportError("not a MetricsRegistry.collect() snapshot")
+    return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Canonical IO
+# ---------------------------------------------------------------------------
+
+
+def snapshot_to_json(snapshot: List[Dict[str, Any]]) -> str:
+    """Canonical JSON: sorted keys, newline-terminated, exact floats."""
+    return json.dumps(
+        {"schema": SNAPSHOT_SCHEMA_VERSION, "families": _check(snapshot)},
+        sort_keys=True,
+        indent=2,
+    ) + "\n"
+
+
+def snapshot_from_json(text: str) -> List[Dict[str, Any]]:
+    try:
+        payload = json.loads(text)
+    except ValueError as failure:
+        raise ReportError("unreadable snapshot JSON: %s" % failure) from None
+    if not isinstance(payload, dict) or "families" not in payload:
+        raise ReportError("snapshot JSON missing the families member")
+    if payload.get("schema") != SNAPSHOT_SCHEMA_VERSION:
+        raise ReportError(
+            "unknown snapshot schema %r" % payload.get("schema")
+        )
+    return _check(payload["families"])
+
+
+def snapshot_to_bytes(snapshot: List[Dict[str, Any]]) -> bytes:
+    """The canonical-codec encoding (for WAL-adjacent storage)."""
+    return codec.encode(_check(snapshot))
+
+
+def snapshot_from_bytes(blob: bytes) -> List[Dict[str, Any]]:
+    return _check(codec.decode(blob))
+
+
+def write_snapshot(path: str, snapshot: List[Dict[str, Any]]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(snapshot_to_json(snapshot))
+
+
+def read_snapshot(path: str) -> List[Dict[str, Any]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return snapshot_from_json(handle.read())
+
+
+# ---------------------------------------------------------------------------
+# Folding
+# ---------------------------------------------------------------------------
+
+
+def _label_key(labels: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _index(
+    family: Dict[str, Any]
+) -> Dict[Tuple[Tuple[str, str], ...], Dict[str, Any]]:
+    return {
+        _label_key(sample.get("labels", {})): sample
+        for sample in family["samples"]
+    }
+
+
+def _bucket_counts(sample: Dict[str, Any]) -> Dict[str, float]:
+    return {
+        str(bucket["le"]): bucket["count"] for bucket in sample["buckets"]
+    }
+
+
+def _combine(
+    base: List[Dict[str, Any]],
+    overlay: List[Dict[str, Any]],
+    subtract: bool,
+) -> List[Dict[str, Any]]:
+    """Shared diff/merge walk; ``subtract`` flips histogram/counter math."""
+    by_name = {family["name"]: family for family in _check(base)}
+    out: List[Dict[str, Any]] = []
+    for family in _check(overlay):
+        before = by_name.get(family["name"])
+        if before is not None and before["type"] != family["type"]:
+            raise ReportError(
+                "family %r changed type: %s vs %s"
+                % (family["name"], before["type"], family["type"])
+            )
+        previous = _index(before) if before is not None else {}
+        samples: List[Dict[str, Any]] = []
+        for sample in family["samples"]:
+            key = _label_key(sample.get("labels", {}))
+            other = previous.get(key)
+            folded = {"labels": dict(sample.get("labels", {}))}
+            if family["type"] == "histogram":
+                base_counts = _bucket_counts(other) if other else {}
+                sign = -1 if subtract else 1
+                folded["buckets"] = [
+                    {
+                        "le": bucket["le"],
+                        "count": bucket["count"]
+                        + sign * base_counts.get(str(bucket["le"]), 0),
+                    }
+                    for bucket in sample["buckets"]
+                ]
+                folded["sum"] = sample["sum"] + (
+                    sign * other["sum"] if other else 0
+                )
+                folded["count"] = sample["count"] + (
+                    sign * other["count"] if other else 0
+                )
+            elif family["type"] == "counter":
+                delta = sample["value"] - (other["value"] if other else 0)
+                folded["value"] = (
+                    delta if subtract
+                    else sample["value"] + (other["value"] if other else 0)
+                )
+            else:
+                # Gauges: the after-value (diff) / the last value (merge).
+                folded["value"] = sample["value"]
+            samples.append(folded)
+        out.append(
+            {
+                "name": family["name"],
+                "type": family["type"],
+                "help": family["help"],
+                "samples": samples,
+            }
+        )
+    out.sort(key=lambda family: family["name"])
+    return out
+
+
+def diff_snapshots(
+    before: List[Dict[str, Any]], after: List[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """What happened *between* two scrapes of one registry."""
+    return _combine(before, after, subtract=True)
+
+
+def merge_snapshots(
+    snapshots: List[List[Dict[str, Any]]],
+) -> List[Dict[str, Any]]:
+    """Aggregate scrapes from many runs/nodes into one snapshot."""
+    if not snapshots:
+        return []
+    merged = _check(snapshots[0])
+    for snapshot in snapshots[1:]:
+        merged = _combine(merged, snapshot, subtract=False)
+    return merged
+
+
+def deterministic_projection(
+    snapshot: List[Dict[str, Any]],
+    prefixes: Optional[Tuple[str, ...]] = None,
+) -> Dict[str, Any]:
+    """The cross-run-stable view (see the module docstring).
+
+    Returns ``{family-name[{label=value,...}]: number}`` with counters
+    at their value and histograms at their total observation count.
+    ``prefixes`` optionally restricts to matching family names.
+    """
+    projected: Dict[str, Any] = {}
+    for family in _check(snapshot):
+        name = family["name"]
+        if prefixes and not any(name.startswith(p) for p in prefixes):
+            continue
+        if family["type"] not in ("counter", "histogram"):
+            continue
+        for sample in family["samples"]:
+            labels = sample.get("labels", {})
+            key = name
+            if labels:
+                key += "{%s}" % ",".join(
+                    "%s=%s" % pair for pair in _label_key(labels)
+                )
+            value = (
+                sample["count"]
+                if family["type"] == "histogram"
+                else sample["value"]
+            )
+            if isinstance(value, float) and value.is_integer():
+                value = int(value)
+            projected[key] = value
+    return dict(sorted(projected.items()))

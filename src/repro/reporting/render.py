@@ -1,0 +1,481 @@
+"""Deterministic report artifacts: CSV/Markdown tables, SVG plots, manifest.
+
+Everything this module writes is **byte-stable**: sorted keys, sorted
+rows, canonical float formatting (shortest ``repr``), fixed two-decimal
+SVG coordinates, no timestamps, no hostnames.  CI regenerates the
+committed ``reports/`` directory from the committed sweep spec and
+fails on any byte diff — so a perf claim in this repo is an artifact a
+reviewer can rebuild, not a README sentence.
+
+Artifacts under the output directory::
+
+    sweep.json              the canonical spec (the grid hash preimage)
+    cells/<cell>.json       one record per grid cell (written by sweep)
+    tables/summary.csv/.md  marketplace outcomes per cell
+    tables/metrics.csv      the deterministic metric projection per cell
+    plots/<metric>.svg      one bar chart per headline metric
+    tables/benchmarks.csv/.md   folded benchmark records (when present)
+    manifest.json           grid hash + sha256 of every artifact above
+
+The manifest is keyed by the sweep's grid hash and lists each
+artifact's sha256, so a regenerator can verify integrity file by file;
+:func:`verify_manifest` is that check.
+
+Benchmark folding: every ``benchmarks/bench_*.py`` writes a JSON record
+(``bench_helpers.record``) with span-clock timings; :func:`fold_benches`
+turns a directory of them into the benchmark table — the same renderer,
+so simulation sweeps and perf benches publish through one pipeline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReportError
+
+__all__ = [
+    "render_reports",
+    "fold_benches",
+    "verify_manifest",
+    "render_csv",
+    "render_markdown_table",
+    "render_bar_svg",
+]
+
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Headline per-cell metrics that get a plot each (name, record path).
+PLOT_METRICS = (
+    ("tasks_settled", ("report", "tasks_settled")),
+    ("blocks_per_task", ("report", "blocks_per_task")),
+    ("gas_per_settled_task", ("report", "gas_per_settled_task")),
+    ("settled_per_block", ("report", "settled_per_block")),
+)
+
+#: Single-series mark color (validated palette slot 1) plus inks.
+_BAR_FILL = "#2a78d6"
+_INK = "#0b0b0b"
+_INK_MUTED = "#52514e"
+_GRID = "#d9d8d4"
+_SURFACE = "#fcfcfb"
+
+
+def format_number(value: Any) -> str:
+    """Canonical cell text: ints plain, floats shortest-repr."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        if value.is_integer():
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+
+def _csv_quote(text: str) -> str:
+    if any(ch in text for ch in ',"\n'):
+        return '"%s"' % text.replace('"', '""')
+    return text
+
+
+def render_csv(header: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    lines = [",".join(_csv_quote(str(h)) for h in header)]
+    for row in rows:
+        lines.append(
+            ",".join(
+                _csv_quote(
+                    format_number(v) if isinstance(v, (int, float)) else str(v)
+                )
+                for v in row
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_markdown_table(
+    header: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    out = []
+    if title:
+        out.append("## %s" % title)
+        out.append("")
+    out.append("| " + " | ".join(str(h) for h in header) + " |")
+    out.append("|" + "|".join(" --- " for _ in header) + "|")
+    for row in rows:
+        out.append(
+            "| "
+            + " | ".join(
+                format_number(v) if isinstance(v, (int, float)) else str(v)
+                for v in row
+            )
+            + " |"
+        )
+    return "\n".join(out) + "\n"
+
+
+def _dig(record: Dict[str, Any], path: Tuple[str, ...]) -> Any:
+    value: Any = record
+    for key in path:
+        value = value[key]
+    return value
+
+
+_SUMMARY_COLUMNS = (
+    ("tasks_published", ("report", "tasks_published")),
+    ("tasks_settled", ("report", "tasks_settled")),
+    ("tasks_cancelled", ("report", "tasks_cancelled")),
+    ("blocks", ("report", "blocks")),
+    ("blocks_per_task", ("report", "blocks_per_task")),
+    ("settled_per_block", ("report", "settled_per_block")),
+    ("total_gas", ("report", "total_gas")),
+    ("gas_per_settled_task", ("report", "gas_per_settled_task")),
+    ("enrollments", ("report", "enrollments")),
+    ("declined", ("report", "declined_enrollments")),
+    ("dropped_steps", ("report", "dropped_steps")),
+    ("state_root", ("state_root",)),
+)
+
+
+def _axis_names(records: Dict[str, Dict[str, Any]]) -> List[str]:
+    names: set = set()
+    for record in records.values():
+        names.update(record.get("params", {}))
+    return sorted(names)
+
+
+def summary_rows(
+    records: Dict[str, Dict[str, Any]]
+) -> Tuple[List[str], List[List[Any]]]:
+    axes = _axis_names(records)
+    header = ["cell"] + axes + [name for name, _ in _SUMMARY_COLUMNS]
+    rows = []
+    for cell in sorted(records):
+        record = records[cell]
+        row: List[Any] = [cell]
+        row += [record["params"].get(axis, "") for axis in axes]
+        for name, path in _SUMMARY_COLUMNS:
+            value = _dig(record, path)
+            if name == "state_root":
+                value = str(value)[:16]
+            row.append(value)
+        rows.append(row)
+    return header, rows
+
+
+def metrics_rows(
+    records: Dict[str, Dict[str, Any]]
+) -> Tuple[List[str], List[List[Any]]]:
+    families: set = set()
+    for record in records.values():
+        families.update(record.get("metrics", {}))
+    header = ["cell"] + sorted(families)
+    rows = []
+    for cell in sorted(records):
+        projected = records[cell].get("metrics", {})
+        rows.append([cell] + [projected.get(f, 0) for f in sorted(families)])
+    return header, rows
+
+
+# ---------------------------------------------------------------------------
+# Plots (deterministic standalone SVG)
+# ---------------------------------------------------------------------------
+
+
+def _nice_ceiling(value: float) -> float:
+    """The smallest 1/2/5×10^k at or above ``value`` (axis headroom)."""
+    if value <= 0:
+        return 1.0
+    magnitude = 1.0
+    while magnitude < value:
+        magnitude *= 10.0
+    while magnitude / 10.0 >= value:
+        magnitude /= 10.0
+    for step in (magnitude / 10.0 * m for m in (2.0, 5.0, 10.0)):
+        if step >= value:
+            return step
+    return magnitude
+
+
+def _f(value: float) -> str:
+    """Fixed two-decimal SVG coordinates — byte-stable across hosts."""
+    return ("%.2f" % value).rstrip("0").rstrip(".")
+
+
+def render_bar_svg(
+    title: str, labels: Sequence[str], values: Sequence[float]
+) -> str:
+    """One single-series bar chart as a standalone SVG document.
+
+    Thin marks with rounded data-ends anchored to the baseline, a
+    recessive grid, direct value labels (one series — the title names
+    it, so there is no legend box), text in ink tokens rather than the
+    series color.
+    """
+    if len(labels) != len(values):
+        raise ReportError("labels and values disagree in length")
+    width, height = 720, 360
+    left, right, top, bottom = 70, 20, 48, 110
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    peak = _nice_ceiling(max([float(v) for v in values] + [0.0]))
+    parts = [
+        '<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" '
+        'viewBox="0 0 %d %d" font-family="system-ui, sans-serif">'
+        % (width, height, width, height),
+        '<rect width="%d" height="%d" fill="%s"/>' % (width, height, _SURFACE),
+        '<text x="%d" y="24" font-size="15" fill="%s">%s</text>'
+        % (left, _INK, _escape(title)),
+    ]
+    # Recessive horizontal grid at quarters, y-axis tick labels.
+    for quarter in range(5):
+        y = top + plot_h - plot_h * quarter / 4.0
+        parts.append(
+            '<line x1="%d" y1="%s" x2="%d" y2="%s" stroke="%s" '
+            'stroke-width="1"/>'
+            % (left, _f(y), left + plot_w, _f(y), _GRID)
+        )
+        parts.append(
+            '<text x="%d" y="%s" font-size="11" fill="%s" '
+            'text-anchor="end">%s</text>'
+            % (left - 8, _f(y + 4), _INK_MUTED,
+               format_number(peak * quarter / 4.0))
+        )
+    count = max(len(values), 1)
+    slot = plot_w / count
+    bar_w = min(48.0, slot * 0.6)
+    for index, (label, value) in enumerate(zip(labels, values)):
+        x = left + slot * index + (slot - bar_w) / 2.0
+        bar_h = plot_h * (float(value) / peak) if peak else 0.0
+        y = top + plot_h - bar_h
+        # Rounded data-end anchored to the baseline: round the top only
+        # by letting the rect overflow its clip at the bottom.
+        parts.append(
+            '<path d="M%s %s v%s q0 -4 4 -4 h%s q4 0 4 4 v%s z" '
+            'fill="%s"/>'
+            % (
+                _f(x), _f(top + plot_h), _f(-(bar_h - 4.0)),
+                _f(bar_w - 8.0), _f(bar_h - 4.0), _BAR_FILL,
+            )
+            if bar_h >= 4.0
+            else '<rect x="%s" y="%s" width="%s" height="%s" fill="%s"/>'
+            % (_f(x), _f(y), _f(bar_w), _f(bar_h), _BAR_FILL)
+        )
+        parts.append(
+            '<text x="%s" y="%s" font-size="11" fill="%s" '
+            'text-anchor="middle">%s</text>'
+            % (_f(x + bar_w / 2.0), _f(y - 6), _INK, format_number(value))
+        )
+        parts.append(
+            '<text x="%s" y="%s" font-size="10" fill="%s" '
+            'text-anchor="end" transform="rotate(-35 %s %s)">%s</text>'
+            % (
+                _f(left + slot * index + slot / 2.0),
+                _f(top + plot_h + 16),
+                _INK_MUTED,
+                _f(left + slot * index + slot / 2.0),
+                _f(top + plot_h + 16),
+                _escape(label),
+            )
+        )
+    parts.append(
+        '<line x1="%d" y1="%s" x2="%d" y2="%s" stroke="%s" '
+        'stroke-width="1"/>'
+        % (left, _f(top + plot_h), left + plot_w, _f(top + plot_h),
+           _INK_MUTED)
+    )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def _escape(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+# ---------------------------------------------------------------------------
+# Benchmark folding
+# ---------------------------------------------------------------------------
+
+
+def fold_benches(
+    bench_dir: str,
+) -> Tuple[List[str], List[List[Any]]]:
+    """Fold ``<bench_dir>/*.json`` records into one table.
+
+    One row per (bench, metric): the machine-readable perf trajectory
+    every ``bench_*.py`` writes via ``bench_helpers.record`` —
+    span-clock ``timings`` (unit ``s``) plus any unitless ``values``
+    (gas figures, throughput counts).
+    """
+    header = ["bench", "metric", "value", "unit", "params", "cpu_count",
+              "smoke"]
+    rows: List[List[Any]] = []
+    if not os.path.isdir(bench_dir):
+        return header, rows
+    for name in sorted(os.listdir(bench_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(bench_dir, name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except ValueError as failure:
+            raise ReportError(
+                "unreadable bench record %s: %s" % (path, failure)
+            ) from None
+        if not isinstance(record, dict) or "bench" not in record:
+            raise ReportError("%s is not a bench record" % path)
+        params = json.dumps(record.get("params", {}), sort_keys=True)
+        cpu_count = record.get("host", {}).get("cpu_count", "")
+        smoke = bool(record.get("smoke", False))
+        folded = [
+            (label, seconds, "s")
+            for label, seconds in sorted(record.get("timings", {}).items())
+        ] + [
+            (label, value, "")
+            for label, value in sorted(record.get("values", {}).items())
+        ]
+        for label, value, unit in folded:
+            rows.append(
+                [record["bench"], label, value, unit, params, cpu_count,
+                 smoke]
+            )
+    return header, rows
+
+
+# ---------------------------------------------------------------------------
+# The manifest and the top-level renderer
+# ---------------------------------------------------------------------------
+
+
+def _sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(65536), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _write(out_dir: str, relpath: str, text: str) -> str:
+    path = os.path.join(out_dir, relpath)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(text)
+    return relpath
+
+
+def render_reports(
+    out_dir: str,
+    records: Dict[str, Dict[str, Any]],
+    spec_json: str,
+    grid: str,
+    bench_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Write every artifact under ``out_dir``; return the manifest."""
+    if not records:
+        raise ReportError("no cell records to render")
+    written: List[str] = [_write(out_dir, "sweep.json", spec_json)]
+
+    header, rows = summary_rows(records)
+    written.append(_write(out_dir, "tables/summary.csv",
+                          render_csv(header, rows)))
+    written.append(
+        _write(
+            out_dir,
+            "tables/summary.md",
+            render_markdown_table(
+                header, rows, title="Sweep summary (grid %s)" % grid[:16]
+            ),
+        )
+    )
+    header, rows = metrics_rows(records)
+    written.append(_write(out_dir, "tables/metrics.csv",
+                          render_csv(header, rows)))
+
+    cells = sorted(records)
+    for metric, path in PLOT_METRICS:
+        values = [float(_dig(records[cell], path)) for cell in cells]
+        written.append(
+            _write(
+                out_dir,
+                "plots/%s.svg" % metric,
+                render_bar_svg("%s by cell" % metric, cells, values),
+            )
+        )
+
+    if bench_dir is not None:
+        header, rows = fold_benches(bench_dir)
+        if rows:
+            written.append(_write(out_dir, "tables/benchmarks.csv",
+                                  render_csv(header, rows)))
+            written.append(
+                _write(
+                    out_dir,
+                    "tables/benchmarks.md",
+                    render_markdown_table(
+                        header, rows, title="Benchmark records"
+                    ),
+                )
+            )
+
+    # Cell records were written by the sweep; fold them into the
+    # manifest so the byte-diff covers them too.
+    cells_dir = os.path.join(out_dir, "cells")
+    if os.path.isdir(cells_dir):
+        for name in sorted(os.listdir(cells_dir)):
+            if name.endswith(".json"):
+                written.append("cells/" + name)
+
+    manifest = {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "grid": grid,
+        "cells": sorted(records),
+        "artifacts": {
+            relpath: _sha256(os.path.join(out_dir, relpath))
+            for relpath in sorted(set(written))
+        },
+    }
+    _write(
+        out_dir,
+        "manifest.json",
+        json.dumps(manifest, sort_keys=True, indent=2) + "\n",
+    )
+    return manifest
+
+
+def verify_manifest(out_dir: str) -> Dict[str, Any]:
+    """Re-hash every artifact against ``manifest.json``; raise on drift."""
+    manifest_path = os.path.join(out_dir, "manifest.json")
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except OSError as failure:
+        raise ReportError("no manifest at %s: %s" % (manifest_path, failure))
+    except ValueError as failure:
+        raise ReportError("unreadable manifest: %s" % failure) from None
+    stale = []
+    for relpath, digest in sorted(manifest.get("artifacts", {}).items()):
+        path = os.path.join(out_dir, relpath)
+        if not os.path.exists(path):
+            stale.append("%s: missing" % relpath)
+        elif _sha256(path) != digest:
+            stale.append("%s: sha256 drift" % relpath)
+    if stale:
+        raise ReportError(
+            "report artifacts disagree with the manifest: %s"
+            % "; ".join(stale)
+        )
+    return manifest

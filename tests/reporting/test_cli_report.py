@@ -1,0 +1,187 @@
+"""The ``report`` CLI family end to end, plus the trace-file lifecycle."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.registry import REGISTRY
+from repro.reporting.metricsfold import read_snapshot, write_snapshot
+from repro.reporting.render import verify_manifest
+from repro.reporting.traces import iter_spans
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+SWEEP_FLAGS = [
+    "--preset", "poisson", "--seed", "5", "--tasks", "2",
+    "--axis", "budget=100,120",
+]
+
+
+def test_report_sweep_end_to_end(tmp_path, capsys):
+    out = str(tmp_path / "reports")
+    assert main(["report", "sweep"] + SWEEP_FLAGS + ["--out", out]) == 0
+    stdout = capsys.readouterr().out
+    assert "2 cells" in stdout
+    manifest = verify_manifest(out)
+    assert manifest["cells"] == ["budget=100", "budget=120"]
+    assert os.path.exists(os.path.join(out, "tables", "summary.md"))
+
+    # report render --check agrees with verify_manifest.
+    assert main(["report", "render", "--dir", out, "--check"]) == 0
+
+    # Re-rendering from the on-disk cell records changes no bytes.
+    before = manifest["artifacts"]
+    assert main(["report", "render", "--dir", out]) == 0
+    assert verify_manifest(out)["artifacts"] == before
+
+
+def test_report_sweep_spec_file_and_work_dir(tmp_path, capsys):
+    spec_path = str(tmp_path / "spec.json")
+    with open(spec_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "name": "from-file",
+                "preset": "poisson",
+                "seed": 5,
+                "tasks": 2,
+                "axes": {"budget": [100]},
+            },
+            handle,
+        )
+    out = str(tmp_path / "out")
+    work = str(tmp_path / "scratch")
+    assert main(
+        ["report", "sweep", "--spec", spec_path, "--out", out,
+         "--work-dir", work]
+    ) == 0
+    capsys.readouterr()
+    assert os.path.exists(os.path.join(work, "traces", "budget=100.jsonl"))
+    verify_manifest(out)
+
+
+def test_report_sweep_requires_a_grid(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["report", "sweep", "--out", str(tmp_path / "x")])
+    with pytest.raises(SystemExit):
+        main(
+            ["report", "sweep", "--axis", "budget=high",
+             "--out", str(tmp_path / "x")]
+        )
+
+
+def test_report_trace_renders_tables(tmp_path, capsys):
+    trace = str(tmp_path / "run.jsonl")
+    assert main(
+        ["simulate", "--preset", "poisson", "--seed", "5", "--tasks", "2",
+         "--trace", trace]
+    ) == 0
+    capsys.readouterr()
+    analysis_out = str(tmp_path / "analysis.json")
+    assert main(["report", "trace", trace, "--out", analysis_out]) == 0
+    stdout = capsys.readouterr().out
+    assert "Latency by span" in stdout
+    assert "engine.step" in stdout
+    assert "Critical path" in stdout
+    with open(analysis_out, encoding="utf-8") as handle:
+        analysis = json.load(handle)
+    assert analysis["structure"]["truncated"] is False
+    assert analysis["structure"]["spans_by_name"]["engine.step"] > 0
+
+
+def test_simulate_metrics_out_then_report_metrics(tmp_path, capsys):
+    before_path = str(tmp_path / "before.json")
+    after_path = str(tmp_path / "after.json")
+    write_snapshot(before_path, REGISTRY.collect())
+    assert main(
+        ["simulate", "--preset", "poisson", "--seed", "5", "--tasks", "2",
+         "--metrics-out", after_path]
+    ) == 0
+    capsys.readouterr()
+    assert read_snapshot(after_path)
+
+    diff_path = str(tmp_path / "diff.json")
+    assert main(
+        ["report", "metrics", before_path, after_path, "--diff",
+         "--project", "--prefix", "sim_", "--out", diff_path]
+    ) == 0
+    with open(diff_path, encoding="utf-8") as handle:
+        projected = json.load(handle)
+    assert projected
+    assert all(key.startswith("sim_") for key in projected)
+
+    # --diff with the wrong arity is a usage error, not a traceback.
+    assert main(["report", "metrics", before_path, "--diff"]) == 2
+
+
+def test_report_metrics_single_snapshot_prints_canonically(
+    tmp_path, capsys
+):
+    path = str(tmp_path / "snap.json")
+    write_snapshot(path, REGISTRY.collect())
+    assert main(["report", "metrics", path]) == 0
+    stdout = capsys.readouterr().out
+    payload = json.loads(stdout)
+    assert payload["schema"] == 1
+    assert isinstance(payload["families"], list)
+
+
+# -- the trace-file lifecycle ----------------------------------------------
+
+
+@pytest.mark.slow
+def test_sigterm_leaves_a_parseable_trace(tmp_path):
+    """A terminated serve/simulate still flushes complete span lines.
+
+    The CLI converts SIGTERM into the KeyboardInterrupt unwind (exit
+    130), closing the line-buffered trace sink on the way out — so the
+    file ends on a newline and every line parses.  If the run wins the
+    race and finishes first, exit 0 with the same file contract.
+    """
+    trace = str(tmp_path / "killed.jsonl")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "simulate",
+            "--preset", "poisson", "--seed", "5", "--tasks", "8",
+            "--trace", trace,
+        ],
+        cwd=str(REPO_ROOT),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline and not (
+        os.path.exists(trace) and os.path.getsize(trace) > 0
+    ):
+        if process.poll() is not None:
+            break
+        time.sleep(0.05)
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+    returncode = process.wait(timeout=60)
+    assert returncode in (0, 130), returncode
+
+    assert os.path.exists(trace)
+    with open(trace, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    if returncode == 130:
+        assert lines, "terminated run flushed nothing"
+    # Every line is complete: the analyzer reads the whole file.
+    assert len(list(iter_spans(iter(lines)))) == len(
+        [line for line in lines if line.strip()]
+    )
+    if lines:
+        assert lines[-1].endswith("\n")

@@ -1,0 +1,198 @@
+"""Snapshot portability, diffing, merging, and the deterministic cut."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReportError
+from repro.obs.registry import MetricsRegistry
+from repro.reporting.metricsfold import (
+    deterministic_projection,
+    diff_snapshots,
+    merge_snapshots,
+    read_snapshot,
+    snapshot_from_bytes,
+    snapshot_from_json,
+    snapshot_to_bytes,
+    snapshot_to_json,
+    write_snapshot,
+)
+
+
+def counter(name, value, labels=None):
+    return {
+        "name": name,
+        "type": "counter",
+        "help": name,
+        "samples": [{"labels": labels or {}, "value": value}],
+    }
+
+
+def gauge(name, value):
+    return {
+        "name": name,
+        "type": "gauge",
+        "help": name,
+        "samples": [{"labels": {}, "value": value}],
+    }
+
+
+def histogram(name, buckets, total, total_sum):
+    return {
+        "name": name,
+        "type": "histogram",
+        "help": name,
+        "samples": [
+            {
+                "labels": {},
+                "buckets": [
+                    {"le": le, "count": count} for le, count in buckets
+                ],
+                "count": total,
+                "sum": total_sum,
+            }
+        ],
+    }
+
+
+# -- canonical IO ----------------------------------------------------------
+
+
+def test_json_round_trip_preserves_inexact_floats():
+    snapshot = [counter("sim_gas_total", 0.1 + 0.2), gauge("up", 1.0)]
+    assert snapshot_from_json(snapshot_to_json(snapshot)) == snapshot
+
+
+def test_codec_round_trip():
+    snapshot = [
+        counter("chain_blocks_total", 12),
+        histogram("engine_step_seconds", [(0.1, 3), ("inf", 5)], 5, 0.42),
+    ]
+    assert snapshot_from_bytes(snapshot_to_bytes(snapshot)) == snapshot
+
+
+def test_json_and_codec_agree_on_a_live_registry():
+    registry = MetricsRegistry()
+    registry.counter("sim_runs_total", "runs").inc(3)
+    registry.histogram(
+        "sim_step_seconds", "steps", buckets=(0.1, 1.0)
+    ).observe(0.05)
+    snapshot = registry.collect()
+    assert snapshot_from_json(snapshot_to_json(snapshot)) == snapshot
+    assert snapshot_from_bytes(snapshot_to_bytes(snapshot)) == snapshot
+
+
+def test_file_round_trip(tmp_path):
+    path = str(tmp_path / "snap.json")
+    snapshot = [counter("a_total", 7)]
+    write_snapshot(path, snapshot)
+    assert read_snapshot(path) == snapshot
+
+
+def test_unknown_snapshot_schema_raises(tmp_path):
+    path = str(tmp_path / "future.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"schema": 99, "families": []}')
+    with pytest.raises(ReportError, match="unknown snapshot schema"):
+        read_snapshot(path)
+
+
+def test_malformed_snapshot_raises():
+    with pytest.raises(ReportError):
+        snapshot_from_json("not json {{{")
+    with pytest.raises(ReportError):
+        snapshot_to_json([{"name": "x"}])  # no type/samples
+    with pytest.raises(ReportError):
+        snapshot_from_json('{"schema": 1, "families": [{"name": "x"}]}')
+
+
+# -- diff / merge ----------------------------------------------------------
+
+
+def test_diff_isolates_what_happened_between_scrapes():
+    before = [counter("sim_runs_total", 10), gauge("rss", 100.0)]
+    after = [counter("sim_runs_total", 13), gauge("rss", 250.0)]
+    folded = diff_snapshots(before, after)
+    by_name = {family["name"]: family for family in folded}
+    assert by_name["sim_runs_total"]["samples"][0]["value"] == 3
+    # Gauges diff to the after-value: deltas of samplers mean nothing.
+    assert by_name["rss"]["samples"][0]["value"] == 250.0
+
+
+def test_diff_histograms_per_bucket():
+    before = [histogram("h", [(0.1, 2), ("inf", 4)], 4, 1.0)]
+    after = [histogram("h", [(0.1, 5), ("inf", 9)], 9, 3.5)]
+    (family,) = diff_snapshots(before, after)
+    sample = family["samples"][0]
+    assert [b["count"] for b in sample["buckets"]] == [3, 5]
+    assert sample["count"] == 5
+    assert sample["sum"] == 2.5
+
+
+def test_diff_keeps_label_series_separate():
+    before = [counter("c", 1, labels={"path": "a"})]
+    after = [
+        {
+            "name": "c",
+            "type": "counter",
+            "help": "c",
+            "samples": [
+                {"labels": {"path": "a"}, "value": 4},
+                {"labels": {"path": "b"}, "value": 2},
+            ],
+        }
+    ]
+    (family,) = diff_snapshots(before, after)
+    values = {
+        sample["labels"]["path"]: sample["value"]
+        for sample in family["samples"]
+    }
+    assert values == {"a": 3, "b": 2}
+
+
+def test_merge_adds_counters_and_histograms():
+    runs = [
+        [counter("c", 2), histogram("h", [(1, 1), ("inf", 2)], 2, 0.3)],
+        [counter("c", 5), histogram("h", [(1, 2), ("inf", 3)], 3, 0.6)],
+    ]
+    merged = merge_snapshots(runs)
+    by_name = {family["name"]: family for family in merged}
+    assert by_name["c"]["samples"][0]["value"] == 7
+    sample = by_name["h"]["samples"][0]
+    assert [b["count"] for b in sample["buckets"]] == [3, 5]
+    assert sample["count"] == 5
+    assert sample["sum"] == pytest.approx(0.9)
+
+
+def test_merge_of_nothing_is_empty():
+    assert merge_snapshots([]) == []
+
+
+def test_type_clash_raises():
+    with pytest.raises(ReportError, match="changed type"):
+        diff_snapshots([counter("x", 1)], [gauge("x", 1)])
+
+
+# -- the deterministic projection ------------------------------------------
+
+
+def test_projection_keeps_counters_and_histogram_counts_only():
+    snapshot = [
+        counter("chain_blocks_total", 12.0),
+        gauge("process_rss_bytes", 5e6),
+        histogram("engine_step_seconds", [(0.1, 3), ("inf", 7)], 7, 1.23),
+    ]
+    projected = deterministic_projection(snapshot)
+    assert projected == {
+        "chain_blocks_total": 12,  # integral float folded to int
+        "engine_step_seconds": 7,  # total count, never buckets or sum
+    }
+
+
+def test_projection_prefix_filter_and_label_keys():
+    snapshot = [
+        counter("chain_tx_total", 4, labels={"method": "commit"}),
+        counter("crypto_cache_hits_total", 9),
+    ]
+    projected = deterministic_projection(snapshot, prefixes=("chain_",))
+    assert projected == {"chain_tx_total{method=commit}": 4}

@@ -1,0 +1,232 @@
+"""Renderer contract: canonical bytes, manifest integrity, bench folding."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ReportError
+from repro.reporting.render import (
+    _nice_ceiling,
+    fold_benches,
+    format_number,
+    render_bar_svg,
+    render_csv,
+    render_markdown_table,
+    render_reports,
+    verify_manifest,
+)
+
+
+def fake_record(cell, params, settled=2, gas=1000):
+    return {
+        "schema": 1,
+        "cell": cell,
+        "params": params,
+        "grid": "f" * 64,
+        "report": {
+            "tasks_published": settled,
+            "tasks_settled": settled,
+            "tasks_cancelled": 0,
+            "blocks": 5 * settled,
+            "blocks_per_task": 5.0,
+            "settled_per_block": 1.0 / 5.0,
+            "total_gas": gas,
+            "gas_per_settled_task": gas / settled,
+            "enrollments": settled * 2,
+            "declined_enrollments": 0,
+            "dropped_steps": 0,
+        },
+        "state_root": "ab" * 32,
+        "metrics": {"chain_blocks_total": 5 * settled},
+        "trace": {"spans_by_name": {"engine.step": 3}},
+        "resumed": False,
+    }
+
+
+RECORDS = {
+    "budget=100": fake_record("budget=100", {"budget": 100}),
+    "budget=120": fake_record("budget=120", {"budget": 120}, gas=1200),
+}
+
+SPEC_JSON = '{"name": "fake"}\n'
+GRID = "f" * 64
+
+
+# -- primitives ------------------------------------------------------------
+
+
+def test_format_number_is_canonical():
+    assert format_number(5) == "5"
+    assert format_number(5.0) == "5"
+    assert format_number(0.1 + 0.2) == "0.30000000000000004"
+    assert format_number(True) == "1"
+    assert format_number("text") == "text"
+
+
+def test_csv_quoting():
+    text = render_csv(["a", "b"], [['has,comma', 'has"quote'], [1, 2.5]])
+    assert text == 'a,b\n"has,comma","has""quote"\n1,2.5\n'
+
+
+def test_markdown_table_shape():
+    text = render_markdown_table(["x"], [[1]], title="T")
+    assert text.startswith("## T\n\n| x |\n| --- |\n| 1 |\n")
+
+
+def test_nice_ceiling_steps():
+    assert _nice_ceiling(0) == 1.0
+    assert _nice_ceiling(0.7) == 1.0
+    assert _nice_ceiling(3) == 5.0
+    assert _nice_ceiling(5) == 5.0
+    assert _nice_ceiling(7) == 10.0
+    assert _nice_ceiling(1700) == 2000.0
+
+
+def test_bar_svg_is_deterministic_and_escaped():
+    one = render_bar_svg("a <b> & c", ["x<1", "y"], [3.0, 0.0])
+    two = render_bar_svg("a <b> & c", ["x<1", "y"], [3.0, 0.0])
+    assert one == two
+    assert "a &lt;b&gt; &amp; c" in one
+    assert "x&lt;1" in one
+    assert "<script" not in one
+    assert one.startswith("<svg ")
+    # A zero bar degrades to a rect of zero height, not a broken path.
+    assert 'height="0"' in one
+
+
+def test_bar_svg_length_mismatch_raises():
+    with pytest.raises(ReportError):
+        render_bar_svg("t", ["a"], [1.0, 2.0])
+
+
+# -- bench folding ---------------------------------------------------------
+
+
+def test_fold_benches_rows(tmp_path):
+    with open(tmp_path / "bench_a.json", "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "schema": 1,
+                "bench": "bench_a",
+                "smoke": True,
+                "params": {"tasks": 2},
+                "timings": {"serial": 1.5, "pooled": 0.5},
+                "values": {"blocks": 10},
+                "host": {"cpu_count": 4},
+            },
+            handle,
+        )
+    header, rows = fold_benches(str(tmp_path))
+    assert header[:4] == ["bench", "metric", "value", "unit"]
+    assert rows == [
+        ["bench_a", "pooled", 0.5, "s", '{"tasks": 2}', 4, True],
+        ["bench_a", "serial", 1.5, "s", '{"tasks": 2}', 4, True],
+        ["bench_a", "blocks", 10, "", '{"tasks": 2}', 4, True],
+    ]
+
+
+def test_fold_benches_missing_dir_is_empty():
+    header, rows = fold_benches("/nonexistent/bench/dir")
+    assert rows == []
+    assert header[0] == "bench"
+
+
+def test_fold_benches_rejects_garbage(tmp_path):
+    (tmp_path / "broken.json").write_text("{not json")
+    with pytest.raises(ReportError, match="unreadable"):
+        fold_benches(str(tmp_path))
+    (tmp_path / "broken.json").write_text('{"other": "shape"}')
+    with pytest.raises(ReportError, match="not a bench record"):
+        fold_benches(str(tmp_path))
+
+
+# -- the artifact set ------------------------------------------------------
+
+
+def write_cells(out_dir):
+    cells_dir = os.path.join(out_dir, "cells")
+    os.makedirs(cells_dir, exist_ok=True)
+    for cell, record in RECORDS.items():
+        with open(
+            os.path.join(cells_dir, cell + ".json"), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(record, handle, sort_keys=True)
+
+
+def test_render_reports_writes_the_full_artifact_set(tmp_path):
+    out = str(tmp_path / "reports")
+    write_cells(out)
+    manifest = render_reports(out, RECORDS, SPEC_JSON, GRID)
+    assert manifest["grid"] == GRID
+    assert manifest["cells"] == sorted(RECORDS)
+    for relpath in (
+        "sweep.json",
+        "tables/summary.csv",
+        "tables/summary.md",
+        "tables/metrics.csv",
+        "plots/tasks_settled.svg",
+        "plots/gas_per_settled_task.svg",
+        "cells/budget=100.json",
+    ):
+        assert relpath in manifest["artifacts"], relpath
+        assert os.path.exists(os.path.join(out, relpath))
+    with open(os.path.join(out, "tables/summary.csv")) as handle:
+        summary = handle.read()
+    assert summary.splitlines()[0].startswith("cell,budget,tasks_published")
+    # state_root is truncated for the table, never the full digest.
+    assert ("ab" * 8) in summary and ("ab" * 32) not in summary
+
+
+def test_rendering_twice_is_byte_identical(tmp_path):
+    digests = []
+    for name in ("one", "two"):
+        out = str(tmp_path / name)
+        write_cells(out)
+        manifest = render_reports(out, RECORDS, SPEC_JSON, GRID)
+        digests.append(manifest["artifacts"])
+    assert digests[0] == digests[1]
+
+
+def test_verify_manifest_passes_then_catches_drift(tmp_path):
+    out = str(tmp_path / "reports")
+    write_cells(out)
+    render_reports(out, RECORDS, SPEC_JSON, GRID)
+    assert verify_manifest(out)["grid"] == GRID
+
+    with open(os.path.join(out, "tables/summary.csv"), "a") as handle:
+        handle.write("tampered\n")
+    with pytest.raises(ReportError, match="sha256 drift"):
+        verify_manifest(out)
+
+    os.remove(os.path.join(out, "tables/summary.csv"))
+    with pytest.raises(ReportError, match="missing"):
+        verify_manifest(out)
+
+
+def test_verify_manifest_without_manifest_raises(tmp_path):
+    with pytest.raises(ReportError, match="no manifest"):
+        verify_manifest(str(tmp_path))
+
+
+def test_render_reports_requires_records(tmp_path):
+    with pytest.raises(ReportError, match="no cell records"):
+        render_reports(str(tmp_path), {}, SPEC_JSON, GRID)
+
+
+def test_render_reports_folds_benches_into_the_manifest(tmp_path):
+    out = str(tmp_path / "reports")
+    bench_dir = str(tmp_path / "bench")
+    os.makedirs(bench_dir)
+    with open(os.path.join(bench_dir, "b.json"), "w") as handle:
+        json.dump(
+            {"bench": "b", "timings": {"t": 1.0}, "params": {}}, handle
+        )
+    write_cells(out)
+    manifest = render_reports(out, RECORDS, SPEC_JSON, GRID,
+                              bench_dir=bench_dir)
+    assert "tables/benchmarks.csv" in manifest["artifacts"]
+    assert "tables/benchmarks.md" in manifest["artifacts"]
+    verify_manifest(out)

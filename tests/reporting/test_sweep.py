@@ -1,0 +1,251 @@
+"""Sweep runner contract: grid shape, byte-identity, resume, fan-out."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ReportError
+from repro.reporting.sweep import (
+    CELL_METRIC_PREFIXES,
+    SweepSpec,
+    build_scenario,
+    cell_id,
+    cells,
+    grid_hash,
+    record_to_json,
+    run_cell,
+    run_sweep,
+    spec_from_json,
+    spec_to_json,
+)
+from repro.sim import preset, run_scenario
+from repro.sim.runner import InterruptedRun
+from repro.store.codec import state_root
+
+TINY = SweepSpec(
+    name="tiny",
+    preset="poisson",
+    seed=5,
+    tasks=2,
+    axes=(("budget", (100, 120)), ("accuracy", (0.7, 0.9))),
+)
+
+
+# -- the spec --------------------------------------------------------------
+
+
+def test_unknown_axis_rejected():
+    with pytest.raises(ReportError, match="unknown sweep axis"):
+        SweepSpec(name="x", axes=(("gravity", (1,)),))
+
+
+def test_non_numeric_axis_values_rejected():
+    with pytest.raises(ReportError, match="not a number"):
+        SweepSpec(name="x", axes=(("budget", ("high",)),))
+    with pytest.raises(ReportError, match="not a number"):
+        SweepSpec(name="x", axes=(("budget", (True,)),))
+    with pytest.raises(ReportError, match="lists no values"):
+        SweepSpec(name="x", axes=(("budget", ()),))
+
+
+def test_axes_normalize_sorted_regardless_of_input_order():
+    flipped = SweepSpec(
+        name="tiny",
+        preset="poisson",
+        seed=5,
+        tasks=2,
+        axes=(("accuracy", (0.7, 0.9)), ("budget", (100, 120))),
+    )
+    assert flipped.axes == TINY.axes
+    assert grid_hash(flipped) == grid_hash(TINY)
+
+
+def test_spec_json_round_trip_and_stable_hash():
+    text = spec_to_json(TINY)
+    assert spec_from_json(text) == TINY
+    assert grid_hash(spec_from_json(text)) == grid_hash(TINY)
+    # The hash covers the grid: any knob change re-keys the manifest.
+    assert grid_hash(TINY) != grid_hash(
+        SweepSpec(name="tiny", preset="poisson", seed=6, tasks=2,
+                  axes=TINY.axes)
+    )
+
+
+def test_unreadable_spec_raises():
+    with pytest.raises(ReportError):
+        spec_from_json("{broken")
+    with pytest.raises(ReportError, match="unknown sweep spec schema"):
+        spec_from_json('{"name": "x", "schema": 99}')
+
+
+# -- the grid --------------------------------------------------------------
+
+
+def test_cells_are_the_sorted_cartesian_product():
+    grid = cells(TINY)
+    assert [cell for cell, _ in grid] == [
+        "accuracy=0.7__budget=100",
+        "accuracy=0.7__budget=120",
+        "accuracy=0.9__budget=100",
+        "accuracy=0.9__budget=120",
+    ]
+    assert grid[1][1] == {"accuracy": 0.7, "budget": 120}
+
+
+def test_axisless_spec_has_one_base_cell():
+    assert cells(SweepSpec(name="solo")) == [("base", {})]
+
+
+def test_cell_id_formats_integral_floats_as_ints():
+    assert cell_id({"budget": 120.0, "accuracy": 0.75}) == (
+        "accuracy=0.75__budget=120"
+    )
+
+
+def test_build_scenario_applies_every_axis():
+    scenario = build_scenario(
+        SweepSpec(name="x", preset="poisson", seed=5, tasks=2),
+        {
+            "budget": 150,
+            "audit_threshold": 1,
+            "accuracy": 0.8,
+            "stragglers": 0.25,
+            "dropouts": 0.1,
+            "seed": 99,
+        },
+    )
+    assert scenario.task.budget == 150
+    assert scenario.task.quality_threshold == 1
+    assert scenario.population.accuracy == ("point", 0.8)
+    assert scenario.population.straggler_fraction == 0.25
+    assert scenario.population.dropout_fraction == 0.1
+    assert scenario.seed == 99
+
+
+# -- running ---------------------------------------------------------------
+
+
+def test_two_sweeps_produce_byte_identical_records(tmp_path):
+    runs = []
+    for name in ("one", "two"):
+        out = str(tmp_path / name)
+        records = run_sweep(TINY, out, work_dir=out + ".work")
+        runs.append(
+            {cell: record_to_json(r) for cell, r in records.items()}
+        )
+        # What run_sweep wrote is what it returned.
+        for cell, text in runs[-1].items():
+            with open(
+                os.path.join(out, "cells", cell + ".json"),
+                encoding="utf-8",
+            ) as handle:
+                assert handle.read() == text
+    assert runs[0] == runs[1]
+
+
+def test_cell_record_matches_un_instrumented_run(tmp_path):
+    cell, params = cells(TINY)[0]
+    record = run_cell(TINY, cell, params, str(tmp_path / "work"))
+    # Telemetry only observes: the same scenario run without any of it
+    # produces the same report and the same chain state root.
+    bare = run_scenario(build_scenario(TINY, params), keep_objects=True)
+    assert record["state_root"] == state_root(bare.dragoon.chain).hex()
+    assert record["report"] == bare.report.to_dict()
+    assert record["resumed"] is False
+    assert record["grid"] == grid_hash(TINY)
+    # The metric projection stayed inside the deterministic families.
+    assert record["metrics"], "cell captured no metrics"
+    assert all(
+        key.startswith(CELL_METRIC_PREFIXES)
+        for key in record["metrics"]
+    )
+    assert record["trace"]["spans_by_name"], "cell captured no spans"
+
+
+def test_interrupted_cell_resumes_to_the_same_bytes(tmp_path):
+    spec = SweepSpec(
+        name="resume",
+        preset="poisson",
+        seed=5,
+        tasks=2,
+        axes=(("budget", (100,)),),
+        checkpoint_every=2,
+    )
+    (cell, params), = cells(spec)
+
+    clean = run_cell(spec, cell, params, str(tmp_path / "clean"))
+    assert not isinstance(clean, InterruptedRun)
+
+    work = str(tmp_path / "killed")
+    first = run_cell(spec, cell, params, work, interrupt_after=3)
+    assert isinstance(first, InterruptedRun)
+    resumed = run_cell(spec, cell, params, work)
+    assert resumed["resumed"] is True
+    assert resumed["report"] == clean["report"]
+    assert resumed["state_root"] == clean["state_root"]
+
+
+def test_run_sweep_skips_completed_cells(tmp_path):
+    out = str(tmp_path / "out")
+    messages = []
+    run_sweep(TINY, out, progress=messages.append)
+    assert not any("reusing" in message for message in messages)
+
+    messages.clear()
+    again = run_sweep(TINY, out, progress=messages.append)
+    assert all("reusing" in message for message in messages)
+    assert len(messages) == 4
+    assert sorted(again) == [cell for cell, _ in cells(TINY)]
+
+    # A record from another grid is stale and re-runs.
+    other = SweepSpec(name="tiny", preset="poisson", seed=6, tasks=2,
+                      axes=TINY.axes)
+    messages.clear()
+    run_sweep(other, out, progress=messages.append)
+    assert not any("reusing" in message for message in messages)
+
+
+def test_force_reruns_completed_cells(tmp_path):
+    out = str(tmp_path / "out")
+    first = run_sweep(TINY, out)
+    messages = []
+    second = run_sweep(TINY, out, force=True, progress=messages.append)
+    assert not any("reusing" in message for message in messages)
+    assert {c: record_to_json(r) for c, r in first.items()} == {
+        c: record_to_json(r) for c, r in second.items()
+    }
+
+
+@pytest.mark.slow
+def test_process_fanout_matches_inline(tmp_path):
+    inline = run_sweep(TINY, str(tmp_path / "inline"))
+    pooled = run_sweep(TINY, str(tmp_path / "pooled"), procs=2)
+    assert {c: record_to_json(r) for c, r in inline.items()} == {
+        c: record_to_json(r) for c, r in pooled.items()
+    }
+
+
+def test_inline_sweep_surfaces_interruption(tmp_path):
+    spec = SweepSpec(
+        name="stop",
+        preset="poisson",
+        seed=5,
+        tasks=2,
+        axes=(("budget", (100,)),),
+        checkpoint_every=2,
+    )
+    (cell, params), = cells(spec)
+    work = str(tmp_path / "out") + ".work"
+    first = run_cell(spec, cell, params, work, interrupt_after=3)
+    assert isinstance(first, InterruptedRun)
+    # Re-entering through run_sweep resumes the checkpointed cell.
+    records = run_sweep(spec, str(tmp_path / "out"), work_dir=work)
+    assert records[cell]["resumed"] is True
+    with open(
+        os.path.join(str(tmp_path / "out"), "cells", cell + ".json"),
+        encoding="utf-8",
+    ) as handle:
+        assert json.load(handle)["resumed"] is True

@@ -1,0 +1,248 @@
+"""Trace analyzer contract: torn tails, unknown schemas, worker clocks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReportError
+from repro.obs.tracing import SPAN_SCHEMA_VERSION, trace_to
+from repro.reporting.traces import (
+    analyze,
+    analyze_file,
+    iter_spans,
+    percentile,
+    read_trace,
+)
+from repro.sim import preset, run_scenario
+
+
+def span(span_id, name, start, end, parent=None, **extra):
+    record = {
+        "v": SPAN_SCHEMA_VERSION,
+        "span": span_id,
+        "parent": parent,
+        "name": name,
+        "start": start,
+        "end": end,
+        "attrs": extra.pop("attrs", {}),
+    }
+    record.update(extra)
+    return record
+
+
+def write_lines(path, records):
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            if isinstance(record, str):
+                handle.write(record)
+            else:
+                handle.write(json.dumps(record) + "\n")
+
+
+# -- reading ---------------------------------------------------------------
+
+
+def test_empty_file_is_a_valid_trace(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    trace = read_trace(str(path))
+    assert len(trace) == 0
+    assert not trace.truncated
+    structure = analyze(trace).structure()
+    assert structure["spans_by_name"] == {}
+    assert structure["roots"] == 0
+    assert structure["max_depth"] == 0
+    assert analyze(trace).critical_path() == []
+
+
+def test_torn_tail_keeps_the_intact_prefix(tmp_path):
+    path = tmp_path / "torn.jsonl"
+    write_lines(
+        path,
+        [
+            span(1, "engine.step", 0.0, 1.0),
+            span(2, "chain.mine_block", 0.2, 0.4, parent=1),
+            '{"v": 1, "span": 3, "name": "chain.mine_bl',  # kill -9 here
+        ],
+    )
+    trace = read_trace(str(path))
+    assert len(trace) == 2
+    assert trace.truncated
+    assert analyze(trace).structure()["truncated"] is True
+
+
+def test_blank_lines_are_skipped_not_tears(tmp_path):
+    path = tmp_path / "blank.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(span(1, "engine.step", 0.0, 1.0)) + "\n")
+        handle.write("\n")
+        handle.write(json.dumps(span(2, "engine.step", 1.0, 2.0)) + "\n")
+    trace = read_trace(str(path))
+    assert len(trace) == 2
+    assert not trace.truncated
+
+
+def test_unknown_schema_version_raises(tmp_path):
+    path = tmp_path / "future.jsonl"
+    write_lines(path, [span(1, "engine.step", 0.0, 1.0, v=999)])
+    with pytest.raises(ReportError, match="unknown schema version"):
+        read_trace(str(path))
+
+
+def test_iter_spans_stops_at_first_tear():
+    lines = [
+        json.dumps(span(1, "a", 0.0, 1.0)),
+        "not json at all",
+        json.dumps(span(2, "b", 1.0, 2.0)),
+    ]
+    spans = list(iter_spans(iter(lines)))
+    assert [s["span"] for s in spans] == [1]
+
+
+# -- percentiles -----------------------------------------------------------
+
+
+def test_percentile_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+    assert percentile(values, 50) == 5.0
+    assert percentile(values, 90) == 9.0
+    assert percentile(values, 99) == 10.0
+    assert percentile([42.0], 50) == 42.0
+
+
+def test_percentile_of_nothing_raises():
+    with pytest.raises(ReportError):
+        percentile([], 50)
+
+
+# -- folding ---------------------------------------------------------------
+
+
+def test_phase_latencies_fold_by_attr(tmp_path):
+    path = tmp_path / "phases.jsonl"
+    write_lines(
+        path,
+        [
+            span(1, "session.phase", 0.0, 1.0, attrs={"phase": "commit"}),
+            span(2, "session.phase", 1.0, 3.0, attrs={"phase": "commit"}),
+            span(3, "session.phase", 3.0, 3.5, attrs={"phase": "reveal"}),
+        ],
+    )
+    analysis = analyze_file(str(path))
+    assert analysis.by_phase["commit"].count == 2
+    assert analysis.by_phase["commit"].maximum == 2.0
+    assert analysis.by_phase["reveal"].count == 1
+    stats = analysis.by_phase["commit"].to_dict()
+    assert stats["mean"] == 1.5
+    assert stats["p50"] == 1.0 and stats["p99"] == 2.0
+
+
+def test_worker_clock_spans_aggregate_per_pid_never_by_name(tmp_path):
+    path = tmp_path / "worker.jsonl"
+    write_lines(
+        path,
+        [
+            span(1, "pool.job", 0.0, 2.0),
+            span(
+                2, "pool.job.worker", 100.0, 101.0, parent=1,
+                clock="worker", attrs={"pid": 41},
+            ),
+            span(
+                3, "pool.job.worker", 200.0, 200.5, parent=1,
+                clock="worker", attrs={"pid": 42},
+            ),
+        ],
+    )
+    analysis = analyze_file(str(path))
+    assert "pool.job.worker" not in analysis.by_name
+    assert analysis.worker_spans == 2
+    assert analysis.worker[41].count == 1
+    assert analysis.worker[42].total == 0.5
+    # Worker-clock spans never ride the (parent-clock) critical path.
+    assert [hop["name"] for hop in analysis.critical_path()] == ["pool.job"]
+
+
+def test_worker_span_with_torn_parent_is_an_orphan(tmp_path):
+    path = tmp_path / "orphan.jsonl"
+    write_lines(
+        path,
+        [
+            span(1, "engine.step", 0.0, 1.0),
+            # The tear ate span 7 (the submit side); the shipped-home
+            # worker span survives and is counted, not dropped.
+            span(
+                2, "pool.job.worker", 50.0, 51.0, parent=7,
+                clock="worker", attrs={"pid": 9},
+            ),
+        ],
+    )
+    analysis = analyze_file(str(path))
+    assert analysis.orphans == [2]
+    assert analysis.worker_spans == 1
+    structure = analysis.structure()
+    assert structure["orphans"] == 1
+    assert structure["worker_spans"] == 1
+
+
+def test_critical_path_descends_into_longest_child(tmp_path):
+    path = tmp_path / "tree.jsonl"
+    write_lines(
+        path,
+        [
+            span(1, "engine.step", 0.0, 10.0),
+            span(2, "session.phase", 0.0, 3.0, parent=1),
+            span(3, "session.phase", 3.0, 9.0, parent=1),
+            span(4, "chain.mine_block", 3.0, 8.0, parent=3),
+            span(5, "short.root", 0.0, 1.0),
+        ],
+    )
+    analysis = analyze_file(str(path))
+    assert [hop["span"] for hop in analysis.critical_path()] == [1, 3, 4]
+    assert analysis.max_depth() == 3
+    assert sorted(analysis.roots) == [1, 5]
+
+
+def test_utilization_sweep_line(tmp_path):
+    path = tmp_path / "pool.jsonl"
+    write_lines(
+        path,
+        [
+            span(1, "pool.job", 0.0, 2.0),
+            span(2, "pool.job", 1.0, 3.0),
+            span(3, "pool.job", 10.0, 11.0),
+            span(4, "unrelated", 0.0, 100.0),
+        ],
+    )
+    pool = analyze_file(str(path)).utilization()
+    assert pool["spans"] == 3
+    assert pool["peak"] == 2
+    assert pool["busy_seconds"] == pytest.approx(4.0)
+    # 5 span-seconds of work over 4 busy seconds.
+    assert pool["mean"] == pytest.approx(1.25)
+
+
+def test_utilization_of_absent_name_is_zero(tmp_path):
+    path = tmp_path / "none.jsonl"
+    write_lines(path, [span(1, "engine.step", 0.0, 1.0)])
+    assert analyze_file(str(path)).utilization() == {
+        "spans": 0, "peak": 0, "busy_seconds": 0.0, "mean": 0.0,
+    }
+
+
+# -- determinism -----------------------------------------------------------
+
+
+def test_structure_identical_across_two_seeded_runs(tmp_path):
+    structures = []
+    for run in ("a", "b"):
+        trace_path = str(tmp_path / ("run-%s.jsonl" % run))
+        with trace_to(trace_path):
+            run_scenario(preset("poisson", seed=11, tasks=2))
+        analysis = analyze_file(trace_path)
+        assert not analysis.truncated
+        assert analysis.spans, "seeded run emitted no spans"
+        structures.append(analysis.structure())
+    assert structures[0] == structures[1]
+    assert structures[0]["spans_by_name"].get("engine.step", 0) > 0
