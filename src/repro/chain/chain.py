@@ -18,7 +18,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.chain.blocks import Block, GENESIS_HASH
 from repro.chain.clock import Clock
-from repro.chain.contract import CallContext, Contract
+from repro.chain.contract import CallContext, Contract, snapshot_storage
 from repro.chain.eventlog import EventFilter, EventLog, Subscription
 from repro.chain.gas import GasMeter, calldata_cost, TX_BASE
 from repro.chain.network import Mempool, Scheduler
@@ -74,6 +74,10 @@ class Chain:
         #: Optional persistence sink (see :mod:`repro.store`): when set,
         #: every sealed block is journalled to its write-ahead log.
         self.store = None
+        #: Lazily-attached :class:`repro.store.trie.ChainStateTrie`
+        #: (created by ``codec.state_root`` / ``chain_state_trie`` on
+        #: first use; dropped from pickles and rebuilt on resume).
+        self._state_trie = None
 
     # -- persistence --------------------------------------------------------------
 
@@ -92,12 +96,18 @@ class Chain:
     def _notify_store(self, block: Block) -> None:
         if self.store is not None:
             self.store.on_block(self, block)
+        if self._state_trie is not None:
+            self._state_trie.on_block(self, block)
 
     def __getstate__(self) -> dict:
         """Checkpoint pickling carries the chain state, never the store
-        (open file handles); :meth:`attach_store` re-wires on resume."""
+        (open file handles) or the state-trie tracker (an RLock plus a
+        cache that rebuilds byte-identically from state);
+        :meth:`attach_store` re-wires the former and the first
+        ``state_root`` read rebuilds the latter."""
         state = dict(self.__dict__)
         state["store"] = None
+        state["_state_trie"] = None
         return state
 
     @property
@@ -314,7 +324,11 @@ class Chain:
         )
         meter.charge_intrinsic(transaction.payload)
 
-        storage_state = dict(contract.storage)
+        # A deep snapshot: ``dict(contract.storage)`` shares the nested
+        # mutable values, so a handler that appended to a stored list
+        # (or wrote into a stored dict) in place and *then* raised
+        # would keep the mutation through "revert".
+        storage_state = snapshot_storage(contract.storage)
         ledger_state = self.ledger.snapshot()
         try:
             contract.dispatch(transaction.method, ctx)

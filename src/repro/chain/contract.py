@@ -27,6 +27,35 @@ from repro.ledger.accounts import Address
 from repro.ledger.ledger import Ledger
 
 
+def snapshot_value(value: Any) -> Any:
+    """A revert-safe copy of one storage value.
+
+    Recurses into the mutable containers a handler could mutate in
+    place (lists, dicts, sets, bytearrays — and tuples, whose *elements*
+    may be mutable); everything else (ints, bytes, strings, frozen
+    crypto objects) is shared, so a snapshot costs no more than the
+    container skeleton.  A shallow ``dict(storage)`` is not enough:
+    ``storage["workers"].append(...)`` followed by a raise would leave
+    the append behind after "revert".
+    """
+    if isinstance(value, list):
+        return [snapshot_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: snapshot_value(item) for key, item in value.items()}
+    if isinstance(value, tuple):
+        return tuple(snapshot_value(item) for item in value)
+    if isinstance(value, set):
+        return {snapshot_value(item) for item in value}
+    if isinstance(value, bytearray):
+        return bytearray(value)
+    return value
+
+
+def snapshot_storage(storage: Dict[str, Any]) -> Dict[str, Any]:
+    """A deep, revert-safe snapshot of a contract's storage dict."""
+    return {key: snapshot_value(value) for key, value in storage.items()}
+
+
 @dataclass
 class CallContext:
     """Everything a contract method sees about the current call."""

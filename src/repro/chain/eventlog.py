@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional
 
 from repro.chain.transactions import Event
+from repro.errors import ChainError
 from repro.ledger.accounts import Address
 
 
@@ -126,11 +127,32 @@ class EventLog:
         """How many records have been dropped from storage so far."""
         return self._base
 
+    def _check_cursor(self, cursor: int) -> int:
+        """The storage index for ``cursor``, refusing a pruned position.
+
+        A cursor below the prune base has *lost* events; silently
+        clamping to 0 (the pre-fix behaviour) resumed past the gap
+        without a trace, while the RPC page path refused loudly — the
+        same read through two doors gave different answers.  Both doors
+        now raise the same :class:`~repro.errors.ChainError`.
+        """
+        if cursor < self._base:
+            raise ChainError(
+                "cursor %d precedes the pruned base %d — events were "
+                "compacted away; restart from a fresh subscription"
+                % (cursor, self._base)
+            )
+        return cursor - self._base
+
     def since(
         self, cursor: int, filter: Optional[EventFilter] = None
     ) -> List[EventRecord]:
-        """All retained records at sequence >= ``cursor`` passing the filter."""
-        records = self._records[max(0, cursor - self._base):]
+        """All retained records at sequence >= ``cursor`` passing the filter.
+
+        Raises :class:`~repro.errors.ChainError` if ``cursor`` precedes
+        the prune base (records it should have seen are gone).
+        """
+        records = self._records[self._check_cursor(cursor):]
         if filter is None:
             return list(records)
         return [record for record in records if filter.matches(record.event)]
@@ -140,9 +162,10 @@ class EventLog:
 
         The paged-read building block (the RPC server's ``chain_events``):
         unlike :meth:`since` it copies nothing, so taking one page from a
-        long log costs the page, not the tail.
+        long log costs the page, not the tail.  Like :meth:`since`, a
+        cursor behind the prune base raises instead of skipping the gap.
         """
-        for index in range(max(0, cursor - self._base), len(self._records)):
+        for index in range(self._check_cursor(cursor), len(self._records)):
             yield self._records[index]
 
     def in_block(self, block_number: int) -> List[EventRecord]:

@@ -498,6 +498,135 @@ def _cmd_node_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _proof_key(args: argparse.Namespace):
+    """Resolve the selector flags to one trie key (or None + error)."""
+    from repro.ledger.accounts import Address
+    from repro.store import trie
+
+    selectors = [
+        args.account is not None,
+        args.task is not None,
+        args.entry is not None,
+        args.meta is not None,
+        args.key is not None,
+    ]
+    if sum(selectors) != 1:
+        _log.error(
+            "error: pick exactly one of --account / --task --slot / "
+            "--entry / --meta / --key"
+        )
+        return None
+    if args.account is not None:
+        return trie.account_key(Address.from_label(args.account))
+    if args.task is not None:
+        if args.slot is None:
+            _log.error("error: --task needs --slot")
+            return None
+        return trie.storage_key(args.task, args.slot)
+    if args.entry is not None:
+        return trie.entry_key(args.entry)
+    if args.meta is not None:
+        return trie.meta_key(args.meta)
+    try:
+        return bytes.fromhex(args.key)
+    except ValueError:
+        _log.error("error: --key must be hex")
+        return None
+
+
+def _cmd_node_proof(args: argparse.Namespace) -> int:
+    """Produce (and locally check) a state proof from a state directory.
+
+    The offline twin of the ``get_proof`` RPC method: load the node,
+    mint the current commitment header, prove the selected key, verify
+    the proof against the header's root, and print both in portable
+    form — everything a light client needs to check the same fact.
+    """
+    from repro.rpc import wire
+    from repro.store import NodeStore, codec, trie
+
+    key = _proof_key(args)
+    if key is None:
+        return 2
+    chain, _ = NodeStore.open(args.state_dir).load(apply_runtime=False)
+    tracker = trie.chain_state_trie(chain)
+    tracker.track_headers = True
+    header = tracker.ensure_header(chain)
+    proof = tracker.prove(chain, key)
+    present, value = trie.verify_proof(header.state_root, key, proof)
+    rows = [
+        ["key", key.hex()],
+        ["present", "yes" if present else "no (non-membership proven)"],
+        ["value", repr(codec.decode(value)) if present else "-"],
+        ["state root", header.state_root.hex()],
+        ["header height", header.height],
+        ["header hash", header.header_hash().hex()],
+        ["proof steps", len(proof["steps"])],
+        ["proof (packed)", wire.pack(proof)],
+        ["header (packed)", wire.pack(trie.header_to_data(header))],
+    ]
+    _log.info(render_table(["field", "value"], rows,
+                           title="State proof from %s" % args.state_dir))
+    return 0
+
+
+def _cmd_light_verify(args: argparse.Namespace) -> int:
+    """Verify chain facts from an untrusted node: headers + proofs only.
+
+    Connects a :class:`repro.lightclient.LightClient` to ``--url``,
+    syncs and hash-checks the header chain against ``--trust`` (or
+    adopts the anchor trust-on-first-use, printing it so the next
+    invocation can pin it), then proves whatever was asked: an account
+    balance (``--balance``), a task's phase (``--task``), and a
+    settlement receipt (``--task`` + ``--worker``).
+    """
+    from repro.ledger.accounts import Address
+    from repro.lightclient import LightClient
+    from repro.rpc import HttpTransport, RpcChain
+    from repro.store.trie import ProofError
+
+    trust = bytes.fromhex(args.trust) if args.trust else None
+    transport = HttpTransport(args.url)
+    try:
+        client = LightClient(RpcChain(transport), trust=trust)
+        tip = client.sync()
+        rows = [
+            ["node", args.url],
+            ["verified headers", len(client.headers)],
+            ["tip height", tip.height],
+            ["tip state root", tip.state_root.hex()],
+            ["trust anchor", client.headers[0].header_hash().hex()
+             + ("" if args.trust else "  (adopted; pin with --trust)")],
+        ]
+        if args.balance:
+            address = Address.from_label(args.balance)
+            rows.append(
+                ["balance %r" % args.balance, client.balance_of(address)]
+            )
+        if args.task:
+            rows.append(["task %r phase" % args.task,
+                         client.task_phase(args.task)])
+            if args.worker:
+                receipt = client.verify_settlement(
+                    args.task, Address.from_label(args.worker)
+                )
+                rows.append(["worker %r verdict" % args.worker,
+                             receipt["verdict"]])
+                rows.append(["worker %r payout" % args.worker,
+                             receipt["amount"]])
+        elif args.worker:
+            _log.error("error: --worker needs --task")
+            return 2
+        _log.info(render_table(["field", "value"], rows,
+                               title="Light-client verification"))
+        return 0
+    except ProofError as exc:
+        _log.error("VERIFICATION FAILED: %s" % exc)
+        return 1
+    finally:
+        transport.close()
+
+
 def _cmd_node_rpc_serve(args: argparse.Namespace) -> int:
     """Serve a node's JSON-RPC front-end over HTTP until interrupted.
 
@@ -1043,6 +1172,46 @@ def build_parser() -> argparse.ArgumentParser:
     node_resume.add_argument("--out", default=None, metavar="FILE",
                              help="write the canonical JSON report to FILE")
     node_resume.set_defaults(func=_cmd_node_resume)
+    node_proof = node_sub.add_parser(
+        "proof",
+        help="produce a Merkle state proof (and its commitment header) "
+        "from a state directory",
+    )
+    node_proof.add_argument("--state-dir", required=True)
+    node_proof.add_argument("--account", default=None, metavar="LABEL",
+                            help="prove LABEL's ledger account")
+    node_proof.add_argument("--task", default=None, metavar="NAME",
+                            help="prove a storage slot of task contract "
+                            "NAME (with --slot)")
+    node_proof.add_argument("--slot", default=None, metavar="SLOT",
+                            help="the storage slot for --task")
+    node_proof.add_argument("--entry", type=int, default=None,
+                            metavar="INDEX",
+                            help="prove ledger journal entry INDEX")
+    node_proof.add_argument("--meta", default=None, metavar="NAME",
+                            help="prove a chain metadata key "
+                            "(schema/period/scheduler/fees/event_base)")
+    node_proof.add_argument("--key", default=None, metavar="HEX",
+                            help="prove a raw trie key (hex)")
+    node_proof.set_defaults(func=_cmd_node_proof)
+    light = sub.add_parser(
+        "light-verify",
+        help="verify balances / task phases / settlement receipts from "
+        "an untrusted node via headers + Merkle proofs",
+    )
+    light.add_argument("--url", required=True,
+                       help="the node's RPC endpoint (http://host:port)")
+    light.add_argument("--trust", default=None, metavar="HEXHASH",
+                       help="pinned hash of the node's anchor header "
+                       "(default: adopt trust-on-first-use and print it)")
+    light.add_argument("--balance", default=None, metavar="LABEL",
+                       help="verify LABEL's balance")
+    light.add_argument("--task", default=None, metavar="NAME",
+                       help="verify task contract NAME's phase")
+    light.add_argument("--worker", default=None, metavar="LABEL",
+                       help="with --task: verify LABEL's settlement "
+                       "receipt (verdict + payout)")
+    light.set_defaults(func=_cmd_light_verify)
     node_rpc = node_sub.add_parser(
         "rpc-serve",
         help="serve this node's JSON-RPC front-end over HTTP "

@@ -156,8 +156,20 @@ class _Instrument:
         if self._sampler is not None:
             try:
                 produced = self._sampler()
-            except Exception:
-                return []  # a dead sampler must not fail the scrape
+            except Exception as exc:
+                # A dead sampler must not fail the scrape — but it must
+                # not die silently either, or a family vanishing from
+                # /metrics is undiagnosable.  Count it (visible on the
+                # very scrape that hit it) and leave a debug trace.
+                _sampler_errors().inc(family=self.name)
+                from repro.obs.logging import get_logger
+
+                get_logger("obs").debug(
+                    "sampler error",
+                    family=self.name,
+                    error="%s: %s" % (type(exc).__name__, exc),
+                )
+                return []
             if isinstance(produced, (int, float)):
                 return [((), produced)]
             return [
@@ -445,3 +457,18 @@ def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
 
 #: The process-global default registry every layer instruments into.
 REGISTRY = MetricsRegistry()
+
+
+def _sampler_errors() -> Counter:
+    """The sampler-failure counter, registered lazily.
+
+    Lazy because :data:`REGISTRY` is created below the classes that
+    need it; get-or-create registration makes the repeated lookup
+    cheap and idempotent.
+    """
+    return REGISTRY.counter(
+        "obs_sampler_errors_total",
+        "Scrape-time sampler callbacks that raised (family dropped "
+        "from that scrape)",
+        labelnames=("family",),
+    )

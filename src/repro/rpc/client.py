@@ -66,6 +66,8 @@ IDEMPOTENT_METHODS = frozenset(
         "chain_payments",
         "chain_contract",
         "chain_state_root",
+        "chain_header",
+        "get_proof",
         "node_status",
         "swarm_get",
     }
@@ -853,6 +855,41 @@ class RpcChain:
         return bytes.fromhex(
             self.rpc.call("chain_state_root")["state_root"]
         )
+
+    # -- light-client surface -------------------------------------------------
+
+    def header(self, index: Optional[int] = None) -> Dict[str, Any]:
+        """One commitment header (default: newest), decoded.
+
+        Returns ``{"index", "count", "header", "header_hash"}`` with
+        ``header`` as a plain field dict — :class:`repro.lightclient.
+        LightClient` does the chaining and verification; this is just
+        the fetch.
+        """
+        params = {} if index is None else {"index": index}
+        result = self.rpc.call("chain_header", **params)
+        return {
+            "index": result["index"],
+            "count": result["count"],
+            "header": wire.unpack(result["header"]),
+            "header_hash": bytes.fromhex(result["header_hash"]),
+        }
+
+    def get_proof(self, key: bytes) -> Dict[str, Any]:
+        """A state proof for one trie key, with its anchoring header."""
+        result = self.rpc.call("get_proof", key=key.hex())
+        return {
+            "key": bytes.fromhex(result["key"]),
+            "proof": wire.unpack(result["proof"]),
+            "header_index": result["header_index"],
+            "header": wire.unpack(result["header"]),
+            "header_hash": bytes.fromhex(result["header_hash"]),
+        }
+
+    def payment_indexes(self, address: Address) -> List[int]:
+        """Journal positions of ``pay`` entries to ``address`` (untrusted
+        hints for ``entry/<index>`` proofs)."""
+        return list(self.rpc.call("chain_payments", address=wire.pack(address))["indexes"])
 
 
 class RpcSwarm:

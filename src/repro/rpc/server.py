@@ -14,7 +14,9 @@ The method set (versioned by :data:`repro.rpc.wire.PROTOCOL_VERSION`):
 * **chain queries** — ``chain_head``, ``chain_block``, ``chain_events``
   (cursor-based :class:`~repro.chain.eventlog.EventFilter` paging),
   ``chain_gas``, ``chain_balance``, ``chain_payments``,
-  ``chain_contract``, ``chain_state_root``;
+  ``chain_contract``, ``chain_state_root``, and the light-client pair
+  ``chain_header`` / ``get_proof`` (hash-chained state commitments and
+  Merkle membership proofs against them);
 * **transaction submission** — ``tx_register``, ``tx_deploy`` /
   ``tx_deploy_many``, and ``tx_send`` (which carries the protocol's
   ``commit`` / ``reveal`` / ``golden`` / ``evaluate`` /
@@ -67,8 +69,10 @@ from repro.ledger.accounts import Address
 from repro.obs import registry as _obs
 from repro.obs.registry import render_prometheus
 from repro.obs.tracing import span_clock, trace_span
+from repro.obs.logging import get_logger
 from repro.storage.swarm import SwarmStore
 from repro.store import codec
+from repro.store import trie as state_trie
 from repro.store.blockstore import StoreError
 from repro.rpc import wire
 from repro.rpc.wire import WireError
@@ -90,6 +94,16 @@ _RPC_REQUEST_SECONDS = _obs.REGISTRY.histogram(
     "Dispatch wall time (lock wait + handler) per served request",
     labelnames=("method",),
 )
+_RPC_PROOFS = _obs.REGISTRY.counter(
+    "rpc_proofs_served_total",
+    "State proofs served over get_proof",
+)
+_RPC_LISTENER_ERRORS = _obs.REGISTRY.counter(
+    "rpc_listener_errors_total",
+    "Write-listener callbacks that raised (push pump faults)",
+)
+
+_log = get_logger("rpc")
 
 
 def _bind_verifier_pool_gauges(pool) -> None:
@@ -143,6 +157,8 @@ READ_METHODS = frozenset(
         "chain_payments",
         "chain_contract",
         "chain_state_root",
+        "chain_header",
+        "get_proof",
         "node_status",
         "node_metrics",
         "swarm_get",
@@ -376,6 +392,8 @@ class RpcNode:
             "chain_payments": self._chain_payments,
             "chain_contract": self._chain_contract,
             "chain_state_root": self._chain_state_root,
+            "chain_header": self._chain_header,
+            "get_proof": self._get_proof,
             "chain_mine": self._chain_mine,
             "tx_register": self._tx_register,
             "tx_send": self._tx_send,
@@ -388,6 +406,14 @@ class RpcNode:
             "swarm_put": self._swarm_put,
             "swarm_get": self._swarm_get,
         }
+        #: A node that serves proofs also serves the headers they
+        #: anchor to: enable the hash-chained header timeline and mint
+        #: the genesis-anchored link for the state as loaded.  Plain
+        #: (node-less) chains never pay for this — the flag defaults
+        #: off in :class:`~repro.store.trie.ChainStateTrie`.
+        self._state_tracker = state_trie.chain_state_trie(self.chain)
+        self._state_tracker.track_headers = True
+        self._state_tracker.ensure_header(self.chain)
 
     # ------------------------------------------------------------------
     # The request pipeline
@@ -421,8 +447,16 @@ class RpcNode:
         for listener in self._write_listeners:
             try:
                 listener()
-            except Exception:
-                pass  # a dead listener must not fail the request
+            except Exception as exc:
+                # A dead listener must not fail the request — but a
+                # silently dead push pump is undiagnosable.  Count it
+                # (scrapeable as rpc_listener_errors_total) and leave
+                # a debug trace.
+                _RPC_LISTENER_ERRORS.inc()
+                _log.debug(
+                    "write listener error",
+                    error="%s: %s" % (type(exc).__name__, exc),
+                )
 
     def handle(self, raw: bytes) -> bytes:
         """One request (or batch) in, one response out — never an exception."""
@@ -733,13 +767,18 @@ class RpcNode:
 
     def _chain_payments(self, params: Dict[str, Any]) -> Dict[str, Any]:
         address = _packed(params, "address", Address)
+        matches = [
+            (index, entry)
+            for index, entry in enumerate(self.chain.ledger._entries)
+            if entry.kind == "pay" and entry.destination == address
+        ]
         return {
             "entries": wire.pack(
-                [
-                    codec.ledger_entry_to_data(entry)
-                    for entry in self.chain.ledger.payments_to(address)
-                ]
-            )
+                [codec.ledger_entry_to_data(entry) for _, entry in matches]
+            ),
+            # Journal positions of the entries above: untrusted hints a
+            # light client turns into entry/<index> proof requests.
+            "indexes": [index for index, _ in matches],
         }
 
     def _chain_contract(self, params: Dict[str, Any]) -> Dict[str, Any]:
@@ -754,6 +793,49 @@ class RpcNode:
 
     def _chain_state_root(self, params: Dict[str, Any]) -> Dict[str, Any]:
         return {"state_root": codec.state_root(self.chain).hex()}
+
+    def _chain_header(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """One link of the node's header chain (default: the newest).
+
+        ``ensure_header`` first, so out-of-block mutations (an account
+        registered, a log pruned) are committed to a fetchable header
+        before a client asks what the latest commitment is.
+        """
+        self._state_tracker.ensure_header(self.chain)
+        headers = self._state_tracker.headers
+        index = _param(params, "index", (int,), default=len(headers) - 1)
+        if not 0 <= index < len(headers):
+            raise _BadParams(
+                "header index %d out of range 0..%d"
+                % (index, len(headers) - 1)
+            )
+        header = headers[index]
+        return {
+            "index": index,
+            "count": len(headers),
+            "header": wire.pack(state_trie.header_to_data(header)),
+            "header_hash": header.header_hash().hex(),
+        }
+
+    def _get_proof(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """A membership/non-membership proof for one state-trie key.
+
+        The proof is anchored: the response carries the header whose
+        ``state_root`` the proof folds to, so a light client verifies
+        against its own header chain, never against a bare root the
+        node could have invented.
+        """
+        key = _hex_bytes(params, "key")
+        header = self._state_tracker.ensure_header(self.chain)
+        proof = self._state_tracker.prove(self.chain, key)
+        _RPC_PROOFS.inc()
+        return {
+            "key": key.hex(),
+            "proof": wire.pack(proof),
+            "header_index": len(self._state_tracker.headers) - 1,
+            "header": wire.pack(state_trie.header_to_data(header)),
+            "header_hash": header.header_hash().hex(),
+        }
 
     # ------------------------------------------------------------------
     # Transaction submission

@@ -7,6 +7,11 @@ durable and brought back:
 
 * :mod:`repro.store.codec` — the canonical, versioned byte encoding of
   the whole chain state and the 32-byte ``state_root`` over it;
+* :mod:`repro.store.trie` — the incremental Merkle trie behind
+  ``state_root`` since schema v2: namespaced keys over every durable
+  domain, O(log n) dirty-path root updates, membership /
+  non-membership proofs, and the hash-chained commitment headers
+  light clients anchor to;
 * :mod:`repro.store.blockstore` — the append-only block WAL (physical
   per-block effect records) and atomic snapshot files;
 * :mod:`repro.store.nodestore` — :class:`~repro.store.nodestore.NodeStore`,
@@ -36,13 +41,26 @@ from repro.store.codec import (
     state_root,
 )
 from repro.store.nodestore import NodeStore
+from repro.store.trie import (
+    ChainStateTrie,
+    Header,
+    MerkleTrie,
+    ProofError,
+    chain_state_trie,
+    verify_proof,
+)
 
 __all__ = [
     "BlockStore",
+    "ChainStateTrie",
     "CodecError",
+    "Header",
+    "MerkleTrie",
     "NodeStore",
+    "ProofError",
     "SCHEMA_VERSION",
     "StoreError",
+    "chain_state_trie",
     "decode",
     "decode_chain_state",
     "encode",
@@ -50,4 +68,5 @@ __all__ = [
     "load_snapshot",
     "save_snapshot",
     "state_root",
+    "verify_proof",
 ]

@@ -22,8 +22,10 @@ before it is intact by construction.
 
 Snapshots (and the manifest and checkpoints above them) are written
 through :func:`atomic_write` — temp file, fsync, rename — and embed
-their own ``state_root``; :func:`load_snapshot` re-hashes the decoded
-state and refuses a corrupted file.
+both the Merkle-trie ``state_root`` (the cross-run identity anchor)
+and an ``encoding_hash`` over the embedded canonical bytes;
+:func:`load_snapshot` re-hashes the stored encoding and refuses a
+corrupted file.
 
 Durability bounds, precisely: against a **process kill** the loss is at
 most the un-sealed tail of the current block (WAL appends are flushed
@@ -41,6 +43,7 @@ from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.chain.blocks import Block
 from repro.chain.chain import Chain
+from repro.chain.contract import snapshot_storage
 from repro.chain.transactions import nonce_position
 from repro.crypto.keccak import keccak256
 from repro.crypto.rng import entropy
@@ -188,9 +191,13 @@ class StateBaseline:
     """What the chain looked like after the previous sealed block.
 
     The differ compares the live chain against this to produce one
-    block's physical effect record, then refreshes.  All captures are
-    shallow dict copies — proportional to live state, taken once per
-    block, which a simulation chain easily affords.
+    block's physical effect record, then refreshes.  Captures are
+    proportional to live state and taken once per block, which a
+    simulation chain easily affords.  Contract storage is captured with
+    :func:`~repro.chain.contract.snapshot_storage` (deep over mutable
+    containers): a shallow ``dict(storage)`` would alias a stored list
+    or dict mutated in place, making it compare equal to itself and
+    vanish from the WAL delta.
     """
 
     def __init__(self, chain: Chain) -> None:
@@ -204,7 +211,7 @@ class StateBaseline:
         self.gas_by_sender = dict(chain.gas_by_sender)
         self.contract_names = list(chain._contracts)
         self.contract_storage = {
-            name: dict(contract.storage)
+            name: snapshot_storage(contract.storage)
             for name, contract in chain._contracts.items()
         }
         self.registry_size = len(chain.registry)
@@ -358,14 +365,22 @@ def apply_record(chain: Chain, record: Dict[str, Any]) -> Optional[Dict[str, Any
 def save_snapshot(
     path: str, chain: Chain, extra: Optional[Dict[str, Any]] = None
 ) -> bytes:
-    """Atomically write the full canonical state; returns its root."""
+    """Atomically write the full canonical state; returns its root.
+
+    The envelope carries two digests since schema v2: ``state_root`` is
+    the Merkle trie root (what headers, checkpoints, and light clients
+    compare against) and ``encoding_hash`` pins the exact bytes of the
+    canonical encoding stored in this file (the on-disk integrity
+    check ``load_snapshot`` verifies before decoding).
+    """
     state = codec.chain_state_to_data(chain)
     encoded_state = codec.encode(state)
-    root = keccak256(encoded_state)
+    root = codec.state_root(chain)
     blob = SNAPSHOT_MAGIC + codec.encode(
         {
             "schema": codec.SCHEMA_VERSION,
             "state_root": root,
+            "encoding_hash": keccak256(encoded_state),
             "height": chain.height,
             "runtime": runtime_state(),
             "extra": extra or {},
@@ -390,8 +405,8 @@ def load_snapshot(path: str) -> Tuple[Chain, Dict[str, Any]]:
             % (envelope["schema"], codec.SCHEMA_VERSION)
         )
     encoded_state = envelope["state"]
-    if keccak256(encoded_state) != envelope["state_root"]:
-        raise StoreError("snapshot %s fails its state_root check" % path)
+    if keccak256(encoded_state) != envelope["encoding_hash"]:
+        raise StoreError("snapshot %s fails its encoding_hash check" % path)
     chain = codec.decode_chain_state(encoded_state)
     meta = {
         "state_root": envelope["state_root"],

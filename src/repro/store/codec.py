@@ -54,7 +54,10 @@ from repro.ledger.accounts import Address
 from repro.ledger.ledger import Ledger, LedgerEntry
 
 #: Bump on any change to the encoding or the chain-state schema.
-SCHEMA_VERSION = 1
+#: v2: ``state_root`` moved from a flat hash of the canonical encoding
+#: to the Merkle trie root (``repro.store.trie``); snapshot envelopes
+#: carry both the trie root and an ``encoding_hash`` integrity digest.
+SCHEMA_VERSION = 2
 
 
 class CodecError(ReproError):
@@ -576,5 +579,17 @@ def decode_chain_state(data: bytes) -> Chain:
 
 
 def state_root(chain: Chain) -> bytes:
-    """The 32-byte integrity anchor: keccak-256 of the canonical state."""
-    return keccak256(encode_chain_state(chain))
+    """The 32-byte integrity anchor: the chain's Merkle trie root.
+
+    Through schema v1 this was ``keccak256(encode_chain_state(chain))``
+    — correct, but it re-encoded the whole history per call.  It is now
+    the incremental :mod:`repro.store.trie` root: the same pure
+    function of chain state (byte-identical across seeded, pooled, and
+    interrupt/resume runs), but an unchanged chain re-reads it for the
+    cost of a diff scan, and every key under it is provable to a light
+    client.  Imported lazily — codec is the trie's value encoder, so a
+    module-level import would cycle.
+    """
+    from repro.store import trie
+
+    return trie.chain_state_trie(chain).root(chain)

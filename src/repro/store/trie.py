@@ -1,0 +1,700 @@
+"""Merkleized chain state: an incremental keccak trie, proofs, headers.
+
+``state_root`` used to be ``keccak256(encode_chain_state(chain))`` — a
+flat hash over the full canonical encoding, recomputed from scratch on
+every call.  That shape makes per-block roots unaffordable (the whole
+history re-encodes and re-hashes each time) and gives clients nothing
+to verify *against*: a balance answer from an untrusted node is just a
+number.
+
+This module replaces the flat hash with a commitment scheme in three
+layers:
+
+* :class:`MerkleTrie` — a path-compressed binary PATRICIA trie keyed by
+  ``keccak256(key)`` bit paths, with per-node hash caching.  Updating a
+  key re-hashes only the dirty root-to-leaf path (O(log n) expected),
+  and the structure is canonical: any insertion/deletion order over the
+  same key set reaches the same root.
+* :class:`ChainStateTrie` — the incremental tracker a
+  :class:`~repro.chain.chain.Chain` carries.  It namespaces the *whole*
+  durable state (ledger accounts and escrow, contract storage, the
+  worker registry, gas tallies, blocks, ledger entries, the event log
+  and its prune base, clock/scheduler metadata) into trie keys whose
+  values are codec-TLV encodings, and diff-syncs against the live chain
+  on every :meth:`root` read — so ``state_root`` stays correct through
+  out-of-block mutations (``tx_register``, ``node_prune``) while
+  repeated reads on an unchanged chain cost one dict scan, not a
+  re-encode of history.
+* :class:`Header` — the light-client anchor: a hash-chained
+  ``(height, parent, block_hash, state_root)`` record appended per
+  sealed block (and per out-of-block root change) when a node fronts
+  the chain.  :func:`verify_proof` checks a membership or
+  non-membership proof from ``repro.lightclient`` against a header's
+  ``state_root`` with no other trust.
+
+Every leaf value is a single canonical :mod:`repro.store.codec`
+encoding; bulky append-only history (blocks, pruned-log event records)
+enters as 32-byte keccak digests of its canonical encoding, so the
+root still commits to every byte of history without the trie storing
+it twice.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.chain.blocks import GENESIS_HASH
+from repro.crypto.keccak import keccak256
+from repro.errors import ReproError
+from repro.obs import registry as _obs
+from repro.store import codec
+
+_TRIE_SYNCS = _obs.REGISTRY.counter(
+    "state_trie_syncs_total",
+    "Diff-sync passes reconciling the state trie with its live chain",
+)
+_TRIE_UPDATES = _obs.REGISTRY.counter(
+    "state_trie_updates_total",
+    "Keys written to or deleted from the state trie, by operation",
+    labelnames=("op",),
+)
+_TRIE_HASHES = _obs.REGISTRY.counter(
+    "state_trie_node_hashes_total",
+    "Trie node hashes recomputed (dirty-path cache misses)",
+)
+_TRIE_PROOFS = _obs.REGISTRY.counter(
+    "state_trie_proofs_total",
+    "Membership/non-membership proofs produced by the state trie",
+)
+
+#: Domain-separation tags for node preimages: a leaf can never be
+#: confused with an interior node or a header.
+_LEAF_TAG = b"\x00"
+_NODE_TAG = b"\x01"
+_HEADER_TAG = b"\x02"
+
+#: The root of a trie holding no keys (a fresh genesis chain still has
+#: metadata keys, so this only appears for a literally empty trie).
+EMPTY_ROOT = keccak256(b"dragoon/state-trie/empty")
+
+#: ``parent`` of the first header a node mints (its trust anchor).
+HEADER_GENESIS = b"\x00" * 32
+
+
+class ProofError(ReproError):
+    """A state proof is malformed or does not reconstruct its root."""
+
+
+# ---------------------------------------------------------------------------
+# The trie
+# ---------------------------------------------------------------------------
+
+
+class _Leaf:
+    __slots__ = ("path", "value", "hash")
+
+    def __init__(self, path: int, value: bytes) -> None:
+        self.path = path
+        self.value = value
+        self.hash: Optional[bytes] = None
+
+
+class _Branch:
+    __slots__ = ("bit", "left", "right", "hash")
+
+    def __init__(self, bit: int, left: Any, right: Any) -> None:
+        self.bit = bit
+        self.left = left
+        self.right = right
+        self.hash: Optional[bytes] = None
+
+
+def path_of(key: bytes) -> int:
+    """The 256-bit trie path of a key: ``keccak256(key)`` as an int.
+
+    Hashing the key balances the trie (expected depth ~log2 n whatever
+    the key distribution) and fixes every path at 256 bits, which is
+    what makes non-membership a terminating descent.
+    """
+    return int.from_bytes(keccak256(key), "big")
+
+
+def _path_bit(path: int, bit: int) -> int:
+    return (path >> (255 - bit)) & 1
+
+
+class MerkleTrie:
+    """A path-compressed binary trie with cached keccak node hashes.
+
+    PATRICIA shape: an interior node stores the first bit position at
+    which its two subtrees diverge; every key under a node agrees on
+    all earlier bits, so n keys cost exactly n-1 interior nodes and the
+    structure (hence the root) is a pure function of the key/value set.
+    Mutations clear cached hashes along the touched root-to-leaf path
+    only; :meth:`root` recomputes just those.
+    """
+
+    __slots__ = ("_root", "_count", "hash_computes")
+
+    def __init__(self) -> None:
+        self._root: Any = None
+        self._count = 0
+        #: Lifetime count of node-hash recomputations (cache misses).
+        self.hash_computes = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        path = path_of(key)
+        node = self._root
+        while isinstance(node, _Branch):
+            node = node.right if _path_bit(path, node.bit) else node.left
+        if isinstance(node, _Leaf) and node.path == path:
+            return node.value
+        return None
+
+    def set(self, key: bytes, value: bytes) -> None:
+        if not isinstance(value, bytes):
+            raise ProofError("trie values must be bytes")
+        path = path_of(key)
+        node = self._root
+        if node is None:
+            self._root = _Leaf(path, value)
+            self._count = 1
+            return
+        stack: List[_Branch] = []
+        while isinstance(node, _Branch):
+            stack.append(node)
+            node = node.right if _path_bit(path, node.bit) else node.left
+        if node.path == path:
+            if node.value != value:
+                node.value = value
+                node.hash = None
+                for branch in stack:
+                    branch.hash = None
+            return
+        # First bit (from the MSB) where the new path leaves the leaf
+        # we reached; the new branch belongs exactly there.
+        diverge = 256 - (node.path ^ path).bit_length()
+        leaf = _Leaf(path, value)
+        parent: Optional[_Branch] = None
+        node = self._root
+        while isinstance(node, _Branch) and node.bit < diverge:
+            node.hash = None
+            parent = node
+            node = node.right if _path_bit(path, node.bit) else node.left
+        if _path_bit(path, diverge):
+            branch = _Branch(diverge, node, leaf)
+        else:
+            branch = _Branch(diverge, leaf, node)
+        if parent is None:
+            self._root = branch
+        elif _path_bit(path, parent.bit):
+            parent.right = branch
+        else:
+            parent.left = branch
+        self._count += 1
+
+    def delete(self, key: bytes) -> bool:
+        path = path_of(key)
+        node = self._root
+        if node is None:
+            return False
+        stack: List[_Branch] = []
+        while isinstance(node, _Branch):
+            stack.append(node)
+            node = node.right if _path_bit(path, node.bit) else node.left
+        if node.path != path:
+            return False
+        if not stack:
+            self._root = None
+            self._count = 0
+            return True
+        # The deleted leaf's parent collapses into its other subtree
+        # (path compression restores itself, keeping the shape — and
+        # the root — canonical for the remaining key set).
+        parent = stack[-1]
+        sibling = parent.left if _path_bit(path, parent.bit) else parent.right
+        if len(stack) == 1:
+            self._root = sibling
+        else:
+            grand = stack[-2]
+            if _path_bit(path, grand.bit):
+                grand.right = sibling
+            else:
+                grand.left = sibling
+        for branch in stack[:-1]:
+            branch.hash = None
+        self._count -= 1
+        return True
+
+    def root(self) -> bytes:
+        if self._root is None:
+            return EMPTY_ROOT
+        return self._hash(self._root)
+
+    def _hash(self, node: Any) -> bytes:
+        cached = node.hash
+        if cached is not None:
+            return cached
+        if isinstance(node, _Leaf):
+            digest = keccak256(
+                _LEAF_TAG + node.path.to_bytes(32, "big") + keccak256(node.value)
+            )
+        else:
+            digest = keccak256(
+                _NODE_TAG
+                + node.bit.to_bytes(2, "big")
+                + self._hash(node.left)
+                + self._hash(node.right)
+            )
+        node.hash = digest
+        self.hash_computes += 1
+        return digest
+
+    def prove(self, key: bytes) -> Dict[str, Any]:
+        """A membership or non-membership proof for ``key``.
+
+        The proof is plain codec-encodable data: the branch steps from
+        the root down the key's path (``[bit, direction, sibling_hash]``
+        each), plus the terminal leaf.  If the terminal leaf is the
+        key's own, ``value`` carries its bytes (membership); otherwise
+        ``value`` is ``None`` and the mismatching leaf's path/digest
+        demonstrate absence (the descent *would* have found the key).
+        """
+        self.root()  # populate every hash cache along the way
+        path = path_of(key)
+        node = self._root
+        if node is None:
+            return {"steps": [], "leaf_path": None, "leaf_digest": None,
+                    "value": None}
+        steps: List[List[Any]] = []
+        while isinstance(node, _Branch):
+            direction = _path_bit(path, node.bit)
+            sibling = node.left if direction else node.right
+            steps.append([node.bit, direction, self._hash(sibling)])
+            node = node.right if direction else node.left
+        return {
+            "steps": steps,
+            "leaf_path": node.path.to_bytes(32, "big"),
+            "leaf_digest": keccak256(node.value),
+            "value": node.value if node.path == path else None,
+        }
+
+
+def verify_proof(
+    root: bytes, key: bytes, proof: Any
+) -> Tuple[bool, Optional[bytes]]:
+    """Check a proof against ``root``; returns ``(present, value)``.
+
+    Raises :class:`ProofError` on anything other than a well-formed
+    proof that reconstructs ``root`` exactly: wrong shapes, steps out
+    of order, steps that deviate from the key's own bit path, a
+    membership leaf that is not the key's, or a final hash mismatch.
+    Soundness rests on keccak collision resistance: the only step
+    chains that fold to the true root are the trie's actual nodes, and
+    descending the actual trie by the key's bits terminates at the
+    key's leaf iff the key is present.
+    """
+    if not isinstance(root, bytes) or len(root) != 32:
+        raise ProofError("root must be 32 bytes")
+    if not isinstance(key, bytes):
+        raise ProofError("key must be bytes")
+    if not isinstance(proof, dict) or set(proof) != {
+        "steps", "leaf_path", "leaf_digest", "value",
+    }:
+        raise ProofError("proof must carry steps/leaf_path/leaf_digest/value")
+    steps = proof["steps"]
+    leaf_path = proof["leaf_path"]
+    leaf_digest = proof["leaf_digest"]
+    value = proof["value"]
+    if not isinstance(steps, list):
+        raise ProofError("proof steps must be a list")
+    key_path = keccak256(key)
+    if leaf_path is None:
+        if steps or leaf_digest is not None or value is not None:
+            raise ProofError("an empty-trie proof carries nothing else")
+        if root != EMPTY_ROOT:
+            raise ProofError("empty-trie proof against a non-empty root")
+        return False, None
+    if not isinstance(leaf_path, bytes) or len(leaf_path) != 32:
+        raise ProofError("leaf_path must be 32 bytes")
+    if not isinstance(leaf_digest, bytes) or len(leaf_digest) != 32:
+        raise ProofError("leaf_digest must be 32 bytes")
+    if value is not None:
+        if not isinstance(value, bytes):
+            raise ProofError("value must be bytes")
+        if leaf_path != key_path:
+            raise ProofError(
+                "membership proof must terminate at the key's own leaf"
+            )
+        if keccak256(value) != leaf_digest:
+            raise ProofError("leaf digest disagrees with the claimed value")
+        present = True
+    else:
+        if leaf_path == key_path:
+            raise ProofError(
+                "non-membership proof terminates at the key's own leaf"
+            )
+        present = False
+    acc = keccak256(_LEAF_TAG + leaf_path + leaf_digest)
+    path_int = int.from_bytes(key_path, "big")
+    last_bit = -1
+    parsed: List[Tuple[int, int, bytes]] = []
+    for step in steps:
+        if not isinstance(step, (list, tuple)) or len(step) != 3:
+            raise ProofError("each step must be [bit, direction, sibling]")
+        bit, direction, sibling = step
+        if type(bit) is not int or not 0 <= bit < 256:
+            raise ProofError("step bit must be an int in 0..255")
+        if direction not in (0, 1):
+            raise ProofError("step direction must be 0 or 1")
+        if not isinstance(sibling, bytes) or len(sibling) != 32:
+            raise ProofError("step sibling must be 32 bytes")
+        if bit <= last_bit:
+            raise ProofError("branch bits must strictly increase downward")
+        last_bit = bit
+        if direction != _path_bit(path_int, bit):
+            raise ProofError("proof path deviates from the key's bit path")
+        parsed.append((bit, direction, sibling))
+    for bit, direction, sibling in reversed(parsed):
+        if direction:
+            acc = keccak256(_NODE_TAG + bit.to_bytes(2, "big") + sibling + acc)
+        else:
+            acc = keccak256(_NODE_TAG + bit.to_bytes(2, "big") + acc + sibling)
+    if acc != root:
+        raise ProofError("proof does not reconstruct the state root")
+    return present, value
+
+
+# ---------------------------------------------------------------------------
+# Headers (the light-client anchor)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Header:
+    """One link of the hash-chained commitment timeline a node serves.
+
+    ``parent`` is the previous *header's* hash (``HEADER_GENESIS`` for
+    a node's anchor), ``block_hash`` the latest sealed block at that
+    point, and ``state_root`` the trie root the header commits to.  A
+    light client that trusts one header hash can verify every later
+    header by chaining, and every state fact by proof.
+    """
+
+    height: int
+    parent: bytes
+    block_hash: bytes
+    state_root: bytes
+
+    def header_hash(self) -> bytes:
+        return keccak256(
+            _HEADER_TAG
+            + self.height.to_bytes(8, "big")
+            + self.parent
+            + self.block_hash
+            + self.state_root
+        )
+
+
+def header_to_data(header: Header) -> Dict[str, Any]:
+    return {
+        "height": header.height,
+        "parent": header.parent,
+        "block_hash": header.block_hash,
+        "state_root": header.state_root,
+    }
+
+
+def header_from_data(data: Any) -> Header:
+    if not isinstance(data, dict):
+        raise ProofError("header must decode to an object")
+    try:
+        header = Header(
+            height=data["height"],
+            parent=data["parent"],
+            block_hash=data["block_hash"],
+            state_root=data["state_root"],
+        )
+    except KeyError as exc:
+        raise ProofError("header is missing field %s" % exc) from None
+    if type(header.height) is not int or header.height < 0:
+        raise ProofError("header height must be a non-negative int")
+    for field in ("parent", "block_hash", "state_root"):
+        raw = getattr(header, field)
+        if not isinstance(raw, bytes) or len(raw) != 32:
+            raise ProofError("header %s must be 32 bytes" % field)
+    return header
+
+
+# ---------------------------------------------------------------------------
+# Key namespacing over chain state
+# ---------------------------------------------------------------------------
+
+
+def meta_key(name: str) -> bytes:
+    """Scalar chain metadata: schema, period, scheduler, fees, event_base."""
+    return b"meta/" + name.encode("utf-8")
+
+
+def account_key(address) -> bytes:
+    """Ledger balance of one account (value: ``(label, balance)``)."""
+    return b"account/" + address.value
+
+
+def escrow_key(address) -> bytes:
+    """Escrow held by one contract address (value: ``(label, held)``)."""
+    return b"escrow/" + address.value
+
+
+def gas_key(address) -> bytes:
+    """Cumulative gas charged to one sender (value: ``(label, gas)``)."""
+    return b"gas/" + address.value
+
+
+def registry_key(address) -> bytes:
+    """Identity grant for one address (value: its label)."""
+    return b"registry/" + address.value
+
+
+def contract_key(name: str) -> bytes:
+    """Existence + type of one deployed contract (value: type name)."""
+    return b"contract/" + name.encode("utf-8")
+
+
+def storage_key(name: str, slot: str) -> bytes:
+    """One contract storage slot (value: the slot's codec encoding).
+
+    The ``(name, slot)`` pair is TLV-encoded so a contract name cannot
+    smuggle a separator and collide with another contract's slot.
+    """
+    return b"storage/" + codec.encode((name, slot))
+
+
+def block_key(number: int) -> bytes:
+    """One sealed block (value: keccak digest of its canonical encoding)."""
+    return b"block/" + number.to_bytes(8, "big")
+
+
+def entry_key(index: int) -> bytes:
+    """One ledger journal entry (value: its full canonical encoding) —
+    settlement receipts stay provable inline."""
+    return b"entry/" + index.to_bytes(8, "big")
+
+
+def event_key(sequence: int) -> bytes:
+    """One retained event-log record (value: digest of its encoding)."""
+    return b"event/" + sequence.to_bytes(8, "big")
+
+
+def block_leaf_value(block) -> bytes:
+    return codec.encode(keccak256(codec.encode(codec.block_to_data(block))))
+
+
+def entry_leaf_value(entry) -> bytes:
+    return codec.encode(codec.ledger_entry_to_data(entry))
+
+
+def event_leaf_value(record) -> bytes:
+    return codec.encode(
+        keccak256(
+            codec.encode(
+                {
+                    "sequence": record.sequence,
+                    "block": record.block_number,
+                    "event": codec.event_to_data(record.event),
+                }
+            )
+        )
+    )
+
+
+def live_items(chain) -> Dict[bytes, bytes]:
+    """The current encoded value of every *live* (mutable-in-place) key.
+
+    Everything here can change or disappear between blocks — balances,
+    escrow, gas, registry grants, contract storage, scalar metadata —
+    so the tracker diffs this mapping on every sync.  Append-only
+    history (blocks, ledger entries, event records) is handled by
+    counters instead and never re-encoded.
+
+    Diffing *encodings* rather than objects is deliberate: a storage
+    value mutated in place compares equal to a stale reference of
+    itself, but never to its previous bytes.
+    """
+    scheduler_kind = type(chain.scheduler).__name__
+    if scheduler_kind not in codec._SCHEDULER_TYPES:
+        raise codec.CodecError(
+            "scheduler %s holds live callbacks and cannot be persisted"
+            % scheduler_kind
+        )
+    encode = codec.encode
+    items: Dict[bytes, bytes] = {
+        meta_key("schema"): encode(codec.SCHEMA_VERSION),
+        meta_key("period"): encode(chain.clock.period),
+        meta_key("scheduler"): encode(scheduler_kind),
+        meta_key("fees"): encode(chain.ledger._fees_collected),
+        meta_key("event_base"): encode(chain.event_log.pruned),
+    }
+    for address in chain.registry:
+        items[registry_key(address)] = encode(address.label)
+    for address, balance in chain.ledger._balances.items():
+        items[account_key(address)] = encode((address.label, balance))
+    for address, held in chain.ledger._escrow.items():
+        items[escrow_key(address)] = encode((address.label, held))
+    for address, gas in chain.gas_by_sender.items():
+        items[gas_key(address)] = encode((address.label, gas))
+    for name, contract in chain._contracts.items():
+        items[contract_key(name)] = encode(type(contract).__name__)
+        for slot, value in contract.storage.items():
+            items[storage_key(name, slot)] = encode(value)
+    return items
+
+
+# ---------------------------------------------------------------------------
+# The incremental tracker
+# ---------------------------------------------------------------------------
+
+
+class ChainStateTrie:
+    """Keeps a :class:`MerkleTrie` reconciled with one live chain.
+
+    Not pickled: ``Chain.__getstate__`` drops it and a resumed chain
+    rebuilds lazily on the first ``root()`` read — the trie root is a
+    pure function of chain state, so the rebuild is byte-identical.
+
+    Thread-safe under the RPC node's shared read lock: every public
+    method serializes on an internal lock, so concurrent ``get_proof``
+    and ``chain_state_root`` reads cannot torn-write the cache.
+    """
+
+    def __init__(self) -> None:
+        self.trie = MerkleTrie()
+        #: Hash-chained commitment timeline (only grown when a node
+        #: front-end enables :attr:`track_headers`).
+        self.headers: List[Header] = []
+        self.track_headers = False
+        self._live: Dict[bytes, bytes] = {}
+        self._blocks = 0
+        self._entries = 0
+        self._event_base = 0
+        self._event_head = 0
+        self._lock = threading.RLock()
+
+    # -- syncing -----------------------------------------------------------
+
+    def root(self, chain) -> bytes:
+        with self._lock:
+            return self._sync(chain)
+
+    def prove(self, chain, key: bytes) -> Dict[str, Any]:
+        with self._lock:
+            self._sync(chain)
+            proof = self.trie.prove(key)
+        _TRIE_PROOFS.inc()
+        return proof
+
+    def _sync(self, chain) -> bytes:
+        hashed_before = self.trie.hash_computes
+        live = live_items(chain)
+        sets = 0
+        dels = 0
+        for key, encoded in live.items():
+            if self._live.get(key) != encoded:
+                self.trie.set(key, encoded)
+                sets += 1
+        for key in self._live:
+            if key not in live:
+                self.trie.delete(key)
+                dels += 1
+        self._live = live
+
+        blocks = chain.blocks
+        for number in range(self._blocks, len(blocks)):
+            self.trie.set(block_key(number), block_leaf_value(blocks[number]))
+            sets += 1
+        self._blocks = len(blocks)
+
+        entries = chain.ledger._entries
+        if len(entries) < self._entries:  # defensive: never happens post-tx
+            for index in range(len(entries), self._entries):
+                self.trie.delete(entry_key(index))
+                dels += 1
+            self._entries = len(entries)
+        for index in range(self._entries, len(entries)):
+            self.trie.set(entry_key(index), entry_leaf_value(entries[index]))
+            sets += 1
+        self._entries = len(entries)
+
+        log = chain.event_log
+        base, head = log.pruned, len(log)
+        for sequence in range(self._event_base, min(base, self._event_head)):
+            self.trie.delete(event_key(sequence))
+            dels += 1
+        start = max(self._event_head, base)
+        if start < head:
+            for record in log.iter_since(start):
+                self.trie.set(
+                    event_key(record.sequence), event_leaf_value(record)
+                )
+                sets += 1
+        self._event_base = base
+        self._event_head = head
+
+        root = self.trie.root()
+        _TRIE_SYNCS.inc()
+        if sets:
+            _TRIE_UPDATES.inc(sets, op="set")
+        if dels:
+            _TRIE_UPDATES.inc(dels, op="delete")
+        hashed = self.trie.hash_computes - hashed_before
+        if hashed:
+            _TRIE_HASHES.inc(hashed)
+        return root
+
+    # -- headers -----------------------------------------------------------
+
+    def ensure_header(self, chain) -> Header:
+        """The header committing to the chain's *current* root.
+
+        Appends a new link when the root moved since the last header —
+        per sealed block via :meth:`on_block`, and for out-of-block
+        mutations (account registration, event-log pruning) the moment
+        a proof or header is requested, so served proofs always verify
+        against a served header.
+        """
+        with self._lock:
+            root = self._sync(chain)
+            if not self.headers or self.headers[-1].state_root != root:
+                parent = (
+                    self.headers[-1].header_hash()
+                    if self.headers
+                    else HEADER_GENESIS
+                )
+                block_hash = (
+                    chain.blocks[-1].block_hash()
+                    if chain.blocks
+                    else GENESIS_HASH
+                )
+                self.headers.append(
+                    Header(chain.height, parent, block_hash, root)
+                )
+            return self.headers[-1]
+
+    def on_block(self, chain, block) -> None:
+        """Per-sealed-block hook (wired through ``Chain._notify_store``)."""
+        if self.track_headers:
+            self.ensure_header(chain)
+
+
+def chain_state_trie(chain) -> ChainStateTrie:
+    """The chain's attached tracker, created lazily on first use."""
+    tracker = getattr(chain, "_state_trie", None)
+    if tracker is None:
+        tracker = ChainStateTrie()
+        chain._state_trie = tracker
+    return tracker

@@ -33,6 +33,18 @@ class Counter(Contract):
         ctx.ledger.pay(self.address, ctx.sender, 10)
         ctx.require(False, "revert after pay")
 
+    def seed_nested(self, ctx: CallContext) -> None:
+        self._sstore(ctx, "members", ["alice"])
+        self._sstore(ctx, "scores", {"alice": {"rounds": [1, 2]}})
+
+    def mutate_nested_then_fail(self, ctx: CallContext) -> None:
+        # In-place mutation of *nested* mutables, then a revert: the
+        # regression the deep storage snapshot exists to roll back.
+        self.storage["members"].append("mallory")
+        self.storage["scores"]["alice"]["rounds"].append(99)
+        self.storage["scores"]["mallory"] = {"rounds": [0]}
+        ctx.require(False, "mutated in place, then reverted")
+
 
 @pytest.fixture
 def chain():
@@ -87,6 +99,45 @@ def test_revert_rolls_back_storage(chain):
     assert not receipt.succeeded
     assert "always reverts" in receipt.revert_reason
     assert contract.storage["count"] == 0  # the 999 write rolled back
+
+
+def test_revert_rolls_back_nested_in_place_mutation(chain):
+    """A handler that mutates nested mutables in place and then raises
+    must leave no trace: the pre-call snapshot has to be deep, because
+    ``dict(storage)`` shares the nested lists/dicts it claims to save."""
+    contract = _deploy(chain)
+    user = chain.registry.lookup("user")
+    chain.send(user, "counter", "seed_nested")
+    chain.mine_block()
+    before_members = list(contract.storage["members"])
+    before_rounds = list(contract.storage["scores"]["alice"]["rounds"])
+    chain.send(user, "counter", "mutate_nested_then_fail")
+    block = chain.mine_block()
+    assert not block.receipts[0].succeeded
+    assert contract.storage["members"] == before_members
+    assert contract.storage["scores"]["alice"]["rounds"] == before_rounds
+    assert "mallory" not in contract.storage["scores"]
+
+
+def test_successful_nested_mutation_sticks(chain):
+    """The deep snapshot only guards *reverted* calls — a successful
+    in-place mutation must still land (and must not alias the snapshot)."""
+    contract = _deploy(chain)
+    user = chain.registry.lookup("user")
+    chain.send(user, "counter", "seed_nested")
+    chain.mine_block()
+
+    def grow(self, ctx):
+        self.storage["members"].append("bob")
+
+    Counter.grow = grow
+    try:
+        chain.send(user, "counter", "grow")
+        block = chain.mine_block()
+        assert block.receipts[0].succeeded
+        assert contract.storage["members"] == ["alice", "bob"]
+    finally:
+        del Counter.grow
 
 
 def test_revert_rolls_back_ledger(chain):

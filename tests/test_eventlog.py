@@ -8,10 +8,13 @@ empty mempool still mines (time passes without traffic).
 
 from __future__ import annotations
 
+import pytest
+
 from repro.chain.chain import Chain
 from repro.chain.contract import CallContext, Contract
 from repro.chain.eventlog import EventFilter, EventLog, EventRecord
 from repro.chain.transactions import Event
+from repro.errors import ChainError
 from repro.ledger.accounts import Address
 
 
@@ -199,7 +202,11 @@ def test_prune_through_bound():
         log.append(index, Event(address, "e%d" % index))
     assert log.prune(through=2) == 2  # no subscribers: bound decides
     assert [r.event.name for r in log] == ["e2", "e3"]
-    assert log.since(0) == log.since(2)  # pre-prune cursors see retained
+    # A cursor at the new base reads the retained tail; one *behind*
+    # the base has lost records and must hear about it loudly.
+    assert [r.event.name for r in log.since(2)] == ["e2", "e3"]
+    with pytest.raises(ChainError):
+        log.since(0)
 
 
 def test_dead_subscriptions_do_not_pin_the_log():
@@ -259,6 +266,8 @@ def test_paged_cursor_reads_survive_interleaved_pruning():
     assert seen == expected
     # The reader consumed everything, so the log is fully compacted ...
     assert list(log) == []
-    # ... and a cursor that fell behind the base cannot recover the
-    # dropped records (the RPC layer turns this into a loud error).
-    assert [r.event.name for r in log.since(0)] == []
+    # ... and a cursor that fell behind the base raises the same loud
+    # error the RPC layer gives — dropped records are *lost*, and
+    # silently resuming past the gap would hide that.
+    with pytest.raises(ChainError):
+        log.since(0)

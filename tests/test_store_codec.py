@@ -172,9 +172,9 @@ def test_state_root_reflects_every_layer(settled_chain):
     baseline = codec.state_root(settled_chain)
     data = codec.chain_state_to_data(settled_chain)
 
-    mutated = dict(data)
-    mutated["period"] = data["period"] + 1
-    assert codec.keccak256(codec.encode(mutated)) != baseline
+    mutated = codec.decode_chain_state(codec.encode(data))
+    mutated.clock._period += 1
+    assert codec.state_root(mutated) != baseline
 
     contract = codec.decode_chain_state(codec.encode(data))
     contract.ledger._balances[next(iter(contract.ledger._balances))] += 1
